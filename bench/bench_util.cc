@@ -1,0 +1,70 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+namespace darec::benchutil {
+
+core::Config ParseArgsOrDie(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto config = core::Config::FromArgs(args);
+  if (!config.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", config.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(config).value();
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) parts.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+pipeline::TrainResult RunOrDie(const pipeline::ExperimentSpec& spec) {
+  auto result = pipeline::RunExperiment(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment %s/%s/%s failed: %s\n", spec.dataset.c_str(),
+                 spec.backbone.c_str(), spec.variant.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void PrintMetricsRow(const std::string& label, const eval::MetricSet& metrics,
+                     const std::vector<int64_t>& ks) {
+  std::printf("  %-14s", label.c_str());
+  for (int64_t k : ks) std::printf(" R@%-2lld=%.4f", (long long)k, metrics.recall.at(k));
+  for (int64_t k : ks) std::printf(" N@%-2lld=%.4f", (long long)k, metrics.ndcg.at(k));
+  std::printf("\n");
+}
+
+void PrintImprovementRow(const eval::MetricSet& ours,
+                         const eval::MetricSet& best_other,
+                         const std::vector<int64_t>& ks) {
+  auto pct = [](double a, double b) {
+    return b > 0.0 ? 100.0 * (a - b) / b : 0.0;
+  };
+  std::printf("  %-14s", "Improvement");
+  for (int64_t k : ks) {
+    std::printf(" R@%-2lld=%+.2f%%", (long long)k,
+                pct(ours.recall.at(k), best_other.recall.at(k)));
+  }
+  for (int64_t k : ks) {
+    std::printf(" N@%-2lld=%+.2f%%", (long long)k,
+                pct(ours.ndcg.at(k), best_other.ndcg.at(k)));
+  }
+  std::printf("\n");
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace darec::benchutil

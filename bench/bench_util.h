@@ -1,0 +1,41 @@
+#ifndef DAREC_BENCH_BENCH_UTIL_H_
+#define DAREC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "eval/metrics.h"
+#include "pipeline/experiment.h"
+#include "pipeline/specs.h"
+
+namespace darec::benchutil {
+
+/// Parses bench command-line arguments ("key=value"); exits on bad input.
+core::Config ParseArgsOrDie(int argc, char** argv);
+
+/// Splits a comma-separated list ("a,b,c").
+std::vector<std::string> SplitCsv(const std::string& csv);
+
+/// Runs one experiment cell from a fully-populated spec; aborts the bench
+/// with a diagnostic if construction fails (bench inputs are static).
+pipeline::TrainResult RunOrDie(const pipeline::ExperimentSpec& spec);
+
+/// Prints one paper-style metric row:
+///   "  <label>  R@5 ... N@20" for the given ks.
+void PrintMetricsRow(const std::string& label, const eval::MetricSet& metrics,
+                     const std::vector<int64_t>& ks);
+
+/// Prints the relative improvement row of `ours` over `best_other` (in %),
+/// mirroring Table III's "Improvement" line.
+void PrintImprovementRow(const eval::MetricSet& ours,
+                         const eval::MetricSet& best_other,
+                         const std::vector<int64_t>& ks);
+
+/// Section header helper.
+void PrintHeader(const std::string& title);
+
+}  // namespace darec::benchutil
+
+#endif  // DAREC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,55 @@
+// Reproduces Fig. 3: ablation of the four DaRec losses — "(w/o) or",
+// "(w/o) uni", "(w/o) glo", "(w/o) loc" — against the full model and the
+// plain backbone, reporting R@5, R@10, N@5, N@10 (the figure's four rows).
+//
+// Usage: fig3_ablation [datasets=amazon-book-small,yelp-small,steam-small]
+//                      [backbones=gccf,lightgcn] [epochs=40] ...
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace darec;
+  core::Config config = benchutil::ParseArgsOrDie(argc, argv);
+  std::vector<std::string> datasets = benchutil::SplitCsv(config.GetString(
+      "datasets", "amazon-book-small,yelp-small,steam-small"));
+  std::vector<std::string> backbones =
+      benchutil::SplitCsv(config.GetString("backbones", "gccf,lightgcn"));
+  const std::vector<int64_t> ks{5, 10};
+
+  struct Setting {
+    const char* label;
+    bool orthogonality, uniformity, global, local;
+  };
+  const std::vector<Setting> settings{
+      {"Backbone", false, false, false, false}, {"DaRec", true, true, true, true},
+      {"(w/o) or", false, true, true, true},    {"(w/o) uni", true, false, true, true},
+      {"(w/o) glo", true, true, false, true},   {"(w/o) loc", true, true, true, false},
+  };
+
+  core::Stopwatch total;
+  benchutil::PrintHeader("Fig. 3: Ablation of DaRec's losses (R@5/R@10/N@5/N@10)");
+  for (const std::string& dataset : datasets) {
+    for (const std::string& backbone : backbones) {
+      std::printf("\n[%s / %s]\n", dataset.c_str(), backbone.c_str());
+      for (const Setting& setting : settings) {
+        const bool is_baseline = !setting.orthogonality && !setting.uniformity &&
+                                 !setting.global && !setting.local;
+        pipeline::ExperimentSpec spec = pipeline::CalibratedSpec(
+            dataset, backbone, is_baseline ? "baseline" : "darec");
+        pipeline::ApplyConfigOverrides(config, &spec);
+        spec.dataset = dataset;
+        spec.backbone = backbone;
+        spec.darec_options.enable_orthogonality = setting.orthogonality;
+        spec.darec_options.enable_uniformity = setting.uniformity;
+        spec.darec_options.enable_global = setting.global;
+        spec.darec_options.enable_local = setting.local;
+        pipeline::TrainResult result = benchutil::RunOrDie(spec);
+        benchutil::PrintMetricsRow(setting.label, result.test_metrics, ks);
+      }
+    }
+  }
+  std::printf("\n[fig3_ablation completed in %.1fs]\n", total.ElapsedSeconds());
+  return 0;
+}

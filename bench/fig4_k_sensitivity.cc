@@ -1,0 +1,49 @@
+// Reproduces Fig. 4: sensitivity of DaRec to the number of preference
+// centers K, swept over the paper's grid {2, 4, 5, 8, 10, 100}. Also runs
+// the matching-strategy ablation from DESIGN.md §5 (greedy Eq. 8 vs
+// Hungarian-optimal) when matching=both.
+//
+// Usage: fig4_k_sensitivity [datasets=amazon-book-small,yelp-small]
+//                           [backbone=lightgcn] [matching=greedy|both] ...
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace darec;
+  core::Config config = benchutil::ParseArgsOrDie(argc, argv);
+  std::vector<std::string> datasets = benchutil::SplitCsv(
+      config.GetString("datasets", "amazon-book-small,yelp-small"));
+  const std::string backbone = config.GetString("backbone", "lightgcn");
+  const std::string matching = config.GetString("matching", "greedy");
+  const std::vector<int64_t> k_values{2, 4, 5, 8, 10, 100};
+  const std::vector<int64_t> ks{5, 10, 20};
+
+  core::Stopwatch total;
+  benchutil::PrintHeader("Fig. 4: Sensitivity to cluster count K");
+  for (const std::string& dataset : datasets) {
+    std::printf("\n[%s / %s]\n", dataset.c_str(), backbone.c_str());
+    for (int64_t k : k_values) {
+      for (const std::string& strategy :
+           matching == "both" ? std::vector<std::string>{"greedy", "hungarian"}
+                              : std::vector<std::string>{matching}) {
+        pipeline::ExperimentSpec spec =
+            pipeline::CalibratedSpec(dataset, backbone, "darec");
+        pipeline::ApplyConfigOverrides(config, &spec);
+        spec.dataset = dataset;
+        spec.darec_options.num_clusters = k;
+        spec.darec_options.matching = strategy == "hungarian"
+                                          ? model::MatchingStrategy::kHungarian
+                                          : model::MatchingStrategy::kGreedy;
+        pipeline::TrainResult result = benchutil::RunOrDie(spec);
+        char label[64];
+        std::snprintf(label, sizeof(label), "K=%lld%s", (long long)k,
+                      matching == "both" ? ("/" + strategy).c_str() : "");
+        benchutil::PrintMetricsRow(label, result.test_metrics, ks);
+      }
+    }
+  }
+  std::printf("\n[fig4_k_sensitivity completed in %.1fs]\n", total.ElapsedSeconds());
+  return 0;
+}

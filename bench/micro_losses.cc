@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the computational claims in the
+// paper's §III-D complexity analysis: the alignment losses scale as
+// O(N̂²d) (global, uniformity), O(N̂d) (orthogonality), O(K²d) (local), and
+// the graph propagation as O(nnz·d). Forward + backward per iteration.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "core/rng.h"
+#include "darec/losses.h"
+#include "tensor/csr.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace darec;
+using tensor::Matrix;
+using tensor::Variable;
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  core::Rng rng(seed);
+  return tensor::RandomNormal(rows, cols, 1.0f, rng);
+}
+
+void BM_OrthogonalityLoss(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Variable a = Variable::Parameter(RandomMatrix(n, 32, 1));
+  Variable b = Variable::Parameter(RandomMatrix(n, 32, 2));
+  for (auto _ : state) {
+    a.ClearGrad();
+    b.ClearGrad();
+    Variable loss = model::OrthogonalityLoss(a, b);
+    Backward(loss);
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_OrthogonalityLoss)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_UniformityLoss(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Variable a = Variable::Parameter(RandomMatrix(n, 32, 3));
+  for (auto _ : state) {
+    a.ClearGrad();
+    Variable loss = model::UniformityLoss(a);
+    Backward(loss);
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_UniformityLoss)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_GlobalStructureLoss(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Variable a = Variable::Parameter(RandomMatrix(n, 32, 4));
+  Variable b = Variable::Parameter(RandomMatrix(n, 32, 5));
+  for (auto _ : state) {
+    a.ClearGrad();
+    b.ClearGrad();
+    Variable loss = model::GlobalStructureLoss(a, b);
+    Backward(loss);
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GlobalStructureLoss)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_GlobalStructureLossSoftmax(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Variable a = Variable::Parameter(RandomMatrix(n, 32, 6));
+  Variable b = Variable::Parameter(RandomMatrix(n, 32, 7));
+  for (auto _ : state) {
+    a.ClearGrad();
+    b.ClearGrad();
+    Variable loss = model::GlobalStructureLossSoftmax(a, b, 0.5f);
+    Backward(loss);
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GlobalStructureLossSoftmax)->Arg(128)->Arg(256)->Arg(512)->Complexity();
+
+void BM_LocalStructureLoss(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  Variable a = Variable::Parameter(RandomMatrix(512, 32, 8));
+  Variable b = Variable::Parameter(RandomMatrix(512, 32, 9));
+  core::Rng rng(10);
+  model::LocalAlignState align_state;
+  for (auto _ : state) {
+    a.ClearGrad();
+    b.ClearGrad();
+    Variable loss = model::LocalStructureLoss(
+        a, b, k, model::MatchingStrategy::kGreedy, 15, rng, &align_state);
+    Backward(loss);
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+}
+BENCHMARK(BM_LocalStructureLoss)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_SpMMForwardBackward(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  const int64_t edges_per_node = 10;
+  core::Rng rng(11);
+  std::vector<tensor::Triplet> triplets;
+  for (int64_t n = 0; n < nodes; ++n) {
+    for (int64_t e = 0; e < edges_per_node; ++e) {
+      triplets.push_back({n, rng.UniformInt(nodes), 0.1f});
+    }
+  }
+  auto adjacency = std::make_shared<tensor::CsrMatrix>(
+      tensor::CsrMatrix::FromTriplets(nodes, nodes, std::move(triplets)));
+  Variable e0 = Variable::Parameter(RandomMatrix(nodes, 32, 12));
+  for (auto _ : state) {
+    e0.ClearGrad();
+    Variable out = SpMM(adjacency, e0);
+    Backward(tensor::Mean(out));
+    benchmark::DoNotOptimize(e0.grad().data());
+  }
+  state.SetComplexityN(nodes);
+}
+BENCHMARK(BM_SpMMForwardBackward)->Arg(1024)->Arg(4096)->Arg(16384)->Complexity();
+
+void BM_KMeans(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Matrix points = RandomMatrix(n, 32, 13);
+  cluster::KMeansOptions options;
+  options.num_clusters = 4;
+  options.max_iterations = 15;
+  core::Rng rng(14);
+  for (auto _ : state) {
+    cluster::KMeansResult result = cluster::RunKMeans(points, options, rng);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KMeans)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_GreedyVsHungarianMatching(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  Matrix a = RandomMatrix(k, 32, 15);
+  Matrix b = RandomMatrix(k, 32, 16);
+  Matrix dist = model::CenterDistances(a, b);
+  const bool hungarian = state.range(1) != 0;
+  for (auto _ : state) {
+    model::CenterMatching matching = hungarian
+                                         ? model::HungarianMatchCenters(dist)
+                                         : model::GreedyMatchCenters(dist);
+    benchmark::DoNotOptimize(matching.left.data());
+  }
+}
+BENCHMARK(BM_GreedyVsHungarianMatching)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Validates Theorem 1 computationally: on finite-alphabet worlds, the best
+// *exactly aligned* encoder pair pays at least Δp = |I(D;Y) - I(D';Y)| of
+// excess Bayes risk over the unconstrained optimum. The bench sweeps the
+// modality coupling and the weak modality's channel noise and reports the
+// measured quantities (all in nats).
+//
+// Usage: thm1_infogap [code_cardinality=2]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "theory/theorem1.h"
+#include "theory/theorem2.h"
+
+int main(int argc, char** argv) {
+  using namespace darec;
+  core::Config config = benchutil::ParseArgsOrDie(argc, argv);
+  const int64_t code_cardinality = config.GetInt("code_cardinality", 2);
+
+  benchutil::PrintHeader("Theorem 1: information gap lower-bounds aligned risk");
+  std::printf("  %-9s %-9s %8s %8s %8s %10s %10s %8s %6s\n", "coupling", "dp_noise",
+              "I(D;Y)", "I(D';Y)", "delta_p", "H(Y|D,D')", "best_algn",
+              "excess", "holds");
+  for (double coupling : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    for (double dp_noise : {0.10, 0.30, 0.45}) {
+      theory::DiscreteWorldOptions options;
+      options.coupling = coupling;
+      options.dp_noise = dp_noise;
+      theory::Theorem1Result result = theory::VerifyTheorem1(
+          theory::MakeDiscreteWorld(options), code_cardinality);
+      std::printf("  %-9.2f %-9.2f %8.4f %8.4f %8.4f %10.4f %10.4f %8.4f %6s\n",
+                  coupling, dp_noise, result.info_d_y, result.info_dp_y,
+                  result.delta_p, result.h_y_given_inputs,
+                  result.best_aligned_risk, result.excess_risk,
+                  result.bound_holds ? "yes" : "NO");
+    }
+  }
+  std::printf("\nReading: 'excess' (aligned risk minus the unconstrained optimum)"
+              "\nmust dominate 'delta_p' — exact alignment pays for the modality"
+              "\ninformation gap, the motivation for DaRec's disentanglement.\n");
+
+  benchutil::PrintHeader("Theorem 2: disentangled vs exactly-aligned representations");
+  std::printf("  %-9s %10s %10s %10s %12s %12s\n", "coupling", "I(E_dis;Y)",
+              "I(E_aln;Y)", "I(D;Y)", "H(E_dis|Y)", "H(D|Y)");
+  for (double coupling : {0.0, 0.5, 1.0}) {
+    theory::DiscreteWorldOptions options;
+    options.coupling = coupling;
+    theory::Theorem2Result r2 = theory::VerifyTheorem2(
+        theory::MakeDiscreteWorld(options), code_cardinality);
+    std::printf("  %-9.2f %10.4f %10.4f %10.4f %12.4f %12.4f  %s\n", coupling,
+                r2.relevant_disentangled, r2.relevant_aligned, r2.relevant_input,
+                r2.irrelevant_disentangled, r2.irrelevant_input,
+                r2.more_relevant && r2.less_irrelevant ? "ok" : "VIOLATED");
+  }
+  std::printf("\nReading: the disentangled representation keeps all of the input's"
+              "\ntask-relevant information (column 2 == column 4) while carrying"
+              "\nless task-irrelevant content (column 5 < column 6) — Theorem 2.\n");
+  return 0;
+}

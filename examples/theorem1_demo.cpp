@@ -1,0 +1,55 @@
+// Theorem 1 walkthrough on a toy world you can reason about by hand:
+// Y is a fair coin, the CF input D observes it through a clean channel, the
+// LLM input D' through a noisy one. Exactly aligning the two
+// representations forces them onto the information both sides share — and
+// costs at least the information gap Δp in downstream risk.
+//
+// Usage: theorem1_demo [d_noise=0.05] [dp_noise=0.3] [coupling=0.0]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "theory/info.h"
+#include "theory/theorem1.h"
+
+int main(int argc, char** argv) {
+  using namespace darec;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto config = core::Config::FromArgs(args);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+
+  theory::DiscreteWorldOptions options;
+  options.d_noise = config->GetDouble("d_noise", 0.05);
+  options.dp_noise = config->GetDouble("dp_noise", 0.3);
+  options.coupling = config->GetDouble("coupling", 0.0);
+
+  theory::DiscreteWorld world = theory::MakeDiscreteWorld(options);
+  theory::Theorem1Result result = theory::VerifyTheorem1(world, 2);
+
+  std::printf("== Theorem 1 demo (all quantities in nats) ==\n");
+  std::printf("world: Y ~ fair coin; D sees Y with %.0f%% error;"
+              " D' with %.0f%% error; coupling=%.2f\n",
+              100 * options.d_noise, 100 * options.dp_noise, options.coupling);
+  std::printf("\n  I(D ; Y)  = %.4f   (CF-side relevant information)\n",
+              result.info_d_y);
+  std::printf("  I(D'; Y)  = %.4f   (LLM-side relevant information)\n",
+              result.info_dp_y);
+  std::printf("  delta_p   = %.4f   (the information gap, Eq. before Thm. 1)\n",
+              result.delta_p);
+  std::printf("\n  H(Y | D, D')          = %.4f  (unconstrained Bayes risk)\n",
+              result.h_y_given_inputs);
+  std::printf("  min aligned H(Y | E)  = %.4f  (best EXACTLY aligned encoders)\n",
+              result.best_aligned_risk);
+  std::printf("  excess risk           = %.4f\n", result.excess_risk);
+  std::printf("\n  Theorem 1 claims excess >= delta_p: %s (%.4f >= %.4f)\n",
+              result.bound_holds ? "HOLDS" : "VIOLATED", result.excess_risk,
+              result.delta_p);
+  std::printf("\nTakeaway: when the modalities are far apart (low coupling, high\n"
+              "dp_noise), forcing E^C == E^L throws away information that only\n"
+              "one side has. DaRec's answer: align only the shared component.\n");
+  return result.bound_holds ? 0 : 1;
+}

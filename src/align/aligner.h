@@ -1,0 +1,54 @@
+#ifndef DAREC_ALIGN_ALIGNER_H_
+#define DAREC_ALIGN_ALIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/autograd.h"
+
+namespace darec::align {
+
+/// Plug-and-play hook that transfers LLM knowledge into a CF backbone.
+///
+/// An aligner can contribute in two ways, matching the two families in the
+/// paper's evaluation:
+///  - an auxiliary training loss over the backbone's node embeddings
+///    (RLMRec-Con, RLMRec-Gen, DaRec), and/or
+///  - an augmentation of the node embeddings used for scoring (KAR).
+/// The trainer calls AugmentNodes() on every forward (training and
+/// inference) and adds Loss() to the objective during training.
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Extra loss term for this step; a null Variable means "none".
+  /// `nodes` are the backbone's final node embeddings (users then items).
+  virtual tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) = 0;
+
+  /// Optional embedding augmentation applied before scoring.
+  virtual tensor::Variable AugmentNodes(const tensor::Variable& nodes) {
+    return nodes;
+  }
+
+  /// Trainable parameters owned by the aligner.
+  virtual std::vector<tensor::Variable> Params() = 0;
+};
+
+/// The "Baseline" variant: no LLM knowledge at all.
+class NullAligner final : public Aligner {
+ public:
+  std::string name() const override { return "baseline"; }
+  tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) override {
+    (void)nodes;
+    (void)rng;
+    return tensor::Variable();
+  }
+  std::vector<tensor::Variable> Params() override { return {}; }
+};
+
+}  // namespace darec::align
+
+#endif  // DAREC_ALIGN_ALIGNER_H_

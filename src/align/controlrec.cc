@@ -1,0 +1,37 @@
+#include "align/controlrec.h"
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+
+namespace darec::align {
+
+using tensor::Variable;
+
+ControlRec::ControlRec(tensor::Matrix llm_embeddings, int64_t cf_dim,
+                       const RlmrecOptions& options)
+    : options_(options),
+      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+  core::Rng rng(options.seed ^ 0xC0117ULL);
+  projector_ = std::make_unique<tensor::Mlp>(
+      std::vector<int64_t>{llm_.cols(), options.hidden_dim, cf_dim}, rng);
+}
+
+Variable ControlRec::Loss(const Variable& nodes, core::Rng& rng) {
+  DARE_CHECK_EQ(nodes.rows(), llm_.rows());
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(
+      nodes.rows(), std::min(options_.sample_size, nodes.rows()));
+  Variable cf_sample = GatherRows(nodes, sample);
+  Variable llm_sample = GatherRows(llm_, std::move(sample));
+  // (1) Heterogeneous matching: CF embedding vs projected description.
+  Variable projected = projector_->Forward(llm_sample);
+  Variable matching = InfoNceLoss(cf_sample, projected, options_.temperature);
+  // (2) Instance discrimination between two dropout views of the
+  // projection — keeps the projected space non-degenerate.
+  Variable view1 = Dropout(projected, 0.2f, rng);
+  Variable view2 = Dropout(projected, 0.2f, rng);
+  Variable discrimination = InfoNceLoss(view1, view2, options_.temperature);
+  return ScalarMul(Add(matching, ScalarMul(discrimination, 0.5f)),
+                   options_.weight);
+}
+
+}  // namespace darec::align

@@ -1,0 +1,38 @@
+#ifndef DAREC_ALIGN_CONTROLREC_H_
+#define DAREC_ALIGN_CONTROLREC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "align/rlmrec.h"
+#include "tensor/matrix.h"
+#include "tensor/mlp.h"
+
+namespace darec::align {
+
+/// ControlRec (Qiu et al., 2023): narrows the semantic gap with *two*
+/// auxiliary contrastive objectives — (1) heterogeneous matching between
+/// the CF embedding and its projected LLM description, and (2) instance
+/// discrimination between two dropout views of the projected LLM
+/// representation (keeping the projection itself informative). Another
+/// member of the exact-alignment family DaRec's Theorem 1 analyses.
+class ControlRec final : public Aligner {
+ public:
+  ControlRec(tensor::Matrix llm_embeddings, int64_t cf_dim,
+             const RlmrecOptions& options);
+
+  std::string name() const override { return "controlrec"; }
+  tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) override;
+  std::vector<tensor::Variable> Params() override { return projector_->Params(); }
+
+ private:
+  RlmrecOptions options_;
+  tensor::Variable llm_;  // Constant, row-normalized.
+  std::unique_ptr<tensor::Mlp> projector_;
+};
+
+}  // namespace darec::align
+
+#endif  // DAREC_ALIGN_CONTROLREC_H_

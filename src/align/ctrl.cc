@@ -1,0 +1,41 @@
+#include "align/ctrl.h"
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+
+namespace darec::align {
+
+using tensor::Variable;
+
+Ctrl::Ctrl(tensor::Matrix llm_embeddings, int64_t cf_dim,
+           const RlmrecOptions& options)
+    : options_(options),
+      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+  core::Rng rng(options.seed ^ 0xC781ULL);
+  const int64_t joint_dim = cf_dim;
+  cf_tower_ = std::make_unique<tensor::Mlp>(
+      std::vector<int64_t>{cf_dim, options.hidden_dim, joint_dim}, rng);
+  llm_tower_ = std::make_unique<tensor::Mlp>(
+      std::vector<int64_t>{llm_.cols(), options.hidden_dim, joint_dim}, rng);
+}
+
+Variable Ctrl::Loss(const Variable& nodes, core::Rng& rng) {
+  DARE_CHECK_EQ(nodes.rows(), llm_.rows());
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(
+      nodes.rows(), std::min(options_.sample_size, nodes.rows()));
+  Variable cf_joint = cf_tower_->Forward(GatherRows(nodes, sample));
+  Variable llm_joint = llm_tower_->Forward(GatherRows(llm_, std::move(sample)));
+  // Symmetric (CLIP-style) objective: each side retrieves the other.
+  Variable forward = InfoNceLoss(cf_joint, llm_joint, options_.temperature);
+  Variable backward = InfoNceLoss(llm_joint, cf_joint, options_.temperature);
+  return ScalarMul(ScalarMul(Add(forward, backward), 0.5f), options_.weight);
+}
+
+std::vector<Variable> Ctrl::Params() {
+  std::vector<Variable> params = cf_tower_->Params();
+  std::vector<Variable> llm_params = llm_tower_->Params();
+  params.insert(params.end(), llm_params.begin(), llm_params.end());
+  return params;
+}
+
+}  // namespace darec::align

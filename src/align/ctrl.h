@@ -1,0 +1,37 @@
+#ifndef DAREC_ALIGN_CTRL_H_
+#define DAREC_ALIGN_CTRL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "align/rlmrec.h"
+#include "tensor/matrix.h"
+#include "tensor/mlp.h"
+
+namespace darec::align {
+
+/// CTRL (Li et al., 2023): treats the collaborative signal and the textual
+/// (LLM) signal as two modalities and aligns them CLIP-style — both sides
+/// are projected into a joint space and pulled together with a symmetric
+/// (both-direction) InfoNCE. The strongest form of exact cross-modal
+/// alignment among the baselines.
+class Ctrl final : public Aligner {
+ public:
+  Ctrl(tensor::Matrix llm_embeddings, int64_t cf_dim, const RlmrecOptions& options);
+
+  std::string name() const override { return "ctrl"; }
+  tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) override;
+  std::vector<tensor::Variable> Params() override;
+
+ private:
+  RlmrecOptions options_;
+  tensor::Variable llm_;  // Constant, row-normalized.
+  std::unique_ptr<tensor::Mlp> cf_tower_;
+  std::unique_ptr<tensor::Mlp> llm_tower_;
+};
+
+}  // namespace darec::align
+
+#endif  // DAREC_ALIGN_CTRL_H_

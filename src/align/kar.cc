@@ -1,0 +1,24 @@
+#include "align/kar.h"
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+
+namespace darec::align {
+
+using tensor::Variable;
+
+Kar::Kar(tensor::Matrix llm_embeddings, int64_t cf_dim, const KarOptions& options)
+    : options_(options),
+      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+  core::Rng rng(options.seed);
+  adapter_ = std::make_unique<tensor::Mlp>(
+      std::vector<int64_t>{llm_.cols(), options.hidden_dim, cf_dim}, rng);
+}
+
+Variable Kar::AugmentNodes(const Variable& nodes) {
+  DARE_CHECK_EQ(nodes.rows(), llm_.rows());
+  Variable adapted = adapter_->Forward(llm_);
+  return Add(nodes, ScalarMul(adapted, options_.blend));
+}
+
+}  // namespace darec::align

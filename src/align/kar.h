@@ -1,0 +1,54 @@
+#ifndef DAREC_ALIGN_KAR_H_
+#define DAREC_ALIGN_KAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "tensor/matrix.h"
+#include "tensor/mlp.h"
+
+namespace darec::align {
+
+/// Options for the KAR baseline.
+struct KarOptions {
+  /// Scale of the adapted LLM feature added to the CF embeddings. Small by
+  /// default: KAR injects raw world knowledge without alignment, and large
+  /// blends let the (simulated) LLM features dominate ranking outright.
+  float blend = 0.015f;
+  /// Hidden width of the adapter MLP.
+  int64_t hidden_dim = 64;
+  uint64_t seed = 99;
+};
+
+/// KAR (Xi et al., 2023): knowledge augmentation. The frozen LLM knowledge
+/// is passed through a trainable adapter MLP and *added* to the backbone's
+/// embeddings at scoring time — a feature-augmentation strategy rather than
+/// a representation-alignment loss.
+class Kar final : public Aligner {
+ public:
+  Kar(tensor::Matrix llm_embeddings, int64_t cf_dim, const KarOptions& options);
+
+  std::string name() const override { return "kar"; }
+
+  /// No auxiliary loss: the adapter trains through the ranking objective.
+  tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) override {
+    (void)nodes;
+    (void)rng;
+    return tensor::Variable();
+  }
+
+  tensor::Variable AugmentNodes(const tensor::Variable& nodes) override;
+
+  std::vector<tensor::Variable> Params() override { return adapter_->Params(); }
+
+ private:
+  KarOptions options_;
+  tensor::Variable llm_;  // Constant, row-normalized.
+  std::unique_ptr<tensor::Mlp> adapter_;
+};
+
+}  // namespace darec::align
+
+#endif  // DAREC_ALIGN_KAR_H_

@@ -1,0 +1,46 @@
+#include "align/rlmrec.h"
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+
+namespace darec::align {
+
+using tensor::Variable;
+
+RlmrecCon::RlmrecCon(tensor::Matrix llm_embeddings, int64_t cf_dim,
+                     const RlmrecOptions& options)
+    : options_(options), llm_(Variable::Constant(std::move(llm_embeddings))) {
+  core::Rng rng(options.seed);
+  projector_ = std::make_unique<tensor::Mlp>(
+      std::vector<int64_t>{llm_.cols(), options.hidden_dim, cf_dim}, rng);
+}
+
+Variable RlmrecCon::Loss(const Variable& nodes, core::Rng& rng) {
+  DARE_CHECK_EQ(nodes.rows(), llm_.rows());
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(
+      nodes.rows(), std::min(options_.sample_size, nodes.rows()));
+  Variable cf_sample = GatherRows(nodes, sample);
+  Variable llm_sample = projector_->Forward(GatherRows(llm_, std::move(sample)));
+  return ScalarMul(InfoNceLoss(cf_sample, llm_sample, options_.temperature),
+                   options_.weight);
+}
+
+RlmrecGen::RlmrecGen(tensor::Matrix llm_embeddings, int64_t cf_dim,
+                     const RlmrecOptions& options)
+    : options_(options),
+      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+  core::Rng rng(options.seed ^ 0x6E6EULL);
+  decoder_ = std::make_unique<tensor::Mlp>(
+      std::vector<int64_t>{cf_dim, options.hidden_dim, llm_.cols()}, rng);
+}
+
+Variable RlmrecGen::Loss(const Variable& nodes, core::Rng& rng) {
+  DARE_CHECK_EQ(nodes.rows(), llm_.rows());
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(
+      nodes.rows(), std::min(options_.sample_size, nodes.rows()));
+  Variable reconstructed = decoder_->Forward(GatherRows(nodes, sample));
+  Variable target = GatherRows(llm_, std::move(sample));
+  return ScalarMul(MseLoss(reconstructed, target), options_.weight);
+}
+
+}  // namespace darec::align

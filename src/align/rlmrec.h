@@ -1,0 +1,69 @@
+#ifndef DAREC_ALIGN_RLMREC_H_
+#define DAREC_ALIGN_RLMREC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "tensor/matrix.h"
+#include "tensor/mlp.h"
+
+namespace darec::align {
+
+/// Shared options for the RLMRec baselines (Ren et al., 2023).
+struct RlmrecOptions {
+  /// Weight of the alignment loss added to the base objective.
+  float weight = 0.1f;
+  /// InfoNCE temperature (contrastive variant).
+  float temperature = 0.2f;
+  /// Nodes sampled per step for the alignment term.
+  int64_t sample_size = 512;
+  /// Hidden width of the projection MLP.
+  int64_t hidden_dim = 64;
+  uint64_t seed = 77;
+};
+
+/// RLMRec-Con: contrastive alignment. Projects the frozen LLM embeddings
+/// into the CF space with an MLP and pulls each node's CF embedding toward
+/// its own projected LLM embedding with in-batch-negative InfoNCE — the
+/// "exact alignment" strategy that DaRec's Theorem 1 argues is suboptimal.
+class RlmrecCon final : public Aligner {
+ public:
+  /// `llm_embeddings` is the (num_nodes x llm_dim) frozen matrix E^L;
+  /// `cf_dim` the backbone embedding width.
+  RlmrecCon(tensor::Matrix llm_embeddings, int64_t cf_dim,
+            const RlmrecOptions& options);
+
+  std::string name() const override { return "rlmrec-con"; }
+  tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) override;
+  std::vector<tensor::Variable> Params() override { return projector_->Params(); }
+
+ private:
+  RlmrecOptions options_;
+  tensor::Variable llm_;  // Constant.
+  std::unique_ptr<tensor::Mlp> projector_;
+};
+
+/// RLMRec-Gen: generative alignment. Reconstructs the frozen LLM embedding
+/// from the CF embedding with an MLP under an MSE objective (the
+/// masked-reconstruction variant of RLMRec, with node subsampling playing
+/// the role of masking).
+class RlmrecGen final : public Aligner {
+ public:
+  RlmrecGen(tensor::Matrix llm_embeddings, int64_t cf_dim,
+            const RlmrecOptions& options);
+
+  std::string name() const override { return "rlmrec-gen"; }
+  tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) override;
+  std::vector<tensor::Variable> Params() override { return decoder_->Params(); }
+
+ private:
+  RlmrecOptions options_;
+  tensor::Variable llm_;  // Constant, row-normalized at construction.
+  std::unique_ptr<tensor::Mlp> decoder_;
+};
+
+}  // namespace darec::align
+
+#endif  // DAREC_ALIGN_RLMREC_H_

@@ -1,0 +1,71 @@
+#include "cf/backbone.h"
+
+#include <algorithm>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace darec::cf {
+
+using tensor::Matrix;
+using tensor::Variable;
+
+GraphBackbone::GraphBackbone(const graph::BipartiteGraph* graph,
+                             const BackboneOptions& options)
+    : graph_(graph), options_(options) {
+  DARE_CHECK(graph != nullptr);
+  DARE_CHECK_GT(options.embedding_dim, 0);
+  DARE_CHECK_GE(options.num_layers, 1);
+  core::Rng rng(options.seed);
+  embedding_ = Variable::Parameter(
+      tensor::XavierUniform(graph->num_nodes(), options.embedding_dim, rng));
+}
+
+Variable GraphBackbone::SslLoss(const Variable& nodes, core::Rng& rng) {
+  (void)nodes;
+  (void)rng;
+  return Variable();
+}
+
+std::vector<Variable> GraphBackbone::Params() { return {embedding_}; }
+
+Matrix GraphBackbone::InferenceEmbeddings() {
+  core::Rng rng(options_.seed ^ 0xE7A1ULL);
+  return Forward(/*training=*/false, rng).value();
+}
+
+Variable GraphBackbone::PropagateMean(
+    std::shared_ptr<const tensor::CsrMatrix> adjacency, const Variable& e0,
+    int64_t layers) const {
+  std::vector<Variable> layer_outputs{e0};
+  Variable current = e0;
+  for (int64_t l = 0; l < layers; ++l) {
+    current = SpMM(adjacency, current);
+    layer_outputs.push_back(current);
+  }
+  return MeanOf(layer_outputs);
+}
+
+std::vector<int64_t> GraphBackbone::SampleNodes(int64_t count, core::Rng& rng) const {
+  const int64_t n = graph_->num_nodes();
+  return rng.SampleWithoutReplacement(n, std::min(count, n));
+}
+
+Variable GraphBackbone::TwoSidedInfoNce(const Variable& view1, const Variable& view2,
+                                        core::Rng& rng) const {
+  const int64_t half = std::max<int64_t>(options_.ssl_batch / 2, 2);
+  std::vector<int64_t> users = rng.SampleWithoutReplacement(
+      graph_->num_users(), std::min(half, graph_->num_users()));
+  std::vector<int64_t> items = rng.SampleWithoutReplacement(
+      graph_->num_items(), std::min(half, graph_->num_items()));
+  for (int64_t& item : items) item = graph_->ItemNode(item);
+
+  Variable user_v1 = GatherRows(view1, users);
+  Variable user_v2 = GatherRows(view2, std::move(users));
+  Variable item_v1 = GatherRows(view1, items);
+  Variable item_v2 = GatherRows(view2, std::move(items));
+  return Add(InfoNceLoss(user_v1, user_v2, options_.ssl_temperature),
+             InfoNceLoss(item_v1, item_v2, options_.ssl_temperature));
+}
+
+}  // namespace darec::cf

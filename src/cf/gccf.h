@@ -1,0 +1,40 @@
+#ifndef DAREC_CF_GCCF_H_
+#define DAREC_CF_GCCF_H_
+
+#include <string>
+
+#include "cf/backbone.h"
+#include "tensor/ops.h"
+
+namespace darec::cf {
+
+/// GCCF / LR-GCCF (Chen et al., AAAI 2020): linear residual graph
+/// convolution for collaborative filtering — each layer adds a residual
+/// connection, E_l = Â E_{l-1} + E_{l-1}, with no nonlinearities.
+///
+/// The original concatenates layer outputs; we pool by mean so every
+/// backbone exposes the same embedding width to the plug-and-play aligners
+/// (documented substitution; the residual propagation rule is preserved).
+class Gccf final : public GraphBackbone {
+ public:
+  Gccf(const graph::BipartiteGraph* graph, const BackboneOptions& options)
+      : GraphBackbone(graph, options) {}
+
+  std::string name() const override { return "gccf"; }
+
+  tensor::Variable Forward(bool training, core::Rng& rng) override {
+    (void)training;
+    (void)rng;
+    std::vector<tensor::Variable> layers{embedding_};
+    tensor::Variable current = embedding_;
+    for (int64_t l = 0; l < options_.num_layers; ++l) {
+      current = tensor::Add(SpMM(graph_->normalized_adjacency(), current), current);
+      layers.push_back(current);
+    }
+    return tensor::MeanOf(layers);
+  }
+};
+
+}  // namespace darec::cf
+
+#endif  // DAREC_CF_GCCF_H_

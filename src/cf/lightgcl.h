@@ -1,0 +1,74 @@
+#ifndef DAREC_CF_LIGHTGCL_H_
+#define DAREC_CF_LIGHTGCL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cf/backbone.h"
+#include "tensor/ops.h"
+#include "tensor/svd.h"
+
+namespace darec::cf {
+
+/// LightGCL (Cai et al., ICLR 2023): the contrastive view is propagation
+/// over a rank-q truncated-SVD reconstruction of the normalized adjacency —
+/// a global, noise-robust summary of the graph — contrasted against the
+/// plain LightGCN propagation.
+class LightGcl final : public GraphBackbone {
+ public:
+  /// `svd_rank` low-rank width of the augmented view.
+  LightGcl(const graph::BipartiteGraph* graph, const BackboneOptions& options,
+           int64_t svd_rank = 5)
+      : GraphBackbone(graph, options) {
+    core::Rng rng(options.seed ^ 0x16C1ULL);
+    tensor::TruncatedSvd svd = tensor::ComputeTruncatedSvd(
+        *graph->normalized_adjacency(), svd_rank, /*iterations=*/6, rng);
+    // Fold the singular values into U so the view operator is (US) Vᵀ.
+    tensor::Matrix u_scaled = svd.u;
+    for (int64_t r = 0; r < u_scaled.rows(); ++r) {
+      for (int64_t c = 0; c < u_scaled.cols(); ++c) {
+        u_scaled(r, c) *= svd.singular_values[c];
+      }
+    }
+    u_scaled_ = tensor::Variable::Constant(std::move(u_scaled));
+    v_ = tensor::Variable::Constant(svd.v);
+  }
+
+  std::string name() const override { return "lightgcl"; }
+
+  tensor::Variable Forward(bool training, core::Rng& rng) override {
+    (void)training;
+    (void)rng;
+    return PropagateMean(graph_->normalized_adjacency(), embedding_,
+                         options_.num_layers);
+  }
+
+  tensor::Variable SslLoss(const tensor::Variable& nodes, core::Rng& rng) override {
+    (void)nodes;
+    tensor::Variable main_view = PropagateMean(graph_->normalized_adjacency(),
+                                               embedding_, options_.num_layers);
+    tensor::Variable svd_view = SvdPropagateMean();
+    return TwoSidedInfoNce(main_view, svd_view, rng);
+  }
+
+ private:
+  /// Mean-pooled propagation with Â replaced by its rank-q approximation:
+  /// E_{l+1} = (U S)(Vᵀ E_l).
+  tensor::Variable SvdPropagateMean() const {
+    std::vector<tensor::Variable> layers{embedding_};
+    tensor::Variable current = embedding_;
+    for (int64_t l = 0; l < options_.num_layers; ++l) {
+      current = tensor::MatMul(u_scaled_, tensor::MatMul(v_, current, true, false));
+      layers.push_back(current);
+    }
+    return tensor::MeanOf(layers);
+  }
+
+  tensor::Variable u_scaled_;  // [nodes, q] — U diag(S), constant.
+  tensor::Variable v_;         // [nodes, q] — V, constant.
+};
+
+}  // namespace darec::cf
+
+#endif  // DAREC_CF_LIGHTGCL_H_

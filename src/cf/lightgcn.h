@@ -1,0 +1,29 @@
+#ifndef DAREC_CF_LIGHTGCN_H_
+#define DAREC_CF_LIGHTGCN_H_
+
+#include <string>
+
+#include "cf/backbone.h"
+
+namespace darec::cf {
+
+/// LightGCN (He et al., SIGIR 2020): linear propagation over the normalized
+/// user–item graph with layer-mean pooling and no feature transforms.
+class LightGcn final : public GraphBackbone {
+ public:
+  LightGcn(const graph::BipartiteGraph* graph, const BackboneOptions& options)
+      : GraphBackbone(graph, options) {}
+
+  std::string name() const override { return "lightgcn"; }
+
+  tensor::Variable Forward(bool training, core::Rng& rng) override {
+    (void)training;
+    (void)rng;
+    return PropagateMean(graph_->normalized_adjacency(), embedding_,
+                         options_.num_layers);
+  }
+};
+
+}  // namespace darec::cf
+
+#endif  // DAREC_CF_LIGHTGCN_H_

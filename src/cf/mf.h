@@ -1,0 +1,29 @@
+#ifndef DAREC_CF_MF_H_
+#define DAREC_CF_MF_H_
+
+#include <string>
+
+#include "cf/backbone.h"
+
+namespace darec::cf {
+
+/// Plain BPR matrix factorization (Rendle et al., 2009): no propagation at
+/// all — scores are inner products of the raw embedding table. The
+/// graph-free floor every GNN backbone should beat.
+class Mf final : public GraphBackbone {
+ public:
+  Mf(const graph::BipartiteGraph* graph, const BackboneOptions& options)
+      : GraphBackbone(graph, options) {}
+
+  std::string name() const override { return "mf"; }
+
+  tensor::Variable Forward(bool training, core::Rng& rng) override {
+    (void)training;
+    (void)rng;
+    return embedding_;
+  }
+};
+
+}  // namespace darec::cf
+
+#endif  // DAREC_CF_MF_H_

@@ -1,0 +1,65 @@
+#ifndef DAREC_CF_NGCF_H_
+#define DAREC_CF_NGCF_H_
+
+#include <string>
+#include <vector>
+
+#include "cf/backbone.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace darec::cf {
+
+/// NGCF (Wang et al., SIGIR 2019): message passing with feature transforms
+/// and a bi-interaction term,
+///   E_{l+1} = LeakyReLU( (Â E_l) W1_l + (Â E_l ⊙ E_l) W2_l ),
+/// pooled by layer mean (the original concatenates; mean keeps the
+/// embedding width uniform across backbones for the plug-in aligners).
+class Ngcf final : public GraphBackbone {
+ public:
+  Ngcf(const graph::BipartiteGraph* graph, const BackboneOptions& options)
+      : GraphBackbone(graph, options) {
+    core::Rng rng(options.seed ^ 0x46CFULL);
+    const int64_t d = options.embedding_dim;
+    for (int64_t layer = 0; layer < options.num_layers; ++layer) {
+      message_weights_.push_back(
+          tensor::Variable::Parameter(tensor::XavierUniform(d, d, rng)));
+      interaction_weights_.push_back(
+          tensor::Variable::Parameter(tensor::XavierUniform(d, d, rng)));
+    }
+  }
+
+  std::string name() const override { return "ngcf"; }
+
+  tensor::Variable Forward(bool training, core::Rng& rng) override {
+    (void)training;
+    (void)rng;
+    std::vector<tensor::Variable> layers{embedding_};
+    tensor::Variable current = embedding_;
+    for (int64_t layer = 0; layer < options_.num_layers; ++layer) {
+      tensor::Variable propagated = SpMM(graph_->normalized_adjacency(), current);
+      tensor::Variable message = tensor::MatMul(propagated, message_weights_[layer]);
+      tensor::Variable interaction = tensor::MatMul(
+          tensor::Mul(propagated, current), interaction_weights_[layer]);
+      current = tensor::LeakyRelu(tensor::Add(message, interaction), 0.2f);
+      layers.push_back(current);
+    }
+    return tensor::MeanOf(layers);
+  }
+
+  std::vector<tensor::Variable> Params() override {
+    std::vector<tensor::Variable> params{embedding_};
+    params.insert(params.end(), message_weights_.begin(), message_weights_.end());
+    params.insert(params.end(), interaction_weights_.begin(),
+                  interaction_weights_.end());
+    return params;
+  }
+
+ private:
+  std::vector<tensor::Variable> message_weights_;
+  std::vector<tensor::Variable> interaction_weights_;
+};
+
+}  // namespace darec::cf
+
+#endif  // DAREC_CF_NGCF_H_

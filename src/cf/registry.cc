@@ -1,0 +1,59 @@
+#include "cf/registry.h"
+
+#include "cf/autocf.h"
+#include "cf/dccf.h"
+#include "cf/gccf.h"
+#include "cf/lightgcl.h"
+#include "cf/lightgcn.h"
+#include "cf/mf.h"
+#include "cf/ncl.h"
+#include "cf/ngcf.h"
+#include "cf/sgl.h"
+#include "cf/simgcl.h"
+
+namespace darec::cf {
+
+core::StatusOr<std::unique_ptr<GraphBackbone>> CreateBackbone(
+    const std::string& name, const graph::BipartiteGraph* graph,
+    const BackboneOptions& options) {
+  if (name == "gccf") {
+    return std::unique_ptr<GraphBackbone>(new Gccf(graph, options));
+  }
+  if (name == "lightgcn") {
+    return std::unique_ptr<GraphBackbone>(new LightGcn(graph, options));
+  }
+  if (name == "sgl") {
+    return std::unique_ptr<GraphBackbone>(new Sgl(graph, options));
+  }
+  if (name == "simgcl") {
+    return std::unique_ptr<GraphBackbone>(new SimGcl(graph, options));
+  }
+  if (name == "dccf") {
+    return std::unique_ptr<GraphBackbone>(new Dccf(graph, options));
+  }
+  if (name == "autocf") {
+    return std::unique_ptr<GraphBackbone>(new AutoCf(graph, options));
+  }
+  if (name == "mf") {
+    return std::unique_ptr<GraphBackbone>(new Mf(graph, options));
+  }
+  if (name == "ngcf") {
+    return std::unique_ptr<GraphBackbone>(new Ngcf(graph, options));
+  }
+  if (name == "ncl") {
+    return std::unique_ptr<GraphBackbone>(new Ncl(graph, options));
+  }
+  if (name == "lightgcl") {
+    return std::unique_ptr<GraphBackbone>(new LightGcl(graph, options));
+  }
+  return core::Status::NotFound("unknown backbone: " + name);
+}
+
+std::vector<std::string> BackboneNames() {
+  // The paper's Table III set first, then the additional backbones this
+  // library provides (referenced in the paper's related-work section).
+  return {"gccf", "lightgcn", "sgl",  "simgcl", "dccf",
+          "autocf", "mf",     "ngcf", "ncl",    "lightgcl"};
+}
+
+}  // namespace darec::cf

@@ -1,0 +1,25 @@
+#ifndef DAREC_CF_REGISTRY_H_
+#define DAREC_CF_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cf/backbone.h"
+#include "core/statusor.h"
+
+namespace darec::cf {
+
+/// Creates a backbone by registry name. Recognized names: "gccf",
+/// "lightgcn", "sgl", "simgcl", "dccf", "autocf". `graph` must outlive the
+/// returned backbone.
+core::StatusOr<std::unique_ptr<GraphBackbone>> CreateBackbone(
+    const std::string& name, const graph::BipartiteGraph* graph,
+    const BackboneOptions& options);
+
+/// All registered backbone names, in the paper's Table III order.
+std::vector<std::string> BackboneNames();
+
+}  // namespace darec::cf
+
+#endif  // DAREC_CF_REGISTRY_H_

@@ -1,0 +1,40 @@
+#ifndef DAREC_CF_SGL_H_
+#define DAREC_CF_SGL_H_
+
+#include <string>
+
+#include "cf/backbone.h"
+#include "tensor/ops.h"
+
+namespace darec::cf {
+
+/// SGL (Wu et al., SIGIR 2021): LightGCN ranking plus a self-supervised
+/// contrastive objective between two stochastically augmented graph views
+/// (edge dropout), InfoNCE over a node subsample.
+class Sgl final : public GraphBackbone {
+ public:
+  Sgl(const graph::BipartiteGraph* graph, const BackboneOptions& options)
+      : GraphBackbone(graph, options) {}
+
+  std::string name() const override { return "sgl"; }
+
+  tensor::Variable Forward(bool training, core::Rng& rng) override {
+    (void)training;
+    (void)rng;
+    return PropagateMean(graph_->normalized_adjacency(), embedding_,
+                         options_.num_layers);
+  }
+
+  tensor::Variable SslLoss(const tensor::Variable& nodes, core::Rng& rng) override {
+    (void)nodes;
+    auto view1 = graph_->DroppedNormalizedAdjacency(options_.edge_drop_prob, rng);
+    auto view2 = graph_->DroppedNormalizedAdjacency(options_.edge_drop_prob, rng);
+    tensor::Variable e1 = PropagateMean(view1, embedding_, options_.num_layers);
+    tensor::Variable e2 = PropagateMean(view2, embedding_, options_.num_layers);
+    return TwoSidedInfoNce(e1, e2, rng);
+  }
+};
+
+}  // namespace darec::cf
+
+#endif  // DAREC_CF_SGL_H_

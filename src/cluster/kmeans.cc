@@ -1,0 +1,193 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace darec::cluster {
+
+using tensor::Matrix;
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t dim) {
+  double acc = 0.0;
+  for (int64_t c = 0; c < dim; ++c) {
+    const double diff = double(a[c]) - b[c];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+Matrix KMeansPlusPlusInit(const Matrix& points, int64_t k, core::Rng& rng) {
+  const int64_t n = points.rows();
+  const int64_t dim = points.cols();
+  Matrix centers(k, dim);
+  // First center uniformly at random.
+  centers.CopyRowFrom(points, rng.UniformInt(n), 0);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  for (int64_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double d = SquaredDistance(points.Row(i), centers.Row(c - 1), dim);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    // Sample proportional to squared distance; degenerate case (all points
+    // identical) falls back to uniform.
+    int64_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.UniformDouble() * total;
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformInt(n);
+    }
+    centers.CopyRowFrom(points, chosen, c);
+  }
+  return centers;
+}
+
+Matrix RandomInit(const Matrix& points, int64_t k, core::Rng& rng) {
+  Matrix centers(k, points.cols());
+  std::vector<int64_t> chosen = rng.SampleWithoutReplacement(points.rows(), k);
+  for (int64_t c = 0; c < k; ++c) centers.CopyRowFrom(points, chosen[c], c);
+  return centers;
+}
+
+}  // namespace
+
+namespace {
+
+KMeansResult LloydIterate(const Matrix& points, Matrix initial_centers,
+                          const KMeansOptions& options) {
+  const int64_t n = points.rows();
+  const int64_t dim = points.cols();
+  const int64_t k = options.num_clusters;
+
+  KMeansResult result;
+  result.centers = std::move(initial_centers);
+  result.assignments.assign(n, 0);
+
+  std::vector<int64_t> counts(k);
+  Matrix new_centers(k, dim);
+  std::vector<double> point_dist(n, 0.0);
+
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* p = points.Row(i);
+      double best = std::numeric_limits<double>::max();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(p, result.centers.Row(c), dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      point_dist[i] = best;
+      result.inertia += best;
+    }
+
+    // Update step.
+    new_centers.SetZero();
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = result.assignments[i];
+      ++counts[c];
+      float* crow = new_centers.Row(c);
+      const float* p = points.Row(i);
+      for (int64_t d = 0; d < dim; ++d) crow[d] += p[d];
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        const float inv = 1.0f / static_cast<float>(counts[c]);
+        float* crow = new_centers.Row(c);
+        for (int64_t d = 0; d < dim; ++d) crow[d] *= inv;
+      } else {
+        // Re-seed an empty cluster from the farthest point.
+        int64_t farthest = static_cast<int64_t>(
+            std::max_element(point_dist.begin(), point_dist.end()) -
+            point_dist.begin());
+        new_centers.CopyRowFrom(points, farthest, c);
+        point_dist[farthest] = 0.0;
+      }
+    }
+
+    double movement = 0.0;
+    for (int64_t c = 0; c < k; ++c) {
+      movement += SquaredDistance(result.centers.Row(c), new_centers.Row(c), dim);
+    }
+    result.centers = new_centers;
+    if (movement < options.tolerance) break;
+  }
+
+  // Final assignment consistent with the last centers.
+  result.inertia = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* p = points.Row(i);
+    double best = std::numeric_limits<double>::max();
+    int64_t best_c = 0;
+    for (int64_t c = 0; c < k; ++c) {
+      const double d = SquaredDistance(p, result.centers.Row(c), dim);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    result.assignments[i] = best_c;
+    result.inertia += best;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Matrix& points, const KMeansOptions& options,
+                       core::Rng& rng) {
+  const int64_t k = options.num_clusters;
+  DARE_CHECK_GT(k, 0);
+  DARE_CHECK_GE(points.rows(), k)
+      << "k-means needs at least as many points as clusters";
+  Matrix centers = options.kmeanspp_init ? KMeansPlusPlusInit(points, k, rng)
+                                         : RandomInit(points, k, rng);
+  return LloydIterate(points, std::move(centers), options);
+}
+
+KMeansResult RunKMeansFrom(const Matrix& points, const Matrix& initial_centers,
+                           const KMeansOptions& options) {
+  DARE_CHECK_EQ(initial_centers.rows(), options.num_clusters);
+  DARE_CHECK_EQ(initial_centers.cols(), points.cols());
+  DARE_CHECK_GE(points.rows(), options.num_clusters);
+  return LloydIterate(points, initial_centers, options);
+}
+
+Matrix AssignmentAveragingMatrix(const std::vector<int64_t>& assignments,
+                                 int64_t num_clusters) {
+  const int64_t n = static_cast<int64_t>(assignments.size());
+  std::vector<int64_t> counts(num_clusters, 0);
+  for (int64_t a : assignments) {
+    DARE_CHECK(a >= 0 && a < num_clusters);
+    ++counts[a];
+  }
+  Matrix m(num_clusters, n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = assignments[i];
+    m(c, i) = 1.0f / static_cast<float>(counts[c]);
+  }
+  return m;
+}
+
+}  // namespace darec::cluster

@@ -1,0 +1,55 @@
+#ifndef DAREC_CLUSTER_KMEANS_H_
+#define DAREC_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/matrix.h"
+
+namespace darec::cluster {
+
+/// Configuration for Lloyd's k-means.
+struct KMeansOptions {
+  int64_t num_clusters = 4;
+  int64_t max_iterations = 50;
+  /// Stop when total center movement (squared) drops below this.
+  double tolerance = 1e-6;
+  /// Use k-means++ seeding (recommended); plain random otherwise.
+  bool kmeanspp_init = true;
+};
+
+/// K-means output: centers, per-point assignment, and the final inertia
+/// (sum of squared distances to assigned centers).
+struct KMeansResult {
+  tensor::Matrix centers;            // [K, dim]
+  std::vector<int64_t> assignments;  // [num_points]
+  double inertia = 0.0;
+  int64_t iterations = 0;
+};
+
+/// Runs k-means over the rows of `points`. Requires
+/// options.num_clusters <= points.rows(). Empty clusters are re-seeded from
+/// the point currently farthest from its center, so all K centers are
+/// always populated.
+KMeansResult RunKMeans(const tensor::Matrix& points, const KMeansOptions& options,
+                       core::Rng& rng);
+
+/// Like RunKMeans but warm-starts Lloyd's iterations from `initial_centers`
+/// (must be num_clusters x points.cols()). Used when clustering a slowly
+/// drifting representation every training step: warm starts keep center
+/// identities stable across steps.
+KMeansResult RunKMeansFrom(const tensor::Matrix& points,
+                           const tensor::Matrix& initial_centers,
+                           const KMeansOptions& options);
+
+/// Builds the K x N hard-assignment averaging matrix M with
+/// M(k, i) = 1/|cluster_k| if point i is in cluster k, else 0, so that
+/// M * points reproduces the centers. Used to differentiate through fixed
+/// cluster assignments (DaRec's local structure loss).
+tensor::Matrix AssignmentAveragingMatrix(const std::vector<int64_t>& assignments,
+                                         int64_t num_clusters);
+
+}  // namespace darec::cluster
+
+#endif  // DAREC_CLUSTER_KMEANS_H_

@@ -1,0 +1,54 @@
+#include "cluster/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace darec::cluster {
+
+double MeanSilhouette(const tensor::Matrix& points,
+                      const std::vector<int64_t>& assignments) {
+  const int64_t n = points.rows();
+  DARE_CHECK_EQ(static_cast<int64_t>(assignments.size()), n);
+  if (n == 0) return 0.0;
+  int64_t num_clusters = 0;
+  for (int64_t a : assignments) {
+    DARE_CHECK_GE(a, 0);
+    num_clusters = std::max(num_clusters, a + 1);
+  }
+  std::vector<int64_t> cluster_sizes(num_clusters, 0);
+  for (int64_t a : assignments) ++cluster_sizes[a];
+
+  tensor::Matrix distances = tensor::PairwiseSquaredDistances(points, points);
+  // Silhouette uses plain (non-squared) distances.
+  float* d = distances.data();
+  for (int64_t i = 0, total = distances.size(); i < total; ++i) {
+    d[i] = std::sqrt(std::max(d[i], 0.0f));
+  }
+
+  double total_score = 0.0;
+  std::vector<double> mean_to_cluster(num_clusters);
+  for (int64_t i = 0; i < n; ++i) {
+    std::fill(mean_to_cluster.begin(), mean_to_cluster.end(), 0.0);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_to_cluster[assignments[j]] += distances(i, j);
+    }
+    const int64_t own = assignments[i];
+    if (cluster_sizes[own] <= 1) continue;  // Singleton: contributes 0.
+    const double a = mean_to_cluster[own] / static_cast<double>(cluster_sizes[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (int64_t c = 0; c < num_clusters; ++c) {
+      if (c == own || cluster_sizes[c] == 0) continue;
+      b = std::min(b, mean_to_cluster[c] / static_cast<double>(cluster_sizes[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;  // Single cluster.
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total_score += (b - a) / denom;
+  }
+  return total_score / static_cast<double>(n);
+}
+
+}  // namespace darec::cluster

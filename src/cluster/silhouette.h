@@ -1,0 +1,22 @@
+#ifndef DAREC_CLUSTER_SILHOUETTE_H_
+#define DAREC_CLUSTER_SILHOUETTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace darec::cluster {
+
+/// Mean silhouette coefficient of a clustering: for each point,
+/// s = (b - a) / max(a, b) with a = mean intra-cluster distance and b =
+/// smallest mean distance to another cluster. Returns a value in [-1, 1];
+/// higher means tighter, better-separated clusters. Points in singleton
+/// clusters contribute 0. O(N²d) — intended for the analysis/visualization
+/// sample sizes used by Fig. 6.
+double MeanSilhouette(const tensor::Matrix& points,
+                      const std::vector<int64_t>& assignments);
+
+}  // namespace darec::cluster
+
+#endif  // DAREC_CLUSTER_SILHOUETTE_H_

@@ -1,0 +1,68 @@
+#ifndef DAREC_CORE_CHECK_H_
+#define DAREC_CORE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace darec::core {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used by the DARE_CHECK family below; not for direct use.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a check passes; compiles away entirely.
+class CheckVoidify {
+ public:
+  void operator&&(const CheckFailure&) const {}
+};
+
+}  // namespace darec::core
+
+/// Aborts with a diagnostic if `condition` is false. Active in all build
+/// modes: these guard programmer errors (shape mismatches, index bounds),
+/// which must never be silently ignored in a data system.
+#define DARE_CHECK(condition)                                       \
+  (condition) ? (void)0                                             \
+              : ::darec::core::CheckVoidify() &&                    \
+                    ::darec::core::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define DARE_CHECK_EQ(a, b) DARE_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define DARE_CHECK_NE(a, b) DARE_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define DARE_CHECK_LT(a, b) DARE_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define DARE_CHECK_LE(a, b) DARE_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define DARE_CHECK_GT(a, b) DARE_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define DARE_CHECK_GE(a, b) DARE_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+/// Cheap bounds/shape check that is compiled out in release builds. Use on
+/// hot inner-loop paths only.
+#ifdef NDEBUG
+#define DARE_DCHECK(condition) \
+  while (false) DARE_CHECK(condition)
+#else
+#define DARE_DCHECK(condition) DARE_CHECK(condition)
+#endif
+
+#endif  // DAREC_CORE_CHECK_H_

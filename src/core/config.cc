@@ -1,0 +1,154 @@
+#include "core/config.h"
+
+#include <cstdlib>
+
+#include "core/check.h"
+
+namespace darec::core {
+namespace {
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<Config> Config::FromArgs(const std::vector<std::string>& args) {
+  Config config;
+  for (const std::string& arg : args) {
+    std::string token = arg;
+    // Accept both "key=value" and "--key=value".
+    if (token.rfind("--", 0) == 0) token = token.substr(2);
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected key=value, got: " + arg);
+    }
+    config.Set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return config;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void Config::SetInt(const std::string& key, int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void Config::SetDouble(const std::string& key, double value) {
+  values_[key] = std::to_string(value);
+}
+
+void Config::SetBool(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Config::Contains(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  int64_t value = 0;
+  DARE_CHECK(ParseInt(it->second, &value))
+      << "config key '" << key << "' is not an integer: " << it->second;
+  return value;
+}
+
+double Config::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  double value = 0.0;
+  DARE_CHECK(ParseDouble(it->second, &value))
+      << "config key '" << key << "' is not a number: " << it->second;
+  return value;
+}
+
+bool Config::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  bool value = false;
+  DARE_CHECK(ParseBool(it->second, &value))
+      << "config key '" << key << "' is not a bool: " << it->second;
+  return value;
+}
+
+StatusOr<std::string> Config::GetRequiredString(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("missing config key: " + key);
+  return it->second;
+}
+
+StatusOr<int64_t> Config::GetRequiredInt(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("missing config key: " + key);
+  int64_t value = 0;
+  if (!ParseInt(it->second, &value)) {
+    return Status::InvalidArgument("config key '" + key +
+                                   "' is not an integer: " + it->second);
+  }
+  return value;
+}
+
+StatusOr<double> Config::GetRequiredDouble(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("missing config key: " + key);
+  double value = 0.0;
+  if (!ParseDouble(it->second, &value)) {
+    return Status::InvalidArgument("config key '" + key +
+                                   "' is not a number: " + it->second);
+  }
+  return value;
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+std::string Config::ToString() const {
+  std::string result;
+  for (const auto& [key, value] : values_) {
+    if (!result.empty()) result += ' ';
+    result += key + "=" + value;
+  }
+  return result;
+}
+
+}  // namespace darec::core

@@ -1,0 +1,58 @@
+#ifndef DAREC_CORE_CONFIG_H_
+#define DAREC_CORE_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/statusor.h"
+
+namespace darec::core {
+
+/// A typed string-keyed configuration store.
+///
+/// Used to carry experiment parameters (learning rate, λ, K, N̂, dataset
+/// preset, ...) from benches and examples into the library without long
+/// constructor argument lists. Lookups with defaults never fail; checked
+/// lookups return Status for user-supplied input.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" command-line style arguments. Unknown keys are
+  /// stored verbatim; a malformed token (no '=') yields InvalidArgument.
+  static StatusOr<Config> FromArgs(const std::vector<std::string>& args);
+
+  void Set(const std::string& key, const std::string& value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  bool Contains(const std::string& key) const;
+
+  /// Typed getters with defaults; a present-but-unparsable value aborts,
+  /// since that is a caller bug once FromArgs validation has passed.
+  std::string GetString(const std::string& key, const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Checked getters for required keys.
+  StatusOr<std::string> GetRequiredString(const std::string& key) const;
+  StatusOr<int64_t> GetRequiredInt(const std::string& key) const;
+  StatusOr<double> GetRequiredDouble(const std::string& key) const;
+
+  /// Returns keys in sorted order (for logging an experiment's settings).
+  std::vector<std::string> Keys() const;
+
+  /// Renders "k1=v1 k2=v2 ..." in sorted key order.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_CONFIG_H_

@@ -1,0 +1,46 @@
+#ifndef DAREC_CORE_LOGGING_H_
+#define DAREC_CORE_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace darec::core {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level; messages below it are dropped.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum log level (e.g. silence INFO in benches).
+void SetMinLogLevel(LogLevel level);
+
+/// One log statement. Buffers the message and emits it on destruction so a
+/// statement is a single write even when composed of many `<<` pieces.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace darec::core
+
+#define DARE_LOG(level)                                             \
+  ::darec::core::LogMessage(::darec::core::LogLevel::k##level,      \
+                            __FILE__, __LINE__)
+
+#endif  // DAREC_CORE_LOGGING_H_

@@ -1,0 +1,61 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace darec::core {
+
+int64_t Rng::UniformInt(int64_t bound) {
+  DARE_CHECK_GT(bound, 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t ubound = static_cast<uint64_t>(bound);
+  uint64_t limit = UINT64_MAX - UINT64_MAX % ubound;
+  uint64_t value;
+  do {
+    value = NextUint64();
+  } while (value >= limit);
+  return static_cast<int64_t>(value % ubound);
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform; u1 in (0, 1] to keep log() finite.
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(theta);
+  have_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t population, int64_t count) {
+  DARE_CHECK_GE(population, count);
+  DARE_CHECK_GE(count, 0);
+  std::vector<int64_t> result;
+  result.reserve(count);
+  if (count > population / 2) {
+    // Dense regime: shuffle a full index vector and take a prefix.
+    std::vector<int64_t> all(population);
+    for (int64_t i = 0; i < population; ++i) all[i] = i;
+    Shuffle(all);
+    result.assign(all.begin(), all.begin() + count);
+    return result;
+  }
+  // Sparse regime: rejection sampling with a seen-set.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(count) * 2);
+  while (static_cast<int64_t>(result.size()) < count) {
+    int64_t candidate = UniformInt(population);
+    if (seen.insert(candidate).second) result.push_back(candidate);
+  }
+  return result;
+}
+
+}  // namespace darec::core

@@ -1,0 +1,70 @@
+#ifndef DAREC_CORE_STATUSOR_H_
+#define DAREC_CORE_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "core/check.h"
+#include "core/status.h"
+
+namespace darec::core {
+
+/// Holds either a value of type `T` or a non-OK Status explaining why the
+/// value is absent. Mirrors absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    DARE_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    DARE_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DARE_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DARE_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace darec::core
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define DARE_STATUSOR_CONCAT_INNER_(a, b) a##b
+#define DARE_STATUSOR_CONCAT_(a, b) DARE_STATUSOR_CONCAT_INNER_(a, b)
+#define DARE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DARE_ASSIGN_OR_RETURN_IMPL_(DARE_STATUSOR_CONCAT_(_darec_statusor_, __LINE__), \
+                              lhs, rexpr)
+#define DARE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // DAREC_CORE_STATUSOR_H_

@@ -1,0 +1,31 @@
+#ifndef DAREC_CORE_STOPWATCH_H_
+#define DAREC_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace darec::core {
+
+/// Wall-clock stopwatch for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_STOPWATCH_H_

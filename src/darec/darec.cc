@@ -1,0 +1,124 @@
+#include "darec/darec.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+
+namespace darec::model {
+
+using tensor::Variable;
+
+DaRecAligner::DaRecAligner(tensor::Matrix llm_embeddings, int64_t cf_dim,
+                           const DaRecOptions& options)
+    : options_(options),
+      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+  DARE_CHECK_GT(options.lambda, 0.0f);
+  DARE_CHECK_GT(options.sample_size, 1);
+  DARE_CHECK(options.projector_layers == 1 || options.projector_layers == 2);
+  DARE_CHECK(options.llm_projector_layers == 1 || options.llm_projector_layers == 2);
+  core::Rng rng(options.seed);
+  const int64_t out = options.projection_dim;
+  auto dims = [&](int64_t in, int64_t layers) {
+    return layers == 1 ? std::vector<int64_t>{in, out}
+                       : std::vector<int64_t>{in, options.hidden_dim, out};
+  };
+  cf_shared_proj_ = std::make_unique<tensor::Mlp>(
+      dims(cf_dim, options.projector_layers), rng);
+  cf_specific_proj_ = std::make_unique<tensor::Mlp>(
+      dims(cf_dim, options.projector_layers), rng);
+  llm_shared_proj_ = std::make_unique<tensor::Mlp>(
+      dims(llm_.cols(), options.llm_projector_layers), rng);
+  llm_specific_proj_ = std::make_unique<tensor::Mlp>(
+      dims(llm_.cols(), options.llm_projector_layers), rng);
+}
+
+Variable DaRecAligner::Loss(const Variable& nodes, core::Rng& rng) {
+  DARE_CHECK_EQ(nodes.rows(), llm_.rows());
+  const int64_t sample_size = std::min<int64_t>(options_.sample_size, nodes.rows());
+  std::vector<int64_t> sample =
+      rng.SampleWithoutReplacement(nodes.rows(), sample_size);
+
+  // Eq. 1: disentangle the sampled rows of both modalities. The structure
+  // losses (glo/loc) see the live CF rows — they are the channel that
+  // transfers LLM knowledge into the backbone. The specific-branch
+  // regularizers (or/uni) see a detached copy: they shape the projector
+  // heads so shared/specific stay complementary, without back-propagating
+  // "spread out" pressure into the ranking embeddings (DESIGN.md §2).
+  Variable cf_rows = GatherRows(nodes, sample);
+  Variable cf_rows_detached = Detach(cf_rows);
+  Variable llm_rows = GatherRows(llm_, std::move(sample));
+  Variable cf_shared = cf_shared_proj_->Forward(cf_rows);
+  Variable cf_shared_head = cf_shared_proj_->Forward(cf_rows_detached);
+  Variable cf_specific = cf_specific_proj_->Forward(cf_rows_detached);
+  Variable llm_shared = llm_shared_proj_->Forward(llm_rows);
+  Variable llm_specific = llm_specific_proj_->Forward(llm_rows);
+
+  Variable total;
+  auto accumulate = [&total](const Variable& term) {
+    total = total.IsNull() ? term : Add(total, term);
+  };
+
+  if (options_.enable_orthogonality) {
+    // Eq. 2: specific ⟂ shared, per modality.
+    accumulate(Add(OrthogonalityLoss(cf_specific, cf_shared_head),
+                   OrthogonalityLoss(llm_specific, llm_shared)));
+  }
+  if (options_.enable_uniformity) {
+    // Eq. 3 on a prefix of the sample (the sample is already uniform).
+    const int64_t m = std::min<int64_t>(options_.uniformity_sample, sample_size);
+    if (m > 1) {
+      accumulate(Add(UniformityLoss(SliceRows(cf_specific, 0, m)),
+                     UniformityLoss(SliceRows(llm_specific, 0, m))));
+    }
+  }
+  if (options_.enable_global) {
+    // Eq. 4–5 (sharpened when global_softmax_tau > 0).
+    accumulate(options_.global_softmax_tau > 0.0f
+                   ? GlobalStructureLossSoftmax(cf_shared, llm_shared,
+                                                options_.global_softmax_tau)
+                   : GlobalStructureLoss(cf_shared, llm_shared));
+  }
+  if (options_.enable_local) {
+    // Eq. 6–10 on the head branch: matched preference centers must agree
+    // across modalities. Driving this through the projector (detached CF
+    // input) shapes the shared space in which L_glo transfers structure,
+    // without coherently translating backbone embedding clusters toward
+    // arbitrary LLM center directions (which wrecks dot-product ranking —
+    // see DESIGN.md §5).
+    accumulate(LocalStructureLoss(cf_shared_head, llm_shared,
+                                  options_.num_clusters, options_.matching,
+                                  options_.kmeans_iterations, rng, &local_state_));
+  }
+  if (total.IsNull()) return total;
+  return ScalarMul(total, options_.lambda);
+}
+
+std::vector<Variable> DaRecAligner::Params() {
+  std::vector<Variable> params;
+  for (tensor::Mlp* mlp : {cf_shared_proj_.get(), cf_specific_proj_.get(),
+                           llm_shared_proj_.get(), llm_specific_proj_.get()}) {
+    std::vector<Variable> p = mlp->Params();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+DisentangledViews DaRecAligner::Project(const tensor::Matrix& cf_nodes,
+                                        const std::vector<int64_t>& sample) const {
+  DARE_CHECK_EQ(cf_nodes.rows(), llm_.rows());
+  Variable cf_rows = Variable::Constant(cf_nodes);
+  Variable llm_rows = Variable::Constant(llm_.value());
+  if (!sample.empty()) {
+    cf_rows = GatherRows(cf_rows, sample);
+    llm_rows = GatherRows(llm_rows, sample);
+  }
+  DisentangledViews views;
+  views.cf_shared = cf_shared_proj_->Forward(cf_rows);
+  views.cf_specific = cf_specific_proj_->Forward(cf_rows);
+  views.llm_shared = llm_shared_proj_->Forward(llm_rows);
+  views.llm_specific = llm_specific_proj_->Forward(llm_rows);
+  return views;
+}
+
+}  // namespace darec::model

@@ -1,0 +1,147 @@
+#include "darec/losses.h"
+
+#include <algorithm>
+
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace darec::model {
+
+using tensor::Variable;
+
+Variable OrthogonalityLoss(const Variable& specific, const Variable& shared) {
+  return tensor::Mean(tensor::Square(tensor::CosineRowSimilarity(specific, shared)));
+}
+
+Variable UniformityLoss(const Variable& specific) {
+  const int64_t n = specific.rows();
+  DARE_CHECK_GT(n, 1) << "uniformity needs at least two rows";
+  Variable normalized = tensor::RowL2Normalize(specific);
+  // ||x - y||² = 2 - 2 x·y on the unit sphere.
+  Variable sims = tensor::MatMul(normalized, normalized, false, true);
+  Variable sq_dist = tensor::AddScalar(tensor::ScalarMul(sims, -2.0f), 2.0f);
+  Variable kernel = tensor::Exp(tensor::ScalarMul(sq_dist, -2.0f));
+  // Exclude the n self-pairs (each contributes exp(0) = 1 exactly).
+  Variable off_diag_sum = tensor::AddScalar(tensor::Sum(kernel),
+                                            -static_cast<float>(n));
+  Variable mean = tensor::ScalarMul(off_diag_sum,
+                                    1.0f / static_cast<float>(n * (n - 1)));
+  return tensor::Log(mean);
+}
+
+Variable GlobalStructureLoss(const Variable& shared_cf, const Variable& shared_llm) {
+  DARE_CHECK_EQ(shared_cf.rows(), shared_llm.rows());
+  const int64_t n = shared_cf.rows();
+  Variable ncf = tensor::RowL2Normalize(shared_cf);
+  Variable nllm = tensor::RowL2Normalize(shared_llm);
+  Variable sim_cf = tensor::MatMul(ncf, ncf, false, true);
+  Variable sim_llm = tensor::MatMul(nllm, nllm, false, true);
+  return tensor::ScalarMul(tensor::SumSquares(tensor::Sub(sim_cf, sim_llm)),
+                           1.0f / static_cast<float>(n) / static_cast<float>(n));
+}
+
+Variable GlobalStructureLossSoftmax(const Variable& shared_cf,
+                                    const Variable& shared_llm, float temperature) {
+  DARE_CHECK_EQ(shared_cf.rows(), shared_llm.rows());
+  DARE_CHECK_GT(temperature, 0.0f);
+  const int64_t n = shared_cf.rows();
+  const float inv_tau = 1.0f / temperature;
+
+  Variable ncf = tensor::RowL2Normalize(shared_cf);
+  Variable nllm = tensor::RowL2Normalize(shared_llm);
+  // Mask self-similarity so each row's target is a distribution over
+  // *other* instances, not the trivial self-match.
+  Variable diag_mask =
+      Variable::Constant(tensor::Scale(tensor::Matrix::Identity(n), 1e4f));
+  Variable logits_cf = tensor::Sub(
+      tensor::ScalarMul(tensor::MatMul(ncf, ncf, false, true), inv_tau), diag_mask);
+  Variable logits_llm = tensor::Detach(tensor::Sub(
+      tensor::ScalarMul(tensor::MatMul(nllm, nllm, false, true), inv_tau),
+      diag_mask));
+
+  Variable targets = tensor::SoftmaxRows(logits_llm);
+  // Row-wise cross-entropy: mean_i Σ_j t_ij (logsumexp_i - s_ij).
+  Variable lse_broadcast =
+      tensor::MatMul(tensor::RowLogSumExp(logits_cf),
+                     Variable::Constant(tensor::Matrix::Full(1, n, 1.0f)));
+  return tensor::ScalarMul(
+      tensor::Sum(tensor::Mul(targets, tensor::Sub(lse_broadcast, logits_cf))),
+      1.0f / static_cast<float>(n));
+}
+
+namespace {
+
+/// Clusters the normalized rows, warm-starting from `prev_centers` when
+/// shapes allow; writes the new centers back for the next step.
+cluster::KMeansResult ClusterModality(const tensor::Matrix& normalized_points,
+                                      const cluster::KMeansOptions& options,
+                                      tensor::Matrix* prev_centers,
+                                      core::Rng& rng) {
+  cluster::KMeansResult result;
+  if (prev_centers != nullptr && prev_centers->rows() == options.num_clusters &&
+      prev_centers->cols() == normalized_points.cols()) {
+    result = cluster::RunKMeansFrom(normalized_points, *prev_centers, options);
+  } else {
+    result = cluster::RunKMeans(normalized_points, options, rng);
+  }
+  if (prev_centers != nullptr) *prev_centers = result.centers;
+  return result;
+}
+
+}  // namespace
+
+Variable LocalStructureLoss(const Variable& shared_cf, const Variable& shared_llm,
+                            int64_t num_clusters, MatchingStrategy strategy,
+                            int64_t kmeans_iterations, core::Rng& rng,
+                            LocalAlignState* state) {
+  DARE_CHECK_EQ(shared_cf.rows(), shared_llm.rows());
+  const int64_t k = std::min<int64_t>(num_clusters, shared_cf.rows());
+  DARE_CHECK_GT(k, 0);
+
+  // Eq. 6: preference centers via k-means on each modality (assignments
+  // are treated as constants; center coordinates stay differentiable).
+  // Clustering runs on L2-normalized rows, consistent with the cosine
+  // geometry of Eq. 9.
+  cluster::KMeansOptions kmeans_options;
+  kmeans_options.num_clusters = k;
+  kmeans_options.max_iterations = kmeans_iterations;
+  cluster::KMeansResult cf_clusters = ClusterModality(
+      tensor::RowNormalize(shared_cf.value()), kmeans_options,
+      state != nullptr ? &state->cf_centers : nullptr, rng);
+  cluster::KMeansResult llm_clusters = ClusterModality(
+      tensor::RowNormalize(shared_llm.value()), kmeans_options,
+      state != nullptr ? &state->llm_centers : nullptr, rng);
+
+  Variable centers_cf =
+      tensor::MatMul(Variable::Constant(cluster::AssignmentAveragingMatrix(
+                         cf_clusters.assignments, k)),
+                     shared_cf);
+  Variable centers_llm =
+      tensor::MatMul(Variable::Constant(cluster::AssignmentAveragingMatrix(
+                         llm_clusters.assignments, k)),
+                     shared_llm);
+
+  // Eq. 7–8: adaptive preference matching on the current center values.
+  tensor::Matrix dist = CenterDistances(centers_cf.value(), centers_llm.value());
+  CenterMatching matching = strategy == MatchingStrategy::kGreedy
+                                ? GreedyMatchCenters(dist)
+                                : HungarianMatchCenters(dist);
+  Variable matched_cf = tensor::GatherRows(centers_cf, matching.left);
+  Variable matched_llm = tensor::GatherRows(centers_llm, matching.right);
+
+  // Eq. 9: cosine similarity between every CF/LLM center pair.
+  Variable sims = tensor::MatMul(tensor::RowL2Normalize(matched_cf),
+                                 tensor::RowL2Normalize(matched_llm), false, true);
+
+  // Eq. 10: matched (diagonal) centers agree; unmatched pairs pushed apart.
+  Variable diag = tensor::TakeDiagonal(sims);
+  Variable diag_term = tensor::Mean(tensor::Square(tensor::AddScalar(diag, -1.0f)));
+  if (k == 1) return diag_term;
+  Variable off_diag_sq =
+      tensor::Sub(tensor::SumSquares(sims), tensor::SumSquares(diag));
+  Variable off_term = tensor::ScalarMul(
+      off_diag_sq, 1.0f / static_cast<float>(k * k - k));
+  return tensor::Add(diag_term, off_term);
+}
+
+}  // namespace darec::model

@@ -1,0 +1,67 @@
+#ifndef DAREC_DAREC_LOSSES_H_
+#define DAREC_DAREC_LOSSES_H_
+
+#include <cstdint>
+
+#include "cluster/kmeans.h"
+#include "core/rng.h"
+#include "darec/matching.h"
+#include "tensor/autograd.h"
+
+namespace darec::model {
+
+/// How the K preference centers of the two modalities are paired before
+/// the local structure loss (DESIGN.md §5 ablation).
+enum class MatchingStrategy { kGreedy, kHungarian };
+
+/// Eq. 2 (one modality): mean over rows of cos(E_sp_i, E_sh_i)². The full
+/// paper loss is the sum of this term for the CF and LLM modalities.
+tensor::Variable OrthogonalityLoss(const tensor::Variable& specific,
+                                   const tensor::Variable& shared);
+
+/// Eq. 3 (one modality): uniformity of the specific representation,
+/// log E_{x,y} exp(-2 ||G(x) - G(y)||²) with G = L2 row normalization,
+/// over all ordered pairs of distinct rows.
+tensor::Variable UniformityLoss(const tensor::Variable& specific);
+
+/// Eq. 4–5: global structure alignment. Similarity matrices are computed
+/// on L2-normalized rows (keeps the Frobenius gap scale-free) and the
+/// squared Frobenius distance is averaged over the N² entries.
+tensor::Variable GlobalStructureLoss(const tensor::Variable& shared_cf,
+                                     const tensor::Variable& shared_llm);
+
+/// Sharpened variant of Eq. 4–5 (relational distillation): each row of the
+/// LLM similarity matrix, softmax-sharpened at `temperature` with the
+/// self-similarity masked out, becomes a soft target distribution over
+/// neighbors; the CF similarity rows are trained toward it with
+/// cross-entropy. The LLM side is treated as the (detached) teacher.
+tensor::Variable GlobalStructureLossSoftmax(const tensor::Variable& shared_cf,
+                                            const tensor::Variable& shared_llm,
+                                            float temperature);
+
+/// Mutable cross-step state for the local loss: the previous step's
+/// preference centers (per modality), used to warm-start Lloyd's iterations
+/// so that center identities — and therefore the adaptive matching — stay
+/// stable while the representations drift during training.
+struct LocalAlignState {
+  tensor::Matrix cf_centers;
+  tensor::Matrix llm_centers;
+};
+
+/// Eq. 6–10: local structure alignment. Runs k-means (Eq. 6) on each
+/// modality's L2-normalized shared representation, adaptively pairs the
+/// centers (Eq. 7–8, or optimally with Hungarian), then pulls matched
+/// centers together and pushes unmatched apart via the cosine-similarity
+/// matrix (Eq. 9–10). Gradients flow into the shared representations
+/// through the (fixed) cluster assignments. num_clusters is clamped to the
+/// number of rows. `state` (optional) carries warm-start centers across
+/// calls.
+tensor::Variable LocalStructureLoss(const tensor::Variable& shared_cf,
+                                    const tensor::Variable& shared_llm,
+                                    int64_t num_clusters, MatchingStrategy strategy,
+                                    int64_t kmeans_iterations, core::Rng& rng,
+                                    LocalAlignState* state = nullptr);
+
+}  // namespace darec::model
+
+#endif  // DAREC_DAREC_LOSSES_H_

@@ -1,0 +1,118 @@
+#include "darec/matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace darec::model {
+
+using tensor::Matrix;
+
+double CenterMatching::TotalCost(const Matrix& dist) const {
+  DARE_CHECK_EQ(left.size(), right.size());
+  double total = 0.0;
+  for (size_t k = 0; k < left.size(); ++k) total += dist(left[k], right[k]);
+  return total;
+}
+
+Matrix CenterDistances(const Matrix& centers_a, const Matrix& centers_b) {
+  Matrix squared = tensor::PairwiseSquaredDistances(centers_a, centers_b);
+  float* p = squared.data();
+  for (int64_t i = 0, n = squared.size(); i < n; ++i) p[i] = std::sqrt(p[i]);
+  return squared;
+}
+
+CenterMatching GreedyMatchCenters(const Matrix& dist) {
+  DARE_CHECK_EQ(dist.rows(), dist.cols()) << "center distance matrix must be square";
+  const int64_t k = dist.rows();
+  struct Entry {
+    float d;
+    int64_t i;
+    int64_t j;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(k) * k);
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) entries.push_back({dist(i, j), i, j});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.d != b.d) return a.d < b.d;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  std::vector<bool> left_used(k, false), right_used(k, false);
+  CenterMatching matching;
+  matching.left.reserve(k);
+  matching.right.reserve(k);
+  for (const Entry& e : entries) {
+    if (left_used[e.i] || right_used[e.j]) continue;
+    left_used[e.i] = true;
+    right_used[e.j] = true;
+    matching.left.push_back(e.i);
+    matching.right.push_back(e.j);
+    if (static_cast<int64_t>(matching.left.size()) == k) break;
+  }
+  return matching;
+}
+
+CenterMatching HungarianMatchCenters(const Matrix& dist) {
+  DARE_CHECK_EQ(dist.rows(), dist.cols());
+  const int64_t n = dist.rows();
+  // Jonker–Volgenant style shortest augmenting path formulation with
+  // potentials; 1-indexed internal arrays per the classic presentation.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int64_t> match_col(n + 1, 0);  // col -> row (1-indexed)
+  std::vector<int64_t> way(n + 1, 0);
+  for (int64_t i = 1; i <= n; ++i) {
+    match_col[0] = i;
+    int64_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int64_t i0 = match_col[j0];
+      double delta = kInf;
+      int64_t j1 = 0;
+      for (int64_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = dist(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int64_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match_col[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match_col[j0] != 0);
+    do {
+      const int64_t j1 = way[j0];
+      match_col[j0] = match_col[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  CenterMatching matching;
+  matching.left.resize(n);
+  matching.right.resize(n);
+  for (int64_t j = 1; j <= n; ++j) {
+    const int64_t i = match_col[j];
+    matching.left[i - 1] = i - 1;
+    matching.right[i - 1] = j - 1;
+  }
+  return matching;
+}
+
+}  // namespace darec::model

@@ -1,0 +1,38 @@
+#ifndef DAREC_DAREC_MATCHING_H_
+#define DAREC_DAREC_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace darec::model {
+
+/// A bijective pairing between two equal-sized sets of preference centers:
+/// pair k matches left[k] (a row of C_C) with right[k] (a row of C_L).
+struct CenterMatching {
+  std::vector<int64_t> left;
+  std::vector<int64_t> right;
+
+  /// Sum of dist(left[k], right[k]) under the given distance matrix.
+  double TotalCost(const tensor::Matrix& dist) const;
+};
+
+/// The paper's adaptive preference matching (Eq. 7–8): sort all (i, j)
+/// center pairs by Euclidean distance ascending and greedily accept a pair
+/// when both ends are still unmarked, until every center is matched.
+/// `dist` is the K x K pairwise distance matrix.
+CenterMatching GreedyMatchCenters(const tensor::Matrix& dist);
+
+/// Optimal assignment (Hungarian algorithm, O(K³)) minimizing total
+/// distance — implemented for the matching-strategy ablation called out in
+/// DESIGN.md §5. Returns pairs ordered by left index.
+CenterMatching HungarianMatchCenters(const tensor::Matrix& dist);
+
+/// Euclidean distance matrix between rows of two center matrices (Eq. 7).
+tensor::Matrix CenterDistances(const tensor::Matrix& centers_a,
+                               const tensor::Matrix& centers_b);
+
+}  // namespace darec::model
+
+#endif  // DAREC_DAREC_MATCHING_H_

@@ -1,0 +1,89 @@
+#include "data/csv_loader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace darec::data {
+namespace {
+
+/// Splits one line on the delimiter (no quoting support; interaction logs
+/// are plain id/rating tables).
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, delimiter)) fields.push_back(field);
+  return fields;
+}
+
+core::StatusOr<int64_t> ParseId(const std::string& text, int64_t line_number,
+                                const char* what) {
+  if (text.empty()) {
+    return core::Status::InvalidArgument(std::string("empty ") + what + " at line " +
+                                         std::to_string(line_number));
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || value < 0) {
+    return core::Status::InvalidArgument(std::string("bad ") + what + " '" + text +
+                                         "' at line " + std::to_string(line_number));
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+core::StatusOr<LoadedInteractions> LoadInteractionsCsv(const std::string& path,
+                                                       const CsvLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return core::Status::NotFound("cannot open: " + path);
+
+  const int64_t needed_columns =
+      std::max({options.user_column, options.item_column, options.rating_column}) + 1;
+  LoadedInteractions loaded;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line_number == 1 && options.has_header) continue;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line, options.delimiter);
+    if (static_cast<int64_t>(fields.size()) < needed_columns) {
+      return core::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, need " +
+          std::to_string(needed_columns));
+    }
+    if (options.rating_column >= 0) {
+      const double rating = std::atof(fields[options.rating_column].c_str());
+      if (rating < options.min_rating) {
+        ++loaded.filtered_rows;
+        continue;
+      }
+    }
+    DARE_ASSIGN_OR_RETURN(int64_t user,
+                          ParseId(fields[options.user_column], line_number, "user id"));
+    DARE_ASSIGN_OR_RETURN(int64_t item,
+                          ParseId(fields[options.item_column], line_number, "item id"));
+    loaded.interactions.push_back({user, item});
+    loaded.num_users = std::max(loaded.num_users, user + 1);
+    loaded.num_items = std::max(loaded.num_items, item + 1);
+  }
+  return loaded;
+}
+
+core::StatusOr<Dataset> LoadCsvDataset(const std::string& path, std::string name,
+                                       const CsvLoadOptions& options,
+                                       const SplitRatio& ratio, core::Rng& rng) {
+  DARE_ASSIGN_OR_RETURN(LoadedInteractions loaded,
+                        LoadInteractionsCsv(path, options));
+  if (loaded.interactions.empty()) {
+    return core::Status::InvalidArgument("no interactions in " + path);
+  }
+  return Dataset::Create(std::move(name), loaded.num_users, loaded.num_items,
+                         std::move(loaded.interactions), ratio, rng);
+}
+
+}  // namespace darec::data

@@ -1,0 +1,49 @@
+#ifndef DAREC_DATA_CSV_LOADER_H_
+#define DAREC_DATA_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/statusor.h"
+#include "data/dataset.h"
+
+namespace darec::data {
+
+/// Options for parsing interaction CSV/TSV files.
+struct CsvLoadOptions {
+  char delimiter = ',';
+  /// Skip the first line (header).
+  bool has_header = false;
+  /// Column indices of the user and item ids.
+  int64_t user_column = 0;
+  int64_t item_column = 1;
+  /// Optional rating column; rows with rating < min_rating are dropped
+  /// (the paper filters interactions rated below 3). -1 disables.
+  int64_t rating_column = -1;
+  double min_rating = 3.0;
+};
+
+/// Result of a CSV load: interactions plus inferred id space sizes
+/// (max id + 1). Ids must be non-negative integers.
+struct LoadedInteractions {
+  std::vector<Interaction> interactions;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  /// Rows dropped by the rating filter.
+  int64_t filtered_rows = 0;
+};
+
+/// Parses an interaction file. Fails with NotFound for a missing file and
+/// InvalidArgument for malformed rows (wrong column count, non-integer id,
+/// negative id), reporting the offending line number.
+core::StatusOr<LoadedInteractions> LoadInteractionsCsv(
+    const std::string& path, const CsvLoadOptions& options = CsvLoadOptions());
+
+/// Convenience: load a CSV and build a split Dataset in one call.
+core::StatusOr<Dataset> LoadCsvDataset(const std::string& path, std::string name,
+                                       const CsvLoadOptions& options,
+                                       const SplitRatio& ratio, core::Rng& rng);
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_CSV_LOADER_H_

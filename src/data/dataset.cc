@@ -1,0 +1,116 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/statusor.h"
+
+namespace darec::data {
+
+core::StatusOr<Dataset> Dataset::Create(std::string name, int64_t num_users,
+                                        int64_t num_items,
+                                        std::vector<Interaction> interactions,
+                                        const SplitRatio& ratio, core::Rng& rng) {
+  if (num_users <= 0 || num_items <= 0) {
+    return core::Status::InvalidArgument("num_users and num_items must be positive");
+  }
+  const double ratio_sum = ratio.train + ratio.validation + ratio.test;
+  if (std::fabs(ratio_sum - 1.0) > 1e-9 || ratio.train <= 0.0 ||
+      ratio.validation < 0.0 || ratio.test < 0.0) {
+    return core::Status::InvalidArgument("split ratio must be non-negative and sum to 1");
+  }
+  for (const Interaction& it : interactions) {
+    if (it.user < 0 || it.user >= num_users || it.item < 0 || it.item >= num_items) {
+      return core::Status::InvalidArgument(
+          "interaction out of range: user=" + std::to_string(it.user) +
+          " item=" + std::to_string(it.item));
+    }
+  }
+
+  // Group per user and deduplicate.
+  std::vector<std::vector<int64_t>> per_user(num_users);
+  for (const Interaction& it : interactions) per_user[it.user].push_back(it.item);
+  for (auto& items : per_user) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+  }
+
+  Dataset ds;
+  ds.name_ = std::move(name);
+  ds.num_users_ = num_users;
+  ds.num_items_ = num_items;
+  ds.user_train_items_.resize(num_users);
+  ds.user_validation_items_.resize(num_users);
+  ds.user_test_items_.resize(num_users);
+
+  for (int64_t user = 0; user < num_users; ++user) {
+    std::vector<int64_t>& items = per_user[user];
+    if (items.empty()) continue;
+    rng.Shuffle(items);
+    const int64_t n = static_cast<int64_t>(items.size());
+    // At least one training interaction per user so the backbone always has
+    // a signal; test/validation get the rounded remainder.
+    int64_t n_train = std::max<int64_t>(1, std::llround(ratio.train * n));
+    int64_t n_val = std::llround(ratio.validation * n);
+    n_train = std::min(n_train, n);
+    n_val = std::min(n_val, n - n_train);
+    const int64_t n_test = n - n_train - n_val;
+    (void)n_test;
+    for (int64_t k = 0; k < n; ++k) {
+      const int64_t item = items[k];
+      if (k < n_train) {
+        ds.train_.push_back({user, item});
+        ds.user_train_items_[user].push_back(item);
+      } else if (k < n_train + n_val) {
+        ds.validation_.push_back({user, item});
+        ds.user_validation_items_[user].push_back(item);
+      } else {
+        ds.test_.push_back({user, item});
+        ds.user_test_items_[user].push_back(item);
+      }
+    }
+    std::sort(ds.user_train_items_[user].begin(), ds.user_train_items_[user].end());
+    std::sort(ds.user_validation_items_[user].begin(),
+              ds.user_validation_items_[user].end());
+    std::sort(ds.user_test_items_[user].begin(), ds.user_test_items_[user].end());
+  }
+  return ds;
+}
+
+double Dataset::Density() const {
+  return static_cast<double>(total_interactions()) /
+         (static_cast<double>(num_users_) * static_cast<double>(num_items_));
+}
+
+const std::vector<int64_t>& Dataset::TrainItemsOfUser(int64_t user) const {
+  DARE_CHECK(user >= 0 && user < num_users_);
+  return user_train_items_[user];
+}
+
+const std::vector<int64_t>& Dataset::TestItemsOfUser(int64_t user) const {
+  DARE_CHECK(user >= 0 && user < num_users_);
+  return user_test_items_[user];
+}
+
+const std::vector<int64_t>& Dataset::ValidationItemsOfUser(int64_t user) const {
+  DARE_CHECK(user >= 0 && user < num_users_);
+  return user_validation_items_[user];
+}
+
+bool Dataset::IsTrainInteraction(int64_t user, int64_t item) const {
+  const std::vector<int64_t>& items = TrainItemsOfUser(user);
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream out;
+  out << name_ << ": " << num_users_ << " users, " << num_items_ << " items, "
+      << total_interactions() << " interactions (train " << train_.size() << ", val "
+      << validation_.size() << ", test " << test_.size() << "), density "
+      << Density();
+  return out.str();
+}
+
+}  // namespace darec::data

@@ -1,0 +1,93 @@
+#ifndef DAREC_DATA_DATASET_H_
+#define DAREC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/statusor.h"
+
+namespace darec::data {
+
+/// One observed user–item interaction (implicit feedback).
+struct Interaction {
+  int64_t user = 0;
+  int64_t item = 0;
+
+  friend bool operator==(const Interaction& a, const Interaction& b) {
+    return a.user == b.user && a.item == b.item;
+  }
+};
+
+/// Split fractions for train/validation/test. The paper uses a sparse 3:1:1
+/// split, i.e. {0.6, 0.2, 0.2}.
+struct SplitRatio {
+  double train = 0.6;
+  double validation = 0.2;
+  double test = 0.2;
+};
+
+/// An implicit-feedback recommendation dataset with per-user splits.
+///
+/// Construction validates index bounds and deduplicates interactions; the
+/// split is performed per user so every user with enough history appears in
+/// all three partitions (the "sparse splitting" protocol of the paper).
+class Dataset {
+ public:
+  /// Builds a dataset from raw interactions and splits per user with the
+  /// given ratio. Interactions out of range yield InvalidArgument.
+  static core::StatusOr<Dataset> Create(std::string name, int64_t num_users,
+                                        int64_t num_items,
+                                        std::vector<Interaction> interactions,
+                                        const SplitRatio& ratio, core::Rng& rng);
+
+  const std::string& name() const { return name_; }
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+  /// Total nodes when users and items share one embedding table (users
+  /// first, then items offset by num_users).
+  int64_t num_nodes() const { return num_users_ + num_items_; }
+
+  const std::vector<Interaction>& train() const { return train_; }
+  const std::vector<Interaction>& validation() const { return validation_; }
+  const std::vector<Interaction>& test() const { return test_; }
+
+  int64_t total_interactions() const {
+    return static_cast<int64_t>(train_.size() + validation_.size() + test_.size());
+  }
+
+  /// Interaction density |R| / (|U| * |I|).
+  double Density() const;
+
+  /// Items the user interacted with in the training split, sorted.
+  const std::vector<int64_t>& TrainItemsOfUser(int64_t user) const;
+  /// Items the user interacted with in the test split, sorted.
+  const std::vector<int64_t>& TestItemsOfUser(int64_t user) const;
+  /// Items the user interacted with in the validation split, sorted.
+  const std::vector<int64_t>& ValidationItemsOfUser(int64_t user) const;
+
+  /// True if (user, item) is in the training split. O(log n).
+  bool IsTrainInteraction(int64_t user, int64_t item) const;
+
+  /// One-line summary ("amazon-book: 11000 users, 9332 items, ...").
+  std::string Summary() const;
+
+ private:
+  Dataset() = default;
+
+  std::string name_;
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  std::vector<Interaction> train_;
+  std::vector<Interaction> validation_;
+  std::vector<Interaction> test_;
+  std::vector<std::vector<int64_t>> user_train_items_;
+  std::vector<std::vector<int64_t>> user_validation_items_;
+  std::vector<std::vector<int64_t>> user_test_items_;
+};
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_DATASET_H_

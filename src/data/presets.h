@@ -1,0 +1,34 @@
+#ifndef DAREC_DATA_PRESETS_H_
+#define DAREC_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/statusor.h"
+#include "data/synthetic.h"
+
+namespace darec::data {
+
+/// A named synthetic stand-in for one of the paper's benchmark datasets.
+struct DatasetPreset {
+  std::string name;
+  LatentWorldOptions options;
+};
+
+/// Returns the preset for `name`, or NotFound. Recognized names:
+///   amazon-book, yelp, steam          — paper-scale user/item/interaction
+///                                       counts (Table II);
+///   amazon-book-small, yelp-small,
+///   steam-small                       — ~1/8 scale for CPU benches;
+///   tiny                              — unit-test scale.
+core::StatusOr<DatasetPreset> GetPreset(const std::string& name);
+
+/// Names of all registered presets.
+std::vector<std::string> PresetNames();
+
+/// Resolves the preset and materializes the dataset (deterministic).
+core::StatusOr<Dataset> LoadPresetDataset(const std::string& name);
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_PRESETS_H_

@@ -1,0 +1,56 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace darec::data {
+
+int64_t NegativeSampler::Sample(int64_t user, core::Rng& rng) const {
+  const std::vector<int64_t>& positives = dataset_.TrainItemsOfUser(user);
+  DARE_CHECK_LT(static_cast<int64_t>(positives.size()), dataset_.num_items())
+      << "user " << user << " interacted with every item; cannot sample a negative";
+  // Rejection sampling; positives are a small fraction of the catalog, so
+  // the expected number of draws is ~1.
+  while (true) {
+    const int64_t candidate = rng.UniformInt(dataset_.num_items());
+    if (!std::binary_search(positives.begin(), positives.end(), candidate)) {
+      return candidate;
+    }
+  }
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, int64_t batch_size,
+                             core::Rng& rng)
+    : dataset_(dataset), sampler_(dataset), batch_size_(batch_size) {
+  DARE_CHECK_GT(batch_size, 0);
+  order_.resize(dataset.train().size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int64_t>(i);
+  NewEpoch(rng);
+}
+
+bool BatchIterator::NextBatch(std::vector<TrainTriple>& batch, core::Rng& rng) {
+  batch.clear();
+  const int64_t total = static_cast<int64_t>(order_.size());
+  if (cursor_ >= total) return false;
+  const int64_t end = std::min(cursor_ + batch_size_, total);
+  batch.reserve(end - cursor_);
+  for (int64_t k = cursor_; k < end; ++k) {
+    const Interaction& it = dataset_.train()[order_[k]];
+    batch.push_back({it.user, it.item, sampler_.Sample(it.user, rng)});
+  }
+  cursor_ = end;
+  return true;
+}
+
+void BatchIterator::NewEpoch(core::Rng& rng) {
+  rng.Shuffle(order_);
+  cursor_ = 0;
+}
+
+int64_t BatchIterator::batches_per_epoch() const {
+  const int64_t total = static_cast<int64_t>(order_.size());
+  return (total + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace darec::data

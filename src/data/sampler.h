@@ -1,0 +1,58 @@
+#ifndef DAREC_DATA_SAMPLER_H_
+#define DAREC_DATA_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace darec::data {
+
+/// One BPR training triple: user, observed item, sampled unobserved item.
+struct TrainTriple {
+  int64_t user = 0;
+  int64_t pos_item = 0;
+  int64_t neg_item = 0;
+};
+
+/// Uniform negative sampler over items not in the user's training set.
+class NegativeSampler {
+ public:
+  /// Keeps a reference to `dataset`; it must outlive the sampler.
+  explicit NegativeSampler(const Dataset& dataset) : dataset_(dataset) {}
+
+  /// Draws an item the user has not interacted with in training.
+  int64_t Sample(int64_t user, core::Rng& rng) const;
+
+ private:
+  const Dataset& dataset_;
+};
+
+/// Iterates shuffled mini-batches of BPR triples over the training split.
+/// A fresh epoch reshuffles; the last batch of an epoch may be smaller.
+class BatchIterator {
+ public:
+  /// Keeps references to `dataset`; it must outlive the iterator.
+  BatchIterator(const Dataset& dataset, int64_t batch_size, core::Rng& rng);
+
+  /// Fills `batch` with up to batch_size triples; returns false when the
+  /// epoch is exhausted (call NewEpoch() to continue).
+  bool NextBatch(std::vector<TrainTriple>& batch, core::Rng& rng);
+
+  /// Reshuffles and restarts.
+  void NewEpoch(core::Rng& rng);
+
+  int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  NegativeSampler sampler_;
+  int64_t batch_size_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_SAMPLER_H_

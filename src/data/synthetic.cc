@@ -1,0 +1,118 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+#include "tensor/init.h"
+
+namespace darec::data {
+namespace {
+
+using tensor::Matrix;
+
+/// Latent block entries ~ N(0, 1/sqrt(dim)) so dot products are O(1)
+/// regardless of block width.
+Matrix DrawBlock(int64_t rows, int64_t dim, core::Rng& rng) {
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(std::max<int64_t>(dim, 1)));
+  return tensor::RandomNormal(rows, dim, stddev, rng);
+}
+
+Matrix StackRows(const Matrix& top, const Matrix& bottom) {
+  DARE_CHECK_EQ(top.cols(), bottom.cols());
+  Matrix out(top.rows() + bottom.rows(), top.cols());
+  for (int64_t r = 0; r < top.rows(); ++r) out.CopyRowFrom(top, r, r);
+  for (int64_t r = 0; r < bottom.rows(); ++r) {
+    out.CopyRowFrom(bottom, r, top.rows() + r);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix LatentWorld::StackSharedBlocks() const {
+  return StackRows(user_shared, item_shared);
+}
+
+Matrix LatentWorld::StackLlmBlocks() const { return StackRows(user_llm, item_llm); }
+
+LatentWorld GenerateLatentWorld(const LatentWorldOptions& options) {
+  DARE_CHECK_GT(options.num_users, 0);
+  DARE_CHECK_GT(options.num_items, 0);
+  DARE_CHECK_GT(options.shared_dim, 0);
+  core::Rng rng(options.seed);
+  LatentWorld world;
+  world.options = options;
+  world.user_shared = DrawBlock(options.num_users, options.shared_dim, rng);
+  world.user_cf = DrawBlock(options.num_users, options.cf_dim, rng);
+  world.user_llm = DrawBlock(options.num_users, options.llm_dim, rng);
+  world.item_shared = DrawBlock(options.num_items, options.shared_dim, rng);
+  world.item_cf = DrawBlock(options.num_items, options.cf_dim, rng);
+  world.item_llm = DrawBlock(options.num_items, options.llm_dim, rng);
+  world.item_popularity.resize(options.num_items);
+  for (int64_t i = 0; i < options.num_items; ++i) {
+    world.item_popularity[i] =
+        static_cast<float>(rng.Normal(0.0, options.popularity_sigma));
+  }
+  return world;
+}
+
+std::vector<Interaction> SampleInteractions(const LatentWorld& world, core::Rng& rng) {
+  const LatentWorldOptions& opt = world.options;
+  const int64_t num_users = opt.num_users;
+  const int64_t num_items = opt.num_items;
+
+  // Heavy-tailed per-user interaction counts normalized to the target total.
+  std::vector<double> activity(num_users);
+  double activity_sum = 0.0;
+  for (int64_t u = 0; u < num_users; ++u) {
+    activity[u] = std::exp(opt.activity_sigma * rng.Normal());
+    activity_sum += activity[u];
+  }
+  std::vector<int64_t> counts(num_users);
+  for (int64_t u = 0; u < num_users; ++u) {
+    const double share =
+        static_cast<double>(opt.target_interactions) * activity[u] / activity_sum;
+    counts[u] = std::clamp<int64_t>(std::llround(share), 1, num_items / 2);
+  }
+
+  std::vector<Interaction> interactions;
+  interactions.reserve(static_cast<size_t>(opt.target_interactions) + num_users);
+  const float beta = static_cast<float>(opt.interaction_temperature);
+
+  // Per-user Gumbel top-k == sampling k items without replacement from
+  // softmax(beta * affinity + popularity).
+  std::vector<std::pair<float, int64_t>> keys(num_items);
+  for (int64_t u = 0; u < num_users; ++u) {
+    const float* us = world.user_shared.Row(u);
+    const float* uc = world.user_cf.Row(u);
+    for (int64_t i = 0; i < num_items; ++i) {
+      const float* is = world.item_shared.Row(i);
+      const float* ic = world.item_cf.Row(i);
+      float affinity = 0.0f;
+      for (int64_t d = 0; d < opt.shared_dim; ++d) affinity += us[d] * is[d];
+      for (int64_t d = 0; d < opt.cf_dim; ++d) affinity += uc[d] * ic[d];
+      const float gumbel =
+          -std::log(-std::log(static_cast<float>(rng.UniformDouble()) + 1e-20f) +
+                    1e-20f);
+      keys[i] = {beta * affinity + world.item_popularity[i] + gumbel, i};
+    }
+    const int64_t k = counts[u];
+    std::nth_element(keys.begin(), keys.begin() + (k - 1), keys.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (int64_t j = 0; j < k; ++j) interactions.push_back({u, keys[j].second});
+  }
+  return interactions;
+}
+
+core::StatusOr<Dataset> MakeSyntheticDataset(const std::string& name,
+                                             const LatentWorldOptions& options) {
+  LatentWorld world = GenerateLatentWorld(options);
+  core::Rng rng(options.seed ^ 0xDA7A5E7ULL);
+  std::vector<Interaction> interactions = SampleInteractions(world, rng);
+  return Dataset::Create(name, options.num_users, options.num_items,
+                         std::move(interactions), SplitRatio{}, rng);
+}
+
+}  // namespace darec::data

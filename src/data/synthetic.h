@@ -1,0 +1,75 @@
+#ifndef DAREC_DATA_SYNTHETIC_H_
+#define DAREC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/statusor.h"
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace darec::data {
+
+/// Parameters of the synthetic latent-factor world that substitutes for the
+/// paper's Amazon-book / Yelp / Steam data (see DESIGN.md §2).
+///
+/// Every user and item carries a latent vector with three blocks:
+///   z = [z_shared ; z_cf ; z_llm]
+/// Interactions depend on the shared and CF blocks only; the simulated LLM
+/// embedding depends on the shared and LLM blocks only. This reproduces the
+/// information structure the paper's theory is about: the two modalities
+/// have common task-relevant content (shared) plus modality-specific content
+/// that is noise for the other side.
+struct LatentWorldOptions {
+  int64_t num_users = 1000;
+  int64_t num_items = 800;
+  int64_t target_interactions = 12000;
+  int64_t shared_dim = 8;
+  int64_t cf_dim = 8;
+  int64_t llm_dim = 8;
+  /// Sharpness of preference scores; larger -> more learnable signal.
+  double interaction_temperature = 3.0;
+  /// Std-dev of item popularity offsets (long-tail exposure bias).
+  double popularity_sigma = 0.8;
+  /// Log-normal spread of per-user activity (heavy-tailed user degrees).
+  double activity_sigma = 0.8;
+  uint64_t seed = 42;
+};
+
+/// The ground-truth generative state: latent blocks for every entity plus
+/// item popularity offsets. Users are rows of the user_* matrices; items of
+/// the item_* matrices.
+struct LatentWorld {
+  LatentWorldOptions options;
+  tensor::Matrix user_shared;
+  tensor::Matrix user_cf;
+  tensor::Matrix user_llm;
+  tensor::Matrix item_shared;
+  tensor::Matrix item_cf;
+  tensor::Matrix item_llm;
+  std::vector<float> item_popularity;
+
+  /// Stacks user rows over item rows for a given block pair, yielding the
+  /// (num_users + num_items) x dim node-level matrix used by encoders.
+  tensor::Matrix StackSharedBlocks() const;
+  tensor::Matrix StackLlmBlocks() const;
+};
+
+/// Draws the latent world deterministically from options.seed.
+LatentWorld GenerateLatentWorld(const LatentWorldOptions& options);
+
+/// Samples implicit interactions from the world: per-user activity is
+/// heavy-tailed, and given a user, items are drawn without replacement from
+/// softmax(temperature * (z_shared·z_shared' + z_cf·z_cf') + popularity)
+/// via Gumbel top-k.
+std::vector<Interaction> SampleInteractions(const LatentWorld& world, core::Rng& rng);
+
+/// Generates the world, samples interactions, and applies the 3:1:1 sparse
+/// split. The returned dataset is deterministic in options.seed.
+core::StatusOr<Dataset> MakeSyntheticDataset(const std::string& name,
+                                             const LatentWorldOptions& options);
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_SYNTHETIC_H_

@@ -1,0 +1,158 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace darec::eval {
+
+std::string MetricSet::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [k, value] : recall) {
+    if (!first) out << " ";
+    out << "R@" << k << "=" << value;
+    first = false;
+  }
+  for (const auto& [k, value] : ndcg) {
+    out << " N@" << k << "=" << value;
+  }
+  return out.str();
+}
+
+double RecallAtK(const std::vector<int64_t>& ranked,
+                 const std::vector<int64_t>& relevant, int64_t k) {
+  if (relevant.empty()) return 0.0;
+  const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  int64_t hits = 0;
+  for (int64_t p = 0; p < limit; ++p) {
+    if (std::binary_search(relevant.begin(), relevant.end(), ranked[p])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double NdcgAtK(const std::vector<int64_t>& ranked,
+               const std::vector<int64_t>& relevant, int64_t k) {
+  if (relevant.empty()) return 0.0;
+  const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  double dcg = 0.0;
+  for (int64_t p = 0; p < limit; ++p) {
+    if (std::binary_search(relevant.begin(), relevant.end(), ranked[p])) {
+      dcg += 1.0 / std::log2(static_cast<double>(p) + 2.0);
+    }
+  }
+  const int64_t ideal_hits =
+      std::min<int64_t>(k, static_cast<int64_t>(relevant.size()));
+  double idcg = 0.0;
+  for (int64_t p = 0; p < ideal_hits; ++p) {
+    idcg += 1.0 / std::log2(static_cast<double>(p) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double PrecisionAtK(const std::vector<int64_t>& ranked,
+                    const std::vector<int64_t>& relevant, int64_t k) {
+  if (relevant.empty() || k <= 0) return 0.0;
+  const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  int64_t hits = 0;
+  for (int64_t p = 0; p < limit; ++p) {
+    if (std::binary_search(relevant.begin(), relevant.end(), ranked[p])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double HitRateAtK(const std::vector<int64_t>& ranked,
+                  const std::vector<int64_t>& relevant, int64_t k) {
+  const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  for (int64_t p = 0; p < limit; ++p) {
+    if (std::binary_search(relevant.begin(), relevant.end(), ranked[p])) return 1.0;
+  }
+  return 0.0;
+}
+
+double MrrAtK(const std::vector<int64_t>& ranked,
+              const std::vector<int64_t>& relevant, int64_t k) {
+  const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
+  for (int64_t p = 0; p < limit; ++p) {
+    if (std::binary_search(relevant.begin(), relevant.end(), ranked[p])) {
+      return 1.0 / static_cast<double>(p + 1);
+    }
+  }
+  return 0.0;
+}
+
+MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
+                          const data::Dataset& dataset, const EvalOptions& options) {
+  DARE_CHECK_EQ(node_embeddings.rows(), dataset.num_nodes());
+  DARE_CHECK(!options.ks.empty());
+  const int64_t num_users = dataset.num_users();
+  const int64_t num_items = dataset.num_items();
+  const int64_t dim = node_embeddings.cols();
+  const int64_t max_k = *std::max_element(options.ks.begin(), options.ks.end());
+  DARE_CHECK_LE(max_k, num_items);
+
+  MetricSet totals;
+  for (int64_t k : options.ks) {
+    totals.recall[k] = 0.0;
+    totals.ndcg[k] = 0.0;
+    totals.precision[k] = 0.0;
+    totals.hit_rate[k] = 0.0;
+    totals.mrr[k] = 0.0;
+  }
+
+  std::vector<float> scores(num_items);
+  std::vector<int64_t> order(num_items);
+  int64_t evaluated_users = 0;
+
+  for (int64_t user = 0; user < num_users; ++user) {
+    const std::vector<int64_t>& relevant = options.split == EvalSplit::kTest
+                                               ? dataset.TestItemsOfUser(user)
+                                               : dataset.ValidationItemsOfUser(user);
+    if (relevant.empty()) continue;
+    ++evaluated_users;
+
+    const float* urow = node_embeddings.Row(user);
+    for (int64_t item = 0; item < num_items; ++item) {
+      const float* irow = node_embeddings.Row(num_users + item);
+      float acc = 0.0f;
+      for (int64_t c = 0; c < dim; ++c) acc += urow[c] * irow[c];
+      scores[item] = acc;
+    }
+    // All-ranking protocol: candidates are every item the user has NOT
+    // interacted with in training.
+    for (int64_t item : dataset.TrainItemsOfUser(user)) {
+      scores[item] = -std::numeric_limits<float>::infinity();
+    }
+
+    for (int64_t i = 0; i < num_items; ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + (max_k - 1), order.end(),
+                     [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+    std::sort(order.begin(), order.begin() + max_k,
+              [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+    std::vector<int64_t> top(order.begin(), order.begin() + max_k);
+
+    for (int64_t k : options.ks) {
+      totals.recall[k] += RecallAtK(top, relevant, k);
+      totals.ndcg[k] += NdcgAtK(top, relevant, k);
+      totals.precision[k] += PrecisionAtK(top, relevant, k);
+      totals.hit_rate[k] += HitRateAtK(top, relevant, k);
+      totals.mrr[k] += MrrAtK(top, relevant, k);
+    }
+  }
+
+  if (evaluated_users > 0) {
+    for (int64_t k : options.ks) {
+      totals.recall[k] /= static_cast<double>(evaluated_users);
+      totals.ndcg[k] /= static_cast<double>(evaluated_users);
+      totals.precision[k] /= static_cast<double>(evaluated_users);
+      totals.hit_rate[k] /= static_cast<double>(evaluated_users);
+      totals.mrr[k] /= static_cast<double>(evaluated_users);
+    }
+  }
+  return totals;
+}
+
+}  // namespace darec::eval

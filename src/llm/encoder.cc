@@ -1,0 +1,51 @@
+#include "llm/encoder.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "tensor/init.h"
+
+namespace darec::llm {
+
+using tensor::Matrix;
+
+SimulatedLlmEncoder::SimulatedLlmEncoder(const data::LatentWorld& world,
+                                         const SimulatedLlmOptions& options)
+    : options_(options) {
+  const Matrix shared = world.StackSharedBlocks();
+  const Matrix llm = world.StackLlmBlocks();
+  DARE_CHECK_EQ(shared.rows(), llm.rows());
+  const int64_t num_nodes = shared.rows();
+  const int64_t in_dim = shared.cols() + llm.cols();
+
+  const float specific_scale = static_cast<float>(options.specific_scale);
+  inputs_ = Matrix(num_nodes, in_dim);
+  for (int64_t r = 0; r < num_nodes; ++r) {
+    float* row = inputs_.Row(r);
+    const float* s = shared.Row(r);
+    const float* l = llm.Row(r);
+    for (int64_t c = 0; c < shared.cols(); ++c) row[c] = s[c];
+    for (int64_t c = 0; c < llm.cols(); ++c) {
+      row[shared.cols() + c] = specific_scale * l[c];
+    }
+  }
+
+  core::Rng rng(options.seed);
+  weights1_ = tensor::XavierNormal(in_dim, options.hidden_dim, rng);
+  // Scale up so tanh operates in its nonlinear regime, like a trained net.
+  weights1_.ScaleInPlace(2.0f);
+  weights2_ = tensor::XavierNormal(options.hidden_dim, options.output_dim, rng);
+  noise_ = tensor::RandomNormal(num_nodes, options.output_dim,
+                                static_cast<float>(options.noise_stddev), rng);
+}
+
+Matrix SimulatedLlmEncoder::EncodeAll() const {
+  Matrix hidden = tensor::MatMul(inputs_, weights1_);
+  float* h = hidden.data();
+  for (int64_t i = 0, n = hidden.size(); i < n; ++i) h[i] = std::tanh(h[i]);
+  Matrix out = tensor::MatMul(hidden, weights2_);
+  out.AddInPlace(noise_);
+  return out;
+}
+
+}  // namespace darec::llm

@@ -1,0 +1,69 @@
+#ifndef DAREC_LLM_ENCODER_H_
+#define DAREC_LLM_ENCODER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "tensor/matrix.h"
+
+namespace darec::llm {
+
+/// Produces the frozen LLM-side representations E^L for all nodes (users
+/// then items). In the paper this is GPT-3.5 profile text embedded with
+/// text-embedding-ada-002; here it is any deterministic feature source.
+class LlmEncoder {
+ public:
+  virtual ~LlmEncoder() = default;
+
+  /// Returns the (num_users + num_items) x dim frozen embedding matrix.
+  virtual tensor::Matrix EncodeAll() const = 0;
+
+  virtual int64_t output_dim() const = 0;
+};
+
+/// Options for the simulated frozen text-embedding model.
+struct SimulatedLlmOptions {
+  /// Width of the produced embeddings (ada-002 uses 1536; we default to a
+  /// CPU-friendly width — the structure, not the width, is what matters).
+  int64_t output_dim = 64;
+  /// Hidden width of the fixed random nonlinearity.
+  int64_t hidden_dim = 96;
+  /// Std-dev of additive observation noise (LLM-side nuisance signal).
+  double noise_stddev = 0.05;
+  /// Gain on the LLM-specific latent block relative to the shared block.
+  /// Real text embeddings are dominated by content irrelevant to ranking
+  /// (style, phrasing, world knowledge); raising this reproduces that
+  /// regime — it penalizes exact alignment (RLMRec) much more than
+  /// disentangled alignment, per the paper's Fig. 1 argument.
+  double specific_scale = 1.0;
+  uint64_t seed = 1234;
+};
+
+/// Simulates a frozen LLM embedding service over the synthetic world.
+///
+/// The encoder applies a fixed random two-layer tanh network to the
+/// concatenation [z_shared ; z_llm] of each entity and adds small Gaussian
+/// noise. It therefore carries (a) the task-relevant shared block,
+/// (b) LLM-specific content that is *irrelevant* to interactions, and
+/// (c) nuisance noise — the exact information layout assumed by the
+/// paper's Theorems 1 and 2 (see DESIGN.md §2). Deterministic per seed.
+class SimulatedLlmEncoder final : public LlmEncoder {
+ public:
+  SimulatedLlmEncoder(const data::LatentWorld& world, const SimulatedLlmOptions& options);
+
+  tensor::Matrix EncodeAll() const override;
+
+  int64_t output_dim() const override { return options_.output_dim; }
+
+ private:
+  SimulatedLlmOptions options_;
+  tensor::Matrix inputs_;   // [num_nodes, shared_dim + llm_dim]
+  tensor::Matrix weights1_;  // fixed random projection
+  tensor::Matrix weights2_;
+  tensor::Matrix noise_;
+};
+
+}  // namespace darec::llm
+
+#endif  // DAREC_LLM_ENCODER_H_

@@ -1,0 +1,141 @@
+#include "llm/text_profile.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "tensor/init.h"
+
+namespace darec::llm {
+
+using tensor::Matrix;
+
+TextProfileEncoder::TextProfileEncoder(const data::LatentWorld& world,
+                                       const TextProfileOptions& options)
+    : options_(options) {
+  DARE_CHECK_GT(options.vocab_size, 1);
+  DARE_CHECK_GT(options.num_topics, 1);
+  DARE_CHECK_GT(options.profile_length, 0);
+  core::Rng rng(options.seed);
+
+  // Topic loadings on [z_shared ; z_llm]: each topic listens to one random
+  // direction of the latent content an LLM would verbalize.
+  const Matrix shared = world.StackSharedBlocks();
+  const Matrix llm = world.StackLlmBlocks();
+  const int64_t num_nodes = shared.rows();
+  const int64_t latent_dim = shared.cols() + llm.cols();
+  Matrix latents(num_nodes, latent_dim);
+  for (int64_t r = 0; r < num_nodes; ++r) {
+    float* row = latents.Row(r);
+    for (int64_t c = 0; c < shared.cols(); ++c) row[c] = shared(r, c);
+    for (int64_t c = 0; c < llm.cols(); ++c) row[shared.cols() + c] = llm(r, c);
+  }
+  Matrix loadings = tensor::RandomNormal(latent_dim, options.num_topics, 1.0f, rng);
+  topic_logits_ = tensor::MatMul(latents, loadings);
+  topic_logits_.ScaleInPlace(static_cast<float>(1.0 / options.topic_temperature));
+
+  // Topic-word distributions: sparse-ish random softmax rows.
+  Matrix word_logits =
+      tensor::RandomNormal(options.num_topics, options.vocab_size, 3.0f, rng);
+  topic_word_probs_ = Matrix(options.num_topics, options.vocab_size);
+  for (int64_t t = 0; t < options.num_topics; ++t) {
+    double total = 0.0;
+    for (int64_t w = 0; w < options.vocab_size; ++w) {
+      topic_word_probs_(t, w) = std::exp(word_logits(t, w));
+      total += topic_word_probs_(t, w);
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t w = 0; w < options.vocab_size; ++w) topic_word_probs_(t, w) *= inv;
+  }
+
+  hash_projection_ = tensor::RandomNormal(
+      options.vocab_size, options.output_dim,
+      1.0f / std::sqrt(static_cast<float>(options.output_dim)), rng);
+}
+
+std::vector<int64_t> TextProfileEncoder::ProfileTokens(int64_t node) const {
+  DARE_CHECK(node >= 0 && node < num_nodes());
+  // Per-node deterministic stream: profiles never change between calls.
+  core::Rng rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (node + 1)));
+
+  // Softmax topic mixture for this node.
+  std::vector<double> mix(options_.num_topics);
+  double max_logit = topic_logits_(node, 0);
+  for (int64_t t = 1; t < options_.num_topics; ++t) {
+    max_logit = std::max(max_logit, double(topic_logits_(node, t)));
+  }
+  double total = 0.0;
+  for (int64_t t = 0; t < options_.num_topics; ++t) {
+    mix[t] = std::exp(double(topic_logits_(node, t)) - max_logit);
+    total += mix[t];
+  }
+  for (double& m : mix) m /= total;
+
+  std::vector<int64_t> tokens;
+  tokens.reserve(options_.profile_length);
+  for (int64_t pos = 0; pos < options_.profile_length; ++pos) {
+    // Sample topic, then word from the topic.
+    double u = rng.UniformDouble();
+    int64_t topic = options_.num_topics - 1;
+    for (int64_t t = 0; t < options_.num_topics; ++t) {
+      u -= mix[t];
+      if (u <= 0.0) {
+        topic = t;
+        break;
+      }
+    }
+    double v = rng.UniformDouble();
+    int64_t word = options_.vocab_size - 1;
+    for (int64_t w = 0; w < options_.vocab_size; ++w) {
+      v -= topic_word_probs_(topic, w);
+      if (v <= 0.0) {
+        word = w;
+        break;
+      }
+    }
+    tokens.push_back(word);
+  }
+  return tokens;
+}
+
+std::string TextProfileEncoder::ProfileText(int64_t node) const {
+  std::string text;
+  for (int64_t token : ProfileTokens(node)) {
+    if (!text.empty()) text += ' ';
+    text += 'w';
+    text += std::to_string(token);
+  }
+  return text;
+}
+
+Matrix TextProfileEncoder::EncodeAll() const {
+  // Bag-of-words featurizer with sublinear tf and corpus-mean centering
+  // (the role idf plays in real pipelines: common words carry no signal,
+  // so embeddings measure how a profile *deviates* from the average one),
+  // then a fixed random projection.
+  Matrix tf(num_nodes(), options_.vocab_size);
+  for (int64_t node = 0; node < num_nodes(); ++node) {
+    float* row = tf.Row(node);
+    for (int64_t token : ProfileTokens(node)) row[token] += 1.0f;
+    double norm_sq = 0.0;
+    for (int64_t w = 0; w < options_.vocab_size; ++w) {
+      row[w] = std::sqrt(row[w]);
+      norm_sq += double(row[w]) * row[w];
+    }
+    if (norm_sq > 0.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+      for (int64_t w = 0; w < options_.vocab_size; ++w) row[w] *= inv;
+    }
+  }
+  // Center each word column on its corpus mean.
+  for (int64_t w = 0; w < options_.vocab_size; ++w) {
+    double mean = 0.0;
+    for (int64_t node = 0; node < num_nodes(); ++node) mean += tf(node, w);
+    mean /= static_cast<double>(num_nodes());
+    for (int64_t node = 0; node < num_nodes(); ++node) {
+      tf(node, w) -= static_cast<float>(mean);
+    }
+  }
+  return tensor::MatMul(tf, hash_projection_);
+}
+
+}  // namespace darec::llm

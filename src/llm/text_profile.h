@@ -1,0 +1,64 @@
+#ifndef DAREC_LLM_TEXT_PROFILE_H_
+#define DAREC_LLM_TEXT_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "llm/encoder.h"
+#include "tensor/matrix.h"
+
+namespace darec::llm {
+
+/// Options for the synthetic profile-text pipeline.
+struct TextProfileOptions {
+  /// Vocabulary size of the topic model.
+  int64_t vocab_size = 512;
+  /// Tokens emitted per entity profile.
+  int64_t profile_length = 48;
+  /// Topics (word distributions); each is driven by one latent direction.
+  int64_t num_topics = 12;
+  /// Softmax temperature when turning latent affinities into topic mixes.
+  double topic_temperature = 0.7;
+  /// Width of the final hashed embedding.
+  int64_t output_dim = 64;
+  uint64_t seed = 5150;
+};
+
+/// A more literal simulation of the paper's RLMRec-style pipeline:
+/// user/item *text profiles* are synthesized from the latent world with a
+/// topic model (topics loaded on [z_shared ; z_llm]), then embedded with a
+/// deterministic hashed bag-of-words + random projection — a stand-in for
+/// "GPT-3.5 writes a profile, ada-002 embeds it".
+///
+/// Compared to SimulatedLlmEncoder (a direct nonlinear map), this encoder
+/// goes through an actual discrete token bottleneck, so the embedding noise
+/// has the bursty, word-count character of real text features.
+class TextProfileEncoder final : public LlmEncoder {
+ public:
+  TextProfileEncoder(const data::LatentWorld& world, const TextProfileOptions& options);
+
+  /// Embeds every entity's profile: (num_nodes x output_dim).
+  tensor::Matrix EncodeAll() const override;
+
+  int64_t output_dim() const override { return options_.output_dim; }
+
+  /// The token ids of one entity's profile (deterministic).
+  std::vector<int64_t> ProfileTokens(int64_t node) const;
+
+  /// Renders a profile as human-readable pseudo-words ("w17 w203 ...").
+  std::string ProfileText(int64_t node) const;
+
+  int64_t num_nodes() const { return topic_logits_.rows(); }
+
+ private:
+  TextProfileOptions options_;
+  tensor::Matrix topic_logits_;      // [num_nodes, num_topics]
+  tensor::Matrix topic_word_probs_;  // [num_topics, vocab_size], rows sum to 1.
+  tensor::Matrix hash_projection_;   // [vocab_size, output_dim], fixed random.
+};
+
+}  // namespace darec::llm
+
+#endif  // DAREC_LLM_TEXT_PROFILE_H_

@@ -1,0 +1,83 @@
+#include "pipeline/specs.h"
+
+namespace darec::pipeline {
+
+ExperimentSpec CalibratedSpec(const std::string& dataset, const std::string& backbone,
+                              const std::string& variant) {
+  ExperimentSpec spec;
+  spec.dataset = dataset;
+  spec.backbone = backbone;
+  spec.variant = variant;
+
+  spec.backbone_options.embedding_dim = 32;
+  spec.backbone_options.num_layers = 3;
+  spec.backbone_options.ssl_weight = 0.002f;
+  spec.backbone_options.ssl_batch = 256;
+
+  spec.train_options.epochs = 40;
+  spec.train_options.batch_size = 2048;
+  spec.train_options.learning_rate = 1e-3f;
+  spec.train_options.align_interval = 1;
+
+  spec.llm_options.output_dim = 64;
+
+  spec.rlmrec_options.weight = 0.1f;
+  spec.rlmrec_options.sample_size = 512;
+
+  spec.kar_options.blend = 0.015f;
+
+  spec.darec_options.lambda = 0.5f;
+  spec.darec_options.sample_size = 256;
+  spec.darec_options.uniformity_sample = 256;
+  spec.darec_options.num_clusters = 4;
+  spec.darec_options.projection_dim = 32;
+  return spec;
+}
+
+void ApplyConfigOverrides(const core::Config& config, ExperimentSpec* spec) {
+  spec->dataset = config.GetString("dataset", spec->dataset);
+  spec->backbone = config.GetString("backbone", spec->backbone);
+  spec->variant = config.GetString("variant", spec->variant);
+
+  spec->train_options.epochs = config.GetInt("epochs", spec->train_options.epochs);
+  spec->train_options.batch_size =
+      config.GetInt("batch_size", spec->train_options.batch_size);
+  spec->train_options.learning_rate = static_cast<float>(
+      config.GetDouble("lr", spec->train_options.learning_rate));
+  spec->train_options.seed = config.GetInt("seed", spec->train_options.seed);
+  spec->train_options.align_interval =
+      config.GetInt("align_interval", spec->train_options.align_interval);
+  spec->train_options.verbose =
+      config.GetBool("verbose", spec->train_options.verbose);
+
+  spec->backbone_options.embedding_dim =
+      config.GetInt("dim", spec->backbone_options.embedding_dim);
+  spec->backbone_options.num_layers =
+      config.GetInt("layers", spec->backbone_options.num_layers);
+  spec->backbone_options.ssl_weight = static_cast<float>(
+      config.GetDouble("ssl_weight", spec->backbone_options.ssl_weight));
+
+  spec->darec_options.lambda =
+      static_cast<float>(config.GetDouble("lambda", spec->darec_options.lambda));
+  spec->darec_options.sample_size =
+      config.GetInt("n_hat", spec->darec_options.sample_size);
+  spec->darec_options.num_clusters =
+      config.GetInt("k", spec->darec_options.num_clusters);
+  spec->darec_options.global_softmax_tau = static_cast<float>(
+      config.GetDouble("global_tau", spec->darec_options.global_softmax_tau));
+
+  spec->rlmrec_options.weight = static_cast<float>(
+      config.GetDouble("rlmrec_weight", spec->rlmrec_options.weight));
+  spec->rlmrec_options.temperature = static_cast<float>(
+      config.GetDouble("rlmrec_temperature", spec->rlmrec_options.temperature));
+  spec->rlmrec_options.sample_size =
+      config.GetInt("rlmrec_sample", spec->rlmrec_options.sample_size);
+  spec->llm_options.specific_scale =
+      config.GetDouble("llm_specific", spec->llm_options.specific_scale);
+  spec->llm_options.noise_stddev =
+      config.GetDouble("llm_noise", spec->llm_options.noise_stddev);
+  spec->kar_options.blend =
+      static_cast<float>(config.GetDouble("kar_blend", spec->kar_options.blend));
+}
+
+}  // namespace darec::pipeline

@@ -1,0 +1,24 @@
+#ifndef DAREC_PIPELINE_SPECS_H_
+#define DAREC_PIPELINE_SPECS_H_
+
+#include <string>
+
+#include "core/config.h"
+#include "pipeline/experiment.h"
+
+namespace darec::pipeline {
+
+/// The calibrated experiment configuration used by every bench and example
+/// (CPU-scale counterpart of the paper's training setup: Adam lr 1e-3,
+/// d = 32, 3 propagation layers, λ in the [0.1, 1] plateau, K = 4).
+ExperimentSpec CalibratedSpec(const std::string& dataset, const std::string& backbone,
+                              const std::string& variant);
+
+/// Applies command-line overrides (epochs=, dim=, lambda=, k=, n_hat=,
+/// seed=, ...) onto a spec. Unknown keys are ignored so benches can share
+/// one flag vocabulary.
+void ApplyConfigOverrides(const core::Config& config, ExperimentSpec* spec);
+
+}  // namespace darec::pipeline
+
+#endif  // DAREC_PIPELINE_SPECS_H_

@@ -1,0 +1,167 @@
+#include "pipeline/trainer.h"
+
+#include "core/logging.h"
+#include "core/stopwatch.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace darec::pipeline {
+
+using tensor::Variable;
+
+namespace {
+
+/// Gathered batch index triples in unified node ids.
+struct BatchNodes {
+  std::vector<int64_t> users;
+  std::vector<int64_t> pos_items;
+  std::vector<int64_t> neg_items;
+};
+
+BatchNodes ToNodeIds(const std::vector<data::TrainTriple>& batch,
+                     const graph::BipartiteGraph& graph) {
+  BatchNodes nodes;
+  nodes.users.reserve(batch.size());
+  nodes.pos_items.reserve(batch.size());
+  nodes.neg_items.reserve(batch.size());
+  for (const data::TrainTriple& t : batch) {
+    nodes.users.push_back(graph.UserNode(t.user));
+    nodes.pos_items.push_back(graph.ItemNode(t.pos_item));
+    nodes.neg_items.push_back(graph.ItemNode(t.neg_item));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
+                 const data::Dataset* dataset, const TrainOptions& options)
+    : backbone_(backbone),
+      aligner_(aligner),
+      dataset_(dataset),
+      options_(options),
+      rng_(options.seed) {
+  DARE_CHECK(backbone != nullptr);
+  DARE_CHECK(dataset != nullptr);
+  DARE_CHECK_GT(options.epochs, 0);
+  DARE_CHECK_GT(options.batch_size, 0);
+  std::vector<Variable> params = backbone_->Params();
+  if (aligner_ != nullptr) {
+    std::vector<Variable> extra = aligner_->Params();
+    params.insert(params.end(), extra.begin(), extra.end());
+  }
+  optimizer_ = std::make_unique<tensor::Adam>(std::move(params),
+                                              options.learning_rate);
+  batches_ = std::make_unique<data::BatchIterator>(*dataset_, options.batch_size,
+                                                   rng_);
+}
+
+double Trainer::RunEpoch() {
+  const cf::BackboneOptions& bopt = backbone_->options();
+  batches_->NewEpoch(rng_);
+  double epoch_loss = 0.0;
+  int64_t epoch_batches = 0;
+  std::vector<data::TrainTriple> batch;
+  while (batches_->NextBatch(batch, rng_)) {
+    optimizer_->ZeroGrad();
+
+    Variable nodes = backbone_->Forward(/*training=*/true, rng_);
+    Variable scored = aligner_ != nullptr ? aligner_->AugmentNodes(nodes) : nodes;
+
+    BatchNodes ids = ToNodeIds(batch, backbone_->graph());
+    Variable users = GatherRows(scored, ids.users);
+    Variable pos = GatherRows(scored, ids.pos_items);
+    Variable neg = GatherRows(scored, ids.neg_items);
+    Variable loss = BprLoss(RowDot(users, pos), RowDot(users, neg));
+
+    if (bopt.l2_reg > 0.0f) {
+      // Standard BPR regularization on the batch's initial embeddings.
+      Variable e0 = backbone_->initial_embeddings();
+      Variable reg = tensor::L2Penalty({GatherRows(e0, std::move(ids.users)),
+                                        GatherRows(e0, std::move(ids.pos_items)),
+                                        GatherRows(e0, std::move(ids.neg_items))});
+      loss = Add(loss,
+                 ScalarMul(reg, bopt.l2_reg / static_cast<float>(batch.size())));
+    }
+
+    Variable ssl = backbone_->SslLoss(nodes, rng_);
+    if (!ssl.IsNull()) loss = Add(loss, ScalarMul(ssl, bopt.ssl_weight));
+
+    if (aligner_ != nullptr && step_count_ % options_.align_interval == 0) {
+      Variable align_loss = aligner_->Loss(nodes, rng_);
+      if (!align_loss.IsNull()) loss = Add(loss, align_loss);
+    }
+
+    epoch_loss += loss.scalar();
+    ++epoch_batches;
+    ++step_count_;
+    Backward(loss);
+    optimizer_->Step();
+  }
+  return epoch_batches > 0 ? epoch_loss / static_cast<double>(epoch_batches) : 0.0;
+}
+
+tensor::Matrix Trainer::CurrentEmbeddings() {
+  tensor::Matrix nodes = backbone_->InferenceEmbeddings();
+  if (aligner_ == nullptr) return nodes;
+  Variable augmented = aligner_->AugmentNodes(Variable::Constant(std::move(nodes)));
+  return augmented.value();
+}
+
+eval::MetricSet Trainer::Evaluate(eval::EvalSplit split) {
+  eval::EvalOptions eval_options;
+  eval_options.split = split;
+  return eval::EvaluateRanking(CurrentEmbeddings(), *dataset_, eval_options);
+}
+
+TrainResult Trainer::Run() {
+  core::Stopwatch stopwatch;
+  TrainResult result;
+  double best_validation = -1.0;
+  tensor::Matrix best_embeddings;
+  int64_t evals_since_improvement = 0;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double mean_loss = RunEpoch();
+    result.epoch_losses.push_back(mean_loss);
+    if (options_.verbose) {
+      DARE_LOG(Info) << backbone_->name()
+                     << (aligner_ != nullptr ? "+" + aligner_->name() : "")
+                     << " epoch " << epoch + 1 << "/" << options_.epochs
+                     << " loss=" << mean_loss;
+    }
+    if (options_.eval_every > 0 && (epoch + 1) % options_.eval_every == 0) {
+      eval::EvalOptions eval_options;
+      eval_options.ks = {options_.eval_k};
+      eval_options.split = eval::EvalSplit::kValidation;
+      tensor::Matrix embeddings = CurrentEmbeddings();
+      const double validation =
+          eval::EvaluateRanking(embeddings, *dataset_, eval_options)
+              .recall.at(options_.eval_k);
+      if (validation > best_validation) {
+        best_validation = validation;
+        best_embeddings = std::move(embeddings);
+        evals_since_improvement = 0;
+      } else if (++evals_since_improvement >= options_.patience) {
+        if (options_.verbose) {
+          DARE_LOG(Info) << "early stop at epoch " << epoch + 1
+                         << " (best val R@" << options_.eval_k << "="
+                         << best_validation << ")";
+        }
+        break;
+      }
+    }
+  }
+  result.final_embeddings = options_.eval_every > 0 && !best_embeddings.empty()
+                                ? std::move(best_embeddings)
+                                : CurrentEmbeddings();
+  eval::EvalOptions eval_options;
+  result.test_metrics =
+      eval::EvaluateRanking(result.final_embeddings, *dataset_, eval_options);
+  eval_options.split = eval::EvalSplit::kValidation;
+  result.validation_metrics =
+      eval::EvaluateRanking(result.final_embeddings, *dataset_, eval_options);
+  result.train_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace darec::pipeline

@@ -1,0 +1,88 @@
+#ifndef DAREC_PIPELINE_TRAINER_H_
+#define DAREC_PIPELINE_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "align/aligner.h"
+#include "cf/backbone.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "eval/metrics.h"
+#include "tensor/matrix.h"
+#include "tensor/optim.h"
+
+namespace darec::pipeline {
+
+/// Training-loop configuration (paper: Adam, lr 1e-3, BPR base loss).
+struct TrainOptions {
+  int64_t epochs = 25;
+  int64_t batch_size = 1024;
+  float learning_rate = 1e-3f;
+  /// Apply the aligner loss every this many batches (1 = every batch).
+  int64_t align_interval = 1;
+  uint64_t seed = 7;
+  /// Log per-epoch losses via DARE_LOG(Info).
+  bool verbose = false;
+
+  /// Early stopping (opt-in): if eval_every > 0, validation Recall@eval_k
+  /// is computed every eval_every epochs; training stops after `patience`
+  /// non-improving evaluations and the best-seen embeddings are reported.
+  int64_t eval_every = 0;
+  int64_t patience = 3;
+  int64_t eval_k = 20;
+};
+
+/// Outcome of one training run.
+struct TrainResult {
+  eval::MetricSet test_metrics;
+  eval::MetricSet validation_metrics;
+  std::vector<double> epoch_losses;
+  double train_seconds = 0.0;
+  /// Final node embeddings (after KAR-style augmentation if any).
+  tensor::Matrix final_embeddings;
+};
+
+/// Trains `backbone` with BPR (+ backbone SSL + aligner loss) and evaluates
+/// under the all-ranking protocol.
+///
+/// The trainer owns only its optimizer state: backbone, aligner (nullable
+/// -> plain baseline), and dataset must outlive it.
+class Trainer {
+ public:
+  Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
+          const data::Dataset* dataset, const TrainOptions& options);
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  /// Runs options.epochs epochs and returns final metrics.
+  TrainResult Run();
+
+  /// Runs a single epoch; returns the mean total loss over its batches.
+  /// Optimizer state (Adam moments) persists across calls.
+  double RunEpoch();
+
+  /// Node embeddings as used for scoring right now (inference forward +
+  /// aligner augmentation).
+  tensor::Matrix CurrentEmbeddings();
+
+  /// Evaluates the current embeddings on the given split.
+  eval::MetricSet Evaluate(eval::EvalSplit split);
+
+ private:
+  cf::GraphBackbone* backbone_;
+  align::Aligner* aligner_;  // May be null.
+  const data::Dataset* dataset_;
+  TrainOptions options_;
+  core::Rng rng_;
+  std::unique_ptr<tensor::Adam> optimizer_;
+  std::unique_ptr<data::BatchIterator> batches_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace darec::pipeline
+
+#endif  // DAREC_PIPELINE_TRAINER_H_

@@ -1,0 +1,116 @@
+#include "serve/recommender.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/io.h"
+
+namespace darec::serve {
+
+core::StatusOr<Recommender> Recommender::Create(tensor::Matrix node_embeddings,
+                                                const data::Dataset* dataset) {
+  if (dataset == nullptr) {
+    return core::Status::InvalidArgument("dataset must not be null");
+  }
+  if (node_embeddings.rows() != dataset->num_nodes()) {
+    return core::Status::InvalidArgument(
+        "embedding rows (" + std::to_string(node_embeddings.rows()) +
+        ") != dataset nodes (" + std::to_string(dataset->num_nodes()) + ")");
+  }
+  if (node_embeddings.cols() <= 0) {
+    return core::Status::InvalidArgument("embeddings must have positive width");
+  }
+  return Recommender(std::move(node_embeddings), dataset);
+}
+
+core::StatusOr<Recommender> Recommender::Load(const std::string& path,
+                                              const data::Dataset* dataset) {
+  DARE_ASSIGN_OR_RETURN(tensor::Matrix embeddings, tensor::LoadMatrix(path));
+  return Create(std::move(embeddings), dataset);
+}
+
+core::StatusOr<std::vector<ScoredItem>> Recommender::RecommendTopK(
+    int64_t user, int64_t k) const {
+  if (user < 0 || user >= dataset_->num_users()) {
+    return core::Status::OutOfRange("bad user id: " + std::to_string(user));
+  }
+  if (k <= 0) return core::Status::InvalidArgument("k must be positive");
+
+  const int64_t num_users = dataset_->num_users();
+  const int64_t num_items = dataset_->num_items();
+  const int64_t dim = embeddings_.cols();
+  const float* urow = embeddings_.Row(user);
+  const std::vector<int64_t>& seen = dataset_->TrainItemsOfUser(user);
+
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(num_items - seen.size());
+  for (int64_t item = 0; item < num_items; ++item) {
+    if (std::binary_search(seen.begin(), seen.end(), item)) continue;
+    const float* irow = embeddings_.Row(num_users + item);
+    float score = 0.0f;
+    for (int64_t c = 0; c < dim; ++c) score += urow[c] * irow[c];
+    candidates.push_back({item, score});
+  }
+  const int64_t take = std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + take, candidates.end(),
+                    [](const ScoredItem& a, const ScoredItem& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.item < b.item;
+                    });
+  candidates.resize(take);
+  return candidates;
+}
+
+core::StatusOr<float> Recommender::Score(int64_t user, int64_t item) const {
+  if (user < 0 || user >= dataset_->num_users()) {
+    return core::Status::OutOfRange("bad user id: " + std::to_string(user));
+  }
+  if (item < 0 || item >= dataset_->num_items()) {
+    return core::Status::OutOfRange("bad item id: " + std::to_string(item));
+  }
+  const float* urow = embeddings_.Row(user);
+  const float* irow = embeddings_.Row(dataset_->num_users() + item);
+  float score = 0.0f;
+  for (int64_t c = 0; c < embeddings_.cols(); ++c) score += urow[c] * irow[c];
+  return score;
+}
+
+core::StatusOr<std::vector<ScoredItem>> Recommender::SimilarItems(int64_t item,
+                                                                  int64_t k) const {
+  if (item < 0 || item >= dataset_->num_items()) {
+    return core::Status::OutOfRange("bad item id: " + std::to_string(item));
+  }
+  if (k <= 0) return core::Status::InvalidArgument("k must be positive");
+  const int64_t num_users = dataset_->num_users();
+  const int64_t num_items = dataset_->num_items();
+  const int64_t dim = embeddings_.cols();
+  const float* target = embeddings_.Row(num_users + item);
+  double target_norm = 0.0;
+  for (int64_t c = 0; c < dim; ++c) target_norm += double(target[c]) * target[c];
+  target_norm = std::sqrt(target_norm);
+
+  std::vector<ScoredItem> candidates;
+  candidates.reserve(num_items - 1);
+  for (int64_t other = 0; other < num_items; ++other) {
+    if (other == item) continue;
+    const float* row = embeddings_.Row(num_users + other);
+    double dot = 0.0, norm = 0.0;
+    for (int64_t c = 0; c < dim; ++c) {
+      dot += double(target[c]) * row[c];
+      norm += double(row[c]) * row[c];
+    }
+    const double denom = target_norm * std::sqrt(norm);
+    candidates.push_back(
+        {other, denom > 1e-12 ? static_cast<float>(dot / denom) : 0.0f});
+  }
+  const int64_t take = std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + take, candidates.end(),
+                    [](const ScoredItem& a, const ScoredItem& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.item < b.item;
+                    });
+  candidates.resize(take);
+  return candidates;
+}
+
+}  // namespace darec::serve

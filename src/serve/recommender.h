@@ -1,0 +1,64 @@
+#ifndef DAREC_SERVE_RECOMMENDER_H_
+#define DAREC_SERVE_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/statusor.h"
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace darec::serve {
+
+/// One recommended item with its raw inner-product score.
+struct ScoredItem {
+  int64_t item = 0;
+  float score = 0.0f;
+};
+
+/// Serving facade over trained node embeddings: the object a downstream
+/// application holds after training (or after loading persisted
+/// embeddings) to answer top-K queries. Stateless per query and
+/// thread-compatible for concurrent reads.
+class Recommender {
+ public:
+  /// `node_embeddings` holds user rows [0, num_users) then item rows, as
+  /// produced by pipeline::TrainResult::final_embeddings. Items the user
+  /// interacted with in `dataset`'s training split are excluded from
+  /// results (the all-ranking serving convention). Fails on shape
+  /// mismatch.
+  static core::StatusOr<Recommender> Create(tensor::Matrix node_embeddings,
+                                            const data::Dataset* dataset);
+
+  /// Loads embeddings persisted with tensor::SaveMatrix.
+  static core::StatusOr<Recommender> Load(const std::string& path,
+                                          const data::Dataset* dataset);
+
+  /// Top-k items for `user`, highest score first, training items excluded.
+  /// k is clamped to the number of eligible items. Fails on a bad user id.
+  core::StatusOr<std::vector<ScoredItem>> RecommendTopK(int64_t user,
+                                                        int64_t k) const;
+
+  /// Score of one (user, item) pair (no masking).
+  core::StatusOr<float> Score(int64_t user, int64_t item) const;
+
+  /// Items most similar to `item` by cosine of item embeddings, excluding
+  /// itself ("users also liked" carousel).
+  core::StatusOr<std::vector<ScoredItem>> SimilarItems(int64_t item,
+                                                       int64_t k) const;
+
+  int64_t num_users() const { return dataset_->num_users(); }
+  int64_t num_items() const { return dataset_->num_items(); }
+
+ private:
+  Recommender(tensor::Matrix embeddings, const data::Dataset* dataset)
+      : embeddings_(std::move(embeddings)), dataset_(dataset) {}
+
+  tensor::Matrix embeddings_;
+  const data::Dataset* dataset_;
+};
+
+}  // namespace darec::serve
+
+#endif  // DAREC_SERVE_RECOMMENDER_H_

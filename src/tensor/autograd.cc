@@ -1,0 +1,64 @@
+#include "tensor/autograd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+namespace darec::tensor {
+namespace {
+
+std::atomic<int64_t> g_next_node_id{0};
+
+}  // namespace
+
+Node::Node(Matrix value, bool requires_grad)
+    : value_(std::move(value)),
+      requires_grad_(requires_grad),
+      id_(g_next_node_id.fetch_add(1)) {}
+
+void Node::AccumulateGrad(const Matrix& g) {
+  DARE_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols())
+      << "gradient shape " << g.rows() << "x" << g.cols() << " vs value "
+      << value_.rows() << "x" << value_.cols();
+  if (grad_.empty()) {
+    grad_ = g;
+  } else {
+    grad_.AddInPlace(g);
+  }
+}
+
+void Backward(const Variable& root) {
+  DARE_CHECK(!root.IsNull());
+  DARE_CHECK(root.rows() == 1 && root.cols() == 1)
+      << "Backward root must be a 1x1 scalar, got " << root.rows() << "x"
+      << root.cols();
+
+  // Collect all reachable nodes (iterative DFS over parent edges).
+  std::vector<std::shared_ptr<Node>> reachable;
+  std::unordered_set<Node*> seen;
+  std::vector<std::shared_ptr<Node>> stack{root.node()};
+  seen.insert(root.node().get());
+  while (!stack.empty()) {
+    std::shared_ptr<Node> node = std::move(stack.back());
+    stack.pop_back();
+    for (const std::shared_ptr<Node>& parent : node->parents()) {
+      if (seen.insert(parent.get()).second) stack.push_back(parent);
+    }
+    reachable.push_back(std::move(node));
+  }
+
+  // Node ids increase in creation order and every parent is created before
+  // its children, so descending-id order is a reverse topological order.
+  std::sort(reachable.begin(), reachable.end(),
+            [](const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) {
+              return a->id() > b->id();
+            });
+
+  root.node()->AccumulateGrad(Matrix::Full(1, 1, 1.0f));
+  for (const std::shared_ptr<Node>& node : reachable) {
+    if (node->grad().empty()) continue;  // No gradient flowed here.
+    node->RunBackward();
+  }
+}
+
+}  // namespace darec::tensor

@@ -1,0 +1,116 @@
+#ifndef DAREC_TENSOR_AUTOGRAD_H_
+#define DAREC_TENSOR_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// One node in the dynamically built computation graph.
+///
+/// Nodes are created by the ops in ops.h; user code holds them through
+/// Variable handles. A node owns its forward value, its (lazily allocated)
+/// gradient, edges to its parents, and a closure that pushes its gradient
+/// into the parents. Node ids increase in creation order, which makes
+/// reverse-creation order a valid reverse topological order for backward.
+class Node {
+ public:
+  Node(Matrix value, bool requires_grad);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const Matrix& value() const { return value_; }
+  Matrix& mutable_value() { return value_; }
+
+  /// The accumulated gradient. Zero-sized until the first accumulation.
+  const Matrix& grad() const { return grad_; }
+  Matrix& mutable_grad() { return grad_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  int64_t id() const { return id_; }
+
+  /// grad += g, allocating on first use.
+  void AccumulateGrad(const Matrix& g);
+
+  /// Drops the gradient so the node can be reused in the next step.
+  void ClearGrad() { grad_ = Matrix(); }
+
+  const std::vector<std::shared_ptr<Node>>& parents() const { return parents_; }
+
+  // Wiring used by ops (ops.h) when constructing the graph.
+  void set_parents(std::vector<std::shared_ptr<Node>> parents) {
+    parents_ = std::move(parents);
+  }
+  void set_backward(std::function<void(Node&)> fn) { backward_fn_ = std::move(fn); }
+  bool has_backward() const { return static_cast<bool>(backward_fn_); }
+  void RunBackward() {
+    if (backward_fn_) backward_fn_(*this);
+  }
+
+ private:
+  Matrix value_;
+  Matrix grad_;
+  bool requires_grad_;
+  int64_t id_;
+  std::vector<std::shared_ptr<Node>> parents_;
+  std::function<void(Node&)> backward_fn_;
+};
+
+/// A cheap shared handle to a graph Node — the public face of autograd.
+///
+/// Typical lifecycle: parameters are long-lived Variables created with
+/// Variable::Parameter(); each training step builds a fresh graph of
+/// intermediate Variables by calling ops, runs Backward() on the scalar
+/// loss, lets the optimizer consume parameter gradients, and drops the
+/// intermediates (shared_ptr reclaim).
+class Variable {
+ public:
+  /// Null handle; most APIs require a non-null Variable.
+  Variable() = default;
+
+  /// Wraps a value. requires_grad marks the node as a gradient sink.
+  explicit Variable(Matrix value, bool requires_grad = false)
+      : node_(std::make_shared<Node>(std::move(value), requires_grad)) {}
+
+  /// A trainable leaf (gradient sink).
+  static Variable Parameter(Matrix value) { return Variable(std::move(value), true); }
+  /// A non-trainable input.
+  static Variable Constant(Matrix value) { return Variable(std::move(value), false); }
+
+  bool IsNull() const { return node_ == nullptr; }
+
+  const Matrix& value() const { return node_->value(); }
+  Matrix& mutable_value() { return node_->mutable_value(); }
+  const Matrix& grad() const { return node_->grad(); }
+  bool requires_grad() const { return node_->requires_grad(); }
+  void ClearGrad() { node_->ClearGrad(); }
+
+  int64_t rows() const { return node_->value().rows(); }
+  int64_t cols() const { return node_->value().cols(); }
+
+  /// Scalar accessor; requires a 1x1 value (losses).
+  float scalar() const {
+    DARE_CHECK(rows() == 1 && cols() == 1) << "scalar() on " << rows() << "x" << cols();
+    return value()(0, 0);
+  }
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Runs reverse-mode differentiation from `root` (must be 1x1). Seeds the
+/// root gradient with 1 and accumulates into every reachable node that
+/// requires (or leads to a node that requires) gradients. Parameter
+/// gradients accumulate across calls until ClearGrad()/optimizer ZeroGrad().
+void Backward(const Variable& root);
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_AUTOGRAD_H_

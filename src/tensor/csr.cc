@@ -1,0 +1,151 @@
+#include "tensor/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darec::tensor {
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(static_cast<size_t>(rows) + 1, 0) {
+  DARE_CHECK_GE(rows, 0);
+  DARE_CHECK_GE(cols, 0);
+}
+
+CsrMatrix CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    DARE_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols)
+        << "triplet (" << t.row << "," << t.col << ") out of bounds for " << rows
+        << "x" << cols;
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  CsrMatrix m(rows, cols);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    float sum = 0.0f;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(triplets[i].col);
+    m.values_.push_back(sum);
+    m.row_ptr_[triplets[i].row + 1] += 1;
+    i = j;
+  }
+  for (int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+float CsrMatrix::At(int64_t r, int64_t c) const {
+  DARE_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const int64_t begin = row_ptr_[r], end = row_ptr_[r + 1];
+  auto first = col_idx_.begin() + begin;
+  auto last = col_idx_.begin() + end;
+  auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return 0.0f;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& dense) const {
+  DARE_CHECK_EQ(cols_, dense.rows()) << "CsrMatrix::Multiply shape mismatch";
+  const int64_t d = dense.cols();
+  Matrix out(rows_, d);
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* orow = out.Row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      const float* drow = dense.Row(col_idx_[k]);
+      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::TransposeMultiply(const Matrix& dense) const {
+  DARE_CHECK_EQ(rows_, dense.rows()) << "CsrMatrix::TransposeMultiply shape mismatch";
+  const int64_t d = dense.cols();
+  Matrix out(cols_, d);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* drow = dense.Row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      float* orow = out.Row(col_idx_[k]);
+      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triplets.push_back({col_idx_[k], r, values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::DropEntries(double keep_prob, core::Rng& rng) const {
+  DARE_CHECK(keep_prob >= 0.0 && keep_prob <= 1.0);
+  std::vector<Triplet> kept;
+  kept.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (rng.Bernoulli(keep_prob)) kept.push_back({r, col_idx_[k], values_[k]});
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(kept));
+}
+
+Matrix CsrMatrix::RowSums() const {
+  Matrix sums(rows_, 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) acc += values_[k];
+    sums(r, 0) = static_cast<float>(acc);
+  }
+  return sums;
+}
+
+CsrMatrix CsrMatrix::SymmetricNormalized() const {
+  // Column sums via one pass (row sums are direct).
+  std::vector<double> row_deg(rows_, 0.0), col_deg(cols_, 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      row_deg[r] += values_[k];
+      col_deg[col_idx_[k]] += values_[k];
+    }
+  }
+  CsrMatrix out(rows_, cols_);
+  out.row_ptr_ = row_ptr_;
+  out.col_idx_ = col_idx_;
+  out.values_.resize(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double rs = row_deg[r] > 0.0 ? 1.0 / std::sqrt(row_deg[r]) : 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double cs =
+          col_deg[col_idx_[k]] > 0.0 ? 1.0 / std::sqrt(col_deg[col_idx_[k]]) : 0.0;
+      out.values_[k] = static_cast<float>(values_[k] * rs * cs);
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return dense;
+}
+
+}  // namespace darec::tensor

@@ -1,0 +1,84 @@
+#ifndef DAREC_TENSOR_CSR_H_
+#define DAREC_TENSOR_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// One (row, col, value) entry used when assembling a sparse matrix.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  float value = 0.0f;
+};
+
+/// Compressed-sparse-row float matrix.
+///
+/// Backs the user–item interaction graph and its normalized adjacency. The
+/// structure is immutable after construction; transformations (dropout,
+/// normalization) produce new matrices.
+class CsrMatrix {
+ public:
+  /// Creates an empty rows x cols matrix with no stored entries.
+  CsrMatrix(int64_t rows, int64_t cols);
+
+  /// Builds from triplets. Duplicate (row, col) entries are summed.
+  static CsrMatrix FromTriplets(int64_t rows, int64_t cols,
+                                std::vector<Triplet> triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Number of stored entries in row r.
+  int64_t RowNnz(int64_t r) const {
+    DARE_DCHECK(r >= 0 && r < rows_);
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Returns the stored value at (r, c), or 0 if absent. O(log nnz(r)).
+  float At(int64_t r, int64_t c) const;
+
+  /// Dense product: this [m,n] * dense [n,d] -> [m,d].
+  Matrix Multiply(const Matrix& dense) const;
+
+  /// Transposed product: thisᵀ [n,m] * dense [m,d] -> [n,d].
+  Matrix TransposeMultiply(const Matrix& dense) const;
+
+  /// Returns the explicit transpose as a CSR matrix.
+  CsrMatrix Transposed() const;
+
+  /// Returns a copy with each stored entry kept independently with
+  /// probability keep_prob (edge dropout for SGL-style augmentation).
+  CsrMatrix DropEntries(double keep_prob, core::Rng& rng) const;
+
+  /// Row sums as a rows x 1 dense matrix (degrees for adjacency matrices).
+  Matrix RowSums() const;
+
+  /// Returns D_r^{-1/2} * this * D_c^{-1/2} — the symmetric degree
+  /// normalization used by graph collaborative filtering. Zero-degree
+  /// rows/cols contribute zero.
+  CsrMatrix SymmetricNormalized() const;
+
+  /// Materializes to dense (tests/small matrices only).
+  Matrix ToDense() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_CSR_H_

@@ -1,0 +1,33 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace darec::tensor {
+
+Matrix XavierUniform(int64_t rows, int64_t cols, core::Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return RandomUniform(rows, cols, -bound, bound, rng);
+}
+
+Matrix XavierNormal(int64_t rows, int64_t cols, core::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(rows + cols));
+  return RandomNormal(rows, cols, stddev, rng);
+}
+
+Matrix RandomNormal(int64_t rows, int64_t cols, float stddev, core::Rng& rng) {
+  Matrix m(rows, cols);
+  float* p = m.data();
+  for (int64_t i = 0, n = m.size(); i < n; ++i) {
+    p[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix RandomUniform(int64_t rows, int64_t cols, float lo, float hi, core::Rng& rng) {
+  Matrix m(rows, cols);
+  float* p = m.data();
+  for (int64_t i = 0, n = m.size(); i < n; ++i) p[i] = rng.Uniform(lo, hi);
+  return m;
+}
+
+}  // namespace darec::tensor

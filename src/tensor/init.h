@@ -1,0 +1,25 @@
+#ifndef DAREC_TENSOR_INIT_H_
+#define DAREC_TENSOR_INIT_H_
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// Xavier/Glorot uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Matrix XavierUniform(int64_t rows, int64_t cols, core::Rng& rng);
+
+/// Xavier/Glorot normal init: N(0, 2 / (fan_in + fan_out)).
+Matrix XavierNormal(int64_t rows, int64_t cols, core::Rng& rng);
+
+/// N(0, stddev²) entries.
+Matrix RandomNormal(int64_t rows, int64_t cols, float stddev, core::Rng& rng);
+
+/// U(lo, hi) entries.
+Matrix RandomUniform(int64_t rows, int64_t cols, float lo, float hi, core::Rng& rng);
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_INIT_H_

@@ -1,0 +1,78 @@
+#include "tensor/io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace darec::tensor {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'M', 'A', 'T'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+core::Status SaveMatrix(const std::string& path, const Matrix& matrix) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return core::Status::NotFound("cannot open for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kVersion;
+  int64_t rows = matrix.rows();
+  int64_t cols = matrix.cols();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(matrix.data()),
+            static_cast<std::streamsize>(sizeof(float) * matrix.size()));
+  if (!out.good()) return core::Status::Internal("short write to " + path);
+  return core::Status::Ok();
+}
+
+core::StatusOr<Matrix> LoadMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return core::Status::NotFound("cannot open: " + path);
+  char magic[4];
+  uint32_t version = 0;
+  int64_t rows = 0, cols = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return core::Status::InvalidArgument("not a DMAT file: " + path);
+  }
+  if (version != kVersion) {
+    return core::Status::InvalidArgument("unsupported DMAT version " +
+                                         std::to_string(version));
+  }
+  if (rows < 0 || cols < 0 || rows * cols > (int64_t{1} << 34)) {
+    return core::Status::InvalidArgument("implausible matrix dims in " + path);
+  }
+  Matrix matrix(rows, cols);
+  in.read(reinterpret_cast<char*>(matrix.data()),
+          static_cast<std::streamsize>(sizeof(float) * matrix.size()));
+  if (!in.good()) return core::Status::InvalidArgument("truncated payload: " + path);
+  return matrix;
+}
+
+core::Status SaveMatrixCsv(const std::string& path, const Matrix& matrix) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return core::Status::NotFound("cannot open for writing: " + path);
+  }
+  char buffer[32];
+  for (int64_t r = 0; r < matrix.rows(); ++r) {
+    for (int64_t c = 0; c < matrix.cols(); ++c) {
+      std::snprintf(buffer, sizeof(buffer), "%.8g", matrix(r, c));
+      if (c > 0) out << ',';
+      out << buffer;
+    }
+    out << '\n';
+  }
+  if (!out.good()) return core::Status::Internal("short write to " + path);
+  return core::Status::Ok();
+}
+
+}  // namespace darec::tensor

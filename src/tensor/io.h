@@ -1,0 +1,25 @@
+#ifndef DAREC_TENSOR_IO_H_
+#define DAREC_TENSOR_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "core/statusor.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// Writes `matrix` to `path` in a small self-describing binary format
+/// (magic "DMAT", version, dims, row-major float32 payload). Overwrites.
+core::Status SaveMatrix(const std::string& path, const Matrix& matrix);
+
+/// Reads a matrix previously written by SaveMatrix. Fails with NotFound if
+/// the file is missing and InvalidArgument on a malformed header.
+core::StatusOr<Matrix> LoadMatrix(const std::string& path);
+
+/// Writes `matrix` as CSV (one row per line); lossy (%.8g) but portable.
+core::Status SaveMatrixCsv(const std::string& path, const Matrix& matrix);
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_IO_H_

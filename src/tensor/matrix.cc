@@ -1,0 +1,254 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace darec::tensor {
+
+Matrix Matrix::Full(int64_t rows, int64_t cols, float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::FromVector(int64_t rows, int64_t cols, std::vector<float> values) {
+  DARE_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(values);
+  return m;
+}
+
+void Matrix::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::AddInPlace(const Matrix& other, float scale) {
+  DARE_CHECK(SameShape(other))
+      << "AddInPlace shape mismatch: " << rows_ << "x" << cols_ << " vs "
+      << other.rows_ << "x" << other.cols_;
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0, n = size(); i < n; ++i) dst[i] += scale * src[i];
+}
+
+void Matrix::ScaleInPlace(float scale) {
+  for (float& v : data_) v *= scale;
+}
+
+void Matrix::CopyRowFrom(const Matrix& src, int64_t src_row, int64_t dst_row) {
+  DARE_CHECK_EQ(cols_, src.cols());
+  std::copy(src.Row(src_row), src.Row(src_row) + cols_, Row(dst_row));
+}
+
+std::string Matrix::DebugString(int64_t max_rows, int64_t max_cols) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  int64_t show_rows = std::min(rows_, max_rows);
+  for (int64_t r = 0; r < show_rows; ++r) {
+    out << (r == 0 ? "[" : ", [");
+    int64_t show_cols = std::min(cols_, max_cols);
+    for (int64_t c = 0; c < show_cols; ++c) {
+      if (c > 0) out << ", ";
+      out << (*this)(r, c);
+    }
+    if (show_cols < cols_) out << ", ...";
+    out << "]";
+  }
+  if (show_rows < rows_) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+namespace {
+
+// C += A * B with A [m,k], B [k,n]; i-k-j loop order for cache locality.
+void MatMulNnInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C += Aᵀ * B with A [k,m], B [k,n]; k outer so both reads are row-wise.
+void MatMulTnInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  (void)m;
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (int64_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C += A * Bᵀ with A [m,k], B [n,k]; row-dot formulation.
+void MatMulNtInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
+  const int64_t a_rows = trans_a ? a.cols() : a.rows();
+  const int64_t a_cols = trans_a ? a.rows() : a.cols();
+  const int64_t b_rows = trans_b ? b.cols() : b.rows();
+  const int64_t b_cols = trans_b ? b.rows() : b.cols();
+  DARE_CHECK_EQ(a_cols, b_rows) << "MatMul inner-dimension mismatch";
+  Matrix c(a_rows, b_cols);
+  if (!trans_a && !trans_b) {
+    MatMulNnInto(a, b, c);
+  } else if (trans_a && !trans_b) {
+    MatMulTnInto(a, b, c);
+  } else if (!trans_a && trans_b) {
+    MatMulNtInto(a, b, c);
+  } else {
+    // Aᵀ Bᵀ = (B A)ᵀ; rare path, materialize the transpose.
+    Matrix ba(b.rows(), a.cols());
+    MatMulNnInto(b, a, ba);
+    c = Transpose(ba);
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  DARE_CHECK(a.SameShape(b)) << "Add shape mismatch";
+  Matrix c = a;
+  c.AddInPlace(b);
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  DARE_CHECK(a.SameShape(b)) << "Sub shape mismatch";
+  Matrix c = a;
+  c.AddInPlace(b, -1.0f);
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  DARE_CHECK(a.SameShape(b)) << "Hadamard shape mismatch";
+  Matrix c = a;
+  float* dst = c.data();
+  const float* src = b.data();
+  for (int64_t i = 0, n = c.size(); i < n; ++i) dst[i] *= src[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix c = a;
+  c.ScaleInPlace(s);
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) t(c, r) = row[c];
+  }
+  return t;
+}
+
+float SumAll(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0, n = a.size(); i < n; ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float SumSquares(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0, n = a.size(); i < n; ++i) acc += double(p[i]) * p[i];
+  return static_cast<float>(acc);
+}
+
+float MaxAbs(const Matrix& a) {
+  float best = 0.0f;
+  const float* p = a.data();
+  for (int64_t i = 0, n = a.size(); i < n; ++i) best = std::max(best, std::fabs(p[i]));
+  return best;
+}
+
+Matrix RowNorms(const Matrix& a) {
+  Matrix norms(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += double(row[c]) * row[c];
+    norms(r, 0) = static_cast<float>(std::sqrt(acc));
+  }
+  return norms;
+}
+
+Matrix RowNormalize(const Matrix& a, float eps) {
+  Matrix out = a;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* row = out.Row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += double(row[c]) * row[c];
+    float norm = static_cast<float>(std::sqrt(acc));
+    if (norm < eps) continue;
+    float inv = 1.0f / norm;
+    for (int64_t c = 0; c < a.cols(); ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
+  DARE_CHECK_EQ(a.cols(), b.cols());
+  Matrix d(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* drow = d.Row(i);
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.Row(j);
+      double acc = 0.0;
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        double diff = double(arow[c]) - brow[c];
+        acc += diff * diff;
+      }
+      drow[j] = static_cast<float>(acc);
+    }
+  }
+  return d;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float tol) {
+  if (!a.SameShape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0, n = a.size(); i < n; ++i) {
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace darec::tensor

@@ -1,0 +1,136 @@
+#ifndef DAREC_TENSOR_MATRIX_H_
+#define DAREC_TENSOR_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace darec::tensor {
+
+/// Dense row-major float matrix — the single numeric container used by the
+/// whole project (vectors are 1-column or 1-row matrices).
+///
+/// The class itself is a passive value type; numeric kernels live in free
+/// functions below and in ops.h (autograd). All shape mismatches are
+/// programmer errors and abort via DARE_CHECK.
+class Matrix {
+ public:
+  /// Creates an empty (0x0) matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a rows x cols matrix initialized to zero.
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0f) {
+    DARE_CHECK_GE(rows, 0);
+    DARE_CHECK_GE(cols, 0);
+  }
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Creates a rows x cols matrix filled with `value`.
+  static Matrix Full(int64_t rows, int64_t cols, float value);
+  /// Creates an identity matrix of size n.
+  static Matrix Identity(int64_t n);
+  /// Adopts `values` (row-major). Requires values.size() == rows * cols.
+  static Matrix FromVector(int64_t rows, int64_t cols, std::vector<float> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& operator()(int64_t r, int64_t c) {
+    DARE_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float operator()(int64_t r, int64_t c) const {
+    DARE_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Raw pointer to the first element of row `r`.
+  float* Row(int64_t r) {
+    DARE_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(int64_t r) const {
+    DARE_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0f); }
+
+  /// this += scale * other. Shapes must match.
+  void AddInPlace(const Matrix& other, float scale = 1.0f);
+  /// this *= scale.
+  void ScaleInPlace(float scale);
+
+  /// Copies row `src_row` of `src` into row `dst_row` of this.
+  void CopyRowFrom(const Matrix& src, int64_t src_row, int64_t dst_row);
+
+  /// Compact debug rendering ("2x3 [[1, 2, 3], [4, 5, 6]]"), truncated for
+  /// large matrices.
+  std::string DebugString(int64_t max_rows = 6, int64_t max_cols = 8) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+// ----------------------------------------------------------------------------
+// Raw (non-autograd) kernels. Autograd ops in ops.h call these.
+// ----------------------------------------------------------------------------
+
+/// C = op(A) * op(B) where op is optional transposition.
+Matrix MatMul(const Matrix& a, const Matrix& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// Returns A + B (same shape).
+Matrix Add(const Matrix& a, const Matrix& b);
+/// Returns A - B (same shape).
+Matrix Sub(const Matrix& a, const Matrix& b);
+/// Returns elementwise A * B (same shape).
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+/// Returns s * A.
+Matrix Scale(const Matrix& a, float s);
+/// Returns Aᵀ.
+Matrix Transpose(const Matrix& a);
+
+/// Sum of all elements.
+float SumAll(const Matrix& a);
+/// Sum of squared elements (squared Frobenius norm).
+float SumSquares(const Matrix& a);
+/// Maximum absolute element (0 for an empty matrix).
+float MaxAbs(const Matrix& a);
+
+/// Returns the L2 norm of each row as an r x 1 matrix.
+Matrix RowNorms(const Matrix& a);
+/// Returns A with each row scaled to unit L2 norm (rows with norm < eps are
+/// left unscaled).
+Matrix RowNormalize(const Matrix& a, float eps = 1e-12f);
+
+/// Squared Euclidean distance between every pair of rows: D(i,j) =
+/// ||a_i - b_j||². Returns a.rows() x b.rows().
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b);
+
+/// True if matrices have the same shape and elements within `tol`.
+bool AllClose(const Matrix& a, const Matrix& b, float tol = 1e-5f);
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_MATRIX_H_

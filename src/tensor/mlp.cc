@@ -1,0 +1,61 @@
+#include "tensor/mlp.h"
+
+#include "tensor/init.h"
+
+namespace darec::tensor {
+namespace {
+
+Variable ApplyActivation(const Variable& x, Activation activation) {
+  switch (activation) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kLeakyRelu:
+      return LeakyRelu(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kTanh:
+      return Tanh(x);
+  }
+  DARE_CHECK(false) << "unknown activation";
+  return x;
+}
+
+}  // namespace
+
+Mlp::Mlp(const std::vector<int64_t>& dims, core::Rng& rng, Activation activation,
+         bool final_activation)
+    : activation_(activation), final_activation_(final_activation) {
+  DARE_CHECK_GE(dims.size(), 2u) << "Mlp needs at least input and output dims";
+  input_dim_ = dims.front();
+  output_dim_ = dims.back();
+  for (size_t layer = 0; layer + 1 < dims.size(); ++layer) {
+    weights_.push_back(
+        Variable::Parameter(XavierUniform(dims[layer], dims[layer + 1], rng)));
+    biases_.push_back(Variable::Parameter(Matrix(1, dims[layer + 1])));
+  }
+}
+
+Variable Mlp::Forward(const Variable& input) const {
+  DARE_CHECK_EQ(input.cols(), input_dim_);
+  Variable h = input;
+  for (size_t layer = 0; layer < weights_.size(); ++layer) {
+    h = AddRowBroadcast(MatMul(h, weights_[layer]), biases_[layer]);
+    const bool last = layer + 1 == weights_.size();
+    if (!last || final_activation_) h = ApplyActivation(h, activation_);
+  }
+  return h;
+}
+
+std::vector<Variable> Mlp::Params() const {
+  std::vector<Variable> params;
+  params.reserve(weights_.size() + biases_.size());
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    params.push_back(weights_[i]);
+    params.push_back(biases_[i]);
+  }
+  return params;
+}
+
+}  // namespace darec::tensor

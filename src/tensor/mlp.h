@@ -1,0 +1,49 @@
+#ifndef DAREC_TENSOR_MLP_H_
+#define DAREC_TENSOR_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace darec::tensor {
+
+/// Activation applied between MLP layers.
+enum class Activation { kIdentity, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// A multi-layer perceptron built on the autograd Variable API.
+///
+/// Used throughout the project: DaRec's shared/specific projectors
+/// (f_sh, f_sp in Eq. 1), RLMRec's alignment heads, and KAR's adapter.
+/// Weights are Xavier-initialized; biases start at zero.
+class Mlp {
+ public:
+  /// `dims` are layer widths, e.g. {in, hidden, out}; requires >= 2 entries.
+  /// `activation` is applied after every layer except the last;
+  /// `final_activation` additionally applies it after the last layer.
+  Mlp(const std::vector<int64_t>& dims, core::Rng& rng,
+      Activation activation = Activation::kLeakyRelu, bool final_activation = false);
+
+  /// Applies the network to `input` (rows are samples).
+  Variable Forward(const Variable& input) const;
+
+  /// All trainable parameters (weights then biases, layer by layer).
+  std::vector<Variable> Params() const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t output_dim() const { return output_dim_; }
+
+ private:
+  std::vector<Variable> weights_;
+  std::vector<Variable> biases_;
+  Activation activation_;
+  bool final_activation_;
+  int64_t input_dim_ = 0;
+  int64_t output_dim_ = 0;
+};
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_MLP_H_

@@ -1,0 +1,527 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace darec::tensor {
+namespace {
+
+/// True if gradients should be pushed into `node`: it is either a gradient
+/// sink (parameter) or an interior node whose own backward will forward them.
+bool NeedsGrad(const std::shared_ptr<Node>& node) {
+  return node->requires_grad() || node->has_backward();
+}
+
+/// Creates the result node, wiring parents and the backward closure.
+Variable MakeResult(Matrix value, std::vector<std::shared_ptr<Node>> parents,
+                    std::function<void(Node&)> backward) {
+  Variable out(std::move(value), /*requires_grad=*/false);
+  bool any_grad = false;
+  for (const auto& p : parents) any_grad = any_grad || NeedsGrad(p);
+  if (any_grad) {
+    out.node()->set_parents(std::move(parents));
+    out.node()->set_backward(std::move(backward));
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b, bool trans_a, bool trans_b) {
+  Matrix value = MatMul(a.value(), b.value(), trans_a, trans_b);
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeResult(
+      std::move(value), {an, bn}, [an, bn, trans_a, trans_b](Node& out) {
+        const Matrix& g = out.grad();
+        if (NeedsGrad(an)) {
+          Matrix da;
+          if (!trans_a && !trans_b) {
+            da = MatMul(g, bn->value(), false, true);  // G Bᵀ
+          } else if (trans_a && !trans_b) {
+            da = MatMul(bn->value(), g, false, true);  // B Gᵀ
+          } else if (!trans_a && trans_b) {
+            da = MatMul(g, bn->value(), false, false);  // G B
+          } else {
+            da = MatMul(bn->value(), g, true, true);  // Bᵀ Gᵀ
+          }
+          an->AccumulateGrad(da);
+        }
+        if (NeedsGrad(bn)) {
+          Matrix db;
+          if (!trans_a && !trans_b) {
+            db = MatMul(an->value(), g, true, false);  // Aᵀ G
+          } else if (trans_a && !trans_b) {
+            db = MatMul(an->value(), g, false, false);  // A G
+          } else if (!trans_a && trans_b) {
+            db = MatMul(g, an->value(), true, false);  // Gᵀ A
+          } else {
+            db = MatMul(g, an->value(), true, true);  // Gᵀ Aᵀ
+          }
+          bn->AccumulateGrad(db);
+        }
+      });
+}
+
+Variable SpMM(std::shared_ptr<const CsrMatrix> s, const Variable& b) {
+  DARE_CHECK(s != nullptr);
+  Matrix value = s->Multiply(b.value());
+  auto bn = b.node();
+  return MakeResult(std::move(value), {bn}, [s, bn](Node& out) {
+    if (NeedsGrad(bn)) bn->AccumulateGrad(s->TransposeMultiply(out.grad()));
+  });
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  Matrix value = Add(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
+    if (NeedsGrad(an)) an->AccumulateGrad(out.grad());
+    if (NeedsGrad(bn)) bn->AccumulateGrad(out.grad());
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Matrix value = Sub(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
+    if (NeedsGrad(an)) an->AccumulateGrad(out.grad());
+    if (NeedsGrad(bn)) bn->AccumulateGrad(Scale(out.grad(), -1.0f));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Matrix value = Hadamard(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
+    if (NeedsGrad(an)) an->AccumulateGrad(Hadamard(out.grad(), bn->value()));
+    if (NeedsGrad(bn)) bn->AccumulateGrad(Hadamard(out.grad(), an->value()));
+  });
+}
+
+Variable AddRowBroadcast(const Variable& a, const Variable& b) {
+  DARE_CHECK_EQ(b.rows(), 1);
+  DARE_CHECK_EQ(a.cols(), b.cols());
+  Matrix value = a.value();
+  for (int64_t r = 0; r < value.rows(); ++r) {
+    float* row = value.Row(r);
+    const float* bias = b.value().Row(0);
+    for (int64_t c = 0; c < value.cols(); ++c) row[c] += bias[c];
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
+    const Matrix& g = out.grad();
+    if (NeedsGrad(an)) an->AccumulateGrad(g);
+    if (NeedsGrad(bn)) {
+      Matrix db(1, g.cols());
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        const float* grow = g.Row(r);
+        float* drow = db.Row(0);
+        for (int64_t c = 0; c < g.cols(); ++c) drow[c] += grow[c];
+      }
+      bn->AccumulateGrad(db);
+    }
+  });
+}
+
+Variable ScalarMul(const Variable& a, float s) {
+  Matrix value = Scale(a.value(), s);
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an, s](Node& out) {
+    if (NeedsGrad(an)) an->AccumulateGrad(Scale(out.grad(), s));
+  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  Matrix value = a.value();
+  float* p = value.data();
+  for (int64_t i = 0, n = value.size(); i < n; ++i) p[i] += s;
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an](Node& out) {
+    if (NeedsGrad(an)) an->AccumulateGrad(out.grad());
+  });
+}
+
+namespace {
+
+/// Shared implementation for unary elementwise ops: `fwd` maps input to
+/// output; `dfn(x, y)` returns dy/dx given input x and output y.
+template <typename Fwd, typename Dfn>
+Variable UnaryElementwise(const Variable& a, Fwd fwd, Dfn dfn) {
+  Matrix value = a.value();
+  float* p = value.data();
+  for (int64_t i = 0, n = value.size(); i < n; ++i) p[i] = fwd(p[i]);
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an, dfn](Node& out) {
+    if (!NeedsGrad(an)) return;
+    Matrix da = out.grad();
+    float* dp = da.data();
+    const float* xp = an->value().data();
+    const float* yp = out.value().data();
+    for (int64_t i = 0, n = da.size(); i < n; ++i) dp[i] *= dfn(xp[i], yp[i]);
+    an->AccumulateGrad(da);
+  });
+}
+
+}  // namespace
+
+Variable Relu(const Variable& a) {
+  return UnaryElementwise(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable LeakyRelu(const Variable& a, float negative_slope) {
+  return UnaryElementwise(
+      a, [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) { return x > 0.0f ? 1.0f : negative_slope; });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return UnaryElementwise(
+      a,
+      [](float x) {
+        // Split by sign for numerical stability.
+        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+        float e = std::exp(x);
+        return e / (1.0f + e);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Variable Tanh(const Variable& a) {
+  return UnaryElementwise(a, [](float x) { return std::tanh(x); },
+                          [](float, float y) { return 1.0f - y * y; });
+}
+
+Variable Exp(const Variable& a) {
+  return UnaryElementwise(a, [](float x) { return std::exp(x); },
+                          [](float, float y) { return y; });
+}
+
+Variable Log(const Variable& a, float eps) {
+  return UnaryElementwise(a, [eps](float x) { return std::log(x + eps); },
+                          [eps](float x, float) { return 1.0f / (x + eps); });
+}
+
+Variable Square(const Variable& a) {
+  return UnaryElementwise(a, [](float x) { return x * x; },
+                          [](float x, float) { return 2.0f * x; });
+}
+
+Variable Softplus(const Variable& a) {
+  return UnaryElementwise(
+      a,
+      [](float x) {
+        // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) {
+        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+        float e = std::exp(x);
+        return e / (1.0f + e);
+      });
+}
+
+Variable RowL2Normalize(const Variable& a, float eps) {
+  const Matrix& x = a.value();
+  Matrix norms = RowNorms(x);
+  Matrix value = x;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    float n = norms(r, 0);
+    if (n < eps) continue;
+    float inv = 1.0f / n;
+    float* row = value.Row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) row[c] *= inv;
+  }
+  auto an = a.node();
+  return MakeResult(
+      std::move(value), {an}, [an, norms = std::move(norms), eps](Node& out) {
+        if (!NeedsGrad(an)) return;
+        const Matrix& g = out.grad();
+        const Matrix& y = out.value();
+        Matrix da(g.rows(), g.cols());
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          float n = norms(r, 0);
+          const float* grow = g.Row(r);
+          float* drow = da.Row(r);
+          if (n < eps) {
+            // Forward was identity on this row.
+            std::copy(grow, grow + g.cols(), drow);
+            continue;
+          }
+          const float* yrow = y.Row(r);
+          double dot = 0.0;
+          for (int64_t c = 0; c < g.cols(); ++c) dot += double(grow[c]) * yrow[c];
+          float inv = 1.0f / n;
+          for (int64_t c = 0; c < g.cols(); ++c) {
+            drow[c] = (grow[c] - static_cast<float>(dot) * yrow[c]) * inv;
+          }
+        }
+        an->AccumulateGrad(da);
+      });
+}
+
+Variable Detach(const Variable& a) { return Variable::Constant(a.value()); }
+
+Variable Dropout(const Variable& a, float drop_prob, core::Rng& rng) {
+  DARE_CHECK(drop_prob >= 0.0f && drop_prob < 1.0f);
+  if (drop_prob == 0.0f) return a;
+  const float keep = 1.0f - drop_prob;
+  const float scale = 1.0f / keep;
+  Matrix mask(a.rows(), a.cols());
+  float* mp = mask.data();
+  for (int64_t i = 0, n = mask.size(); i < n; ++i) {
+    mp[i] = rng.Bernoulli(keep) ? scale : 0.0f;
+  }
+  Matrix value = Hadamard(a.value(), mask);
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an, mask = std::move(mask)](Node& out) {
+    if (NeedsGrad(an)) an->AccumulateGrad(Hadamard(out.grad(), mask));
+  });
+}
+
+Variable ConcatRows(const Variable& a, const Variable& b) {
+  DARE_CHECK_EQ(a.cols(), b.cols());
+  Matrix value(a.rows() + b.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) value.CopyRowFrom(a.value(), r, r);
+  for (int64_t r = 0; r < b.rows(); ++r) value.CopyRowFrom(b.value(), r, a.rows() + r);
+  auto an = a.node();
+  auto bn = b.node();
+  const int64_t a_rows = a.rows();
+  const int64_t b_rows = b.rows();
+  return MakeResult(std::move(value), {an, bn}, [an, bn, a_rows, b_rows](Node& out) {
+    const Matrix& g = out.grad();
+    if (NeedsGrad(an)) {
+      Matrix da(a_rows, g.cols());
+      for (int64_t r = 0; r < a_rows; ++r) da.CopyRowFrom(g, r, r);
+      an->AccumulateGrad(da);
+    }
+    if (NeedsGrad(bn)) {
+      Matrix db(b_rows, g.cols());
+      for (int64_t r = 0; r < b_rows; ++r) db.CopyRowFrom(g, a_rows + r, r);
+      bn->AccumulateGrad(db);
+    }
+  });
+}
+
+Variable SliceRows(const Variable& a, int64_t start, int64_t count) {
+  DARE_CHECK(start >= 0 && count >= 0 && start + count <= a.rows())
+      << "SliceRows [" << start << ", " << start + count << ") of " << a.rows();
+  Matrix value(count, a.cols());
+  for (int64_t r = 0; r < count; ++r) value.CopyRowFrom(a.value(), start + r, r);
+  auto an = a.node();
+  const int64_t total_rows = a.rows();
+  return MakeResult(std::move(value), {an}, [an, start, count, total_rows](Node& out) {
+    if (!NeedsGrad(an)) return;
+    const Matrix& g = out.grad();
+    Matrix da(total_rows, g.cols());
+    for (int64_t r = 0; r < count; ++r) da.CopyRowFrom(g, r, start + r);
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable GatherRows(const Variable& a, std::vector<int64_t> indices) {
+  for (int64_t idx : indices) {
+    DARE_CHECK(idx >= 0 && idx < a.rows()) << "gather index " << idx << " out of range";
+  }
+  Matrix value(static_cast<int64_t>(indices.size()), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    value.CopyRowFrom(a.value(), indices[i], static_cast<int64_t>(i));
+  }
+  auto an = a.node();
+  const int64_t total_rows = a.rows();
+  return MakeResult(
+      std::move(value), {an},
+      [an, indices = std::move(indices), total_rows](Node& out) {
+        if (!NeedsGrad(an)) return;
+        const Matrix& g = out.grad();
+        Matrix da(total_rows, g.cols());
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const float* grow = g.Row(static_cast<int64_t>(i));
+          float* drow = da.Row(indices[i]);
+          for (int64_t c = 0; c < g.cols(); ++c) drow[c] += grow[c];
+        }
+        an->AccumulateGrad(da);
+      });
+}
+
+Variable Sum(const Variable& a) {
+  Matrix value(1, 1);
+  value(0, 0) = SumAll(a.value());
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an](Node& out) {
+    if (!NeedsGrad(an)) return;
+    an->AccumulateGrad(
+        Matrix::Full(an->value().rows(), an->value().cols(), out.grad()(0, 0)));
+  });
+}
+
+Variable Mean(const Variable& a) {
+  DARE_CHECK_GT(a.value().size(), 0);
+  return ScalarMul(Sum(a), 1.0f / static_cast<float>(a.value().size()));
+}
+
+Variable SumSquares(const Variable& a) {
+  Matrix value(1, 1);
+  value(0, 0) = SumSquares(a.value());
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an](Node& out) {
+    if (!NeedsGrad(an)) return;
+    an->AccumulateGrad(Scale(an->value(), 2.0f * out.grad()(0, 0)));
+  });
+}
+
+Variable RowSum(const Variable& a) {
+  Matrix value(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.value().Row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += row[c];
+    value(r, 0) = static_cast<float>(acc);
+  }
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an](Node& out) {
+    if (!NeedsGrad(an)) return;
+    const Matrix& g = out.grad();
+    Matrix da(an->value().rows(), an->value().cols());
+    for (int64_t r = 0; r < da.rows(); ++r) {
+      float gv = g(r, 0);
+      float* drow = da.Row(r);
+      for (int64_t c = 0; c < da.cols(); ++c) drow[c] = gv;
+    }
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable SoftmaxRows(const Variable& a) {
+  Matrix value = a.value();
+  for (int64_t r = 0; r < value.rows(); ++r) {
+    float* row = value.Row(r);
+    float max_v = row[0];
+    for (int64_t c = 1; c < value.cols(); ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < value.cols(); ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < value.cols(); ++c) row[c] *= inv;
+  }
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an](Node& out) {
+    if (!NeedsGrad(an)) return;
+    const Matrix& g = out.grad();
+    const Matrix& y = out.value();
+    Matrix da(g.rows(), g.cols());
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      const float* grow = g.Row(r);
+      const float* yrow = y.Row(r);
+      double dot = 0.0;
+      for (int64_t c = 0; c < g.cols(); ++c) dot += double(grow[c]) * yrow[c];
+      float* drow = da.Row(r);
+      for (int64_t c = 0; c < g.cols(); ++c) {
+        drow[c] = yrow[c] * (grow[c] - static_cast<float>(dot));
+      }
+    }
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable RowLogSumExp(const Variable& a) {
+  const Matrix& x = a.value();
+  Matrix value(x.rows(), 1);
+  Matrix softmax(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.Row(r);
+    float max_v = row[0];
+    for (int64_t c = 1; c < x.cols(); ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    float* srow = softmax.Row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      srow[c] = std::exp(row[c] - max_v);
+      sum += srow[c];
+    }
+    value(r, 0) = max_v + static_cast<float>(std::log(sum));
+    float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < x.cols(); ++c) srow[c] *= inv;
+  }
+  auto an = a.node();
+  return MakeResult(std::move(value), {an},
+                    [an, softmax = std::move(softmax)](Node& out) {
+                      if (!NeedsGrad(an)) return;
+                      const Matrix& g = out.grad();
+                      Matrix da = softmax;
+                      for (int64_t r = 0; r < da.rows(); ++r) {
+                        float gv = g(r, 0);
+                        float* drow = da.Row(r);
+                        for (int64_t c = 0; c < da.cols(); ++c) drow[c] *= gv;
+                      }
+                      an->AccumulateGrad(da);
+                    });
+}
+
+Variable TakeDiagonal(const Variable& a) {
+  DARE_CHECK_EQ(a.rows(), a.cols()) << "TakeDiagonal requires a square matrix";
+  Matrix value(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) value(r, 0) = a.value()(r, r);
+  auto an = a.node();
+  return MakeResult(std::move(value), {an}, [an](Node& out) {
+    if (!NeedsGrad(an)) return;
+    const Matrix& g = out.grad();
+    Matrix da(an->value().rows(), an->value().cols());
+    for (int64_t r = 0; r < da.rows(); ++r) da(r, r) = g(r, 0);
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable MeanOf(const std::vector<Variable>& vars) {
+  DARE_CHECK(!vars.empty());
+  Variable acc = vars[0];
+  for (size_t i = 1; i < vars.size(); ++i) acc = Add(acc, vars[i]);
+  return ScalarMul(acc, 1.0f / static_cast<float>(vars.size()));
+}
+
+Variable RowDot(const Variable& a, const Variable& b) { return RowSum(Mul(a, b)); }
+
+Variable CosineRowSimilarity(const Variable& a, const Variable& b) {
+  return RowDot(RowL2Normalize(a), RowL2Normalize(b));
+}
+
+Variable BprLoss(const Variable& pos_scores, const Variable& neg_scores) {
+  DARE_CHECK_EQ(pos_scores.rows(), neg_scores.rows());
+  DARE_CHECK_EQ(pos_scores.cols(), 1);
+  DARE_CHECK_EQ(neg_scores.cols(), 1);
+  // -log σ(pos - neg) == softplus(neg - pos).
+  return Mean(Softplus(Sub(neg_scores, pos_scores)));
+}
+
+Variable InfoNceLoss(const Variable& a, const Variable& b, float temperature) {
+  DARE_CHECK_EQ(a.rows(), b.rows());
+  DARE_CHECK_EQ(a.cols(), b.cols());
+  DARE_CHECK_GT(temperature, 0.0f);
+  Variable na = RowL2Normalize(a);
+  Variable nb = RowL2Normalize(b);
+  Variable logits = ScalarMul(MatMul(na, nb, false, true), 1.0f / temperature);
+  return Mean(Sub(RowLogSumExp(logits), TakeDiagonal(logits)));
+}
+
+Variable MseLoss(const Variable& a, const Variable& b) {
+  DARE_CHECK(a.value().SameShape(b.value()));
+  DARE_CHECK_GT(a.value().size(), 0);
+  return ScalarMul(SumSquares(Sub(a, b)), 1.0f / static_cast<float>(a.value().size()));
+}
+
+Variable L2Penalty(const std::vector<Variable>& vars) {
+  DARE_CHECK(!vars.empty());
+  Variable acc = SumSquares(vars[0]);
+  for (size_t i = 1; i < vars.size(); ++i) acc = Add(acc, SumSquares(vars[i]));
+  return ScalarMul(acc, 0.5f);
+}
+
+}  // namespace darec::tensor

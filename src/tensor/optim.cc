@@ -1,0 +1,82 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace darec::tensor {
+
+Optimizer::Optimizer(std::vector<Variable> params) : params_(std::move(params)) {
+  for (const Variable& p : params_) {
+    DARE_CHECK(!p.IsNull());
+    DARE_CHECK(p.requires_grad()) << "optimizer given a non-trainable variable";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ClearGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float learning_rate, float momentum)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    velocity_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (p.grad().empty()) continue;
+    if (momentum_ > 0.0f) {
+      velocity_[i].ScaleInPlace(momentum_);
+      velocity_[i].AddInPlace(p.grad());
+      p.mutable_value().AddInPlace(velocity_[i], -learning_rate_);
+    } else {
+      p.mutable_value().AddInPlace(p.grad(), -learning_rate_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float learning_rate, float beta1,
+           float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    first_moment_.emplace_back(p.rows(), p.cols());
+    second_moment_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (p.grad().empty()) continue;
+    float* value = p.mutable_value().data();
+    const float* grad = p.grad().data();
+    float* m = first_moment_[i].data();
+    float* v = second_moment_[i].data();
+    const int64_t n = p.value().size();
+    for (int64_t k = 0; k < n; ++k) {
+      float g = grad[k];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * value[k];
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * g;
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[k] / bias1;
+      const float v_hat = v[k] / bias2;
+      value[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace darec::tensor

@@ -1,0 +1,78 @@
+#ifndef DAREC_TENSOR_OPTIM_H_
+#define DAREC_TENSOR_OPTIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// Base class for gradient-descent optimizers over a fixed parameter set.
+///
+/// Parameters are Variables created with Variable::Parameter(); the
+/// optimizer reads their accumulated gradients after Backward() and updates
+/// values in place. Parameters with an empty gradient (no loss contribution
+/// this step) are skipped.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the current gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients on all parameters (call after Step()).
+  void ZeroGrad();
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float learning_rate, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with optional decoupled weight decay.
+///
+/// Matches the paper's training setup: Adam with lr = 1e-3 is the optimizer
+/// used for every backbone and for DaRec's projectors.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float learning_rate, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+};
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_OPTIM_H_

@@ -1,0 +1,152 @@
+#include "tensor/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/init.h"
+
+namespace darec::tensor {
+namespace {
+
+/// In-place modified Gram–Schmidt on the columns of m. Columns that become
+/// numerically zero are re-randomized and re-orthogonalized once.
+void OrthonormalizeColumns(Matrix& m, core::Rng& rng) {
+  const int64_t rows = m.rows(), cols = m.cols();
+  for (int64_t c = 0; c < cols; ++c) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      // Remove projections onto previous columns.
+      for (int64_t p = 0; p < c; ++p) {
+        double dot = 0.0;
+        for (int64_t r = 0; r < rows; ++r) dot += double(m(r, p)) * m(r, c);
+        for (int64_t r = 0; r < rows; ++r) {
+          m(r, c) -= static_cast<float>(dot) * m(r, p);
+        }
+      }
+      double norm_sq = 0.0;
+      for (int64_t r = 0; r < rows; ++r) norm_sq += double(m(r, c)) * m(r, c);
+      const double norm = std::sqrt(norm_sq);
+      if (norm > 1e-8) {
+        const float inv = static_cast<float>(1.0 / norm);
+        for (int64_t r = 0; r < rows; ++r) m(r, c) *= inv;
+        break;
+      }
+      // Degenerate column: replace with fresh noise and retry.
+      for (int64_t r = 0; r < rows; ++r) {
+        m(r, c) = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+}
+
+/// Jacobi eigensolver for a small symmetric matrix; returns eigenvalues in
+/// `values` and eigenvectors as columns of `vectors`.
+void SymmetricEigen(Matrix a, std::vector<double>& values, Matrix& vectors) {
+  const int64_t n = a.rows();
+  DARE_CHECK_EQ(a.cols(), n);
+  vectors = Matrix::Identity(n);
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    // Largest off-diagonal element.
+    double off = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) off = std::max(off, std::fabs((double)a(i, j)));
+    }
+    if (off < 1e-10) break;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-12) continue;
+        const double theta = (double(a(q, q)) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = static_cast<float>(c * akp - s * akq);
+          a(k, q) = static_cast<float>(s * akp + c * akq);
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = static_cast<float>(c * apk - s * aqk);
+          a(q, k) = static_cast<float>(s * apk + c * aqk);
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = vectors(k, p), vkq = vectors(k, q);
+          vectors(k, p) = static_cast<float>(c * vkp - s * vkq);
+          vectors(k, q) = static_cast<float>(s * vkp + c * vkq);
+        }
+      }
+    }
+  }
+  values.resize(n);
+  for (int64_t i = 0; i < n; ++i) values[i] = a(i, i);
+}
+
+}  // namespace
+
+TruncatedSvd ComputeTruncatedSvd(const CsrMatrix& matrix, int64_t rank,
+                                 int64_t iterations, core::Rng& rng) {
+  DARE_CHECK_GT(rank, 0);
+  DARE_CHECK_LE(rank, std::min(matrix.rows(), matrix.cols()));
+  // Randomized range finder: Y = (A Aᵀ)^it A Ω.
+  Matrix omega = RandomNormal(matrix.cols(), rank, 1.0f, rng);
+  Matrix y = matrix.Multiply(omega);  // [rows, rank]
+  OrthonormalizeColumns(y, rng);
+  for (int64_t it = 0; it < iterations; ++it) {
+    Matrix z = matrix.TransposeMultiply(y);  // [cols, rank]
+    OrthonormalizeColumns(z, rng);
+    y = matrix.Multiply(z);
+    OrthonormalizeColumns(y, rng);
+  }
+
+  // Small problem: B = Qᵀ A (as Bᵀ = Aᵀ Q), then eigen of B Bᵀ (rank x rank).
+  Matrix bt = matrix.TransposeMultiply(y);     // [cols, rank] == Bᵀ
+  Matrix bbt = MatMul(bt, bt, true, false);    // [rank, rank] = B Bᵀ
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+  SymmetricEigen(bbt, eigenvalues, eigenvectors);
+
+  // Sort eigenpairs descending.
+  std::vector<int64_t> order(rank);
+  for (int64_t i = 0; i < rank; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return eigenvalues[a] > eigenvalues[b]; });
+
+  TruncatedSvd result;
+  result.u = Matrix(matrix.rows(), rank);
+  result.v = Matrix(matrix.cols(), rank);
+  result.singular_values.resize(rank);
+  for (int64_t k = 0; k < rank; ++k) {
+    const int64_t src = order[k];
+    const double sigma = std::sqrt(std::max(eigenvalues[src], 0.0));
+    result.singular_values[k] = static_cast<float>(sigma);
+    // U = Q * W (eigenvectors of B Bᵀ).
+    for (int64_t r = 0; r < matrix.rows(); ++r) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < rank; ++j) acc += double(y(r, j)) * eigenvectors(j, src);
+      result.u(r, k) = static_cast<float>(acc);
+    }
+    // V = Bᵀ W / sigma.
+    if (sigma > 1e-10) {
+      const double inv = 1.0 / sigma;
+      for (int64_t r = 0; r < matrix.cols(); ++r) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < rank; ++j) acc += double(bt(r, j)) * eigenvectors(j, src);
+        result.v(r, k) = static_cast<float>(acc * inv);
+      }
+    }
+  }
+  return result;
+}
+
+Matrix SvdReconstruct(const TruncatedSvd& svd) {
+  Matrix scaled_u = svd.u;
+  for (int64_t r = 0; r < scaled_u.rows(); ++r) {
+    for (int64_t c = 0; c < scaled_u.cols(); ++c) {
+      scaled_u(r, c) *= svd.singular_values[c];
+    }
+  }
+  return MatMul(scaled_u, svd.v, false, true);
+}
+
+}  // namespace darec::tensor

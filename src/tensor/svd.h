@@ -1,0 +1,31 @@
+#ifndef DAREC_TENSOR_SVD_H_
+#define DAREC_TENSOR_SVD_H_
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// Rank-q truncated SVD A ≈ U diag(S) Vᵀ of a sparse matrix.
+struct TruncatedSvd {
+  Matrix u;                    // [rows, q], orthonormal columns
+  Matrix v;                    // [cols, q], orthonormal columns
+  std::vector<float> singular_values;  // [q], descending
+};
+
+/// Randomized subspace (block power) iteration for the leading q singular
+/// triplets of a sparse matrix — the substrate LightGCL uses to build its
+/// low-rank augmented graph view. `iterations` power steps (5–10 suffice
+/// for graph adjacencies); deterministic given `rng`'s state.
+TruncatedSvd ComputeTruncatedSvd(const CsrMatrix& matrix, int64_t rank,
+                                 int64_t iterations, core::Rng& rng);
+
+/// Dense reconstruction U diag(S) Vᵀ (tests / small matrices only).
+Matrix SvdReconstruct(const TruncatedSvd& svd);
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_SVD_H_

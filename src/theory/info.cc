@@ -1,0 +1,70 @@
+#include "theory/info.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace darec::theory {
+
+using tensor::Matrix;
+
+double Entropy(const std::vector<double>& probabilities) {
+  double total = 0.0;
+  for (double p : probabilities) {
+    DARE_CHECK_GE(p, 0.0);
+    total += p;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : probabilities) {
+    if (p <= 0.0) continue;
+    const double q = p / total;
+    h -= q * std::log(q);
+  }
+  return h;
+}
+
+std::vector<double> RowMarginal(const Matrix& joint) {
+  std::vector<double> marginal(joint.rows(), 0.0);
+  for (int64_t r = 0; r < joint.rows(); ++r) {
+    for (int64_t c = 0; c < joint.cols(); ++c) marginal[r] += joint(r, c);
+  }
+  return marginal;
+}
+
+std::vector<double> ColMarginal(const Matrix& joint) {
+  std::vector<double> marginal(joint.cols(), 0.0);
+  for (int64_t r = 0; r < joint.rows(); ++r) {
+    for (int64_t c = 0; c < joint.cols(); ++c) marginal[c] += joint(r, c);
+  }
+  return marginal;
+}
+
+double MutualInformation(const Matrix& joint) {
+  std::vector<double> px = RowMarginal(joint);
+  std::vector<double> py = ColMarginal(joint);
+  double total = 0.0;
+  for (double p : px) total += p;
+  DARE_CHECK_GT(total, 0.0);
+  double mi = 0.0;
+  for (int64_t r = 0; r < joint.rows(); ++r) {
+    for (int64_t c = 0; c < joint.cols(); ++c) {
+      const double pxy = joint(r, c) / total;
+      if (pxy <= 0.0) continue;
+      mi += pxy * std::log(pxy * total * total / (px[r] * py[c]));
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+double ConditionalEntropy(const Matrix& joint) {
+  // H(Y|X) = H(X,Y) - H(X).
+  std::vector<double> flat;
+  flat.reserve(static_cast<size_t>(joint.size()));
+  for (int64_t r = 0; r < joint.rows(); ++r) {
+    for (int64_t c = 0; c < joint.cols(); ++c) flat.push_back(joint(r, c));
+  }
+  return Entropy(flat) - Entropy(RowMarginal(joint));
+}
+
+}  // namespace darec::theory

@@ -1,0 +1,27 @@
+#ifndef DAREC_THEORY_INFO_H_
+#define DAREC_THEORY_INFO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace darec::theory {
+
+/// Shannon entropy (nats) of a probability vector. Zero entries are
+/// skipped; the vector need not be exactly normalized (it is renormalized).
+double Entropy(const std::vector<double>& probabilities);
+
+/// I(X; Y) in nats from a joint probability table (rows = x, cols = y).
+double MutualInformation(const tensor::Matrix& joint);
+
+/// H(Y | X) in nats from a joint table (rows = x, cols = y).
+double ConditionalEntropy(const tensor::Matrix& joint);
+
+/// Marginal over rows (sums each column) / columns (sums each row).
+std::vector<double> RowMarginal(const tensor::Matrix& joint);
+std::vector<double> ColMarginal(const tensor::Matrix& joint);
+
+}  // namespace darec::theory
+
+#endif  // DAREC_THEORY_INFO_H_

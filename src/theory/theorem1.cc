@@ -1,0 +1,156 @@
+#include "theory/theorem1.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "theory/info.h"
+
+namespace darec::theory {
+
+using tensor::Matrix;
+
+Matrix DiscreteWorld::JointDY() const {
+  Matrix joint(d_card, y_card);
+  for (int64_t d = 0; d < d_card; ++d) {
+    for (int64_t dp = 0; dp < dp_card; ++dp) {
+      for (int64_t y = 0; y < y_card; ++y) {
+        joint(d, y) += static_cast<float>(At(d, dp, y));
+      }
+    }
+  }
+  return joint;
+}
+
+Matrix DiscreteWorld::JointDpY() const {
+  Matrix joint(dp_card, y_card);
+  for (int64_t d = 0; d < d_card; ++d) {
+    for (int64_t dp = 0; dp < dp_card; ++dp) {
+      for (int64_t y = 0; y < y_card; ++y) {
+        joint(dp, y) += static_cast<float>(At(d, dp, y));
+      }
+    }
+  }
+  return joint;
+}
+
+Matrix DiscreteWorld::JointDDp() const {
+  Matrix joint(d_card, dp_card);
+  for (int64_t d = 0; d < d_card; ++d) {
+    for (int64_t dp = 0; dp < dp_card; ++dp) {
+      for (int64_t y = 0; y < y_card; ++y) {
+        joint(d, dp) += static_cast<float>(At(d, dp, y));
+      }
+    }
+  }
+  return joint;
+}
+
+Matrix DiscreteWorld::JointInputsY() const {
+  Matrix joint(d_card * dp_card, y_card);
+  for (int64_t d = 0; d < d_card; ++d) {
+    for (int64_t dp = 0; dp < dp_card; ++dp) {
+      for (int64_t y = 0; y < y_card; ++y) {
+        joint(d * dp_card + dp, y) += static_cast<float>(At(d, dp, y));
+      }
+    }
+  }
+  return joint;
+}
+
+DiscreteWorld MakeDiscreteWorld(const DiscreteWorldOptions& options) {
+  DARE_CHECK(options.coupling >= 0.0 && options.coupling <= 1.0);
+  DiscreteWorld world;
+  world.p.assign(static_cast<size_t>(world.d_card * world.dp_card * world.y_card),
+                 0.0);
+
+  // Y fair coin. D = 2*o_d + b_d where o_d is Y through a binary symmetric
+  // channel with error d_noise and b_d a uniform nuisance bit; similarly
+  // for D', whose observation o_dp either copies o_d (prob `coupling`) or
+  // passes Y through an independent dp_noise channel.
+  for (int64_t y = 0; y < 2; ++y) {
+    const double py = 0.5;
+    for (int64_t od = 0; od < 2; ++od) {
+      const double p_od =
+          od == y ? 1.0 - options.d_noise : options.d_noise;
+      for (int64_t odp = 0; odp < 2; ++odp) {
+        const double p_indep =
+            odp == y ? 1.0 - options.dp_noise : options.dp_noise;
+        const double p_odp = options.coupling * (odp == od ? 1.0 : 0.0) +
+                             (1.0 - options.coupling) * p_indep;
+        for (int64_t bd = 0; bd < 2; ++bd) {
+          for (int64_t bdp = 0; bdp < 2; ++bdp) {
+            const double prob = py * p_od * p_odp * 0.25;
+            world.At(od * 2 + bd, odp * 2 + bdp, y) += prob;
+          }
+        }
+      }
+    }
+  }
+  return world;
+}
+
+Theorem1Result VerifyTheorem1(const DiscreteWorld& world, int64_t code_cardinality) {
+  DARE_CHECK_GE(code_cardinality, 1);
+  Theorem1Result result;
+  result.info_d_y = MutualInformation(world.JointDY());
+  result.info_dp_y = MutualInformation(world.JointDpY());
+  result.delta_p = std::fabs(result.info_d_y - result.info_dp_y);
+  result.h_y_given_inputs = ConditionalEntropy(world.JointInputsY());
+
+  const Matrix joint_inputs = world.JointDDp();
+  const int64_t d_card = world.d_card;
+  const int64_t dp_card = world.dp_card;
+  const int64_t y_card = world.y_card;
+  const int64_t e = code_cardinality;
+
+  int64_t num_f_c = 1, num_f_l = 1;
+  for (int64_t i = 0; i < d_card; ++i) num_f_c *= e;
+  for (int64_t i = 0; i < dp_card; ++i) num_f_l *= e;
+
+  auto decode = [e](int64_t code, int64_t length, std::vector<int64_t>& out) {
+    out.resize(length);
+    for (int64_t i = 0; i < length; ++i) {
+      out[i] = code % e;
+      code /= e;
+    }
+  };
+
+  double best = std::numeric_limits<double>::max();
+  std::vector<int64_t> f_c, f_l;
+  Matrix joint_ey(e, y_card);
+  constexpr double kSupportTolerance = 1e-12;
+  for (int64_t cc = 0; cc < num_f_c; ++cc) {
+    decode(cc, d_card, f_c);
+    for (int64_t cl = 0; cl < num_f_l; ++cl) {
+      decode(cl, dp_card, f_l);
+      // Exact alignment: E^C == E^L on the support of p(d, d').
+      bool aligned = true;
+      for (int64_t d = 0; d < d_card && aligned; ++d) {
+        for (int64_t dp = 0; dp < dp_card; ++dp) {
+          if (joint_inputs(d, dp) > kSupportTolerance && f_c[d] != f_l[dp]) {
+            aligned = false;
+            break;
+          }
+        }
+      }
+      if (!aligned) continue;
+      joint_ey.SetZero();
+      for (int64_t d = 0; d < d_card; ++d) {
+        for (int64_t dp = 0; dp < dp_card; ++dp) {
+          for (int64_t y = 0; y < y_card; ++y) {
+            joint_ey(f_c[d], y) += static_cast<float>(world.At(d, dp, y));
+          }
+        }
+      }
+      best = std::min(best, ConditionalEntropy(joint_ey));
+    }
+  }
+  result.best_aligned_risk = best;
+  result.excess_risk = best - result.h_y_given_inputs;
+  // Allow tiny numeric slack in the comparison.
+  result.bound_holds = result.excess_risk + 1e-9 >= result.delta_p;
+  return result;
+}
+
+}  // namespace darec::theory

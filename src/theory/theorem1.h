@@ -1,0 +1,69 @@
+#ifndef DAREC_THEORY_THEOREM1_H_
+#define DAREC_THEORY_THEOREM1_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace darec::theory {
+
+/// A finite-alphabet generative world over (D, D', Y): D is the CF-side
+/// input, D' the LLM-side input, Y the label. Probabilities are stored as
+/// a flattened table p[d][d'][y].
+struct DiscreteWorld {
+  int64_t d_card = 4;
+  int64_t dp_card = 4;
+  int64_t y_card = 2;
+  std::vector<double> p;
+
+  double& At(int64_t d, int64_t dp, int64_t y) {
+    return p[(d * dp_card + dp) * y_card + y];
+  }
+  double At(int64_t d, int64_t dp, int64_t y) const {
+    return p[(d * dp_card + dp) * y_card + y];
+  }
+
+  tensor::Matrix JointDY() const;    // p(d, y)
+  tensor::Matrix JointDpY() const;   // p(d', y)
+  tensor::Matrix JointDDp() const;   // p(d, d')
+  /// p((d,d'), y) with the pair flattened row-wise.
+  tensor::Matrix JointInputsY() const;
+};
+
+/// Parameters of the synthetic world used to exercise Theorem 1. Y is a
+/// fair coin; D observes Y through a channel with error `d_noise`, D'
+/// through a channel with error `dp_noise` (> d_noise ⇒ positive Δp).
+/// `coupling` in [0,1] interpolates D' between an independent draw (0) and
+/// a deterministic copy of D's observation (1).
+struct DiscreteWorldOptions {
+  double d_noise = 0.05;
+  double dp_noise = 0.30;
+  double coupling = 0.0;
+};
+
+DiscreteWorld MakeDiscreteWorld(const DiscreteWorldOptions& options);
+
+/// Outcome of the exhaustive Theorem-1 check on one world.
+struct Theorem1Result {
+  double info_d_y = 0.0;        // I(D; Y)
+  double info_dp_y = 0.0;       // I(D'; Y)
+  double delta_p = 0.0;         // |I(D;Y) - I(D';Y)|
+  double h_y_given_inputs = 0.0;  // H(Y | D, D') — the unconstrained optimum
+  /// min over *exactly aligned* encoder pairs (f_C(D) = f_L(D') a.s.) of
+  /// H(Y | E); infinity-free: worlds always admit the constant encoder.
+  double best_aligned_risk = 0.0;
+  /// best_aligned_risk - h_y_given_inputs; Theorem 1 asserts >= delta_p.
+  double excess_risk = 0.0;
+  bool bound_holds = false;
+};
+
+/// Exhaustively enumerates all encoder pairs f_C: D -> E, f_L: D' -> E with
+/// |E| = code_cardinality, keeps those that are exactly aligned on the
+/// support of p(d, d'), and measures the best achievable Bayes risk
+/// H(Y | E). Feasible for the small alphabets used here (4^4 * 4^4 pairs).
+Theorem1Result VerifyTheorem1(const DiscreteWorld& world, int64_t code_cardinality);
+
+}  // namespace darec::theory
+
+#endif  // DAREC_THEORY_THEOREM1_H_

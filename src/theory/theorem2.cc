@@ -1,0 +1,41 @@
+#include "theory/theorem2.h"
+
+#include <cmath>
+
+#include "theory/info.h"
+
+namespace darec::theory {
+
+Theorem2Result VerifyTheorem2(const DiscreteWorld& world, int64_t code_cardinality) {
+  Theorem2Result result;
+
+  // The disentangled representation: the world encodes D = 2*o_d + b_d
+  // where o_d is the task observation (shared content) and b_d a nuisance
+  // bit (specific content). A perfect disentangler recovers Ê = o_d.
+  tensor::Matrix joint_dy = world.JointDY();
+  const int64_t half = world.d_card / 2;
+  tensor::Matrix joint_ey(half, world.y_card);
+  for (int64_t d = 0; d < world.d_card; ++d) {
+    for (int64_t y = 0; y < world.y_card; ++y) {
+      joint_ey(d / 2, y) += joint_dy(d, y);
+    }
+  }
+  result.relevant_disentangled = MutualInformation(joint_ey);
+  result.irrelevant_disentangled = ConditionalEntropy(tensor::Transpose(joint_ey));
+  result.relevant_input = MutualInformation(joint_dy);
+  result.irrelevant_input = ConditionalEntropy(tensor::Transpose(joint_dy));
+
+  // The exactly-aligned representation: best encoder pair from Theorem 1's
+  // search. I(Ẽ;Y) = H(Y) - min_aligned H(Y|E).
+  Theorem1Result theorem1 = VerifyTheorem1(world, code_cardinality);
+  const double h_y = Entropy(ColMarginal(joint_dy));
+  result.relevant_aligned = std::max(0.0, h_y - theorem1.best_aligned_risk);
+
+  result.more_relevant =
+      result.relevant_disentangled + 1e-9 >= result.relevant_aligned;
+  result.less_irrelevant =
+      result.irrelevant_disentangled <= result.irrelevant_input + 1e-9;
+  return result;
+}
+
+}  // namespace darec::theory

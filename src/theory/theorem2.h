@@ -1,0 +1,37 @@
+#ifndef DAREC_THEORY_THEOREM2_H_
+#define DAREC_THEORY_THEOREM2_H_
+
+#include "theory/theorem1.h"
+
+namespace darec::theory {
+
+/// Computational counterpart of Theorem 2 on the discrete world.
+///
+/// The disentangled representation Ê keeps D's task-relevant observation
+/// and separates (rather than destroys) the nuisance component; the
+/// exactly-aligned representation Ẽ is the best encoder pair satisfying
+/// E^C = E^L (from the Theorem-1 search). Theorem 2 predicts that Ê
+/// carries at least as much task-relevant information, and that its
+/// task-conditioned residual entropy stays bounded by the raw input's.
+struct Theorem2Result {
+  // Mutual information with the task, I(E; Y), in nats.
+  double relevant_disentangled = 0.0;  // I(Ê; Y)
+  double relevant_aligned = 0.0;       // I(Ẽ; Y)
+  double relevant_input = 0.0;         // I(D; Y) — ceiling by data processing.
+  // Task-irrelevant content H(E | Y), in nats.
+  double irrelevant_disentangled = 0.0;  // H(Ê | Y) — shared part only.
+  double irrelevant_input = 0.0;         // H(D | Y) — raw, entangled input.
+  /// I(Ê;Y) >= I(Ẽ;Y): disentanglement keeps more relevant information.
+  bool more_relevant = false;
+  /// H(Ê|Y) <= H(D|Y): the shared component carries less irrelevant noise
+  /// than the entangled input it was extracted from.
+  bool less_irrelevant = false;
+};
+
+/// Evaluates both claims on `world`, using |E| = code_cardinality for the
+/// aligned-encoder search (as in VerifyTheorem1).
+Theorem2Result VerifyTheorem2(const DiscreteWorld& world, int64_t code_cardinality);
+
+}  // namespace darec::theory
+
+#endif  // DAREC_THEORY_THEOREM2_H_

@@ -1,0 +1,181 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "core/check.h"
+#include "tensor/init.h"
+
+namespace darec::viz {
+
+using tensor::Matrix;
+
+namespace {
+
+/// Row-wise conditional Gaussian affinities with per-row bandwidth chosen by
+/// binary search to hit the target perplexity.
+Matrix ConditionalAffinities(const Matrix& squared_dist, double perplexity) {
+  const int64_t n = squared_dist.rows();
+  const double target_entropy = std::log(perplexity);
+  Matrix p(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_min = 0.0, beta_max = 1e30;
+    const float* drow = squared_dist.Row(i);
+    float* prow = p.Row(i);
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        prow[j] = j == i ? 0.0f : static_cast<float>(std::exp(-beta * drow[j]));
+        sum += prow[j];
+      }
+      if (sum <= 0.0) {
+        beta /= 2.0;
+        continue;
+      }
+      // Shannon entropy of the normalized row.
+      double entropy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (prow[j] <= 0.0f) continue;
+        const double q = prow[j] / sum;
+        entropy -= q * std::log(q);
+      }
+      const double diff = entropy - target_entropy;
+      if (std::fabs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_min = beta;
+        beta = beta_max > 1e29 ? beta * 2.0 : (beta + beta_max) / 2.0;
+      } else {
+        beta_max = beta;
+        beta = (beta + beta_min) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) sum += prow[j];
+    if (sum > 0.0) {
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int64_t j = 0; j < n; ++j) prow[j] *= inv;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Matrix RunTsne(const Matrix& points, const TsneOptions& options) {
+  const int64_t n = points.rows();
+  DARE_CHECK_GT(n, 1);
+  DARE_CHECK_LT(options.perplexity * 3, static_cast<double>(n))
+      << "perplexity too large for " << n << " points";
+
+  // Symmetrized joint affinities P with early exaggeration.
+  Matrix p = ConditionalAffinities(tensor::PairwiseSquaredDistances(points, points),
+                                   options.perplexity);
+  Matrix pj(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      pj(i, j) = std::max((p(i, j) + p(j, i)) / (2.0f * static_cast<float>(n)),
+                          1e-12f);
+    }
+  }
+
+  core::Rng rng(options.seed);
+  Matrix y = tensor::RandomNormal(n, options.output_dim, 1e-2f, rng);
+  Matrix velocity(n, options.output_dim);
+  Matrix gains = Matrix::Full(n, options.output_dim, 1.0f);
+  Matrix grad(n, options.output_dim);
+  Matrix q_unnorm(n, n);
+
+  for (int64_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+
+    // Student-t kernel 1/(1+||y_i-y_j||²).
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* yi = y.Row(i);
+      float* qrow = q_unnorm.Row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) {
+          qrow[j] = 0.0f;
+          continue;
+        }
+        const float* yj = y.Row(j);
+        double d = 0.0;
+        for (int64_t c = 0; c < options.output_dim; ++c) {
+          const double diff = double(yi[c]) - yj[c];
+          d += diff * diff;
+        }
+        qrow[j] = static_cast<float>(1.0 / (1.0 + d));
+        q_sum += qrow[j];
+      }
+    }
+
+    grad.SetZero();
+    for (int64_t i = 0; i < n; ++i) {
+      const float* yi = y.Row(i);
+      float* grow = grad.Row(i);
+      const float* qrow = q_unnorm.Row(i);
+      const float* prow = pj.Row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double qij = qrow[j] / q_sum;
+        const double coeff =
+            4.0 * (exaggeration * prow[j] - qij) * qrow[j];
+        const float* yj = y.Row(j);
+        for (int64_t c = 0; c < options.output_dim; ++c) {
+          grow[c] += static_cast<float>(coeff * (double(yi[c]) - yj[c]));
+        }
+      }
+    }
+
+    const double momentum =
+        iter < 250 ? options.initial_momentum : options.final_momentum;
+    for (int64_t i = 0; i < n; ++i) {
+      float* vrow = velocity.Row(i);
+      float* grow = gains.Row(i);
+      const float* crow = grad.Row(i);
+      float* yrow = y.Row(i);
+      for (int64_t c = 0; c < options.output_dim; ++c) {
+        // Adaptive gains as in the reference implementation.
+        const bool same_sign = (crow[c] > 0.0f) == (vrow[c] > 0.0f);
+        grow[c] = same_sign ? std::max(grow[c] * 0.8f, 0.01f) : grow[c] + 0.2f;
+        vrow[c] = static_cast<float>(momentum * vrow[c] -
+                                     options.learning_rate * grow[c] * crow[c]);
+        yrow[c] += vrow[c];
+      }
+    }
+
+    // Re-center to keep the embedding bounded.
+    for (int64_t c = 0; c < options.output_dim; ++c) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) mean += y(i, c);
+      mean /= static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) y(i, c) -= static_cast<float>(mean);
+    }
+  }
+  return y;
+}
+
+core::Status WriteEmbeddingCsv(const std::string& path, const Matrix& embedding,
+                               const std::vector<int64_t>& labels) {
+  if (!labels.empty() &&
+      static_cast<int64_t>(labels.size()) != embedding.rows()) {
+    return core::Status::InvalidArgument("labels size must match embedding rows");
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return core::Status::NotFound("cannot open for writing: " + path);
+  }
+  for (int64_t r = 0; r < embedding.rows(); ++r) {
+    for (int64_t c = 0; c < embedding.cols(); ++c) {
+      if (c > 0) out << ",";
+      out << embedding(r, c);
+    }
+    if (!labels.empty()) out << "," << labels[r];
+    out << "\n";
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace darec::viz

@@ -1,0 +1,41 @@
+#ifndef DAREC_VIZ_TSNE_H_
+#define DAREC_VIZ_TSNE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "tensor/matrix.h"
+
+namespace darec::viz {
+
+/// Exact (O(N²)) t-SNE, following van der Maaten & Hinton (2008). Suited to
+/// the N ≈ 1-2k point clouds of the paper's Fig. 6.
+struct TsneOptions {
+  int64_t output_dim = 2;
+  double perplexity = 30.0;
+  int64_t iterations = 400;
+  double learning_rate = 120.0;
+  /// Momentum switches from initial to final after iteration 250.
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  /// P-values multiplied by this for the first `exaggeration_iters` steps.
+  double early_exaggeration = 8.0;
+  int64_t exaggeration_iters = 80;
+  uint64_t seed = 4;
+};
+
+/// Embeds the rows of `points` into options.output_dim dimensions.
+tensor::Matrix RunTsne(const tensor::Matrix& points, const TsneOptions& options);
+
+/// Writes "x,y,label" rows (one per point) for external plotting; labels
+/// may be empty (column omitted).
+core::Status WriteEmbeddingCsv(const std::string& path,
+                               const tensor::Matrix& embedding,
+                               const std::vector<int64_t>& labels);
+
+}  // namespace darec::viz
+
+#endif  // DAREC_VIZ_TSNE_H_

@@ -1,0 +1,245 @@
+#include "align/aligner.h"
+
+#include <cmath>
+
+#include "align/controlrec.h"
+#include "align/ctrl.h"
+#include "align/kar.h"
+#include "align/rlmrec.h"
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace darec::align {
+namespace {
+
+using tensor::Matrix;
+using tensor::Variable;
+
+constexpr int64_t kNodes = 48;
+constexpr int64_t kCfDim = 8;
+constexpr int64_t kLlmDim = 16;
+
+Matrix MakeLlm(uint64_t seed = 1) {
+  core::Rng rng(seed);
+  return tensor::RandomNormal(kNodes, kLlmDim, 1.0f, rng);
+}
+
+Variable MakeNodes(uint64_t seed = 2) {
+  core::Rng rng(seed);
+  return Variable::Parameter(tensor::RandomNormal(kNodes, kCfDim, 1.0f, rng));
+}
+
+TEST(NullAlignerTest, NoLossNoParams) {
+  NullAligner aligner;
+  core::Rng rng(1);
+  Variable nodes = MakeNodes();
+  EXPECT_TRUE(aligner.Loss(nodes, rng).IsNull());
+  EXPECT_TRUE(aligner.Params().empty());
+  EXPECT_TRUE(tensor::AllClose(aligner.AugmentNodes(nodes).value(), nodes.value()));
+  EXPECT_EQ(aligner.name(), "baseline");
+}
+
+TEST(RlmrecConTest, LossFiniteAndWeighted) {
+  RlmrecOptions options;
+  options.sample_size = 24;
+  RlmrecCon aligner(MakeLlm(), kCfDim, options);
+  EXPECT_EQ(aligner.name(), "rlmrec-con");
+  core::Rng rng(2);
+  Variable nodes = MakeNodes();
+  Variable loss = aligner.Loss(nodes, rng);
+  ASSERT_FALSE(loss.IsNull());
+  EXPECT_TRUE(std::isfinite(loss.scalar()));
+
+  RlmrecOptions heavy = options;
+  heavy.weight = options.weight * 4.0f;
+  RlmrecCon heavy_aligner(MakeLlm(), kCfDim, heavy);
+  core::Rng rng2(2);
+  Variable loss_heavy = heavy_aligner.Loss(nodes, rng2);
+  EXPECT_NEAR(loss_heavy.scalar(), 4.0f * loss.scalar(),
+              std::fabs(loss.scalar()) * 0.01f + 1e-5f);
+}
+
+TEST(RlmrecConTest, GradientsFlow) {
+  RlmrecOptions options;
+  options.sample_size = 24;
+  RlmrecCon aligner(MakeLlm(), kCfDim, options);
+  core::Rng rng(3);
+  Variable nodes = MakeNodes();
+  Backward(aligner.Loss(nodes, rng));
+  EXPECT_FALSE(nodes.grad().empty());
+  for (const Variable& p : aligner.Params()) EXPECT_FALSE(p.grad().empty());
+}
+
+TEST(RlmrecConTest, TrainingPullsRepresentationsTogether) {
+  RlmrecOptions options;
+  options.sample_size = kNodes;
+  options.weight = 1.0f;
+  RlmrecCon aligner(MakeLlm(), kCfDim, options);
+  Variable nodes = MakeNodes();
+  std::vector<Variable> params = aligner.Params();
+  params.push_back(nodes);
+  tensor::Adam adam(params, 0.02f);
+  core::Rng rng(4);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 80; ++step) {
+    adam.ZeroGrad();
+    Variable loss = aligner.Loss(nodes, rng);
+    if (step == 0) first = loss.scalar();
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(RlmrecGenTest, ReconstructionLossDecreases) {
+  RlmrecOptions options;
+  options.sample_size = kNodes;
+  options.weight = 1.0f;
+  RlmrecGen aligner(MakeLlm(), kCfDim, options);
+  EXPECT_EQ(aligner.name(), "rlmrec-gen");
+  Variable nodes = MakeNodes();
+  tensor::Adam adam(aligner.Params(), 0.02f);
+  core::Rng rng(5);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 80; ++step) {
+    adam.ZeroGrad();
+    Variable loss = aligner.Loss(nodes, rng);
+    if (step == 0) first = loss.scalar();
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.8);
+  EXPECT_GE(last, 0.0);
+}
+
+TEST(RlmrecGenTest, LossNonNegative) {
+  RlmrecOptions options;
+  options.sample_size = 16;
+  RlmrecGen aligner(MakeLlm(), kCfDim, options);
+  core::Rng rng(6);
+  Variable nodes = MakeNodes();
+  EXPECT_GE(aligner.Loss(nodes, rng).scalar(), 0.0f);
+}
+
+TEST(KarTest, AugmentChangesEmbeddings) {
+  KarOptions options;
+  Kar aligner(MakeLlm(), kCfDim, options);
+  EXPECT_EQ(aligner.name(), "kar");
+  Variable nodes = MakeNodes();
+  Variable augmented = aligner.AugmentNodes(nodes);
+  EXPECT_EQ(augmented.rows(), kNodes);
+  EXPECT_EQ(augmented.cols(), kCfDim);
+  EXPECT_FALSE(tensor::AllClose(augmented.value(), nodes.value()));
+}
+
+TEST(KarTest, NoAuxLoss) {
+  Kar aligner(MakeLlm(), kCfDim, KarOptions{});
+  core::Rng rng(7);
+  Variable nodes = MakeNodes();
+  EXPECT_TRUE(aligner.Loss(nodes, rng).IsNull());
+}
+
+TEST(KarTest, BlendScalesAugmentation) {
+  KarOptions small;
+  small.blend = 0.1f;
+  KarOptions large = small;
+  large.blend = 0.4f;
+  Kar a(MakeLlm(), kCfDim, small);
+  Kar b(MakeLlm(), kCfDim, large);
+  Variable nodes = MakeNodes();
+  Matrix delta_small = tensor::Sub(a.AugmentNodes(nodes).value(), nodes.value());
+  Matrix delta_large = tensor::Sub(b.AugmentNodes(nodes).value(), nodes.value());
+  EXPECT_TRUE(
+      tensor::AllClose(tensor::Scale(delta_small, 4.0f), delta_large, 1e-4f));
+}
+
+TEST(KarTest, GradientsFlowThroughAdapterViaRanking) {
+  Kar aligner(MakeLlm(), kCfDim, KarOptions{});
+  Variable nodes = MakeNodes();
+  Variable augmented = aligner.AugmentNodes(nodes);
+  Backward(tensor::SumSquares(augmented));
+  for (const Variable& p : aligner.Params()) EXPECT_FALSE(p.grad().empty());
+}
+
+TEST(ControlRecTest, LossFiniteAndTrainable) {
+  RlmrecOptions options;
+  options.sample_size = 24;
+  ControlRec aligner(MakeLlm(), kCfDim, options);
+  EXPECT_EQ(aligner.name(), "controlrec");
+  core::Rng rng(8);
+  Variable nodes = MakeNodes();
+  Variable loss = aligner.Loss(nodes, rng);
+  ASSERT_FALSE(loss.IsNull());
+  EXPECT_TRUE(std::isfinite(loss.scalar()));
+  Backward(loss);
+  EXPECT_FALSE(nodes.grad().empty());
+  for (const Variable& p : aligner.Params()) EXPECT_FALSE(p.grad().empty());
+}
+
+TEST(ControlRecTest, TrainingReducesLoss) {
+  RlmrecOptions options;
+  options.sample_size = kNodes;
+  options.weight = 1.0f;
+  ControlRec aligner(MakeLlm(), kCfDim, options);
+  Variable nodes = MakeNodes();
+  std::vector<Variable> params = aligner.Params();
+  params.push_back(nodes);
+  tensor::Adam adam(params, 0.02f);
+  core::Rng rng(9);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 80; ++step) {
+    adam.ZeroGrad();
+    Variable loss = aligner.Loss(nodes, rng);
+    if (step == 0) first = loss.scalar();
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(CtrlTest, SymmetricLossAndTwoTowers) {
+  RlmrecOptions options;
+  options.sample_size = 24;
+  Ctrl aligner(MakeLlm(), kCfDim, options);
+  EXPECT_EQ(aligner.name(), "ctrl");
+  // Two 2-layer towers -> 8 parameters.
+  EXPECT_EQ(aligner.Params().size(), 8u);
+  core::Rng rng(10);
+  Variable nodes = MakeNodes();
+  Variable loss = aligner.Loss(nodes, rng);
+  ASSERT_FALSE(loss.IsNull());
+  EXPECT_TRUE(std::isfinite(loss.scalar()));
+  Backward(loss);
+  EXPECT_FALSE(nodes.grad().empty());
+}
+
+TEST(CtrlTest, TrainingAlignsJointSpace) {
+  RlmrecOptions options;
+  options.sample_size = kNodes;
+  options.weight = 1.0f;
+  Ctrl aligner(MakeLlm(), kCfDim, options);
+  Variable nodes = MakeNodes();
+  std::vector<Variable> params = aligner.Params();
+  params.push_back(nodes);
+  tensor::Adam adam(params, 0.02f);
+  core::Rng rng(11);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 80; ++step) {
+    adam.ZeroGrad();
+    Variable loss = aligner.Loss(nodes, rng);
+    if (step == 0) first = loss.scalar();
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+}  // namespace
+}  // namespace darec::align

@@ -1,0 +1,184 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace darec::cluster {
+namespace {
+
+using tensor::Matrix;
+
+/// Three well-separated Gaussian blobs in 2-D.
+Matrix MakeBlobs(core::Rng& rng, int64_t per_blob = 40) {
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix points(3 * per_blob, 2);
+  for (int64_t b = 0; b < 3; ++b) {
+    for (int64_t i = 0; i < per_blob; ++i) {
+      const int64_t r = b * per_blob + i;
+      points(r, 0) = centers[b][0] + static_cast<float>(rng.Normal(0.0, 0.5));
+      points(r, 1) = centers[b][1] + static_cast<float>(rng.Normal(0.0, 0.5));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  core::Rng rng(1);
+  Matrix points = MakeBlobs(rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult result = RunKMeans(points, options, rng);
+
+  EXPECT_EQ(result.centers.rows(), 3);
+  EXPECT_EQ(result.assignments.size(), 120u);
+  // Each blob maps to a single cluster.
+  for (int64_t b = 0; b < 3; ++b) {
+    std::set<int64_t> labels;
+    for (int64_t i = 0; i < 40; ++i) labels.insert(result.assignments[b * 40 + i]);
+    EXPECT_EQ(labels.size(), 1u) << "blob " << b << " split across clusters";
+  }
+  // All three clusters used.
+  std::set<int64_t> all(result.assignments.begin(), result.assignments.end());
+  EXPECT_EQ(all.size(), 3u);
+  // Inertia ≈ 120 * E[||noise||²] = 120 * 2 * 0.25 = 60.
+  EXPECT_LT(result.inertia, 120.0);
+}
+
+TEST(KMeansTest, CentersNearTrueMeans) {
+  core::Rng rng(2);
+  Matrix points = MakeBlobs(rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult result = RunKMeans(points, options, rng);
+  // Every true center has a learned center within 1.0.
+  const float truths[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (const auto& truth : truths) {
+    double best = 1e30;
+    for (int64_t c = 0; c < 3; ++c) {
+      const double dx = result.centers(c, 0) - truth[0];
+      const double dy = result.centers(c, 1) - truth[1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeansTest, SingleClusterIsMean) {
+  core::Rng rng(3);
+  Matrix points = Matrix::FromVector(4, 1, {1, 2, 3, 4});
+  KMeansOptions options;
+  options.num_clusters = 1;
+  KMeansResult result = RunKMeans(points, options, rng);
+  EXPECT_NEAR(result.centers(0, 0), 2.5f, 1e-5f);
+  for (int64_t a : result.assignments) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, KEqualsNPointsZeroInertia) {
+  core::Rng rng(4);
+  Matrix points = Matrix::FromVector(3, 2, {0, 0, 5, 5, -5, 5});
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult result = RunKMeans(points, options, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-8);
+  std::set<int64_t> labels(result.assignments.begin(), result.assignments.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeansTest, EmptyClusterReseeded) {
+  // Duplicated points make empty clusters likely; all K centers must still
+  // be assigned after convergence.
+  core::Rng rng(5);
+  Matrix points(20, 2);
+  for (int64_t i = 0; i < 10; ++i) {
+    points(i, 0) = 0.0f;
+    points(10 + i, 0) = 10.0f;
+  }
+  KMeansOptions options;
+  options.num_clusters = 4;
+  options.kmeanspp_init = false;
+  KMeansResult result = RunKMeans(points, options, rng);
+  EXPECT_EQ(result.centers.rows(), 4);
+  EXPECT_EQ(result.assignments.size(), 20u);
+}
+
+TEST(KMeansTest, RandomInitAlsoWorks) {
+  core::Rng rng(6);
+  Matrix points = MakeBlobs(rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.kmeanspp_init = false;
+  KMeansResult result = RunKMeans(points, options, rng);
+  EXPECT_LT(result.inertia, 500.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  core::Rng rng(7);
+  Matrix points = tensor::RandomNormal(200, 4, 1.0f, rng);
+  double prev = 1e30;
+  for (int64_t k : {1, 2, 4, 8}) {
+    KMeansOptions options;
+    options.num_clusters = k;
+    core::Rng local(42);
+    KMeansResult result = RunKMeans(points, options, local);
+    EXPECT_LE(result.inertia, prev + 1e-6);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeansFromTest, WarmStartConverges) {
+  core::Rng rng(20);
+  Matrix points = MakeBlobs(rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult cold = RunKMeans(points, options, rng);
+  // Warm-starting from the converged centers reproduces them immediately.
+  KMeansResult warm = RunKMeansFrom(points, cold.centers, options);
+  EXPECT_TRUE(tensor::AllClose(warm.centers, cold.centers, 1e-4f));
+  EXPECT_NEAR(warm.inertia, cold.inertia, 1e-3);
+}
+
+TEST(KMeansFromTest, KeepsCenterIdentityUnderDrift) {
+  // Shift all points slightly; warm-started centers must track their blob
+  // rather than permuting labels.
+  core::Rng rng(21);
+  Matrix points = MakeBlobs(rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult initial = RunKMeans(points, options, rng);
+  Matrix shifted = points;
+  for (int64_t r = 0; r < shifted.rows(); ++r) shifted(r, 0) += 0.3f;
+  KMeansResult tracked = RunKMeansFrom(shifted, initial.centers, options);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(tracked.centers(c, 0), initial.centers(c, 0) + 0.3f, 0.2f);
+    EXPECT_NEAR(tracked.centers(c, 1), initial.centers(c, 1), 0.2f);
+  }
+}
+
+TEST(AssignmentAveragingMatrixTest, ReproducesCenters) {
+  core::Rng rng(8);
+  Matrix points = MakeBlobs(rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult result = RunKMeans(points, options, rng);
+  Matrix averaging = AssignmentAveragingMatrix(result.assignments, 3);
+  Matrix reproduced = tensor::MatMul(averaging, points);
+  EXPECT_TRUE(tensor::AllClose(reproduced, result.centers, 1e-4f));
+}
+
+TEST(AssignmentAveragingMatrixTest, RowsSumToOne) {
+  Matrix m = AssignmentAveragingMatrix({0, 0, 1, 2, 2, 2}, 3);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 6);
+  for (int64_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 6; ++c) sum += m(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace darec::cluster

@@ -1,0 +1,74 @@
+#include "cluster/silhouette.h"
+
+#include "cluster/kmeans.h"
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace darec::cluster {
+namespace {
+
+using tensor::Matrix;
+
+TEST(SilhouetteTest, PerfectSeparationNearOne) {
+  Matrix points(6, 1);
+  for (int64_t i = 0; i < 3; ++i) points(i, 0) = 0.0f + 0.01f * i;
+  for (int64_t i = 3; i < 6; ++i) points(i, 0) = 100.0f + 0.01f * i;
+  const double score = MeanSilhouette(points, {0, 0, 0, 1, 1, 1});
+  EXPECT_GT(score, 0.95);
+}
+
+TEST(SilhouetteTest, WrongLabelsScoreNegative) {
+  Matrix points(4, 1);
+  points(0, 0) = 0.0f;
+  points(1, 0) = 0.1f;
+  points(2, 0) = 10.0f;
+  points(3, 0) = 10.1f;
+  // Each point labeled with the *other* blob.
+  const double wrong = MeanSilhouette(points, {0, 1, 1, 0});
+  const double right = MeanSilhouette(points, {0, 0, 1, 1});
+  EXPECT_LT(wrong, 0.0);
+  EXPECT_GT(right, 0.9);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  core::Rng rng(1);
+  Matrix points = tensor::RandomNormal(10, 3, 1.0f, rng);
+  EXPECT_DOUBLE_EQ(MeanSilhouette(points, std::vector<int64_t>(10, 0)), 0.0);
+}
+
+TEST(SilhouetteTest, SingletonClustersContributeZero) {
+  Matrix points(3, 1);
+  points(0, 0) = 0.0f;
+  points(1, 0) = 0.1f;
+  points(2, 0) = 50.0f;
+  const double score = MeanSilhouette(points, {0, 0, 1});
+  // Two near points score ~1 each, singleton contributes 0 -> mean ~2/3.
+  EXPECT_NEAR(score, 2.0 / 3.0, 0.05);
+}
+
+TEST(SilhouetteTest, KMeansLabelsBeatRandomLabels) {
+  core::Rng rng(2);
+  // Three separated blobs.
+  Matrix points(60, 2);
+  const float centers[3][2] = {{0, 0}, {8, 0}, {0, 8}};
+  for (int64_t i = 0; i < 60; ++i) {
+    const auto& c = centers[i / 20];
+    points(i, 0) = c[0] + static_cast<float>(rng.Normal(0, 0.5));
+    points(i, 1) = c[1] + static_cast<float>(rng.Normal(0, 0.5));
+  }
+  KMeansOptions options;
+  options.num_clusters = 3;
+  KMeansResult result = RunKMeans(points, options, rng);
+  std::vector<int64_t> random_labels(60);
+  for (auto& l : random_labels) l = rng.UniformInt(3);
+  EXPECT_GT(MeanSilhouette(points, result.assignments),
+            MeanSilhouette(points, random_labels) + 0.3);
+}
+
+TEST(SilhouetteTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(MeanSilhouette(Matrix(0, 2), {}), 0.0);
+}
+
+}  // namespace
+}  // namespace darec::cluster

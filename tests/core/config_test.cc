@@ -1,0 +1,76 @@
+#include "core/config.h"
+
+#include "gtest/gtest.h"
+
+namespace darec::core {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValueArgs) {
+  auto config = Config::FromArgs({"lr=0.001", "--epochs=30", "dataset=yelp"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->GetDouble("lr", 0.0), 0.001);
+  EXPECT_EQ(config->GetInt("epochs", 0), 30);
+  EXPECT_EQ(config->GetString("dataset", ""), "yelp");
+}
+
+TEST(ConfigTest, RejectsMalformedArg) {
+  EXPECT_FALSE(Config::FromArgs({"no_equals_sign"}).ok());
+  EXPECT_FALSE(Config::FromArgs({"=value"}).ok());
+}
+
+TEST(ConfigTest, DefaultsWhenMissing) {
+  Config config;
+  EXPECT_EQ(config.GetInt("k", 4), 4);
+  EXPECT_DOUBLE_EQ(config.GetDouble("lambda", 0.1), 0.1);
+  EXPECT_EQ(config.GetString("name", "darec"), "darec");
+  EXPECT_TRUE(config.GetBool("flag", true));
+}
+
+TEST(ConfigTest, SettersRoundTrip) {
+  Config config;
+  config.SetInt("n", 4096);
+  config.SetDouble("lambda", 0.5);
+  config.SetBool("verbose", true);
+  config.Set("model", "lightgcn");
+  EXPECT_EQ(config.GetInt("n", 0), 4096);
+  EXPECT_DOUBLE_EQ(config.GetDouble("lambda", 0.0), 0.5);
+  EXPECT_TRUE(config.GetBool("verbose", false));
+  EXPECT_EQ(config.GetString("model", ""), "lightgcn");
+  EXPECT_TRUE(config.Contains("model"));
+  EXPECT_FALSE(config.Contains("absent"));
+}
+
+TEST(ConfigTest, BoolParsingVariants) {
+  Config config;
+  config.Set("a", "true");
+  config.Set("b", "1");
+  config.Set("c", "no");
+  EXPECT_TRUE(config.GetBool("a", false));
+  EXPECT_TRUE(config.GetBool("b", false));
+  EXPECT_FALSE(config.GetBool("c", true));
+}
+
+TEST(ConfigTest, RequiredGetters) {
+  Config config;
+  config.Set("k", "8");
+  config.Set("bad", "not_a_number");
+  ASSERT_TRUE(config.GetRequiredInt("k").ok());
+  EXPECT_EQ(config.GetRequiredInt("k").value(), 8);
+  EXPECT_EQ(config.GetRequiredInt("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(config.GetRequiredInt("bad").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(config.GetRequiredDouble("bad").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(config.GetRequiredString("missing").ok());
+}
+
+TEST(ConfigTest, ToStringSortedByKey) {
+  Config config;
+  config.Set("b", "2");
+  config.Set("a", "1");
+  EXPECT_EQ(config.ToString(), "a=1 b=2");
+  EXPECT_EQ(config.Keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace darec::core

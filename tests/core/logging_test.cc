@@ -1,0 +1,83 @@
+#include "core/logging.h"
+
+#include "core/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace darec::core {
+namespace {
+
+/// Captures stderr for the duration of a scope.
+class CaptureStderr {
+ public:
+  CaptureStderr() { ::testing::internal::CaptureStderr(); }
+  std::string Stop() { return ::testing::internal::GetCapturedStderr(); }
+};
+
+TEST(LoggingTest, EmitsAtOrAboveMinLevel) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kInfo);
+  CaptureStderr capture;
+  DARE_LOG(Info) << "visible message";
+  DARE_LOG(Debug) << "hidden message";
+  const std::string output = capture.Stop();
+  EXPECT_NE(output.find("visible message"), std::string::npos);
+  EXPECT_EQ(output.find("hidden message"), std::string::npos);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, IncludesLevelTagAndBasename) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kDebug);
+  CaptureStderr capture;
+  DARE_LOG(Warning) << "careful";
+  const std::string output = capture.Stop();
+  EXPECT_NE(output.find("[W "), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  // Full path directories are stripped.
+  EXPECT_EQ(output.find("/tests/"), std::string::npos);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, StreamsComposedValues) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kInfo);
+  CaptureStderr capture;
+  DARE_LOG(Error) << "x=" << 42 << " y=" << 1.5 << " z=" << true;
+  const std::string output = capture.Stop();
+  EXPECT_NE(output.find("x=42 y=1.5 z=1"), std::string::npos);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, SetMinLevelRoundTrips) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch stopwatch;
+  // Busy-wait a tiny amount; elapsed must be non-negative and monotone.
+  const double first = stopwatch.ElapsedSeconds();
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 1e-9;
+  EXPECT_GE(sink, 0.0);
+  const double second = stopwatch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(stopwatch.ElapsedMillis(), stopwatch.ElapsedSeconds() * 1e3,
+              stopwatch.ElapsedMillis() * 0.5 + 1.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch stopwatch;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 1e-9;
+  EXPECT_GE(sink, 0.0);
+  const double before = stopwatch.ElapsedSeconds();
+  stopwatch.Reset();
+  EXPECT_LE(stopwatch.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace darec::core

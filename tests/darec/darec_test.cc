@@ -1,0 +1,176 @@
+#include "darec/darec.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace darec::model {
+namespace {
+
+using tensor::Matrix;
+using tensor::Variable;
+
+constexpr int64_t kNodes = 64;
+constexpr int64_t kCfDim = 8;
+constexpr int64_t kLlmDim = 12;
+
+DaRecOptions SmallOptions() {
+  DaRecOptions options;
+  options.sample_size = 32;
+  options.uniformity_sample = 16;
+  options.num_clusters = 3;
+  options.projection_dim = 8;
+  options.hidden_dim = 16;
+  options.kmeans_iterations = 5;
+  return options;
+}
+
+Matrix MakeLlm(core::Rng& rng) {
+  return tensor::RandomNormal(kNodes, kLlmDim, 1.0f, rng);
+}
+
+TEST(DaRecAlignerTest, LossIsFinitePositiveWeighted) {
+  core::Rng rng(1);
+  DaRecAligner aligner(MakeLlm(rng), kCfDim, SmallOptions());
+  Variable nodes = Variable::Parameter(tensor::RandomNormal(kNodes, kCfDim, 1.0f, rng));
+  Variable loss = aligner.Loss(nodes, rng);
+  ASSERT_FALSE(loss.IsNull());
+  EXPECT_TRUE(std::isfinite(loss.scalar()));
+}
+
+TEST(DaRecAlignerTest, GradientsReachNodesAndProjectors) {
+  core::Rng rng(2);
+  DaRecAligner aligner(MakeLlm(rng), kCfDim, SmallOptions());
+  Variable nodes = Variable::Parameter(tensor::RandomNormal(kNodes, kCfDim, 1.0f, rng));
+  Variable loss = aligner.Loss(nodes, rng);
+  Backward(loss);
+  EXPECT_FALSE(nodes.grad().empty());
+  // 4 single-layer projectors x (weight + bias) = 8 parameters.
+  std::vector<Variable> params = aligner.Params();
+  EXPECT_EQ(params.size(), 8u);
+  int with_grad = 0;
+  for (const Variable& p : params) with_grad += !p.grad().empty();
+  EXPECT_EQ(with_grad, 8);
+}
+
+TEST(DaRecAlignerTest, TwoLayerProjectorsHave16Params) {
+  core::Rng rng(21);
+  DaRecOptions options = SmallOptions();
+  options.projector_layers = 2;
+  options.llm_projector_layers = 2;
+  DaRecAligner aligner(MakeLlm(rng), kCfDim, options);
+  EXPECT_EQ(aligner.Params().size(), 16u);
+}
+
+TEST(DaRecAlignerTest, LambdaScalesLoss) {
+  core::Rng rng1(3), rng2(3);
+  DaRecOptions small = SmallOptions();
+  DaRecOptions big = SmallOptions();
+  big.lambda = small.lambda * 10.0f;
+  core::Rng data_rng(4);
+  Matrix llm = MakeLlm(data_rng);
+  Matrix cf = tensor::RandomNormal(kNodes, kCfDim, 1.0f, data_rng);
+  DaRecAligner a_small(llm, kCfDim, small);
+  DaRecAligner a_big(llm, kCfDim, big);
+  Variable nodes1 = Variable::Parameter(cf);
+  Variable nodes2 = Variable::Parameter(cf);
+  const float l_small = a_small.Loss(nodes1, rng1).scalar();
+  const float l_big = a_big.Loss(nodes2, rng2).scalar();
+  EXPECT_NEAR(l_big, 10.0f * l_small, std::fabs(l_small) * 0.05f + 1e-4f);
+}
+
+/// Ablation toggles: disabling every term yields a null loss; disabling a
+/// single term changes the value.
+TEST(DaRecAlignerTest, AblationTogglesChangeLoss) {
+  core::Rng data_rng(5);
+  Matrix llm = MakeLlm(data_rng);
+  Matrix cf = tensor::RandomNormal(kNodes, kCfDim, 1.0f, data_rng);
+
+  auto loss_with = [&](bool orth, bool uni, bool glo, bool loc) {
+    DaRecOptions options = SmallOptions();
+    options.enable_orthogonality = orth;
+    options.enable_uniformity = uni;
+    options.enable_global = glo;
+    options.enable_local = loc;
+    DaRecAligner aligner(llm, kCfDim, options);
+    Variable nodes = Variable::Parameter(cf);
+    core::Rng rng(6);
+    Variable loss = aligner.Loss(nodes, rng);
+    return loss.IsNull() ? std::optional<float>() : loss.scalar();
+  };
+
+  EXPECT_FALSE(loss_with(false, false, false, false).has_value());
+  auto full = loss_with(true, true, true, true);
+  ASSERT_TRUE(full.has_value());
+  for (int drop = 0; drop < 4; ++drop) {
+    auto reduced = loss_with(drop != 0, drop != 1, drop != 2, drop != 3);
+    ASSERT_TRUE(reduced.has_value());
+    EXPECT_NE(*reduced, *full) << "dropping term " << drop << " had no effect";
+  }
+}
+
+TEST(DaRecAlignerTest, ProjectShapes) {
+  core::Rng rng(7);
+  DaRecAligner aligner(MakeLlm(rng), kCfDim, SmallOptions());
+  Matrix cf = tensor::RandomNormal(kNodes, kCfDim, 1.0f, rng);
+  DisentangledViews views = aligner.Project(cf);
+  EXPECT_EQ(views.cf_shared.rows(), kNodes);
+  EXPECT_EQ(views.cf_shared.cols(), SmallOptions().projection_dim);
+  EXPECT_EQ(views.llm_specific.rows(), kNodes);
+
+  DisentangledViews sampled = aligner.Project(cf, {0, 5, 9});
+  EXPECT_EQ(sampled.cf_shared.rows(), 3);
+  EXPECT_EQ(sampled.llm_shared.rows(), 3);
+}
+
+TEST(DaRecAlignerTest, AugmentNodesIsIdentity) {
+  core::Rng rng(8);
+  DaRecAligner aligner(MakeLlm(rng), kCfDim, SmallOptions());
+  Variable nodes = Variable::Constant(tensor::RandomNormal(kNodes, kCfDim, 1.0f, rng));
+  Variable augmented = aligner.AugmentNodes(nodes);
+  EXPECT_TRUE(tensor::AllClose(augmented.value(), nodes.value()));
+}
+
+TEST(DaRecAlignerTest, TrainingReducesAlignmentLoss) {
+  // Optimizing only the DaRec loss over the projectors and a free CF table
+  // must drive it down — the disentangle-and-align objective is learnable.
+  core::Rng rng(9);
+  Matrix llm = MakeLlm(rng);
+  DaRecOptions options = SmallOptions();
+  DaRecAligner aligner(llm, kCfDim, options);
+  Variable nodes = Variable::Parameter(tensor::RandomNormal(kNodes, kCfDim, 1.0f, rng));
+
+  std::vector<Variable> params = aligner.Params();
+  params.push_back(nodes);
+  tensor::Adam adam(params, 0.01f);
+
+  core::Rng step_rng(10);
+  double first = 0.0, last = 0.0;
+  const int steps = 60;
+  for (int step = 0; step < steps; ++step) {
+    adam.ZeroGrad();
+    Variable loss = aligner.Loss(nodes, step_rng);
+    if (step == 0) first = loss.scalar();
+    if (step == steps - 1) last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(DaRecAlignerTest, SampleSizeClampedToNodes) {
+  core::Rng rng(11);
+  DaRecOptions options = SmallOptions();
+  options.sample_size = 10000;  // Far more than kNodes.
+  DaRecAligner aligner(MakeLlm(rng), kCfDim, options);
+  Variable nodes = Variable::Parameter(tensor::RandomNormal(kNodes, kCfDim, 1.0f, rng));
+  Variable loss = aligner.Loss(nodes, rng);
+  EXPECT_TRUE(std::isfinite(loss.scalar()));
+}
+
+}  // namespace
+}  // namespace darec::model

@@ -1,0 +1,264 @@
+#include "darec/losses.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "test_util.h"
+
+namespace darec::model {
+namespace {
+
+using tensor::Matrix;
+using tensor::Variable;
+
+TEST(OrthogonalityLossTest, ZeroForOrthogonalRows) {
+  Variable a = Variable::Parameter(Matrix::FromVector(2, 2, {1, 0, 0, 1}));
+  Variable b = Variable::Parameter(Matrix::FromVector(2, 2, {0, 1, 1, 0}));
+  EXPECT_NEAR(OrthogonalityLoss(a, b).scalar(), 0.0f, 1e-6f);
+}
+
+TEST(OrthogonalityLossTest, OneForParallelRows) {
+  Variable a = Variable::Parameter(Matrix::FromVector(2, 2, {1, 1, 2, 0}));
+  Variable b = Variable::Parameter(Matrix::FromVector(2, 2, {2, 2, 5, 0}));
+  EXPECT_NEAR(OrthogonalityLoss(a, b).scalar(), 1.0f, 1e-5f);
+  // Anti-parallel also penalized (cosine squared).
+  Variable c = Variable::Parameter(Matrix::FromVector(2, 2, {-1, -1, -2, 0}));
+  EXPECT_NEAR(OrthogonalityLoss(a, c).scalar(), 1.0f, 1e-5f);
+}
+
+TEST(OrthogonalityLossTest, GradientCheck) {
+  core::Rng rng(1);
+  std::vector<Variable> params{
+      Variable::Parameter(tensor::RandomNormal(4, 3, 1.0f, rng)),
+      Variable::Parameter(tensor::RandomNormal(4, 3, 1.0f, rng))};
+  darec::testing::ExpectGradientsMatch(
+      [](const std::vector<Variable>& p) { return OrthogonalityLoss(p[0], p[1]); },
+      params);
+}
+
+TEST(OrthogonalityLossTest, MinimizationDecorrelates) {
+  core::Rng rng(2);
+  Variable a = Variable::Parameter(tensor::RandomNormal(8, 4, 1.0f, rng));
+  Variable b = Variable::Parameter(tensor::RandomNormal(8, 4, 1.0f, rng));
+  tensor::Adam adam({a, b}, 0.05f);
+  const float initial = OrthogonalityLoss(a, b).scalar();
+  for (int step = 0; step < 200; ++step) {
+    adam.ZeroGrad();
+    Backward(OrthogonalityLoss(a, b));
+    adam.Step();
+  }
+  EXPECT_LT(OrthogonalityLoss(a, b).scalar(), initial * 0.05f);
+}
+
+TEST(UniformityLossTest, CollapsedPointsScoreHigh) {
+  // Identical rows -> pairwise distance 0 -> log E exp(0) = 0, the maximum.
+  Variable collapsed = Variable::Parameter(Matrix::Full(6, 4, 1.0f));
+  EXPECT_NEAR(UniformityLoss(collapsed).scalar(), 0.0f, 1e-5f);
+
+  // Antipodal points on the sphere: distance² = 4 -> well below 0.
+  Matrix spread(2, 2);
+  spread(0, 0) = 1.0f;
+  spread(1, 0) = -1.0f;
+  Variable v = Variable::Parameter(spread);
+  EXPECT_LT(UniformityLoss(v).scalar(), -7.0f);
+}
+
+TEST(UniformityLossTest, GradientCheck) {
+  core::Rng rng(3);
+  std::vector<Variable> params{
+      Variable::Parameter(tensor::RandomNormal(5, 3, 1.0f, rng))};
+  darec::testing::ExpectGradientsMatch(
+      [](const std::vector<Variable>& p) { return UniformityLoss(p[0]); }, params);
+}
+
+TEST(UniformityLossTest, MinimizationSpreadsPoints) {
+  core::Rng rng(4);
+  // Start clustered tightly; optimizing uniformity should spread them.
+  Variable x = Variable::Parameter(tensor::RandomNormal(10, 3, 0.01f, rng));
+  tensor::Adam adam({x}, 0.05f);
+  const float initial = UniformityLoss(x).scalar();
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    Backward(UniformityLoss(x));
+    adam.Step();
+  }
+  EXPECT_LT(UniformityLoss(x).scalar(), initial - 1.0f);
+}
+
+TEST(GlobalStructureLossTest, ZeroWhenStructuresMatch) {
+  core::Rng rng(5);
+  Matrix base = tensor::RandomNormal(6, 4, 1.0f, rng);
+  Variable a = Variable::Parameter(base);
+  // Scaling rows does not change the normalized similarity structure.
+  Matrix scaled = base;
+  scaled.ScaleInPlace(3.0f);
+  Variable b = Variable::Parameter(scaled);
+  EXPECT_NEAR(GlobalStructureLoss(a, b).scalar(), 0.0f, 1e-6f);
+}
+
+TEST(GlobalStructureLossTest, PositiveWhenStructuresDiffer) {
+  core::Rng rng(6);
+  Variable a = Variable::Parameter(tensor::RandomNormal(6, 4, 1.0f, rng));
+  Variable b = Variable::Parameter(tensor::RandomNormal(6, 4, 1.0f, rng));
+  EXPECT_GT(GlobalStructureLoss(a, b).scalar(), 0.01f);
+}
+
+TEST(GlobalStructureLossTest, GradientCheck) {
+  core::Rng rng(7);
+  std::vector<Variable> params{
+      Variable::Parameter(tensor::RandomNormal(4, 3, 1.0f, rng)),
+      Variable::Parameter(tensor::RandomNormal(4, 3, 1.0f, rng))};
+  darec::testing::ExpectGradientsMatch(
+      [](const std::vector<Variable>& p) {
+        return GlobalStructureLoss(p[0], p[1]);
+      },
+      params);
+}
+
+TEST(GlobalStructureLossTest, MinimizationAlignsStructures) {
+  core::Rng rng(8);
+  Matrix target = tensor::RandomNormal(8, 4, 1.0f, rng);
+  Variable fixed = Variable::Constant(target);
+  Variable moving = Variable::Parameter(tensor::RandomNormal(8, 4, 1.0f, rng));
+  tensor::Adam adam({moving}, 0.02f);
+  const float initial = GlobalStructureLoss(moving, fixed).scalar();
+  for (int step = 0; step < 400; ++step) {
+    adam.ZeroGrad();
+    Backward(GlobalStructureLoss(moving, fixed));
+    adam.Step();
+  }
+  EXPECT_LT(GlobalStructureLoss(moving, fixed).scalar(), initial * 0.1f);
+}
+
+TEST(GlobalStructureLossSoftmaxTest, LowerWhenStructuresMatch) {
+  core::Rng rng(20);
+  Matrix base = tensor::RandomNormal(10, 4, 1.0f, rng);
+  Variable a = Variable::Parameter(base);
+  Variable b = Variable::Parameter(base);
+  Variable c = Variable::Parameter(tensor::RandomNormal(10, 4, 1.0f, rng));
+  const float same = GlobalStructureLossSoftmax(a, b, 0.5f).scalar();
+  const float different = GlobalStructureLossSoftmax(a, c, 0.5f).scalar();
+  EXPECT_LT(same, different);
+}
+
+TEST(GlobalStructureLossSoftmaxTest, TeacherSideIsDetached) {
+  core::Rng rng(21);
+  Variable student = Variable::Parameter(tensor::RandomNormal(6, 3, 1.0f, rng));
+  Variable teacher = Variable::Parameter(tensor::RandomNormal(6, 3, 1.0f, rng));
+  Backward(GlobalStructureLossSoftmax(student, teacher, 0.5f));
+  EXPECT_FALSE(student.grad().empty());
+  EXPECT_TRUE(teacher.grad().empty());
+}
+
+TEST(GlobalStructureLossSoftmaxTest, GradientCheck) {
+  core::Rng rng(22);
+  std::vector<Variable> params{
+      Variable::Parameter(tensor::RandomNormal(5, 3, 1.0f, rng))};
+  Variable teacher = Variable::Constant(tensor::RandomNormal(5, 3, 1.0f, rng));
+  darec::testing::ExpectGradientsMatch(
+      [&teacher](const std::vector<Variable>& p) {
+        return GlobalStructureLossSoftmax(p[0], teacher, 0.5f);
+      },
+      params);
+}
+
+TEST(GlobalStructureLossSoftmaxTest, MinimizationAlignsNeighborStructure) {
+  core::Rng rng(23);
+  Variable teacher = Variable::Constant(tensor::RandomNormal(12, 4, 1.0f, rng));
+  Variable student = Variable::Parameter(tensor::RandomNormal(12, 4, 1.0f, rng));
+  tensor::Adam adam({student}, 0.05f);
+  const float initial = GlobalStructureLossSoftmax(student, teacher, 0.5f).scalar();
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    Backward(GlobalStructureLossSoftmax(student, teacher, 0.5f));
+    adam.Step();
+  }
+  EXPECT_LT(GlobalStructureLossSoftmax(student, teacher, 0.5f).scalar(),
+            initial * 0.8f);
+}
+
+/// Two tight blobs near the given 3-D centers.
+Matrix BlobsAt(core::Rng& rng, const float c0[3], const float c1[3]) {
+  Matrix points(20, 3);
+  for (int64_t i = 0; i < 20; ++i) {
+    const float* center = i < 10 ? c0 : c1;
+    for (int64_t d = 0; d < 3; ++d) {
+      points(i, d) = center[d] + static_cast<float>(rng.Normal(0.0, 0.05));
+    }
+  }
+  return points;
+}
+
+TEST(LocalStructureLossTest, MatchedClustersScoreLow) {
+  core::Rng rng(9);
+  // Cloud with mutually-orthogonal cluster directions: for identical
+  // inputs the matched (diagonal) centers agree exactly and the unmatched
+  // pairs are already orthogonal, so the loss is near zero.
+  const float ex[3] = {5, 0, 0};
+  const float ey[3] = {0, 5, 0};
+  Matrix ortho = BlobsAt(rng, ex, ey);
+  Variable a = Variable::Parameter(ortho);
+  Variable b = Variable::Parameter(ortho);
+  core::Rng loss_rng1(1), loss_rng2(1);
+  const float same =
+      LocalStructureLoss(a, b, 2, MatchingStrategy::kGreedy, 20, loss_rng1).scalar();
+  EXPECT_LT(same, 0.05f);
+
+  // A cloud whose two clusters both point along +x: one matched pair is
+  // badly aligned, so the loss must be clearly larger.
+  const float ex2[3] = {4.9f, 1, 0};
+  Variable c = Variable::Parameter(BlobsAt(rng, ex, ex2));
+  const float different =
+      LocalStructureLoss(a, c, 2, MatchingStrategy::kGreedy, 20, loss_rng2).scalar();
+  EXPECT_GT(different, same + 0.1f);
+}
+
+TEST(LocalStructureLossTest, GradientsFlowToBothInputs) {
+  core::Rng rng(10);
+  Variable a = Variable::Parameter(tensor::RandomNormal(12, 3, 1.0f, rng));
+  Variable b = Variable::Parameter(tensor::RandomNormal(12, 3, 1.0f, rng));
+  core::Rng loss_rng(2);
+  Variable loss =
+      LocalStructureLoss(a, b, 3, MatchingStrategy::kGreedy, 10, loss_rng);
+  Backward(loss);
+  EXPECT_FALSE(a.grad().empty());
+  EXPECT_FALSE(b.grad().empty());
+}
+
+TEST(LocalStructureLossTest, HungarianStrategyWorks) {
+  core::Rng rng(11);
+  Variable a = Variable::Parameter(tensor::RandomNormal(12, 3, 1.0f, rng));
+  Variable b = Variable::Parameter(tensor::RandomNormal(12, 3, 1.0f, rng));
+  core::Rng loss_rng(3);
+  Variable loss =
+      LocalStructureLoss(a, b, 3, MatchingStrategy::kHungarian, 10, loss_rng);
+  EXPECT_TRUE(std::isfinite(loss.scalar()));
+}
+
+TEST(LocalStructureLossTest, ClampsKToRows) {
+  core::Rng rng(12);
+  Variable a = Variable::Parameter(tensor::RandomNormal(3, 2, 1.0f, rng));
+  Variable b = Variable::Parameter(tensor::RandomNormal(3, 2, 1.0f, rng));
+  core::Rng loss_rng(4);
+  // K = 100 > 3 rows must not crash.
+  Variable loss =
+      LocalStructureLoss(a, b, 100, MatchingStrategy::kGreedy, 5, loss_rng);
+  EXPECT_TRUE(std::isfinite(loss.scalar()));
+}
+
+TEST(LocalStructureLossTest, SingleClusterOnlyDiagonalTerm) {
+  core::Rng rng(13);
+  Variable a = Variable::Parameter(tensor::RandomNormal(6, 2, 1.0f, rng));
+  core::Rng loss_rng(5);
+  Variable loss = LocalStructureLoss(a, a, 1, MatchingStrategy::kGreedy, 5,
+                                     loss_rng);
+  // Centers are identical -> cosine 1 -> (1-1)² = 0.
+  EXPECT_NEAR(loss.scalar(), 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace darec::model

@@ -1,0 +1,104 @@
+#include "darec/matching.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace darec::model {
+namespace {
+
+using tensor::Matrix;
+
+void ExpectBijective(const CenterMatching& m, int64_t k) {
+  ASSERT_EQ(m.left.size(), static_cast<size_t>(k));
+  ASSERT_EQ(m.right.size(), static_cast<size_t>(k));
+  std::set<int64_t> lefts(m.left.begin(), m.left.end());
+  std::set<int64_t> rights(m.right.begin(), m.right.end());
+  EXPECT_EQ(lefts.size(), static_cast<size_t>(k));
+  EXPECT_EQ(rights.size(), static_cast<size_t>(k));
+}
+
+TEST(GreedyMatchTest, IdentityWhenDiagonalDominates) {
+  Matrix dist = Matrix::Full(3, 3, 10.0f);
+  for (int64_t i = 0; i < 3; ++i) dist(i, i) = static_cast<float>(i) * 0.1f;
+  CenterMatching m = GreedyMatchCenters(dist);
+  ExpectBijective(m, 3);
+  for (size_t k = 0; k < 3; ++k) EXPECT_EQ(m.left[k], m.right[k]);
+}
+
+TEST(GreedyMatchTest, PicksClosestPairsFirst) {
+  // dist: pair (0,1) is globally closest, then (1,0).
+  Matrix dist = Matrix::FromVector(2, 2, {5.0f, 1.0f, 2.0f, 6.0f});
+  CenterMatching m = GreedyMatchCenters(dist);
+  ExpectBijective(m, 2);
+  EXPECT_EQ(m.left[0], 0);
+  EXPECT_EQ(m.right[0], 1);
+  EXPECT_EQ(m.left[1], 1);
+  EXPECT_EQ(m.right[1], 0);
+}
+
+TEST(GreedyMatchTest, PermutedCentersRecovered) {
+  // Centers of B are a permutation of A; greedy must recover it exactly.
+  core::Rng rng(3);
+  Matrix a = tensor::RandomNormal(5, 4, 1.0f, rng);
+  std::vector<int64_t> perm{3, 0, 4, 1, 2};
+  Matrix b(5, 4);
+  for (int64_t i = 0; i < 5; ++i) b.CopyRowFrom(a, perm[i], i);
+  Matrix dist = CenterDistances(a, b);
+  CenterMatching m = GreedyMatchCenters(dist);
+  ExpectBijective(m, 5);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(perm[m.right[k]], m.left[k]);
+    EXPECT_NEAR(dist(m.left[k], m.right[k]), 0.0f, 1e-5f);
+  }
+}
+
+TEST(HungarianMatchTest, OptimalOnSmallExample) {
+  // Classic example where greedy is suboptimal:
+  //   greedy picks (0,0)=1 then forced (1,1)=10 -> total 11;
+  //   optimal is (0,1)=2 + (1,0)=3 -> total 5.
+  Matrix dist = Matrix::FromVector(2, 2, {1.0f, 2.0f, 3.0f, 10.0f});
+  CenterMatching greedy = GreedyMatchCenters(dist);
+  CenterMatching optimal = HungarianMatchCenters(dist);
+  ExpectBijective(optimal, 2);
+  EXPECT_DOUBLE_EQ(greedy.TotalCost(dist), 11.0);
+  EXPECT_DOUBLE_EQ(optimal.TotalCost(dist), 5.0);
+}
+
+TEST(HungarianMatchTest, NeverWorseThanGreedy) {
+  core::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t k = 2 + rng.UniformInt(8);
+    Matrix a = tensor::RandomNormal(k, 3, 1.0f, rng);
+    Matrix b = tensor::RandomNormal(k, 3, 1.0f, rng);
+    Matrix dist = CenterDistances(a, b);
+    CenterMatching greedy = GreedyMatchCenters(dist);
+    CenterMatching optimal = HungarianMatchCenters(dist);
+    ExpectBijective(greedy, k);
+    ExpectBijective(optimal, k);
+    EXPECT_LE(optimal.TotalCost(dist), greedy.TotalCost(dist) + 1e-6);
+  }
+}
+
+TEST(CenterDistancesTest, EuclideanValues) {
+  Matrix a = Matrix::FromVector(1, 2, {0, 0});
+  Matrix b = Matrix::FromVector(2, 2, {3, 4, 1, 0});
+  Matrix dist = CenterDistances(a, b);
+  EXPECT_NEAR(dist(0, 0), 5.0f, 1e-6f);
+  EXPECT_NEAR(dist(0, 1), 1.0f, 1e-6f);
+}
+
+TEST(MatchingTest, SingleCenterTrivial) {
+  Matrix dist = Matrix::Full(1, 1, 2.5f);
+  CenterMatching g = GreedyMatchCenters(dist);
+  CenterMatching h = HungarianMatchCenters(dist);
+  EXPECT_EQ(g.left, std::vector<int64_t>{0});
+  EXPECT_EQ(h.right, std::vector<int64_t>{0});
+  EXPECT_DOUBLE_EQ(g.TotalCost(dist), 2.5);
+}
+
+}  // namespace
+}  // namespace darec::model

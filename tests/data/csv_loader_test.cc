@@ -1,0 +1,124 @@
+#include "data/csv_loader.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+namespace darec::data {
+namespace {
+
+std::string WriteTempFile(const std::string& name, const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+  return path;
+}
+
+TEST(CsvLoaderTest, BasicTwoColumn) {
+  const std::string path = WriteTempFile("basic.csv", "0,5\n1,2\n0,3\n");
+  auto loaded = LoadInteractionsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->interactions.size(), 3u);
+  EXPECT_EQ(loaded->num_users, 2);
+  EXPECT_EQ(loaded->num_items, 6);
+  EXPECT_EQ(loaded->filtered_rows, 0);
+  EXPECT_TRUE((loaded->interactions[0] == Interaction{0, 5}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, HeaderSkipped) {
+  const std::string path = WriteTempFile("header.csv", "user,item\n3,4\n");
+  CsvLoadOptions options;
+  options.has_header = true;
+  auto loaded = LoadInteractionsCsv(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->interactions.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, RatingFilterMatchesPaperPreprocessing) {
+  // The paper drops interactions rated below 3.
+  const std::string path =
+      WriteTempFile("rated.csv", "0,1,5.0\n0,2,2.5\n1,1,3.0\n1,3,1.0\n");
+  CsvLoadOptions options;
+  options.rating_column = 2;
+  options.min_rating = 3.0;
+  auto loaded = LoadInteractionsCsv(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->interactions.size(), 2u);
+  EXPECT_EQ(loaded->filtered_rows, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, TabDelimiterAndColumnRemap) {
+  const std::string path = WriteTempFile("tabs.tsv", "9\t7\t0\n8\t6\t1\n");
+  CsvLoadOptions options;
+  options.delimiter = '\t';
+  options.user_column = 2;
+  options.item_column = 1;
+  auto loaded = LoadInteractionsCsv(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_users, 2);
+  EXPECT_EQ(loaded->num_items, 8);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, MissingFileIsNotFound) {
+  auto loaded = LoadInteractionsCsv(::testing::TempDir() + "/missing_xyz.csv");
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(CsvLoaderTest, MalformedRowsReportLineNumbers) {
+  const std::string short_row = WriteTempFile("short.csv", "0,1\n7\n");
+  auto r1 = LoadInteractionsCsv(short_row);
+  EXPECT_EQ(r1.status().code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(r1.status().message().find("line 2"), std::string::npos);
+  std::remove(short_row.c_str());
+
+  const std::string bad_id = WriteTempFile("badid.csv", "0,1\nabc,2\n");
+  auto r2 = LoadInteractionsCsv(bad_id);
+  EXPECT_EQ(r2.status().code(), core::StatusCode::kInvalidArgument);
+  std::remove(bad_id.c_str());
+
+  const std::string negative = WriteTempFile("neg.csv", "-1,2\n");
+  EXPECT_FALSE(LoadInteractionsCsv(negative).ok());
+  std::remove(negative.c_str());
+}
+
+TEST(CsvLoaderTest, EmptyLinesIgnored) {
+  const std::string path = WriteTempFile("blank.csv", "0,1\n\n1,0\n");
+  auto loaded = LoadInteractionsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->interactions.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, LoadCsvDatasetEndToEnd) {
+  std::string contents;
+  for (int u = 0; u < 5; ++u) {
+    for (int i = 0; i < 6; ++i) {
+      contents += std::to_string(u) + "," + std::to_string(i) + "\n";
+    }
+  }
+  const std::string path = WriteTempFile("full.csv", contents);
+  core::Rng rng(1);
+  auto dataset = LoadCsvDataset(path, "csv-test", CsvLoadOptions{}, SplitRatio{}, rng);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_users(), 5);
+  EXPECT_EQ(dataset->num_items(), 6);
+  EXPECT_EQ(dataset->total_interactions(), 30);
+  EXPECT_EQ(dataset->name(), "csv-test");
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, EmptyFileRejectedByDatasetBuilder) {
+  const std::string path = WriteTempFile("empty.csv", "");
+  core::Rng rng(2);
+  auto dataset = LoadCsvDataset(path, "empty", CsvLoadOptions{}, SplitRatio{}, rng);
+  EXPECT_FALSE(dataset.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace darec::data

@@ -1,0 +1,118 @@
+#include "data/dataset.h"
+
+#include <set>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+
+namespace darec::data {
+namespace {
+
+std::vector<Interaction> MakeInteractions() {
+  std::vector<Interaction> out;
+  // 4 users, 10 items, 5 interactions each.
+  for (int64_t u = 0; u < 4; ++u) {
+    for (int64_t i = 0; i < 5; ++i) out.push_back({u, (u + i * 2) % 10});
+  }
+  return out;
+}
+
+TEST(DatasetTest, CreateAndSummary) {
+  core::Rng rng(1);
+  auto ds = Dataset::Create("test", 4, 10, MakeInteractions(), SplitRatio{}, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 4);
+  EXPECT_EQ(ds->num_items(), 10);
+  EXPECT_EQ(ds->num_nodes(), 14);
+  EXPECT_EQ(ds->total_interactions(), 20);
+  EXPECT_NEAR(ds->Density(), 20.0 / 40.0, 1e-12);
+  EXPECT_NE(ds->Summary().find("test"), std::string::npos);
+}
+
+TEST(DatasetTest, SplitRatioRespected) {
+  core::Rng rng(2);
+  std::vector<Interaction> interactions;
+  for (int64_t u = 0; u < 10; ++u) {
+    for (int64_t i = 0; i < 10; ++i) interactions.push_back({u, i});
+  }
+  auto ds = Dataset::Create("t", 10, 20, interactions, SplitRatio{}, rng);
+  ASSERT_TRUE(ds.ok());
+  // Per user: 10 interactions -> 6 train / 2 val / 2 test.
+  for (int64_t u = 0; u < 10; ++u) {
+    EXPECT_EQ(ds->TrainItemsOfUser(u).size(), 6u);
+    EXPECT_EQ(ds->ValidationItemsOfUser(u).size(), 2u);
+    EXPECT_EQ(ds->TestItemsOfUser(u).size(), 2u);
+  }
+}
+
+TEST(DatasetTest, SplitsAreDisjointPerUser) {
+  core::Rng rng(3);
+  std::vector<Interaction> interactions;
+  for (int64_t u = 0; u < 5; ++u) {
+    for (int64_t i = 0; i < 20; ++i) interactions.push_back({u, i});
+  }
+  auto ds = Dataset::Create("t", 5, 20, interactions, SplitRatio{}, rng);
+  ASSERT_TRUE(ds.ok());
+  for (int64_t u = 0; u < 5; ++u) {
+    std::set<int64_t> all;
+    for (int64_t i : ds->TrainItemsOfUser(u)) all.insert(i);
+    for (int64_t i : ds->ValidationItemsOfUser(u)) {
+      EXPECT_TRUE(all.insert(i).second) << "val overlaps train";
+    }
+    for (int64_t i : ds->TestItemsOfUser(u)) {
+      EXPECT_TRUE(all.insert(i).second) << "test overlaps train/val";
+    }
+    EXPECT_EQ(all.size(), 20u);
+  }
+}
+
+TEST(DatasetTest, DeduplicatesInteractions) {
+  core::Rng rng(4);
+  std::vector<Interaction> interactions{{0, 1}, {0, 1}, {0, 2}};
+  auto ds = Dataset::Create("t", 1, 5, interactions, SplitRatio{}, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->total_interactions(), 2);
+}
+
+TEST(DatasetTest, EveryUserKeepsATrainItem) {
+  core::Rng rng(5);
+  // Users with a single interaction must keep it in train.
+  std::vector<Interaction> interactions{{0, 0}, {1, 1}, {2, 2}};
+  auto ds = Dataset::Create("t", 3, 5, interactions, SplitRatio{}, rng);
+  ASSERT_TRUE(ds.ok());
+  for (int64_t u = 0; u < 3; ++u) {
+    EXPECT_EQ(ds->TrainItemsOfUser(u).size(), 1u);
+    EXPECT_TRUE(ds->TestItemsOfUser(u).empty());
+  }
+}
+
+TEST(DatasetTest, IsTrainInteraction) {
+  core::Rng rng(6);
+  std::vector<Interaction> interactions{{0, 3}};
+  auto ds = Dataset::Create("t", 1, 5, interactions, SplitRatio{}, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->IsTrainInteraction(0, 3));
+  EXPECT_FALSE(ds->IsTrainInteraction(0, 2));
+}
+
+TEST(DatasetTest, RejectsBadArguments) {
+  core::Rng rng(7);
+  EXPECT_FALSE(Dataset::Create("t", 0, 5, {}, SplitRatio{}, rng).ok());
+  EXPECT_FALSE(Dataset::Create("t", 5, 0, {}, SplitRatio{}, rng).ok());
+  EXPECT_FALSE(Dataset::Create("t", 2, 2, {{2, 0}}, SplitRatio{}, rng).ok());
+  EXPECT_FALSE(Dataset::Create("t", 2, 2, {{0, 2}}, SplitRatio{}, rng).ok());
+  EXPECT_FALSE(Dataset::Create("t", 2, 2, {{-1, 0}}, SplitRatio{}, rng).ok());
+  SplitRatio bad{0.5, 0.2, 0.2};
+  EXPECT_FALSE(Dataset::Create("t", 2, 2, {{0, 0}}, bad, rng).ok());
+}
+
+TEST(DatasetTest, UsersWithoutInteractionsAllowed) {
+  core::Rng rng(8);
+  auto ds = Dataset::Create("t", 3, 3, {{0, 0}}, SplitRatio{}, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->TrainItemsOfUser(1).empty());
+  EXPECT_TRUE(ds->TestItemsOfUser(2).empty());
+}
+
+}  // namespace
+}  // namespace darec::data

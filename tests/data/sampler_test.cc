@@ -1,0 +1,103 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+
+namespace darec::data {
+namespace {
+
+Dataset MakeDataset() {
+  core::Rng rng(1);
+  std::vector<Interaction> interactions;
+  for (int64_t u = 0; u < 8; ++u) {
+    for (int64_t i = 0; i < 10; ++i) interactions.push_back({u, (u + i) % 20});
+  }
+  auto ds = Dataset::Create("t", 8, 20, interactions, SplitRatio{}, rng);
+  DARE_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(NegativeSamplerTest, NeverReturnsTrainPositive) {
+  Dataset ds = MakeDataset();
+  NegativeSampler sampler(ds);
+  core::Rng rng(2);
+  for (int64_t u = 0; u < 8; ++u) {
+    const auto& positives = ds.TrainItemsOfUser(u);
+    for (int trial = 0; trial < 200; ++trial) {
+      const int64_t neg = sampler.Sample(u, rng);
+      EXPECT_FALSE(std::binary_search(positives.begin(), positives.end(), neg));
+      EXPECT_GE(neg, 0);
+      EXPECT_LT(neg, 20);
+    }
+  }
+}
+
+TEST(NegativeSamplerTest, CoversNegativeSpace) {
+  Dataset ds = MakeDataset();
+  NegativeSampler sampler(ds);
+  core::Rng rng(3);
+  std::set<int64_t> seen;
+  for (int trial = 0; trial < 500; ++trial) seen.insert(sampler.Sample(0, rng));
+  // User 0 has 6 train items of 20 -> 14 possible negatives.
+  EXPECT_EQ(seen.size(), 20u - ds.TrainItemsOfUser(0).size());
+}
+
+TEST(BatchIteratorTest, CoversEpochExactlyOnce) {
+  Dataset ds = MakeDataset();
+  core::Rng rng(4);
+  BatchIterator it(ds, /*batch_size=*/7, rng);
+  std::vector<TrainTriple> batch;
+  int64_t total = 0;
+  int64_t batches = 0;
+  std::multiset<std::pair<int64_t, int64_t>> seen;
+  while (it.NextBatch(batch, rng)) {
+    total += static_cast<int64_t>(batch.size());
+    ++batches;
+    EXPECT_LE(batch.size(), 7u);
+    for (const TrainTriple& t : batch) seen.insert({t.user, t.pos_item});
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(ds.train().size()));
+  EXPECT_EQ(batches, it.batches_per_epoch());
+  // Every train interaction appears exactly once.
+  for (const Interaction& tr : ds.train()) {
+    EXPECT_EQ(seen.count({tr.user, tr.item}), 1u);
+  }
+}
+
+TEST(BatchIteratorTest, NewEpochReshuffles) {
+  Dataset ds = MakeDataset();
+  core::Rng rng(5);
+  BatchIterator it(ds, 1000, rng);
+  std::vector<TrainTriple> first, second;
+  it.NextBatch(first, rng);
+  it.NewEpoch(rng);
+  it.NextBatch(second, rng);
+  ASSERT_EQ(first.size(), second.size());
+  bool any_diff = false;
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (first[i].user != second[i].user || first[i].pos_item != second[i].pos_item) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BatchIteratorTest, NegativesAreValid) {
+  Dataset ds = MakeDataset();
+  core::Rng rng(6);
+  BatchIterator it(ds, 16, rng);
+  std::vector<TrainTriple> batch;
+  while (it.NextBatch(batch, rng)) {
+    for (const TrainTriple& t : batch) {
+      EXPECT_FALSE(ds.IsTrainInteraction(t.user, t.neg_item));
+      EXPECT_TRUE(ds.IsTrainInteraction(t.user, t.pos_item));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace darec::data

@@ -1,0 +1,159 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "data/presets.h"
+#include "gtest/gtest.h"
+
+namespace darec::data {
+namespace {
+
+LatentWorldOptions SmallOptions() {
+  LatentWorldOptions options;
+  options.num_users = 100;
+  options.num_items = 80;
+  options.target_interactions = 1200;
+  options.seed = 9;
+  return options;
+}
+
+TEST(SyntheticTest, WorldShapes) {
+  LatentWorldOptions options = SmallOptions();
+  LatentWorld world = GenerateLatentWorld(options);
+  EXPECT_EQ(world.user_shared.rows(), 100);
+  EXPECT_EQ(world.user_shared.cols(), options.shared_dim);
+  EXPECT_EQ(world.item_cf.rows(), 80);
+  EXPECT_EQ(world.item_llm.cols(), options.llm_dim);
+  EXPECT_EQ(static_cast<int64_t>(world.item_popularity.size()), 80);
+  EXPECT_EQ(world.StackSharedBlocks().rows(), 180);
+  EXPECT_EQ(world.StackLlmBlocks().rows(), 180);
+}
+
+TEST(SyntheticTest, WorldIsDeterministic) {
+  LatentWorld a = GenerateLatentWorld(SmallOptions());
+  LatentWorld b = GenerateLatentWorld(SmallOptions());
+  EXPECT_TRUE(tensor::AllClose(a.user_shared, b.user_shared));
+  EXPECT_TRUE(tensor::AllClose(a.item_llm, b.item_llm));
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  LatentWorldOptions options = SmallOptions();
+  LatentWorld a = GenerateLatentWorld(options);
+  options.seed = 10;
+  LatentWorld b = GenerateLatentWorld(options);
+  EXPECT_FALSE(tensor::AllClose(a.user_shared, b.user_shared));
+}
+
+TEST(SyntheticTest, InteractionCountNearTarget) {
+  LatentWorld world = GenerateLatentWorld(SmallOptions());
+  core::Rng rng(1);
+  std::vector<Interaction> interactions = SampleInteractions(world, rng);
+  const double count = static_cast<double>(interactions.size());
+  EXPECT_GT(count, 0.8 * 1200);
+  EXPECT_LT(count, 1.3 * 1200);
+}
+
+TEST(SyntheticTest, InteractionsInBounds) {
+  LatentWorld world = GenerateLatentWorld(SmallOptions());
+  core::Rng rng(2);
+  for (const Interaction& it : SampleInteractions(world, rng)) {
+    EXPECT_GE(it.user, 0);
+    EXPECT_LT(it.user, 100);
+    EXPECT_GE(it.item, 0);
+    EXPECT_LT(it.item, 80);
+  }
+}
+
+TEST(SyntheticTest, NoDuplicatePerUser) {
+  LatentWorld world = GenerateLatentWorld(SmallOptions());
+  core::Rng rng(3);
+  std::vector<Interaction> interactions = SampleInteractions(world, rng);
+  std::sort(interactions.begin(), interactions.end(),
+            [](const Interaction& a, const Interaction& b) {
+              return a.user != b.user ? a.user < b.user : a.item < b.item;
+            });
+  for (size_t i = 1; i < interactions.size(); ++i) {
+    EXPECT_FALSE(interactions[i] == interactions[i - 1]);
+  }
+}
+
+TEST(SyntheticTest, SharedSignalDrivesInteractions) {
+  // Users should prefer items with aligned shared+cf latents: the mean
+  // affinity of interacted pairs must exceed the global mean (~0).
+  LatentWorldOptions options = SmallOptions();
+  LatentWorld world = GenerateLatentWorld(options);
+  core::Rng rng(4);
+  std::vector<Interaction> interactions = SampleInteractions(world, rng);
+  double mean_affinity = 0.0;
+  for (const Interaction& it : interactions) {
+    const float* us = world.user_shared.Row(it.user);
+    const float* is = world.item_shared.Row(it.item);
+    double a = 0.0;
+    for (int64_t d = 0; d < options.shared_dim; ++d) a += double(us[d]) * is[d];
+    mean_affinity += a;
+  }
+  mean_affinity /= static_cast<double>(interactions.size());
+  EXPECT_GT(mean_affinity, 0.05);
+}
+
+TEST(SyntheticTest, PopularityCreatesLongTail) {
+  LatentWorldOptions options = SmallOptions();
+  options.popularity_sigma = 1.5;
+  LatentWorld world = GenerateLatentWorld(options);
+  core::Rng rng(5);
+  std::vector<Interaction> interactions = SampleInteractions(world, rng);
+  std::vector<int64_t> item_counts(80, 0);
+  for (const Interaction& it : interactions) ++item_counts[it.item];
+  std::sort(item_counts.rbegin(), item_counts.rend());
+  const int64_t total = std::accumulate(item_counts.begin(), item_counts.end(),
+                                        static_cast<int64_t>(0));
+  // Top 20% of items should hold well over 20% of interactions.
+  int64_t top = 0;
+  for (int i = 0; i < 16; ++i) top += item_counts[i];
+  EXPECT_GT(static_cast<double>(top) / total, 0.3);
+}
+
+TEST(SyntheticTest, MakeSyntheticDatasetDeterministic) {
+  auto a = MakeSyntheticDataset("t", SmallOptions());
+  auto b = MakeSyntheticDataset("t", SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->train().size(), b->train().size());
+  for (size_t i = 0; i < a->train().size(); ++i) {
+    EXPECT_TRUE(a->train()[i] == b->train()[i]);
+  }
+}
+
+TEST(PresetsTest, AllPresetsResolve) {
+  for (const std::string& name : PresetNames()) {
+    EXPECT_TRUE(GetPreset(name).ok()) << name;
+  }
+  EXPECT_FALSE(GetPreset("nonexistent").ok());
+}
+
+TEST(PresetsTest, PaperScaleCountsMatchTable2) {
+  auto amazon = GetPreset("amazon-book");
+  ASSERT_TRUE(amazon.ok());
+  EXPECT_EQ(amazon->options.num_users, 11000);
+  EXPECT_EQ(amazon->options.num_items, 9332);
+  EXPECT_EQ(amazon->options.target_interactions, 120464);
+  auto yelp = GetPreset("yelp");
+  ASSERT_TRUE(yelp.ok());
+  EXPECT_EQ(yelp->options.num_users, 11091);
+  auto steam = GetPreset("steam");
+  ASSERT_TRUE(steam.ok());
+  EXPECT_EQ(steam->options.num_items, 5237);
+}
+
+TEST(PresetsTest, TinyPresetLoads) {
+  auto ds = LoadPresetDataset("tiny");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 120);
+  EXPECT_EQ(ds->num_items(), 100);
+  EXPECT_GT(ds->total_interactions(), 1000);
+}
+
+}  // namespace
+}  // namespace darec::data

@@ -1,0 +1,207 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+
+namespace darec::eval {
+namespace {
+
+TEST(RecallTest, PerfectAndEmpty) {
+  std::vector<int64_t> ranked{3, 1, 2};
+  std::vector<int64_t> relevant{1, 2, 3};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, relevant, 3), 0.0);
+}
+
+TEST(RecallTest, PartialHits) {
+  std::vector<int64_t> ranked{9, 1, 8, 2};
+  std::vector<int64_t> relevant{1, 2};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 4), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 1), 0.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<int64_t> ranked{1, 2, 3, 9, 8};
+  std::vector<int64_t> relevant{1, 2, 3};
+  EXPECT_NEAR(NdcgAtK(ranked, relevant, 5), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, LateHitsScoreLower) {
+  std::vector<int64_t> relevant{1};
+  const double early = NdcgAtK({1, 9, 8}, relevant, 3);
+  const double late = NdcgAtK({9, 8, 1}, relevant, 3);
+  EXPECT_GT(early, late);
+  EXPECT_DOUBLE_EQ(early, 1.0);
+  // Position 2 (0-indexed): 1/log2(4) over ideal 1/log2(2).
+  EXPECT_NEAR(late, std::log(2.0) / std::log(4.0), 1e-12);
+}
+
+TEST(NdcgTest, TruncationByK) {
+  std::vector<int64_t> relevant{1, 2};
+  EXPECT_DOUBLE_EQ(NdcgAtK({9, 1, 2}, relevant, 1), 0.0);
+  EXPECT_GT(NdcgAtK({9, 1, 2}, relevant, 3), 0.0);
+}
+
+TEST(PrecisionTest, CountsHitsOverK) {
+  std::vector<int64_t> ranked{1, 9, 2, 8};
+  std::vector<int64_t> relevant{1, 2};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {}, 2), 0.0);
+}
+
+TEST(HitRateTest, BinaryIndicator) {
+  std::vector<int64_t> ranked{5, 6, 1};
+  std::vector<int64_t> relevant{1};
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, relevant, 2), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, relevant, 3), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK({}, relevant, 3), 0.0);
+}
+
+TEST(MrrTest, ReciprocalOfFirstHit) {
+  std::vector<int64_t> relevant{3, 7};
+  EXPECT_DOUBLE_EQ(MrrAtK({3, 9, 7}, relevant, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({9, 3, 7}, relevant, 3), 0.5);
+  EXPECT_DOUBLE_EQ(MrrAtK({9, 8, 3}, relevant, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MrrAtK({9, 8, 6}, relevant, 3), 0.0);
+  // Truncation: hit beyond K scores 0.
+  EXPECT_DOUBLE_EQ(MrrAtK({9, 8, 3}, relevant, 2), 0.0);
+}
+
+/// Property sweep over K: recall and NDCG are monotone non-decreasing in K
+/// and bounded by [0, 1].
+class MetricMonotonicityTest : public ::testing::TestWithParam<int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Ks, MetricMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 20));
+
+TEST_P(MetricMonotonicityTest, BoundedAndMonotone) {
+  core::Rng rng(GetParam());
+  std::vector<int64_t> ranked;
+  for (int64_t i = 0; i < 30; ++i) ranked.push_back(i);
+  rng.Shuffle(ranked);
+  std::vector<int64_t> relevant{2, 4, 6, 8};
+  const int64_t k = GetParam();
+  const double r_k = RecallAtK(ranked, relevant, k);
+  const double r_k1 = RecallAtK(ranked, relevant, k + 1);
+  const double n_k = NdcgAtK(ranked, relevant, k);
+  EXPECT_GE(r_k, 0.0);
+  EXPECT_LE(r_k, 1.0);
+  EXPECT_LE(r_k, r_k1);
+  EXPECT_GE(n_k, 0.0);
+  EXPECT_LE(n_k, 1.0);
+}
+
+data::Dataset MakeDataset() {
+  core::Rng rng(1);
+  // 2 users, 6 items. With 5 interactions per user: 3 train, 1 val, 1 test.
+  std::vector<data::Interaction> interactions;
+  for (int64_t u = 0; u < 2; ++u) {
+    for (int64_t i = 0; i < 5; ++i) interactions.push_back({u, i});
+  }
+  auto ds = data::Dataset::Create("t", 2, 6, interactions, data::SplitRatio{}, rng);
+  DARE_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(EvaluateRankingTest, OracleEmbeddingsScoreHigh) {
+  data::Dataset ds = MakeDataset();
+  // Build embeddings that rank each user's test item first among non-train
+  // items: user vector = one-hot at its test item.
+  tensor::Matrix nodes(ds.num_nodes(), ds.num_items());
+  for (int64_t i = 0; i < ds.num_items(); ++i) {
+    nodes(ds.num_users() + i, i) = 1.0f;  // Item i = basis vector e_i.
+  }
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    const auto& test_items = ds.TestItemsOfUser(u);
+    ASSERT_EQ(test_items.size(), 1u);
+    nodes(u, test_items[0]) = 1.0f;
+  }
+  EvalOptions options;
+  options.ks = {1, 3};
+  MetricSet metrics = EvaluateRanking(nodes, ds, options);
+  EXPECT_DOUBLE_EQ(metrics.recall[1], 1.0);
+  EXPECT_DOUBLE_EQ(metrics.ndcg[1], 1.0);
+}
+
+TEST(EvaluateRankingTest, AdversarialEmbeddingsScoreLow) {
+  data::Dataset ds = MakeDataset();
+  // User prefers exactly the wrong items: negative weight on test item.
+  tensor::Matrix nodes(ds.num_nodes(), ds.num_items());
+  for (int64_t i = 0; i < ds.num_items(); ++i) {
+    nodes(ds.num_users() + i, i) = 1.0f;
+  }
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    nodes(u, ds.TestItemsOfUser(u)[0]) = -1.0f;
+  }
+  EvalOptions options;
+  options.ks = {1};
+  MetricSet metrics = EvaluateRanking(nodes, ds, options);
+  EXPECT_DOUBLE_EQ(metrics.recall[1], 0.0);
+}
+
+TEST(EvaluateRankingTest, TrainItemsAreMasked) {
+  data::Dataset ds = MakeDataset();
+  // Every item identical except train items score astronomically: with
+  // masking they must not crowd out the (uniform) candidates, so recall is
+  // whatever chance gives — but crucially never counts train items as hits.
+  tensor::Matrix nodes(ds.num_nodes(), 1);
+  for (int64_t i = 0; i < ds.num_items(); ++i) nodes(ds.num_users() + i, 0) = 1.0f;
+  for (int64_t u = 0; u < ds.num_users(); ++u) nodes(u, 0) = 1.0f;
+  EvalOptions options;
+  options.ks = {3};
+  MetricSet metrics = EvaluateRanking(nodes, ds, options);
+  // 3 candidates picked from the 3 non-train items (ties broken by index);
+  // the single test item is among them.
+  EXPECT_DOUBLE_EQ(metrics.recall[3], 1.0);
+}
+
+TEST(EvaluateRankingTest, ValidationSplitSelectable) {
+  data::Dataset ds = MakeDataset();
+  tensor::Matrix nodes(ds.num_nodes(), ds.num_items());
+  for (int64_t i = 0; i < ds.num_items(); ++i) {
+    nodes(ds.num_users() + i, i) = 1.0f;
+  }
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    nodes(u, ds.ValidationItemsOfUser(u)[0]) = 1.0f;
+  }
+  EvalOptions options;
+  options.ks = {1};
+  options.split = EvalSplit::kValidation;
+  MetricSet metrics = EvaluateRanking(nodes, ds, options);
+  EXPECT_DOUBLE_EQ(metrics.recall[1], 1.0);
+}
+
+TEST(EvaluateRankingTest, ExtendedMetricsPopulated) {
+  data::Dataset ds = MakeDataset();
+  tensor::Matrix nodes(ds.num_nodes(), ds.num_items());
+  for (int64_t i = 0; i < ds.num_items(); ++i) {
+    nodes(ds.num_users() + i, i) = 1.0f;
+  }
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    nodes(u, ds.TestItemsOfUser(u)[0]) = 1.0f;
+  }
+  EvalOptions options;
+  options.ks = {1, 3};
+  MetricSet metrics = EvaluateRanking(nodes, ds, options);
+  EXPECT_DOUBLE_EQ(metrics.precision[1], 1.0);
+  EXPECT_DOUBLE_EQ(metrics.hit_rate[1], 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mrr[1], 1.0);
+  // Each user has exactly one test item: precision@3 = 1/3.
+  EXPECT_NEAR(metrics.precision[3], 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricSetTest, ToStringFormat) {
+  MetricSet m;
+  m.recall[5] = 0.1;
+  m.ndcg[5] = 0.2;
+  EXPECT_EQ(m.ToString(), "R@5=0.1 N@5=0.2");
+}
+
+}  // namespace
+}  // namespace darec::eval

@@ -1,0 +1,127 @@
+#include "graph/bipartite.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+
+namespace darec::graph {
+namespace {
+
+data::Dataset MakeDataset() {
+  core::Rng rng(1);
+  // 3 users, 4 items; enough interactions that each user keeps >= 2 in train.
+  std::vector<data::Interaction> interactions;
+  for (int64_t u = 0; u < 3; ++u) {
+    for (int64_t i = 0; i < 4; ++i) interactions.push_back({u, i});
+  }
+  auto ds = data::Dataset::Create("t", 3, 4, interactions, data::SplitRatio{}, rng);
+  DARE_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(BipartiteGraphTest, NodeIndexing) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  EXPECT_EQ(g.num_users(), 3);
+  EXPECT_EQ(g.num_items(), 4);
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_EQ(g.UserNode(2), 2);
+  EXPECT_EQ(g.ItemNode(0), 3);
+  EXPECT_EQ(g.ItemNode(3), 6);
+}
+
+TEST(BipartiteGraphTest, AdjacencyIsSymmetric) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  const auto& adj = *g.adjacency();
+  EXPECT_EQ(adj.nnz(), 2 * g.num_edges());
+  tensor::Matrix dense = adj.ToDense();
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      EXPECT_FLOAT_EQ(dense(r, c), dense(c, r));
+    }
+  }
+  // Bipartite: no user-user or item-item edges.
+  for (int64_t u = 0; u < 3; ++u) {
+    for (int64_t v = 0; v < 3; ++v) EXPECT_FLOAT_EQ(dense(u, v), 0.0f);
+  }
+}
+
+TEST(BipartiteGraphTest, EdgesMatchTrainSplit) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  EXPECT_EQ(g.edges().size(), ds.train().size());
+  for (const data::Interaction& e : g.edges()) {
+    EXPECT_TRUE(ds.IsTrainInteraction(e.user, e.item));
+  }
+}
+
+TEST(BipartiteGraphTest, NormalizedAdjacencyValues) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  const auto& adj = *g.adjacency();
+  const auto& norm = *g.normalized_adjacency();
+  tensor::Matrix degrees = adj.RowSums();
+  for (int64_t u = 0; u < g.num_users(); ++u) {
+    for (int64_t i = 0; i < g.num_items(); ++i) {
+      const int64_t inode = g.ItemNode(i);
+      const float a = adj.At(u, inode);
+      if (a == 0.0f) continue;
+      const float expected =
+          1.0f / std::sqrt(degrees(u, 0) * degrees(inode, 0));
+      EXPECT_NEAR(norm.At(u, inode), expected, 1e-6f);
+    }
+  }
+}
+
+TEST(BipartiteGraphTest, NormalizedRowSumsBounded) {
+  // Spectral radius of the symmetric normalization is <= 1; a cheap proxy:
+  // propagating the all-ones vector never blows up.
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  tensor::Matrix ones = tensor::Matrix::Full(g.num_nodes(), 1, 1.0f);
+  tensor::Matrix propagated = g.normalized_adjacency()->Multiply(ones);
+  for (int64_t r = 0; r < propagated.rows(); ++r) {
+    EXPECT_LE(propagated(r, 0), static_cast<float>(g.num_nodes()));
+    EXPECT_GE(propagated(r, 0), 0.0f);
+  }
+}
+
+TEST(BipartiteGraphTest, EdgeDropoutReducesEdges) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  core::Rng rng(3);
+  auto dropped = g.DroppedNormalizedAdjacency(0.5, rng);
+  EXPECT_LT(dropped->nnz(), g.normalized_adjacency()->nnz());
+  EXPECT_EQ(dropped->rows(), g.num_nodes());
+}
+
+TEST(BipartiteGraphTest, NodeDropoutRemovesIncidentEdges) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  core::Rng rng(4);
+  auto dropped = g.NodeDroppedNormalizedAdjacency(0.4, rng);
+  EXPECT_LE(dropped->nnz(), g.normalized_adjacency()->nnz());
+}
+
+TEST(BipartiteGraphTest, MaskedAdjacencyDropsExactEdges) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  auto masked = g.MaskedNormalizedAdjacency({0, 1});
+  EXPECT_EQ(masked->nnz(), 2 * (g.num_edges() - 2));
+  // The masked edges' endpoints are no longer connected.
+  const data::Interaction& e0 = g.edges()[0];
+  EXPECT_FLOAT_EQ(masked->At(g.UserNode(e0.user), g.ItemNode(e0.item)), 0.0f);
+}
+
+TEST(BipartiteGraphTest, DropAllZeroProbKeepsEverything) {
+  data::Dataset ds = MakeDataset();
+  BipartiteGraph g(ds);
+  core::Rng rng(5);
+  auto kept = g.DroppedNormalizedAdjacency(0.0, rng);
+  EXPECT_EQ(kept->nnz(), g.normalized_adjacency()->nnz());
+}
+
+}  // namespace
+}  // namespace darec::graph

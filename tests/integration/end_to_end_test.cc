@@ -1,0 +1,140 @@
+// Cross-module integration tests: full pipeline runs at unit-test scale,
+// asserting the structural invariants that the paper's experiments rely
+// on rather than exact metric values (which are seed-dependent).
+#include <cmath>
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "darec/matching.h"
+#include "data/presets.h"
+#include "gtest/gtest.h"
+#include "pipeline/experiment.h"
+#include "pipeline/specs.h"
+#include "tensor/io.h"
+#include "viz/tsne.h"
+
+namespace darec {
+namespace {
+
+pipeline::ExperimentSpec FastSpec(const std::string& variant) {
+  pipeline::ExperimentSpec spec = pipeline::CalibratedSpec("tiny", "lightgcn", variant);
+  spec.train_options.epochs = 6;
+  spec.train_options.batch_size = 512;
+  spec.darec_options.sample_size = 96;
+  spec.darec_options.uniformity_sample = 64;
+  spec.darec_options.kmeans_iterations = 5;
+  spec.rlmrec_options.sample_size = 96;
+  spec.llm_options.output_dim = 32;
+  return spec;
+}
+
+TEST(EndToEndTest, DaRecTrainsAndImprovesOverUntrained) {
+  auto experiment = pipeline::Experiment::Create(FastSpec("darec"));
+  ASSERT_TRUE(experiment.ok());
+  const double untrained =
+      (*experiment)->trainer().Evaluate(eval::EvalSplit::kTest).recall.at(20);
+  pipeline::TrainResult result = (*experiment)->Run();
+  EXPECT_GT(result.test_metrics.recall.at(20), untrained);
+  // Losses finite and generally decreasing (first vs last).
+  EXPECT_TRUE(std::isfinite(result.epoch_losses.front()));
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front() + 0.05);
+}
+
+TEST(EndToEndTest, SharedSpacesBecomeAlignedAtClusterLevel) {
+  // After training, k-means clusters of the CF-shared and LLM-shared
+  // spaces must agree far better than chance (the Fig. 6 phenomenon).
+  pipeline::ExperimentSpec spec = FastSpec("darec");
+  spec.train_options.epochs = 25;
+  auto experiment = pipeline::Experiment::Create(spec);
+  ASSERT_TRUE(experiment.ok());
+  pipeline::TrainResult result = (*experiment)->Run();
+  model::DisentangledViews views =
+      (*experiment)->darec()->Project(result.final_embeddings);
+
+  core::Rng rng(5);
+  cluster::KMeansOptions kopts;
+  kopts.num_clusters = 3;
+  auto cf = cluster::RunKMeans(tensor::RowNormalize(views.cf_shared.value()),
+                               kopts, rng);
+  auto llm = cluster::RunKMeans(tensor::RowNormalize(views.llm_shared.value()),
+                                kopts, rng);
+  tensor::Matrix cooccurrence(3, 3);
+  for (size_t i = 0; i < cf.assignments.size(); ++i) {
+    cooccurrence(cf.assignments[i], llm.assignments[i]) += 1.0f;
+  }
+  model::CenterMatching matching =
+      model::HungarianMatchCenters(tensor::Scale(cooccurrence, -1.0f));
+  double agree = 0.0;
+  for (size_t k = 0; k < matching.left.size(); ++k) {
+    agree += cooccurrence(matching.left[k], matching.right[k]);
+  }
+  const double rate = agree / static_cast<double>(cf.assignments.size());
+  EXPECT_GT(rate, 0.40) << "chance is ~0.33 for K=3";
+}
+
+TEST(EndToEndTest, EmbeddingsSurviveSaveLoadAndEvaluateIdentically) {
+  auto experiment = pipeline::Experiment::Create(FastSpec("baseline"));
+  ASSERT_TRUE(experiment.ok());
+  pipeline::TrainResult result = (*experiment)->Run();
+
+  const std::string path = ::testing::TempDir() + "/e2e_embeddings.dmat";
+  ASSERT_TRUE(tensor::SaveMatrix(path, result.final_embeddings).ok());
+  auto loaded = tensor::LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+
+  eval::MetricSet original =
+      eval::EvaluateRanking(result.final_embeddings, (*experiment)->dataset());
+  eval::MetricSet reloaded =
+      eval::EvaluateRanking(*loaded, (*experiment)->dataset());
+  EXPECT_DOUBLE_EQ(original.recall.at(20), reloaded.recall.at(20));
+  EXPECT_DOUBLE_EQ(original.ndcg.at(10), reloaded.ndcg.at(10));
+  std::remove(path.c_str());
+}
+
+TEST(EndToEndTest, DeterministicAcrossProcessesGivenSeed) {
+  auto a = pipeline::RunExperiment(FastSpec("darec"));
+  auto b = pipeline::RunExperiment(FastSpec("darec"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->epoch_losses.size(), b->epoch_losses.size());
+  for (size_t e = 0; e < a->epoch_losses.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a->epoch_losses[e], b->epoch_losses[e]) << "epoch " << e;
+  }
+  EXPECT_DOUBLE_EQ(a->test_metrics.recall.at(20), b->test_metrics.recall.at(20));
+}
+
+TEST(EndToEndTest, ExtendedVariantsTrain) {
+  for (const std::string& variant : pipeline::ExtendedVariantNames()) {
+    pipeline::ExperimentSpec spec = FastSpec(variant);
+    spec.train_options.epochs = 2;
+    auto result = pipeline::RunExperiment(spec);
+    ASSERT_TRUE(result.ok()) << variant;
+    for (double loss : result->epoch_losses) {
+      EXPECT_TRUE(std::isfinite(loss)) << variant;
+    }
+  }
+}
+
+TEST(EndToEndTest, TsneOnTrainedSharedSpaceRuns) {
+  auto experiment = pipeline::Experiment::Create(FastSpec("darec"));
+  ASSERT_TRUE(experiment.ok());
+  pipeline::TrainResult result = (*experiment)->Run();
+  core::Rng rng(7);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(
+      (*experiment)->dataset().num_nodes(), 80);
+  model::DisentangledViews views =
+      (*experiment)->darec()->Project(result.final_embeddings, sample);
+  viz::TsneOptions options;
+  options.iterations = 60;
+  options.perplexity = 10.0;
+  tensor::Matrix embedding = viz::RunTsne(views.cf_shared.value(), options);
+  EXPECT_EQ(embedding.rows(), 80);
+  EXPECT_EQ(embedding.cols(), 2);
+  for (int64_t r = 0; r < embedding.rows(); ++r) {
+    EXPECT_TRUE(std::isfinite(embedding(r, 0)));
+    EXPECT_TRUE(std::isfinite(embedding(r, 1)));
+  }
+}
+
+}  // namespace
+}  // namespace darec

@@ -1,0 +1,121 @@
+#include "llm/text_profile.h"
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+
+namespace darec::llm {
+namespace {
+
+data::LatentWorld MakeWorld() {
+  data::LatentWorldOptions options;
+  options.num_users = 40;
+  options.num_items = 30;
+  options.seed = 21;
+  return data::GenerateLatentWorld(options);
+}
+
+TextProfileOptions SmallOptions() {
+  TextProfileOptions options;
+  options.vocab_size = 100;
+  options.profile_length = 30;
+  options.num_topics = 6;
+  options.output_dim = 24;
+  return options;
+}
+
+TEST(TextProfileTest, ProfileShapeAndDeterminism) {
+  data::LatentWorld world = MakeWorld();
+  TextProfileEncoder encoder(world, SmallOptions());
+  EXPECT_EQ(encoder.num_nodes(), 70);
+  std::vector<int64_t> first = encoder.ProfileTokens(5);
+  std::vector<int64_t> again = encoder.ProfileTokens(5);
+  EXPECT_EQ(first.size(), 30u);
+  EXPECT_EQ(first, again);
+  for (int64_t token : first) {
+    EXPECT_GE(token, 0);
+    EXPECT_LT(token, 100);
+  }
+}
+
+TEST(TextProfileTest, DistinctNodesGetDistinctProfiles) {
+  data::LatentWorld world = MakeWorld();
+  TextProfileEncoder encoder(world, SmallOptions());
+  int distinct = 0;
+  std::vector<int64_t> reference = encoder.ProfileTokens(0);
+  for (int64_t node = 1; node < 20; ++node) {
+    distinct += encoder.ProfileTokens(node) != reference;
+  }
+  EXPECT_GE(distinct, 18);
+}
+
+TEST(TextProfileTest, ProfileTextIsPseudoWords) {
+  data::LatentWorld world = MakeWorld();
+  TextProfileEncoder encoder(world, SmallOptions());
+  const std::string text = encoder.ProfileText(3);
+  EXPECT_EQ(text[0], 'w');
+  EXPECT_NE(text.find(' '), std::string::npos);
+}
+
+TEST(TextProfileTest, EmbeddingShapeAndDeterminism) {
+  data::LatentWorld world = MakeWorld();
+  TextProfileEncoder encoder(world, SmallOptions());
+  tensor::Matrix a = encoder.EncodeAll();
+  tensor::Matrix b = encoder.EncodeAll();
+  EXPECT_EQ(a.rows(), 70);
+  EXPECT_EQ(a.cols(), 24);
+  EXPECT_TRUE(tensor::AllClose(a, b));
+  EXPECT_EQ(encoder.output_dim(), 24);
+}
+
+TEST(TextProfileTest, EmbeddingsReflectSharedLatents) {
+  // Entities with similar shared latents get more similar profiles, hence
+  // more similar embeddings — the property alignment relies on.
+  data::LatentWorld world = MakeWorld();
+  TextProfileOptions options;  // Full-size defaults: vocab 512, 12 topics.
+  options.profile_length = 240;  // Longer profiles -> lower sampling noise.
+  TextProfileEncoder encoder(world, options);
+  tensor::Matrix embeddings = tensor::RowNormalize(encoder.EncodeAll());
+  tensor::Matrix shared = tensor::RowNormalize(world.StackSharedBlocks());
+
+  double num = 0.0, da = 0.0, db = 0.0, mean_a = 0.0, mean_b = 0.0;
+  std::vector<std::pair<double, double>> pairs;
+  for (int64_t i = 0; i < 40; ++i) {
+    for (int64_t j = i + 1; j < 40; ++j) {
+      double sim_e = 0.0, sim_s = 0.0;
+      for (int64_t c = 0; c < embeddings.cols(); ++c) {
+        sim_e += double(embeddings(i, c)) * embeddings(j, c);
+      }
+      for (int64_t c = 0; c < shared.cols(); ++c) {
+        sim_s += double(shared(i, c)) * shared(j, c);
+      }
+      pairs.push_back({sim_s, sim_e});
+      mean_a += sim_s;
+      mean_b += sim_e;
+    }
+  }
+  mean_a /= pairs.size();
+  mean_b /= pairs.size();
+  for (const auto& [a, b] : pairs) {
+    num += (a - mean_a) * (b - mean_b);
+    da += (a - mean_a) * (a - mean_a);
+    db += (b - mean_b) * (b - mean_b);
+  }
+  EXPECT_GT(num / std::sqrt(da * db + 1e-12), 0.1);
+}
+
+TEST(TextProfileTest, WorksAsDropInLlmEncoder) {
+  // The interface contract: usable anywhere a SimulatedLlmEncoder is.
+  data::LatentWorld world = MakeWorld();
+  TextProfileOptions options = SmallOptions();
+  std::unique_ptr<LlmEncoder> encoder =
+      std::make_unique<TextProfileEncoder>(world, options);
+  tensor::Matrix embeddings = encoder->EncodeAll();
+  EXPECT_EQ(embeddings.rows(), 70);
+  EXPECT_EQ(embeddings.cols(), encoder->output_dim());
+}
+
+}  // namespace
+}  // namespace darec::llm

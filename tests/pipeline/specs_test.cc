@@ -1,0 +1,75 @@
+#include "pipeline/specs.h"
+
+#include "gtest/gtest.h"
+
+namespace darec::pipeline {
+namespace {
+
+TEST(CalibratedSpecTest, CarriesNames) {
+  ExperimentSpec spec = CalibratedSpec("yelp-small", "sgl", "darec");
+  EXPECT_EQ(spec.dataset, "yelp-small");
+  EXPECT_EQ(spec.backbone, "sgl");
+  EXPECT_EQ(spec.variant, "darec");
+}
+
+TEST(CalibratedSpecTest, PaperAlignedTrainingSetup) {
+  ExperimentSpec spec = CalibratedSpec("amazon-book-small", "lightgcn", "baseline");
+  // Paper: Adam lr 1e-3; our CPU-scale counterpart uses d=32, 3 layers.
+  EXPECT_FLOAT_EQ(spec.train_options.learning_rate, 1e-3f);
+  EXPECT_EQ(spec.backbone_options.embedding_dim, 32);
+  EXPECT_EQ(spec.backbone_options.num_layers, 3);
+  // λ inside the paper's [0.1, 1.0] plateau; K = 4 in the paper's [4, 8].
+  EXPECT_GE(spec.darec_options.lambda, 0.1f);
+  EXPECT_LE(spec.darec_options.lambda, 1.0f);
+  EXPECT_GE(spec.darec_options.num_clusters, 4);
+  EXPECT_LE(spec.darec_options.num_clusters, 8);
+}
+
+TEST(ApplyConfigOverridesTest, OverridesSelectedKeys) {
+  ExperimentSpec spec = CalibratedSpec("amazon-book-small", "lightgcn", "darec");
+  auto config = core::Config::FromArgs(
+      {"epochs=7", "lambda=2.5", "k=10", "dim=16", "dataset=tiny", "n_hat=64"});
+  ASSERT_TRUE(config.ok());
+  ApplyConfigOverrides(*config, &spec);
+  EXPECT_EQ(spec.train_options.epochs, 7);
+  EXPECT_FLOAT_EQ(spec.darec_options.lambda, 2.5f);
+  EXPECT_EQ(spec.darec_options.num_clusters, 10);
+  EXPECT_EQ(spec.backbone_options.embedding_dim, 16);
+  EXPECT_EQ(spec.dataset, "tiny");
+  EXPECT_EQ(spec.darec_options.sample_size, 64);
+}
+
+TEST(ApplyConfigOverridesTest, UnknownKeysIgnoredDefaultsKept) {
+  ExperimentSpec spec = CalibratedSpec("amazon-book-small", "lightgcn", "darec");
+  ExperimentSpec before = spec;
+  auto config = core::Config::FromArgs({"totally_unknown=1"});
+  ASSERT_TRUE(config.ok());
+  ApplyConfigOverrides(*config, &spec);
+  EXPECT_EQ(spec.train_options.epochs, before.train_options.epochs);
+  EXPECT_FLOAT_EQ(spec.darec_options.lambda, before.darec_options.lambda);
+  EXPECT_EQ(spec.dataset, before.dataset);
+}
+
+TEST(ApplyConfigOverridesTest, LlmKnobs) {
+  ExperimentSpec spec = CalibratedSpec("amazon-book-small", "lightgcn", "rlmrec-con");
+  auto config = core::Config::FromArgs(
+      {"llm_specific=3.5", "llm_noise=0.2", "rlmrec_temperature=0.7"});
+  ASSERT_TRUE(config.ok());
+  ApplyConfigOverrides(*config, &spec);
+  EXPECT_DOUBLE_EQ(spec.llm_options.specific_scale, 3.5);
+  EXPECT_DOUBLE_EQ(spec.llm_options.noise_stddev, 0.2);
+  EXPECT_FLOAT_EQ(spec.rlmrec_options.temperature, 0.7f);
+}
+
+TEST(CalibratedSpecTest, RunnableEndToEnd) {
+  ExperimentSpec spec = CalibratedSpec("tiny", "lightgcn", "darec");
+  spec.train_options.epochs = 1;
+  spec.darec_options.sample_size = 32;
+  spec.darec_options.uniformity_sample = 16;
+  auto result = RunExperiment(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->epoch_losses.size(), 1u);
+}
+
+}  // namespace
+}  // namespace darec::pipeline

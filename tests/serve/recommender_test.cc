@@ -1,0 +1,137 @@
+#include "serve/recommender.h"
+
+#include <cstdio>
+#include <set>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/io.h"
+
+namespace darec::serve {
+namespace {
+
+/// 3 users x 5 items; each user's training items are known so masking is
+/// checkable. Embeddings are hand-built so scores are predictable.
+struct Fixture {
+  Fixture() {
+    core::Rng rng(1);
+    std::vector<data::Interaction> interactions;
+    // User u interacted with items u and u+1 (train split keeps >= 1).
+    for (int64_t u = 0; u < 3; ++u) {
+      interactions.push_back({u, u});
+      interactions.push_back({u, u + 1});
+    }
+    auto ds = data::Dataset::Create("serve-test", 3, 5, interactions,
+                                    data::SplitRatio{1.0, 0.0, 0.0}, rng);
+    DARE_CHECK(ds.ok());
+    dataset = std::make_unique<data::Dataset>(std::move(ds).value());
+
+    // User u points along axis u; item i = e_{i mod 3} * (1 + i).
+    embeddings = tensor::Matrix(8, 3);
+    for (int64_t u = 0; u < 3; ++u) embeddings(u, u) = 1.0f;
+    for (int64_t i = 0; i < 5; ++i) {
+      embeddings(3 + i, i % 3) = 1.0f + static_cast<float>(i);
+    }
+  }
+  std::unique_ptr<data::Dataset> dataset;
+  tensor::Matrix embeddings;
+};
+
+TEST(RecommenderTest, CreateValidatesShapes) {
+  Fixture f;
+  EXPECT_TRUE(Recommender::Create(f.embeddings, f.dataset.get()).ok());
+  EXPECT_FALSE(Recommender::Create(tensor::Matrix(3, 4), f.dataset.get()).ok());
+  EXPECT_FALSE(Recommender::Create(tensor::Matrix(8, 0), f.dataset.get()).ok());
+  EXPECT_FALSE(Recommender::Create(f.embeddings, nullptr).ok());
+}
+
+TEST(RecommenderTest, TopKMasksTrainingItems) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  // User 0 trained on items {0, 1}; eligible: {2, 3, 4}.
+  auto top = rec->RecommendTopK(0, 5);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 3u);
+  std::set<int64_t> returned;
+  for (const ScoredItem& s : *top) returned.insert(s.item);
+  EXPECT_EQ(returned.count(0), 0u);
+  EXPECT_EQ(returned.count(1), 0u);
+}
+
+TEST(RecommenderTest, TopKOrderedByScore) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  // User 0 (axis 0): eligible items {2,3,4}; item 3 has axis 0 scale 4
+  // (3%3==0), item 2 axis 2 -> 0, item 4 axis 1 -> 0. Best = item 3.
+  auto top = rec->RecommendTopK(0, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].item, 3);
+  EXPECT_FLOAT_EQ((*top)[0].score, 4.0f);
+  EXPECT_GE((*top)[0].score, (*top)[1].score);
+}
+
+TEST(RecommenderTest, ScoreMatchesInnerProduct) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  auto score = rec->Score(1, 1);  // User axis 1, item 1 axis 1 scale 2.
+  ASSERT_TRUE(score.ok());
+  EXPECT_FLOAT_EQ(*score, 2.0f);
+  auto zero = rec->Score(1, 0);  // Orthogonal axes.
+  ASSERT_TRUE(zero.ok());
+  EXPECT_FLOAT_EQ(*zero, 0.0f);
+}
+
+TEST(RecommenderTest, BadIdsRejected) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_FALSE(rec->RecommendTopK(-1, 3).ok());
+  EXPECT_FALSE(rec->RecommendTopK(3, 3).ok());
+  EXPECT_FALSE(rec->RecommendTopK(0, 0).ok());
+  EXPECT_FALSE(rec->Score(0, 5).ok());
+  EXPECT_FALSE(rec->SimilarItems(5, 2).ok());
+  EXPECT_FALSE(rec->SimilarItems(0, 0).ok());
+}
+
+TEST(RecommenderTest, SimilarItemsByCosine) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  // Item 0 is axis 0; items 3 (axis 0) should be most similar (cos = 1).
+  auto similar = rec->SimilarItems(0, 2);
+  ASSERT_TRUE(similar.ok());
+  ASSERT_EQ(similar->size(), 2u);
+  EXPECT_EQ((*similar)[0].item, 3);
+  EXPECT_NEAR((*similar)[0].score, 1.0f, 1e-5f);
+  EXPECT_LT((*similar)[1].score, 0.5f);
+}
+
+TEST(RecommenderTest, LoadRoundTrip) {
+  Fixture f;
+  const std::string path = ::testing::TempDir() + "/serve_embeddings.dmat";
+  ASSERT_TRUE(tensor::SaveMatrix(path, f.embeddings).ok());
+  auto rec = Recommender::Load(path, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  auto top = rec->RecommendTopK(0, 1);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].item, 3);
+  EXPECT_FALSE(Recommender::Load(path + ".missing", f.dataset.get()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecommenderTest, KClampedToEligibleItems) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  auto top = rec->RecommendTopK(2, 100);
+  ASSERT_TRUE(top.ok());
+  // User 2 trained on {2, 3}: 3 eligible items remain.
+  EXPECT_EQ(top->size(), 3u);
+}
+
+}  // namespace
+}  // namespace darec::serve

@@ -1,0 +1,130 @@
+#include "tensor/csr.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+namespace {
+
+CsrMatrix MakeExample() {
+  // [1 0 2]
+  // [0 3 0]
+  return CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 1, 3.0f}});
+}
+
+TEST(CsrTest, FromTripletsBasic) {
+  CsrMatrix m = MakeExample();
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 3.0f);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 1);
+}
+
+TEST(CsrTest, DuplicateTripletsSum) {
+  CsrMatrix m = CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 3.5f);
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m(3, 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_FLOAT_EQ(m.At(2, 3), 0.0f);
+  Matrix out = m.Multiply(Matrix::Full(4, 2, 1.0f));
+  EXPECT_TRUE(AllClose(out, Matrix(3, 2)));
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  CsrMatrix m = MakeExample();
+  Matrix x = Matrix::FromVector(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix sparse_result = m.Multiply(x);
+  Matrix dense_result = MatMul(m.ToDense(), x);
+  EXPECT_TRUE(AllClose(sparse_result, dense_result));
+}
+
+TEST(CsrTest, TransposeMultiplyMatchesDense) {
+  CsrMatrix m = MakeExample();
+  Matrix x = Matrix::FromVector(2, 2, {1, 2, 3, 4});
+  Matrix sparse_result = m.TransposeMultiply(x);
+  Matrix dense_result = MatMul(Transpose(m.ToDense()), x);
+  EXPECT_TRUE(AllClose(sparse_result, dense_result));
+}
+
+TEST(CsrTest, TransposedRoundTrip) {
+  CsrMatrix m = MakeExample();
+  CsrMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_TRUE(AllClose(t.ToDense(), Transpose(m.ToDense())));
+  EXPECT_TRUE(AllClose(t.Transposed().ToDense(), m.ToDense()));
+}
+
+TEST(CsrTest, RowSums) {
+  CsrMatrix m = MakeExample();
+  Matrix sums = m.RowSums();
+  EXPECT_FLOAT_EQ(sums(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(sums(1, 0), 3.0f);
+}
+
+TEST(CsrTest, SymmetricNormalization) {
+  // Adjacency of a single edge (bipartite 1 user, 1 item in a 2x2 block).
+  CsrMatrix adj = CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0f}, {1, 0, 1.0f}});
+  CsrMatrix norm = adj.SymmetricNormalized();
+  // Degrees are all 1 -> values unchanged.
+  EXPECT_FLOAT_EQ(norm.At(0, 1), 1.0f);
+
+  // Star: node 0 connected to 1 and 2. deg(0)=2, deg(1)=deg(2)=1.
+  CsrMatrix star = CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0f}, {0, 2, 1.0f}, {1, 0, 1.0f}, {2, 0, 1.0f}});
+  CsrMatrix nstar = star.SymmetricNormalized();
+  const float expected = 1.0f / std::sqrt(2.0f);
+  EXPECT_NEAR(nstar.At(0, 1), expected, 1e-6f);
+  EXPECT_NEAR(nstar.At(1, 0), expected, 1e-6f);
+}
+
+TEST(CsrTest, SymmetricNormalizationZeroDegree) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0f}});
+  CsrMatrix norm = m.SymmetricNormalized();
+  EXPECT_FLOAT_EQ(norm.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(norm.At(1, 1), 0.0f);
+}
+
+TEST(CsrTest, DropEntriesKeepAllAndNone) {
+  core::Rng rng(5);
+  CsrMatrix m = MakeExample();
+  EXPECT_EQ(m.DropEntries(1.0, rng).nnz(), m.nnz());
+  EXPECT_EQ(m.DropEntries(0.0, rng).nnz(), 0);
+}
+
+TEST(CsrTest, DropEntriesApproximatesRate) {
+  core::Rng rng(9);
+  std::vector<Triplet> triplets;
+  for (int64_t i = 0; i < 200; ++i) {
+    for (int64_t j = 0; j < 10; ++j) triplets.push_back({i, j, 1.0f});
+  }
+  CsrMatrix m = CsrMatrix::FromTriplets(200, 10, std::move(triplets));
+  CsrMatrix dropped = m.DropEntries(0.7, rng);
+  const double rate = static_cast<double>(dropped.nnz()) / m.nnz();
+  EXPECT_NEAR(rate, 0.7, 0.05);
+}
+
+TEST(CsrTest, ToDenseMatchesAt) {
+  CsrMatrix m = MakeExample();
+  Matrix d = m.ToDense();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      EXPECT_FLOAT_EQ(d(r, c), m.At(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace darec::tensor

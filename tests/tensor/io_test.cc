@@ -1,0 +1,98 @@
+#include "tensor/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace darec::tensor {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MatrixIoTest, RoundTripExact) {
+  core::Rng rng(1);
+  Matrix original = RandomNormal(17, 9, 1.0f, rng);
+  const std::string path = TempPath("roundtrip.dmat");
+  ASSERT_TRUE(SaveMatrix(path, original).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Binary format: bit-exact round trip.
+  EXPECT_EQ(loaded->rows(), 17);
+  EXPECT_EQ(loaded->cols(), 9);
+  for (int64_t r = 0; r < 17; ++r) {
+    for (int64_t c = 0; c < 9; ++c) {
+      EXPECT_EQ(original(r, c), (*loaded)(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, EmptyMatrixRoundTrip) {
+  const std::string path = TempPath("empty.dmat");
+  ASSERT_TRUE(SaveMatrix(path, Matrix()).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0);
+  EXPECT_EQ(loaded->cols(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadMatrix(TempPath("does_not_exist.dmat"));
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(MatrixIoTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.dmat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTDMATxxxxxxxxxxxxxxxxxxxxxxxx";
+  }
+  auto loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, TruncatedPayloadRejected) {
+  core::Rng rng(2);
+  Matrix m = RandomNormal(8, 8, 1.0f, rng);
+  const std::string path = TempPath("truncated.dmat");
+  ASSERT_TRUE(SaveMatrix(path, m).ok());
+  // Chop off the last bytes.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size() - 10));
+  }
+  auto loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, UnwritablePathFails) {
+  EXPECT_FALSE(SaveMatrix("/nonexistent_dir/x.dmat", Matrix(1, 1)).ok());
+  EXPECT_FALSE(SaveMatrixCsv("/nonexistent_dir/x.csv", Matrix(1, 1)).ok());
+}
+
+TEST(MatrixIoTest, CsvMatchesValues) {
+  Matrix m = Matrix::FromVector(2, 2, {1.5f, -2.25f, 0.0f, 100.0f});
+  const std::string path = TempPath("values.csv");
+  ASSERT_TRUE(SaveMatrixCsv(path, m).ok());
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "1.5,-2.25");
+  EXPECT_EQ(line2, "0,100");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace darec::tensor

@@ -1,0 +1,143 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace darec::tensor {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  EXPECT_FLOAT_EQ(m(1, 2), 0.0f);
+  m(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 5.0f);
+}
+
+TEST(MatrixTest, FullAndIdentity) {
+  Matrix f = Matrix::Full(2, 2, 3.0f);
+  EXPECT_FLOAT_EQ(f(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(f(1, 1), 3.0f);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_FLOAT_EQ(id(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(id(0, 1), 0.0f);
+}
+
+TEST(MatrixTest, FromVectorRowMajor) {
+  Matrix m = Matrix::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0f);
+}
+
+TEST(MatrixTest, MatMulPlain) {
+  Matrix a = Matrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b = Matrix::FromVector(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154].
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(MatrixTest, MatMulTransposeVariantsAgree) {
+  Matrix a = Matrix::FromVector(2, 3, {1, -2, 3, 0.5, 5, -6});
+  Matrix b = Matrix::FromVector(3, 4, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  Matrix at = Transpose(a);
+  Matrix bt = Transpose(b);
+  Matrix expected = MatMul(a, b);
+  EXPECT_TRUE(AllClose(MatMul(at, b, true, false), expected));
+  EXPECT_TRUE(AllClose(MatMul(a, bt, false, true), expected));
+  EXPECT_TRUE(AllClose(MatMul(at, bt, true, true), expected));
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  Matrix a = Matrix::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_TRUE(AllClose(MatMul(a, Matrix::Identity(2)), a));
+  EXPECT_TRUE(AllClose(MatMul(Matrix::Identity(2), a), a));
+}
+
+TEST(MatrixTest, AddSubHadamardScale) {
+  Matrix a = Matrix::FromVector(2, 2, {1, 2, 3, 4});
+  Matrix b = Matrix::FromVector(2, 2, {5, 6, 7, 8});
+  EXPECT_TRUE(AllClose(Add(a, b), Matrix::FromVector(2, 2, {6, 8, 10, 12})));
+  EXPECT_TRUE(AllClose(Sub(b, a), Matrix::FromVector(2, 2, {4, 4, 4, 4})));
+  EXPECT_TRUE(AllClose(Hadamard(a, b), Matrix::FromVector(2, 2, {5, 12, 21, 32})));
+  EXPECT_TRUE(AllClose(Scale(a, 2.0f), Matrix::FromVector(2, 2, {2, 4, 6, 8})));
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = Matrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_FLOAT_EQ(t(2, 1), 6.0f);
+  EXPECT_TRUE(AllClose(Transpose(t), a));
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a = Matrix::FromVector(2, 2, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(SumAll(a), -2.0f);
+  EXPECT_FLOAT_EQ(SumSquares(a), 30.0f);
+  EXPECT_FLOAT_EQ(MaxAbs(a), 4.0f);
+}
+
+TEST(MatrixTest, RowNormsAndNormalize) {
+  Matrix a = Matrix::FromVector(2, 2, {3, 4, 0, 0});
+  Matrix norms = RowNorms(a);
+  EXPECT_FLOAT_EQ(norms(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(norms(1, 0), 0.0f);
+  Matrix n = RowNormalize(a);
+  EXPECT_FLOAT_EQ(n(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(n(0, 1), 0.8f);
+  // Zero row passes through untouched.
+  EXPECT_FLOAT_EQ(n(1, 0), 0.0f);
+}
+
+TEST(MatrixTest, PairwiseSquaredDistances) {
+  Matrix a = Matrix::FromVector(2, 2, {0, 0, 1, 1});
+  Matrix b = Matrix::FromVector(2, 2, {0, 0, 3, 4});
+  Matrix d = PairwiseSquaredDistances(a, b);
+  EXPECT_FLOAT_EQ(d(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d(0, 1), 25.0f);
+  EXPECT_FLOAT_EQ(d(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(d(1, 1), 13.0f);
+}
+
+TEST(MatrixTest, AddInPlaceWithScale) {
+  Matrix a = Matrix::FromVector(1, 2, {1, 2});
+  Matrix b = Matrix::FromVector(1, 2, {10, 20});
+  a.AddInPlace(b, 0.5f);
+  EXPECT_TRUE(AllClose(a, Matrix::FromVector(1, 2, {6, 12})));
+}
+
+TEST(MatrixTest, CopyRowFrom) {
+  Matrix src = Matrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix dst(2, 3);
+  dst.CopyRowFrom(src, 1, 0);
+  EXPECT_FLOAT_EQ(dst(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(dst(0, 2), 6.0f);
+}
+
+TEST(MatrixTest, AllCloseToleratesSmallDiffs) {
+  Matrix a = Matrix::FromVector(1, 2, {1.0f, 2.0f});
+  Matrix b = Matrix::FromVector(1, 2, {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(AllClose(a, b));
+  Matrix c = Matrix::FromVector(1, 2, {1.1f, 2.0f});
+  EXPECT_FALSE(AllClose(a, c));
+  Matrix d(2, 1);
+  EXPECT_FALSE(AllClose(a, d));
+}
+
+TEST(MatrixTest, DebugStringTruncates) {
+  Matrix m(10, 10);
+  std::string s = m.DebugString(2, 2);
+  EXPECT_NE(s.find("10x10"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace darec::tensor

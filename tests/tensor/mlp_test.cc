@@ -1,0 +1,94 @@
+#include "tensor/mlp.h"
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/optim.h"
+#include "test_util.h"
+
+namespace darec::tensor {
+namespace {
+
+TEST(MlpTest, ShapesAndParamCount) {
+  core::Rng rng(1);
+  Mlp mlp({8, 16, 4}, rng);
+  EXPECT_EQ(mlp.input_dim(), 8);
+  EXPECT_EQ(mlp.output_dim(), 4);
+  // Two layers -> 2 weights + 2 biases.
+  EXPECT_EQ(mlp.Params().size(), 4u);
+
+  Variable x = Variable::Constant(Matrix::Full(5, 8, 0.5f));
+  Variable y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(MlpTest, SingleLayerIsAffine) {
+  core::Rng rng(2);
+  Mlp mlp({3, 2}, rng);
+  // f(x1 + x2) + f(0) == f(x1) + f(x2) for affine maps.
+  Matrix x1 = Matrix::FromVector(1, 3, {1, 2, 3});
+  Matrix x2 = Matrix::FromVector(1, 3, {-2, 0.5, 1});
+  Matrix zero(1, 3);
+  Matrix lhs = Add(mlp.Forward(Variable::Constant(Add(x1, x2))).value(),
+                   mlp.Forward(Variable::Constant(zero)).value());
+  Matrix rhs = Add(mlp.Forward(Variable::Constant(x1)).value(),
+                   mlp.Forward(Variable::Constant(x2)).value());
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f));
+}
+
+TEST(MlpTest, GradientsFlowToAllParams) {
+  core::Rng rng(3);
+  Mlp mlp({4, 6, 2}, rng);
+  Variable x = Variable::Constant(Matrix::Full(3, 4, 0.7f));
+  Backward(SumSquares(mlp.Forward(x)));
+  for (const Variable& p : mlp.Params()) {
+    EXPECT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(MlpTest, GradientCheck) {
+  core::Rng rng(4);
+  Mlp mlp({3, 5, 2}, rng, Activation::kTanh);
+  Matrix input = Matrix::FromVector(2, 3, {0.3f, -0.2f, 0.8f, 0.1f, 0.6f, -0.5f});
+  darec::testing::ExpectGradientsMatch(
+      [&](const std::vector<Variable>&) {
+        return SumSquares(mlp.Forward(Variable::Constant(input)));
+      },
+      mlp.Params());
+}
+
+TEST(MlpTest, LearnsXor) {
+  core::Rng rng(5);
+  Mlp mlp({2, 8, 1}, rng, Activation::kTanh);
+  Matrix inputs = Matrix::FromVector(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  Matrix targets = Matrix::FromVector(4, 1, {0, 1, 1, 0});
+  Adam adam(mlp.Params(), 0.05f);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 500; ++step) {
+    adam.ZeroGrad();
+    Variable pred = Sigmoid(mlp.Forward(Variable::Constant(inputs)));
+    Variable loss = MseLoss(pred, Variable::Constant(targets));
+    if (step == 0) first_loss = loss.scalar();
+    last_loss = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.1f);
+  EXPECT_LT(last_loss, 0.03f);
+}
+
+TEST(MlpTest, FinalActivationApplied) {
+  core::Rng rng(6);
+  Mlp sigmoid_out({2, 2}, rng, Activation::kSigmoid, /*final_activation=*/true);
+  Variable x = Variable::Constant(Matrix::Full(4, 2, 10.0f));
+  Variable y = sigmoid_out.Forward(x);
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    for (int64_t c = 0; c < y.cols(); ++c) {
+      EXPECT_GE(y.value()(r, c), 0.0f);
+      EXPECT_LE(y.value()(r, c), 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace darec::tensor

@@ -1,0 +1,170 @@
+// Property-style sweeps over shapes/seeds for the tensor layer: algebraic
+// identities of the raw kernels and structural contracts of the autograd
+// ops that the model code relies on.
+#include <cmath>
+#include <tuple>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace darec::tensor {
+namespace {
+
+using ShapeParam = std::tuple<int64_t, int64_t>;
+
+class MatrixAlgebraTest : public ::testing::TestWithParam<ShapeParam> {
+ protected:
+  Matrix Random(int64_t rows, int64_t cols, uint64_t seed) {
+    core::Rng rng(seed);
+    return RandomNormal(rows, cols, 1.0f, rng);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatrixAlgebraTest,
+                         ::testing::Values(ShapeParam{1, 1}, ShapeParam{1, 7},
+                                           ShapeParam{5, 1}, ShapeParam{3, 4},
+                                           ShapeParam{8, 8}, ShapeParam{17, 3}));
+
+TEST_P(MatrixAlgebraTest, TransposeIsInvolution) {
+  auto [rows, cols] = GetParam();
+  Matrix a = Random(rows, cols, 1);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a)), a));
+}
+
+TEST_P(MatrixAlgebraTest, AddIsCommutative) {
+  auto [rows, cols] = GetParam();
+  Matrix a = Random(rows, cols, 2);
+  Matrix b = Random(rows, cols, 3);
+  EXPECT_TRUE(AllClose(Add(a, b), Add(b, a)));
+}
+
+TEST_P(MatrixAlgebraTest, MatMulDistributesOverAdd) {
+  auto [rows, cols] = GetParam();
+  Matrix a = Random(rows, cols, 4);
+  Matrix b = Random(cols, 5, 5);
+  Matrix c = Random(cols, 5, 6);
+  Matrix lhs = MatMul(a, Add(b, c));
+  Matrix rhs = Add(MatMul(a, b), MatMul(a, c));
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-3f));
+}
+
+TEST_P(MatrixAlgebraTest, TransposeOfProduct) {
+  auto [rows, cols] = GetParam();
+  Matrix a = Random(rows, cols, 7);
+  Matrix b = Random(cols, 6, 8);
+  EXPECT_TRUE(AllClose(Transpose(MatMul(a, b)),
+                       MatMul(Transpose(b), Transpose(a)), 1e-3f));
+}
+
+TEST_P(MatrixAlgebraTest, RowNormalizeIsIdempotent) {
+  auto [rows, cols] = GetParam();
+  Matrix a = Random(rows, cols, 9);
+  Matrix once = RowNormalize(a);
+  Matrix twice = RowNormalize(once);
+  EXPECT_TRUE(AllClose(once, twice, 1e-4f));
+  Matrix norms = RowNorms(once);
+  for (int64_t r = 0; r < rows; ++r) EXPECT_NEAR(norms(r, 0), 1.0f, 1e-4f);
+}
+
+TEST_P(MatrixAlgebraTest, PairwiseDistancesDiagonalZeroSymmetric) {
+  auto [rows, cols] = GetParam();
+  Matrix a = Random(rows, cols, 10);
+  Matrix d = PairwiseSquaredDistances(a, a);
+  for (int64_t i = 0; i < rows; ++i) {
+    EXPECT_NEAR(d(i, i), 0.0f, 1e-4f);
+    for (int64_t j = 0; j < rows; ++j) {
+      EXPECT_NEAR(d(i, j), d(j, i), 1e-3f);
+      EXPECT_GE(d(i, j), -1e-5f);
+    }
+  }
+}
+
+TEST_P(MatrixAlgebraTest, SumSquaresMatchesHadamardSum) {
+  auto [rows, cols] = GetParam();
+  Matrix a = Random(rows, cols, 11);
+  EXPECT_NEAR(SumSquares(a), SumAll(Hadamard(a, a)), 1e-3f * a.size());
+}
+
+class OpsContractTest : public ::testing::TestWithParam<int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OpsContractTest, ::testing::Values(2, 3, 8, 16));
+
+TEST_P(OpsContractTest, SoftmaxRowsSumToOne) {
+  core::Rng rng(GetParam());
+  Variable x = Variable::Constant(RandomNormal(GetParam(), 6, 2.0f, rng));
+  Variable y = SoftmaxRows(x);
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < y.cols(); ++c) {
+      sum += y.value()(r, c);
+      EXPECT_GE(y.value()(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST_P(OpsContractTest, RowLogSumExpUpperBoundsMax) {
+  core::Rng rng(100 + GetParam());
+  Variable x = Variable::Constant(RandomNormal(GetParam(), 5, 3.0f, rng));
+  Variable lse = RowLogSumExp(x);
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    float max_v = x.value()(r, 0);
+    for (int64_t c = 1; c < x.cols(); ++c) max_v = std::max(max_v, x.value()(r, c));
+    EXPECT_GE(lse.value()(r, 0), max_v - 1e-5f);
+    EXPECT_LE(lse.value()(r, 0),
+              max_v + std::log(static_cast<float>(x.cols())) + 1e-5f);
+  }
+}
+
+TEST_P(OpsContractTest, InfoNceLowerBoundIsZero) {
+  // InfoNCE >= 0 is false in general, but it is bounded below by
+  // -log(B)/... practical contract: aligned inputs give the minimum over
+  // random perturbations of one side.
+  core::Rng rng(200 + GetParam());
+  Matrix base = RandomNormal(GetParam(), 8, 1.0f, rng);
+  Variable a = Variable::Constant(base);
+  float aligned = InfoNceLoss(a, Variable::Constant(base), 0.2f).scalar();
+  Matrix noisy = Add(base, RandomNormal(GetParam(), 8, 1.0f, rng));
+  float perturbed = InfoNceLoss(a, Variable::Constant(noisy), 0.2f).scalar();
+  EXPECT_LE(aligned, perturbed + 1e-4f);
+}
+
+TEST_P(OpsContractTest, GatherThenConcatRoundTrip) {
+  core::Rng rng(300 + GetParam());
+  const int64_t n = GetParam() + 2;
+  Variable x = Variable::Constant(RandomNormal(n, 4, 1.0f, rng));
+  Variable top = SliceRows(x, 0, 2);
+  Variable rest = SliceRows(x, 2, n - 2);
+  Variable rebuilt = ConcatRows(top, rest);
+  EXPECT_TRUE(AllClose(rebuilt.value(), x.value()));
+
+  std::vector<int64_t> all(n);
+  for (int64_t i = 0; i < n; ++i) all[i] = i;
+  EXPECT_TRUE(AllClose(GatherRows(x, all).value(), x.value()));
+}
+
+TEST_P(OpsContractTest, MseLossZeroOnIdenticalInputs) {
+  core::Rng rng(400 + GetParam());
+  Matrix m = RandomNormal(GetParam(), 3, 1.0f, rng);
+  EXPECT_NEAR(MseLoss(Variable::Constant(m), Variable::Constant(m)).scalar(), 0.0f,
+              1e-7f);
+}
+
+TEST_P(OpsContractTest, BprLossMonotoneInMargin) {
+  const int64_t n = GetParam();
+  Variable neg = Variable::Constant(Matrix(n, 1));
+  float previous = 1e9f;
+  for (float margin : {-2.0f, -0.5f, 0.0f, 0.5f, 2.0f}) {
+    Variable pos = Variable::Constant(Matrix::Full(n, 1, margin));
+    float loss = BprLoss(pos, neg).scalar();
+    EXPECT_LT(loss, previous);
+    previous = loss;
+  }
+}
+
+}  // namespace
+}  // namespace darec::tensor

@@ -1,0 +1,94 @@
+#include "tensor/svd.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace darec::tensor {
+namespace {
+
+TEST(SvdTest, ExactOnLowRankMatrix) {
+  // Build a rank-2 matrix A = a₁ b₁ᵀ + a₂ b₂ᵀ as a sparse matrix; rank-2
+  // truncated SVD must reconstruct it (near) exactly.
+  core::Rng rng(1);
+  Matrix a = RandomNormal(12, 2, 1.0f, rng);
+  Matrix b = RandomNormal(9, 2, 1.0f, rng);
+  Matrix dense = MatMul(a, b, false, true);
+  std::vector<Triplet> triplets;
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      triplets.push_back({r, c, dense(r, c)});
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromTriplets(12, 9, std::move(triplets));
+  core::Rng svd_rng(2);
+  TruncatedSvd svd = ComputeTruncatedSvd(sparse, 2, 8, svd_rng);
+  EXPECT_TRUE(AllClose(SvdReconstruct(svd), dense, 1e-3f));
+}
+
+TEST(SvdTest, SingularValuesSortedNonNegative) {
+  core::Rng rng(3);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 120; ++i) {
+    triplets.push_back({rng.UniformInt(20), rng.UniformInt(15),
+                        static_cast<float>(rng.Normal())});
+  }
+  CsrMatrix sparse = CsrMatrix::FromTriplets(20, 15, std::move(triplets));
+  TruncatedSvd svd = ComputeTruncatedSvd(sparse, 5, 8, rng);
+  for (size_t k = 0; k < svd.singular_values.size(); ++k) {
+    EXPECT_GE(svd.singular_values[k], 0.0f);
+    if (k > 0) {
+      EXPECT_LE(svd.singular_values[k], svd.singular_values[k - 1] + 1e-4f);
+    }
+  }
+}
+
+TEST(SvdTest, ColumnsOrthonormal) {
+  core::Rng rng(4);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 200; ++i) {
+    triplets.push_back({rng.UniformInt(25), rng.UniformInt(25),
+                        static_cast<float>(rng.Normal())});
+  }
+  CsrMatrix sparse = CsrMatrix::FromTriplets(25, 25, std::move(triplets));
+  TruncatedSvd svd = ComputeTruncatedSvd(sparse, 4, 8, rng);
+  Matrix utu = MatMul(svd.u, svd.u, true, false);
+  Matrix vtv = MatMul(svd.v, svd.v, true, false);
+  EXPECT_TRUE(AllClose(utu, Matrix::Identity(4), 2e-2f));
+  EXPECT_TRUE(AllClose(vtv, Matrix::Identity(4), 2e-2f));
+}
+
+TEST(SvdTest, LeadingValueMatchesPowerIteration) {
+  // Diagonal matrix: singular values are the |diagonal| entries.
+  std::vector<Triplet> triplets{{0, 0, 5.0f}, {1, 1, 3.0f}, {2, 2, 1.0f}};
+  CsrMatrix diag = CsrMatrix::FromTriplets(3, 3, std::move(triplets));
+  core::Rng rng(5);
+  TruncatedSvd svd = ComputeTruncatedSvd(diag, 2, 12, rng);
+  EXPECT_NEAR(svd.singular_values[0], 5.0f, 1e-3f);
+  EXPECT_NEAR(svd.singular_values[1], 3.0f, 1e-3f);
+}
+
+TEST(SvdTest, BestLowRankApproximation) {
+  // Reconstruction error must not exceed the energy in the dropped tail
+  // (Eckart–Young, up to iteration tolerance).
+  core::Rng rng(6);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 300; ++i) {
+    triplets.push_back({rng.UniformInt(30), rng.UniformInt(30),
+                        static_cast<float>(rng.Normal())});
+  }
+  CsrMatrix sparse = CsrMatrix::FromTriplets(30, 30, std::move(triplets));
+  Matrix dense = sparse.ToDense();
+  TruncatedSvd svd = ComputeTruncatedSvd(sparse, 10, 10, rng);
+  const float err = SumSquares(Sub(dense, SvdReconstruct(svd)));
+  const float total = SumSquares(dense);
+  double kept = 0.0;
+  for (float s : svd.singular_values) kept += double(s) * s;
+  EXPECT_NEAR(err, total - static_cast<float>(kept), 0.05f * total);
+  EXPECT_LT(err, total);
+}
+
+}  // namespace
+}  // namespace darec::tensor

@@ -1,0 +1,171 @@
+#include "theory/theorem1.h"
+#include "theory/theorem2.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "theory/info.h"
+
+namespace darec::theory {
+namespace {
+
+using tensor::Matrix;
+
+TEST(InfoTest, EntropyBasics) {
+  EXPECT_NEAR(Entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Entropy({1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(Entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+  // Unnormalized input is renormalized.
+  EXPECT_NEAR(Entropy({2.0, 2.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(Entropy({0.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(InfoTest, MutualInformationIndependent) {
+  // Independent uniform bits: I = 0.
+  Matrix joint = Matrix::Full(2, 2, 0.25f);
+  EXPECT_NEAR(MutualInformation(joint), 0.0, 1e-6);
+}
+
+TEST(InfoTest, MutualInformationPerfectlyCorrelated) {
+  Matrix joint(2, 2);
+  joint(0, 0) = 0.5f;
+  joint(1, 1) = 0.5f;
+  EXPECT_NEAR(MutualInformation(joint), std::log(2.0), 1e-6);
+}
+
+TEST(InfoTest, MutualInformationBinarySymmetricChannel) {
+  // X fair, Y = X flipped with prob 0.1:
+  // I = ln2 - H_b(0.1) in nats.
+  const double e = 0.1;
+  Matrix joint(2, 2);
+  joint(0, 0) = static_cast<float>(0.5 * (1 - e));
+  joint(0, 1) = static_cast<float>(0.5 * e);
+  joint(1, 0) = static_cast<float>(0.5 * e);
+  joint(1, 1) = static_cast<float>(0.5 * (1 - e));
+  const double hb = -e * std::log(e) - (1 - e) * std::log(1 - e);
+  EXPECT_NEAR(MutualInformation(joint), std::log(2.0) - hb, 1e-6);
+}
+
+TEST(InfoTest, ConditionalEntropyChainRule) {
+  Matrix joint(2, 2);
+  joint(0, 0) = 0.4f;
+  joint(0, 1) = 0.1f;
+  joint(1, 0) = 0.2f;
+  joint(1, 1) = 0.3f;
+  std::vector<double> flat{0.4, 0.1, 0.2, 0.3};
+  const double h_joint = Entropy(flat);
+  const double h_x = Entropy(RowMarginal(joint));
+  const double h_y = Entropy(ColMarginal(joint));
+  EXPECT_NEAR(ConditionalEntropy(joint), h_joint - h_x, 1e-9);
+  // I(X;Y) = H(Y) - H(Y|X).
+  EXPECT_NEAR(MutualInformation(joint), h_y - ConditionalEntropy(joint), 1e-6);
+}
+
+TEST(DiscreteWorldTest, ProbabilitiesSumToOne) {
+  DiscreteWorld world = MakeDiscreteWorld(DiscreteWorldOptions{});
+  double total = 0.0;
+  for (double p : world.p) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DiscreteWorldTest, NoiseOrdersInformativeness) {
+  DiscreteWorldOptions options;
+  options.d_noise = 0.05;
+  options.dp_noise = 0.30;
+  DiscreteWorld world = MakeDiscreteWorld(options);
+  const double i_d = MutualInformation(world.JointDY());
+  const double i_dp = MutualInformation(world.JointDpY());
+  EXPECT_GT(i_d, i_dp);
+  EXPECT_GT(i_d, 0.3);   // 5% channel keeps most of ln2.
+  EXPECT_GT(i_dp, 0.01);
+}
+
+TEST(Theorem1Test, BoundHoldsAcrossCouplings) {
+  for (double coupling : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    DiscreteWorldOptions options;
+    options.coupling = coupling;
+    DiscreteWorld world = MakeDiscreteWorld(options);
+    Theorem1Result result = VerifyTheorem1(world, /*code_cardinality=*/2);
+    EXPECT_TRUE(result.bound_holds)
+        << "coupling=" << coupling << " excess=" << result.excess_risk
+        << " delta_p=" << result.delta_p;
+    EXPECT_GE(result.best_aligned_risk, result.h_y_given_inputs - 1e-9);
+  }
+}
+
+TEST(Theorem1Test, IndependentInputsForceConstantEncoder) {
+  // With coupling 0 the support of p(d, d') is full, so exactly aligned
+  // encoders are constant and H(Y|E) = H(Y) = ln 2.
+  DiscreteWorldOptions options;
+  options.coupling = 0.0;
+  Theorem1Result result = VerifyTheorem1(MakeDiscreteWorld(options), 2);
+  EXPECT_NEAR(result.best_aligned_risk, std::log(2.0), 1e-6);
+  EXPECT_GT(result.excess_risk, result.delta_p);
+}
+
+TEST(Theorem1Test, FullyCoupledInputsAlignCheaply) {
+  // With coupling 1, D' carries the same observation as D; an aligned
+  // encoder can read it, so the excess risk is (near) zero, and Δp = 0.
+  DiscreteWorldOptions options;
+  options.coupling = 1.0;
+  options.dp_noise = options.d_noise;  // Same channel by construction.
+  Theorem1Result result = VerifyTheorem1(MakeDiscreteWorld(options), 2);
+  EXPECT_NEAR(result.delta_p, 0.0, 1e-6);
+  EXPECT_NEAR(result.excess_risk, 0.0, 1e-6);
+}
+
+TEST(Theorem1Test, GapGrowsWithModalityNoiseAndBoundTightens) {
+  // Larger dp_noise -> larger Δp. The measured excess risk (ln 2 −
+  // H(Y|D,D') for independent inputs) stays above Δp throughout, with the
+  // slack shrinking as the weak modality degrades.
+  double prev_delta = -1.0;
+  double prev_slack = 1e9;
+  for (double dp_noise : {0.10, 0.25, 0.45}) {
+    DiscreteWorldOptions options;
+    options.coupling = 0.0;
+    options.dp_noise = dp_noise;
+    Theorem1Result result = VerifyTheorem1(MakeDiscreteWorld(options), 2);
+    EXPECT_GT(result.delta_p, prev_delta);
+    const double slack = result.excess_risk - result.delta_p;
+    EXPECT_GE(slack, -1e-9);
+    EXPECT_LT(slack, prev_slack);
+    prev_delta = result.delta_p;
+    prev_slack = slack;
+  }
+}
+
+TEST(Theorem2Test, DisentangledKeepsMoreRelevantInformation) {
+  for (double coupling : {0.0, 0.5}) {
+    DiscreteWorldOptions options;
+    options.coupling = coupling;
+    Theorem2Result result = VerifyTheorem2(MakeDiscreteWorld(options), 2);
+    EXPECT_TRUE(result.more_relevant) << "coupling=" << coupling;
+    EXPECT_TRUE(result.less_irrelevant) << "coupling=" << coupling;
+  }
+}
+
+TEST(Theorem2Test, DisentangledRecoversAllTaskInformation) {
+  // The shared observation o_d is a sufficient statistic of D for Y, so
+  // I(Ê;Y) == I(D;Y) exactly.
+  Theorem2Result result = VerifyTheorem2(MakeDiscreteWorld(DiscreteWorldOptions{}), 2);
+  EXPECT_NEAR(result.relevant_disentangled, result.relevant_input, 1e-9);
+}
+
+TEST(Theorem2Test, DisentangledStripsNuisanceBit) {
+  // D carries one uniform nuisance bit on top of the observation:
+  // H(D|Y) - H(Ê|Y) == ln 2.
+  Theorem2Result result = VerifyTheorem2(MakeDiscreteWorld(DiscreteWorldOptions{}), 2);
+  EXPECT_NEAR(result.irrelevant_input - result.irrelevant_disentangled,
+              std::log(2.0), 1e-6);
+}
+
+TEST(Theorem2Test, AlignedLosesInformationWhenDecoupled) {
+  DiscreteWorldOptions options;
+  options.coupling = 0.0;  // Full-support joint -> aligned encoders constant.
+  Theorem2Result result = VerifyTheorem2(MakeDiscreteWorld(options), 2);
+  EXPECT_NEAR(result.relevant_aligned, 0.0, 1e-6);
+  EXPECT_GT(result.relevant_disentangled, 0.3);
+}
+
+}  // namespace
+}  // namespace darec::theory

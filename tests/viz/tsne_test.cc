@@ -1,0 +1,121 @@
+#include "viz/tsne.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace darec::viz {
+namespace {
+
+using tensor::Matrix;
+
+/// Two well-separated blobs in 10-D.
+Matrix MakeBlobs(core::Rng& rng, int64_t per_blob) {
+  Matrix points(2 * per_blob, 10);
+  for (int64_t i = 0; i < 2 * per_blob; ++i) {
+    const float offset = i < per_blob ? 4.0f : -4.0f;
+    for (int64_t c = 0; c < 10; ++c) {
+      points(i, c) = (c == 0 ? offset : 0.0f) +
+                     static_cast<float>(rng.Normal(0.0, 0.3));
+    }
+  }
+  return points;
+}
+
+TsneOptions FastOptions() {
+  TsneOptions options;
+  options.iterations = 150;
+  options.perplexity = 10.0;
+  options.exaggeration_iters = 40;
+  return options;
+}
+
+TEST(TsneTest, OutputShape) {
+  core::Rng rng(1);
+  Matrix points = MakeBlobs(rng, 40);
+  Matrix embedding = RunTsne(points, FastOptions());
+  EXPECT_EQ(embedding.rows(), 80);
+  EXPECT_EQ(embedding.cols(), 2);
+}
+
+TEST(TsneTest, SeparatedBlobsStaySeparated) {
+  core::Rng rng(2);
+  const int64_t per_blob = 40;
+  Matrix points = MakeBlobs(rng, per_blob);
+  Matrix embedding = RunTsne(points, FastOptions());
+
+  // Mean intra-blob distance must be well below inter-blob distance.
+  auto mean_dist = [&](int64_t a_begin, int64_t a_end, int64_t b_begin,
+                       int64_t b_end) {
+    double total = 0.0;
+    int64_t count = 0;
+    for (int64_t i = a_begin; i < a_end; ++i) {
+      for (int64_t j = b_begin; j < b_end; ++j) {
+        if (i == j) continue;
+        const double dx = double(embedding(i, 0)) - embedding(j, 0);
+        const double dy = double(embedding(i, 1)) - embedding(j, 1);
+        total += std::sqrt(dx * dx + dy * dy);
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  const double intra = (mean_dist(0, per_blob, 0, per_blob) +
+                        mean_dist(per_blob, 2 * per_blob, per_blob, 2 * per_blob)) /
+                       2.0;
+  const double inter = mean_dist(0, per_blob, per_blob, 2 * per_blob);
+  EXPECT_GT(inter, 1.5 * intra);
+}
+
+TEST(TsneTest, EmbeddingIsCentered) {
+  core::Rng rng(3);
+  Matrix points = MakeBlobs(rng, 30);
+  Matrix embedding = RunTsne(points, FastOptions());
+  for (int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < embedding.rows(); ++i) mean += embedding(i, c);
+    mean /= static_cast<double>(embedding.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+  }
+}
+
+TEST(TsneTest, DeterministicPerSeed) {
+  core::Rng rng(4);
+  Matrix points = MakeBlobs(rng, 20);
+  TsneOptions options = FastOptions();
+  options.iterations = 50;
+  Matrix a = RunTsne(points, options);
+  Matrix b = RunTsne(points, options);
+  EXPECT_TRUE(tensor::AllClose(a, b));
+}
+
+TEST(WriteEmbeddingCsvTest, WritesRowsWithLabels) {
+  Matrix embedding = Matrix::FromVector(2, 2, {1.5f, -2.0f, 3.0f, 4.0f});
+  const std::string path = ::testing::TempDir() + "/tsne_test.csv";
+  auto status = WriteEmbeddingCsv(path, embedding, {7, 9});
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "1.5,-2,7");
+  EXPECT_EQ(line2, "3,4,9");
+  std::remove(path.c_str());
+}
+
+TEST(WriteEmbeddingCsvTest, RejectsMismatchedLabels) {
+  Matrix embedding(3, 2);
+  EXPECT_FALSE(WriteEmbeddingCsv("/tmp/x.csv", embedding, {1}).ok());
+}
+
+TEST(WriteEmbeddingCsvTest, RejectsUnwritablePath) {
+  Matrix embedding(1, 2);
+  EXPECT_FALSE(WriteEmbeddingCsv("/nonexistent_dir/x.csv", embedding, {}).ok());
+}
+
+}  // namespace
+}  // namespace darec::viz
