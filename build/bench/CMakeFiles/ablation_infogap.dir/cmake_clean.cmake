@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_infogap.dir/ablation_infogap.cc.o"
+  "CMakeFiles/ablation_infogap.dir/ablation_infogap.cc.o.d"
+  "ablation_infogap"
+  "ablation_infogap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_infogap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libdarec_bench_util.a"
+  "../lib/libdarec_bench_util.pdb"
+  "CMakeFiles/darec_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/darec_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

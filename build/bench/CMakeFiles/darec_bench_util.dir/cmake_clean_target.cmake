@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libdarec_bench_util.a"
+)

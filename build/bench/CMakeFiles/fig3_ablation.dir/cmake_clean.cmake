@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ablation.dir/fig3_ablation.cc.o"
+  "CMakeFiles/fig3_ablation.dir/fig3_ablation.cc.o.d"
+  "fig3_ablation"
+  "fig3_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_k_sensitivity.dir/fig4_k_sensitivity.cc.o"
+  "CMakeFiles/fig4_k_sensitivity.dir/fig4_k_sensitivity.cc.o.d"
+  "fig4_k_sensitivity"
+  "fig4_k_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_k_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lambda_sensitivity.dir/fig5_lambda_sensitivity.cc.o"
+  "CMakeFiles/fig5_lambda_sensitivity.dir/fig5_lambda_sensitivity.cc.o.d"
+  "fig5_lambda_sensitivity"
+  "fig5_lambda_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lambda_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tsne.dir/fig6_tsne.cc.o"
+  "CMakeFiles/fig6_tsne.dir/fig6_tsne.cc.o.d"
+  "fig6_tsne"
+  "fig6_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

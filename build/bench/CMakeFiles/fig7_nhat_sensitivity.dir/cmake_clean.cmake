@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nhat_sensitivity.dir/fig7_nhat_sensitivity.cc.o"
+  "CMakeFiles/fig7_nhat_sensitivity.dir/fig7_nhat_sensitivity.cc.o.d"
+  "fig7_nhat_sensitivity"
+  "fig7_nhat_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nhat_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_losses.cc" "bench/CMakeFiles/micro_losses.dir/micro_losses.cc.o" "gcc" "bench/CMakeFiles/micro_losses.dir/micro_losses.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darec/CMakeFiles/darec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/darec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/darec_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/darec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/darec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

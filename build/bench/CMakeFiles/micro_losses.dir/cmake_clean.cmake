@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_losses.dir/micro_losses.cc.o"
+  "CMakeFiles/micro_losses.dir/micro_losses.cc.o.d"
+  "micro_losses"
+  "micro_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

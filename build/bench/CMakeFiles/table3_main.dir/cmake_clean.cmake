@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_main.dir/table3_main.cc.o"
+  "CMakeFiles/table3_main.dir/table3_main.cc.o.d"
+  "table3_main"
+  "table3_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

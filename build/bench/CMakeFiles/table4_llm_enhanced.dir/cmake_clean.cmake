@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_llm_enhanced.dir/table4_llm_enhanced.cc.o"
+  "CMakeFiles/table4_llm_enhanced.dir/table4_llm_enhanced.cc.o.d"
+  "table4_llm_enhanced"
+  "table4_llm_enhanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_llm_enhanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm1_infogap.dir/thm1_infogap.cc.o"
+  "CMakeFiles/thm1_infogap.dir/thm1_infogap.cc.o.d"
+  "thm1_infogap"
+  "thm1_infogap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm1_infogap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

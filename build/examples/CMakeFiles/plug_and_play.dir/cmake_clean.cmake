@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plug_and_play.dir/plug_and_play.cpp.o"
+  "CMakeFiles/plug_and_play.dir/plug_and_play.cpp.o.d"
+  "plug_and_play"
+  "plug_and_play.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plug_and_play.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

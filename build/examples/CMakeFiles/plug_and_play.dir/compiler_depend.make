@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for plug_and_play.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for plug_and_play.
+# This may be replaced when dependencies are built.

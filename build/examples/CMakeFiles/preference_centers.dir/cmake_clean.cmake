@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_centers.dir/preference_centers.cpp.o"
+  "CMakeFiles/preference_centers.dir/preference_centers.cpp.o.d"
+  "preference_centers"
+  "preference_centers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_centers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

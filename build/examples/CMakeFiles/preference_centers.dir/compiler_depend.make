@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for preference_centers.
+# This may be replaced when dependencies are built.

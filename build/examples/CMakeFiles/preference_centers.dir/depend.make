@@ -1,0 +1,2 @@
+# Empty dependencies file for preference_centers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_recommendations.dir/serve_recommendations.cpp.o"
+  "CMakeFiles/serve_recommendations.dir/serve_recommendations.cpp.o.d"
+  "serve_recommendations"
+  "serve_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/theorem1_demo.cpp" "examples/CMakeFiles/theorem1_demo.dir/theorem1_demo.cpp.o" "gcc" "examples/CMakeFiles/theorem1_demo.dir/theorem1_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/darec_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/darec_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/darec_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/darec_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/darec_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/darec_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/darec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/darec/CMakeFiles/darec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/darec_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/darec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/darec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/darec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/darec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/darec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_demo.dir/theorem1_demo.cpp.o"
+  "CMakeFiles/theorem1_demo.dir/theorem1_demo.cpp.o.d"
+  "theorem1_demo"
+  "theorem1_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

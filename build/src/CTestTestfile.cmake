@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("tensor")
+subdirs("data")
+subdirs("graph")
+subdirs("llm")
+subdirs("cluster")
+subdirs("cf")
+subdirs("align")
+subdirs("darec")
+subdirs("viz")
+subdirs("eval")
+subdirs("serve")
+subdirs("theory")
+subdirs("pipeline")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/controlrec.cc" "src/align/CMakeFiles/darec_align.dir/controlrec.cc.o" "gcc" "src/align/CMakeFiles/darec_align.dir/controlrec.cc.o.d"
+  "/root/repo/src/align/ctrl.cc" "src/align/CMakeFiles/darec_align.dir/ctrl.cc.o" "gcc" "src/align/CMakeFiles/darec_align.dir/ctrl.cc.o.d"
+  "/root/repo/src/align/kar.cc" "src/align/CMakeFiles/darec_align.dir/kar.cc.o" "gcc" "src/align/CMakeFiles/darec_align.dir/kar.cc.o.d"
+  "/root/repo/src/align/rlmrec.cc" "src/align/CMakeFiles/darec_align.dir/rlmrec.cc.o" "gcc" "src/align/CMakeFiles/darec_align.dir/rlmrec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/darec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/darec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

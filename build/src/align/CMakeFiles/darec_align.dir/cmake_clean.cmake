@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_align.dir/controlrec.cc.o"
+  "CMakeFiles/darec_align.dir/controlrec.cc.o.d"
+  "CMakeFiles/darec_align.dir/ctrl.cc.o"
+  "CMakeFiles/darec_align.dir/ctrl.cc.o.d"
+  "CMakeFiles/darec_align.dir/kar.cc.o"
+  "CMakeFiles/darec_align.dir/kar.cc.o.d"
+  "CMakeFiles/darec_align.dir/rlmrec.cc.o"
+  "CMakeFiles/darec_align.dir/rlmrec.cc.o.d"
+  "libdarec_align.a"
+  "libdarec_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

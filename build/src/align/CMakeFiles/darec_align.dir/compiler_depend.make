@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for darec_align.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_cf.dir/backbone.cc.o"
+  "CMakeFiles/darec_cf.dir/backbone.cc.o.d"
+  "CMakeFiles/darec_cf.dir/registry.cc.o"
+  "CMakeFiles/darec_cf.dir/registry.cc.o.d"
+  "libdarec_cf.a"
+  "libdarec_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/darec_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/darec_cluster.dir/silhouette.cc.o"
+  "CMakeFiles/darec_cluster.dir/silhouette.cc.o.d"
+  "libdarec_cluster.a"
+  "libdarec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

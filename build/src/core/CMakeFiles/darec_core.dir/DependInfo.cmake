@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/darec_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/darec_core.dir/config.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/core/CMakeFiles/darec_core.dir/logging.cc.o" "gcc" "src/core/CMakeFiles/darec_core.dir/logging.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/darec_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/darec_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/darec_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/darec_core.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_core.dir/config.cc.o"
+  "CMakeFiles/darec_core.dir/config.cc.o.d"
+  "CMakeFiles/darec_core.dir/logging.cc.o"
+  "CMakeFiles/darec_core.dir/logging.cc.o.d"
+  "CMakeFiles/darec_core.dir/rng.cc.o"
+  "CMakeFiles/darec_core.dir/rng.cc.o.d"
+  "CMakeFiles/darec_core.dir/status.cc.o"
+  "CMakeFiles/darec_core.dir/status.cc.o.d"
+  "libdarec_core.a"
+  "libdarec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

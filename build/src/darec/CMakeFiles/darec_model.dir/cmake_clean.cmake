@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_model.dir/darec.cc.o"
+  "CMakeFiles/darec_model.dir/darec.cc.o.d"
+  "CMakeFiles/darec_model.dir/losses.cc.o"
+  "CMakeFiles/darec_model.dir/losses.cc.o.d"
+  "CMakeFiles/darec_model.dir/matching.cc.o"
+  "CMakeFiles/darec_model.dir/matching.cc.o.d"
+  "libdarec_model.a"
+  "libdarec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/darec_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/darec_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/darec_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/darec_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/data/CMakeFiles/darec_data.dir/presets.cc.o" "gcc" "src/data/CMakeFiles/darec_data.dir/presets.cc.o.d"
+  "/root/repo/src/data/sampler.cc" "src/data/CMakeFiles/darec_data.dir/sampler.cc.o" "gcc" "src/data/CMakeFiles/darec_data.dir/sampler.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/darec_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/darec_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/darec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/darec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_data.dir/csv_loader.cc.o"
+  "CMakeFiles/darec_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/darec_data.dir/dataset.cc.o"
+  "CMakeFiles/darec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/darec_data.dir/presets.cc.o"
+  "CMakeFiles/darec_data.dir/presets.cc.o.d"
+  "CMakeFiles/darec_data.dir/sampler.cc.o"
+  "CMakeFiles/darec_data.dir/sampler.cc.o.d"
+  "CMakeFiles/darec_data.dir/synthetic.cc.o"
+  "CMakeFiles/darec_data.dir/synthetic.cc.o.d"
+  "libdarec_data.a"
+  "libdarec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

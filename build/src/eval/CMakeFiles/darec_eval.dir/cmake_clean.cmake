@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_eval.dir/metrics.cc.o"
+  "CMakeFiles/darec_eval.dir/metrics.cc.o.d"
+  "libdarec_eval.a"
+  "libdarec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_graph.dir/bipartite.cc.o"
+  "CMakeFiles/darec_graph.dir/bipartite.cc.o.d"
+  "libdarec_graph.a"
+  "libdarec_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

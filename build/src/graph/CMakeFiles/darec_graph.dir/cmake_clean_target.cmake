@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdarec_graph.a"
+)

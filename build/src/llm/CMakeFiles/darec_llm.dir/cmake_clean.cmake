@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_llm.dir/encoder.cc.o"
+  "CMakeFiles/darec_llm.dir/encoder.cc.o.d"
+  "CMakeFiles/darec_llm.dir/text_profile.cc.o"
+  "CMakeFiles/darec_llm.dir/text_profile.cc.o.d"
+  "libdarec_llm.a"
+  "libdarec_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_pipeline.dir/experiment.cc.o"
+  "CMakeFiles/darec_pipeline.dir/experiment.cc.o.d"
+  "CMakeFiles/darec_pipeline.dir/specs.cc.o"
+  "CMakeFiles/darec_pipeline.dir/specs.cc.o.d"
+  "CMakeFiles/darec_pipeline.dir/trainer.cc.o"
+  "CMakeFiles/darec_pipeline.dir/trainer.cc.o.d"
+  "libdarec_pipeline.a"
+  "libdarec_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_serve.dir/recommender.cc.o"
+  "CMakeFiles/darec_serve.dir/recommender.cc.o.d"
+  "libdarec_serve.a"
+  "libdarec_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

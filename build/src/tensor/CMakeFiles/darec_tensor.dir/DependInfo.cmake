@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/autograd.cc" "src/tensor/CMakeFiles/darec_tensor.dir/autograd.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/autograd.cc.o.d"
+  "/root/repo/src/tensor/csr.cc" "src/tensor/CMakeFiles/darec_tensor.dir/csr.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/csr.cc.o.d"
+  "/root/repo/src/tensor/init.cc" "src/tensor/CMakeFiles/darec_tensor.dir/init.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/init.cc.o.d"
+  "/root/repo/src/tensor/io.cc" "src/tensor/CMakeFiles/darec_tensor.dir/io.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/io.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/tensor/CMakeFiles/darec_tensor.dir/matrix.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/matrix.cc.o.d"
+  "/root/repo/src/tensor/mlp.cc" "src/tensor/CMakeFiles/darec_tensor.dir/mlp.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/mlp.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/darec_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/ops.cc.o.d"
+  "/root/repo/src/tensor/optim.cc" "src/tensor/CMakeFiles/darec_tensor.dir/optim.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/optim.cc.o.d"
+  "/root/repo/src/tensor/svd.cc" "src/tensor/CMakeFiles/darec_tensor.dir/svd.cc.o" "gcc" "src/tensor/CMakeFiles/darec_tensor.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/darec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_tensor.dir/autograd.cc.o"
+  "CMakeFiles/darec_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/csr.cc.o"
+  "CMakeFiles/darec_tensor.dir/csr.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/init.cc.o"
+  "CMakeFiles/darec_tensor.dir/init.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/io.cc.o"
+  "CMakeFiles/darec_tensor.dir/io.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/matrix.cc.o"
+  "CMakeFiles/darec_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/mlp.cc.o"
+  "CMakeFiles/darec_tensor.dir/mlp.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/ops.cc.o"
+  "CMakeFiles/darec_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/optim.cc.o"
+  "CMakeFiles/darec_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/darec_tensor.dir/svd.cc.o"
+  "CMakeFiles/darec_tensor.dir/svd.cc.o.d"
+  "libdarec_tensor.a"
+  "libdarec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

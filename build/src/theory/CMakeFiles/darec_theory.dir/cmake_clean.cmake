@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_theory.dir/info.cc.o"
+  "CMakeFiles/darec_theory.dir/info.cc.o.d"
+  "CMakeFiles/darec_theory.dir/theorem1.cc.o"
+  "CMakeFiles/darec_theory.dir/theorem1.cc.o.d"
+  "CMakeFiles/darec_theory.dir/theorem2.cc.o"
+  "CMakeFiles/darec_theory.dir/theorem2.cc.o.d"
+  "libdarec_theory.a"
+  "libdarec_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_viz.dir/tsne.cc.o"
+  "CMakeFiles/darec_viz.dir/tsne.cc.o.d"
+  "libdarec_viz.a"
+  "libdarec_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

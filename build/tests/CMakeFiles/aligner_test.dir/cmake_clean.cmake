@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aligner_test.dir/align/aligner_test.cc.o"
+  "CMakeFiles/aligner_test.dir/align/aligner_test.cc.o.d"
+  "aligner_test"
+  "aligner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aligner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

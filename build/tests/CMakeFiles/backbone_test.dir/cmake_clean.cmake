@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_test.dir/cf/backbone_test.cc.o"
+  "CMakeFiles/backbone_test.dir/cf/backbone_test.cc.o.d"
+  "backbone_test"
+  "backbone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

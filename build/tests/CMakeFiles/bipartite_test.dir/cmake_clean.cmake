@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipartite_test.dir/graph/bipartite_test.cc.o"
+  "CMakeFiles/bipartite_test.dir/graph/bipartite_test.cc.o.d"
+  "bipartite_test"
+  "bipartite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipartite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darec_test.dir/darec/darec_test.cc.o"
+  "CMakeFiles/darec_test.dir/darec/darec_test.cc.o.d"
+  "darec_test"
+  "darec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_encoder_test.dir/llm/encoder_test.cc.o"
+  "CMakeFiles/llm_encoder_test.dir/llm/encoder_test.cc.o.d"
+  "llm_encoder_test"
+  "llm_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

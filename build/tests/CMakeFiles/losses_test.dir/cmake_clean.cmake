@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/losses_test.dir/darec/losses_test.cc.o"
+  "CMakeFiles/losses_test.dir/darec/losses_test.cc.o.d"
+  "losses_test"
+  "losses_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/losses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_test.dir/darec/matching_test.cc.o"
+  "CMakeFiles/matching_test.dir/darec/matching_test.cc.o.d"
+  "matching_test"
+  "matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

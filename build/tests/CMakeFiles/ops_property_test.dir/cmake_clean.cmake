@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_property_test.dir/tensor/ops_property_test.cc.o"
+  "CMakeFiles/ops_property_test.dir/tensor/ops_property_test.cc.o.d"
+  "ops_property_test"
+  "ops_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_test.dir/data/sampler_test.cc.o"
+  "CMakeFiles/sampler_test.dir/data/sampler_test.cc.o.d"
+  "sampler_test"
+  "sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silhouette_test.dir/cluster/silhouette_test.cc.o"
+  "CMakeFiles/silhouette_test.dir/cluster/silhouette_test.cc.o.d"
+  "silhouette_test"
+  "silhouette_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silhouette_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

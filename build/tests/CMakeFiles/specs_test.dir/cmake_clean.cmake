@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specs_test.dir/pipeline/specs_test.cc.o"
+  "CMakeFiles/specs_test.dir/pipeline/specs_test.cc.o.d"
+  "specs_test"
+  "specs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

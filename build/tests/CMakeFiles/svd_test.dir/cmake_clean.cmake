@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_test.dir/tensor/svd_test.cc.o"
+  "CMakeFiles/svd_test.dir/tensor/svd_test.cc.o.d"
+  "svd_test"
+  "svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

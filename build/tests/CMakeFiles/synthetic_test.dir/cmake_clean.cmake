@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_test.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/synthetic_test.dir/data/synthetic_test.cc.o.d"
+  "synthetic_test"
+  "synthetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

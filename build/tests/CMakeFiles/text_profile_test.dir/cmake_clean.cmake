@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_profile_test.dir/llm/text_profile_test.cc.o"
+  "CMakeFiles/text_profile_test.dir/llm/text_profile_test.cc.o.d"
+  "text_profile_test"
+  "text_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
