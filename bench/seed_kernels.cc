@@ -1,0 +1,156 @@
+// Verbatim copies of the seed (pre-parallel-runtime) kernels from
+// src/tensor/matrix.cc, src/tensor/csr.cc as of the growth seed. Compiled at
+// the seed's -O2 via a per-source COMPILE_OPTIONS override so the baseline
+// in BENCH_kernels.json is the real pre-PR performance. Do not optimize.
+#include "bench/seed_kernels.h"
+
+#include <cmath>
+
+namespace darec::benchseed {
+
+using tensor::CsrMatrix;
+using tensor::Matrix;
+
+namespace {
+
+// C += A * B with A [m,k], B [k,n]; i-k-j loop order for cache locality.
+void MatMulNnInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C += Aᵀ * B with A [k,m], B [k,n]; k outer so both reads are row-wise.
+void MatMulTnInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int64_t k = a.rows(), n = b.cols();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (int64_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C += A * Bᵀ with A [m,k], B [n,k]; row-dot formulation.
+void MatMulNtInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) t(c, r) = row[c];
+  }
+  return t;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
+  const int64_t a_rows = trans_a ? a.cols() : a.rows();
+  const int64_t b_cols = trans_b ? b.rows() : b.cols();
+  Matrix c(a_rows, b_cols);
+  if (!trans_a && !trans_b) {
+    MatMulNnInto(a, b, c);
+  } else if (trans_a && !trans_b) {
+    MatMulTnInto(a, b, c);
+  } else if (!trans_a && trans_b) {
+    MatMulNtInto(a, b, c);
+  } else {
+    Matrix ba(b.rows(), a.cols());
+    MatMulNnInto(b, a, ba);
+    c = benchseed::Transpose(ba);
+  }
+  return c;
+}
+
+Matrix RowNormalize(const Matrix& a, float eps) {
+  Matrix out = a;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* row = out.Row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += double(row[c]) * row[c];
+    float norm = static_cast<float>(std::sqrt(acc));
+    if (norm < eps) continue;
+    float inv = 1.0f / norm;
+    for (int64_t c = 0; c < a.cols(); ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
+  Matrix d(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* drow = d.Row(i);
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.Row(j);
+      double acc = 0.0;
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        double diff = double(arow[c]) - brow[c];
+        acc += diff * diff;
+      }
+      drow[j] = static_cast<float>(acc);
+    }
+  }
+  return d;
+}
+
+Matrix CsrMultiply(const CsrMatrix& m, const Matrix& dense) {
+  const int64_t d = dense.cols();
+  Matrix out(m.rows(), d);
+  const auto& row_ptr = m.row_ptr();
+  const auto& col_idx = m.col_idx();
+  const auto& values = m.values();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    float* orow = out.Row(r);
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const float v = values[k];
+      const float* drow = dense.Row(col_idx[k]);
+      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix CsrTransposeMultiply(const CsrMatrix& m, const Matrix& dense) {
+  const int64_t d = dense.cols();
+  Matrix out(m.cols(), d);
+  const auto& row_ptr = m.row_ptr();
+  const auto& col_idx = m.col_idx();
+  const auto& values = m.values();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const float* drow = dense.Row(r);
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const float v = values[k];
+      float* orow = out.Row(col_idx[k]);
+      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace darec::benchseed

@@ -1,0 +1,27 @@
+#ifndef DAREC_BENCH_SEED_KERNELS_H_
+#define DAREC_BENCH_SEED_KERNELS_H_
+
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+
+namespace darec::benchseed {
+
+/// Frozen copies of the pre-parallel-runtime ("seed") tensor kernels,
+/// compiled at the seed's Release flags (-O2, no -march) regardless of the
+/// flags the rest of the tree uses — see bench/CMakeLists.txt. They are the
+/// fixed baseline that BENCH_kernels.json speedups are measured against, so
+/// the perf trajectory stays comparable across PRs. Do not optimize these.
+tensor::Matrix MatMul(const tensor::Matrix& a, const tensor::Matrix& b,
+                      bool trans_a = false, bool trans_b = false);
+tensor::Matrix Transpose(const tensor::Matrix& a);
+tensor::Matrix RowNormalize(const tensor::Matrix& a, float eps = 1e-12f);
+tensor::Matrix PairwiseSquaredDistances(const tensor::Matrix& a,
+                                        const tensor::Matrix& b);
+tensor::Matrix CsrMultiply(const tensor::CsrMatrix& m,
+                           const tensor::Matrix& dense);
+tensor::Matrix CsrTransposeMultiply(const tensor::CsrMatrix& m,
+                                    const tensor::Matrix& dense);
+
+}  // namespace darec::benchseed
+
+#endif  // DAREC_BENCH_SEED_KERNELS_H_

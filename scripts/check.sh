@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then a ThreadSanitizer
+# pass over the parallel runtime (thread pool + blocked/threaded kernels).
+#
+# Usage: scripts/check.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "=== tier-1: Release build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" >/dev/null
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== TSan: thread pool + parallel kernels ==="
+  cmake -B build-tsan -S . -DDAREC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$(nproc)" \
+    --target thread_pool_test parallel_kernels_test >/dev/null
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'thread_pool_test|parallel_kernels_test'
+fi
+
+echo "=== all checks passed ==="

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 
 namespace darec::cluster {
 
@@ -19,6 +20,42 @@ double SquaredDistance(const float* a, const float* b, int64_t dim) {
     acc += diff * diff;
   }
   return acc;
+}
+
+// Points per ParallelFor chunk for the assignment scan (k·dim work/point).
+int64_t AssignGrain(int64_t k, int64_t dim) {
+  return std::max<int64_t>(8, (1 << 16) / std::max<int64_t>(1, k * dim));
+}
+
+// Fixed chunk count for the center-accumulation reduction: a function of n
+// only, so the partial-sum tree (and therefore float rounding) is identical
+// at every thread count.
+int64_t AccumulateChunks(int64_t n) {
+  constexpr int64_t kChunkPoints = 2048;
+  return std::min<int64_t>(8, (n + kChunkPoints - 1) / kChunkPoints);
+}
+
+// Nearest-center assignment for points [lo, hi); writes assignments and
+// per-point best distances (disjoint per point — race-free).
+void AssignRange(const Matrix& points, const Matrix& centers,
+                 std::vector<int64_t>& assignments, std::vector<double>& dist,
+                 int64_t lo, int64_t hi) {
+  const int64_t dim = points.cols();
+  const int64_t k = centers.rows();
+  for (int64_t i = lo; i < hi; ++i) {
+    const float* p = points.Row(i);
+    double best = std::numeric_limits<double>::max();
+    int64_t best_c = 0;
+    for (int64_t c = 0; c < k; ++c) {
+      const double d = SquaredDistance(p, centers.Row(c), dim);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    assignments[i] = best_c;
+    dist[i] = best;
+  }
 }
 
 Matrix KMeansPlusPlusInit(const Matrix& points, int64_t k, core::Rng& rng) {
@@ -81,35 +118,48 @@ KMeansResult LloydIterate(const Matrix& points, Matrix initial_centers,
   Matrix new_centers(k, dim);
   std::vector<double> point_dist(n, 0.0);
 
+  const int64_t accum_chunks = AccumulateChunks(n);
+  const int64_t points_per_chunk = (n + accum_chunks - 1) / accum_chunks;
+  std::vector<Matrix> partial_centers(static_cast<size_t>(accum_chunks));
+  std::vector<std::vector<int64_t>> partial_counts(
+      static_cast<size_t>(accum_chunks));
+
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: point-parallel, disjoint writes.
+    core::ParallelFor(0, n, AssignGrain(k, dim), [&](int64_t lo, int64_t hi) {
+      AssignRange(points, result.centers, result.assignments, point_dist, lo, hi);
+    });
     result.inertia = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const float* p = points.Row(i);
-      double best = std::numeric_limits<double>::max();
-      int64_t best_c = 0;
-      for (int64_t c = 0; c < k; ++c) {
-        const double d = SquaredDistance(p, result.centers.Row(c), dim);
-        if (d < best) {
-          best = d;
-          best_c = c;
+    for (int64_t i = 0; i < n; ++i) result.inertia += point_dist[i];
+
+    // Update step: per-chunk partial sums (fixed chunking, see
+    // AccumulateChunks) reduced in chunk order.
+    core::ParallelFor(0, accum_chunks, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t chunk = lo; chunk < hi; ++chunk) {
+        Matrix& centers_acc = partial_centers[static_cast<size_t>(chunk)];
+        std::vector<int64_t>& counts_acc =
+            partial_counts[static_cast<size_t>(chunk)];
+        centers_acc = Matrix(k, dim);
+        counts_acc.assign(static_cast<size_t>(k), 0);
+        const int64_t i_begin = chunk * points_per_chunk;
+        const int64_t i_end = std::min(n, i_begin + points_per_chunk);
+        for (int64_t i = i_begin; i < i_end; ++i) {
+          const int64_t c = result.assignments[i];
+          ++counts_acc[static_cast<size_t>(c)];
+          float* crow = centers_acc.Row(c);
+          const float* p = points.Row(i);
+          for (int64_t d = 0; d < dim; ++d) crow[d] += p[d];
         }
       }
-      result.assignments[i] = best_c;
-      point_dist[i] = best;
-      result.inertia += best;
-    }
-
-    // Update step.
+    });
     new_centers.SetZero();
     std::fill(counts.begin(), counts.end(), 0);
-    for (int64_t i = 0; i < n; ++i) {
-      const int64_t c = result.assignments[i];
-      ++counts[c];
-      float* crow = new_centers.Row(c);
-      const float* p = points.Row(i);
-      for (int64_t d = 0; d < dim; ++d) crow[d] += p[d];
+    for (int64_t chunk = 0; chunk < accum_chunks; ++chunk) {
+      new_centers.AddInPlace(partial_centers[static_cast<size_t>(chunk)]);
+      for (int64_t c = 0; c < k; ++c) {
+        counts[c] += partial_counts[static_cast<size_t>(chunk)][static_cast<size_t>(c)];
+      }
     }
     for (int64_t c = 0; c < k; ++c) {
       if (counts[c] > 0) {
@@ -135,21 +185,11 @@ KMeansResult LloydIterate(const Matrix& points, Matrix initial_centers,
   }
 
   // Final assignment consistent with the last centers.
+  core::ParallelFor(0, n, AssignGrain(k, dim), [&](int64_t lo, int64_t hi) {
+    AssignRange(points, result.centers, result.assignments, point_dist, lo, hi);
+  });
   result.inertia = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* p = points.Row(i);
-    double best = std::numeric_limits<double>::max();
-    int64_t best_c = 0;
-    for (int64_t c = 0; c < k; ++c) {
-      const double d = SquaredDistance(p, result.centers.Row(c), dim);
-      if (d < best) {
-        best = d;
-        best_c = c;
-      }
-    }
-    result.assignments[i] = best_c;
-    result.inertia += best;
-  }
+  for (int64_t i = 0; i < n; ++i) result.inertia += point_dist[i];
   return result;
 }
 

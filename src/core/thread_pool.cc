@@ -1,0 +1,180 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace darec::core {
+
+namespace {
+
+// True on threads currently executing pool work; nested ParallelFor calls
+// detect this and run inline instead of deadlocking on the (busy) pool.
+thread_local bool t_in_pool_worker = false;
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex m;
+  return m;
+}
+
+// The live global pool, plus retired pools kept alive until process exit so
+// a stale reference obtained just before SetGlobalThreads() stays valid.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+std::vector<std::unique_ptr<ThreadPool>>& GlobalPoolStorage() {
+  static auto* storage = new std::vector<std::unique_ptr<ThreadPool>>();
+  return *storage;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 0; t < num_threads_ - 1; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<ForTask> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stop_ ||
+               (task_ && task_->next_chunk.load(std::memory_order_relaxed) <
+                             task_->num_chunks);
+      });
+      if (stop_) return;
+      task = task_;
+    }
+    if (!task) continue;
+    t_in_pool_worker = true;
+    RunChunks(*task);
+    t_in_pool_worker = false;
+    if (task->completed.load(std::memory_order_acquire) == task->num_chunks) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(ForTask& task) {
+  for (;;) {
+    const int64_t chunk = task.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= task.num_chunks) return;
+    if (!task.cancelled.load(std::memory_order_relaxed)) {
+      const int64_t chunk_begin = task.begin + chunk * task.grain;
+      const int64_t chunk_end = std::min(task.end, chunk_begin + task.grain);
+      try {
+        (*task.body)(chunk_begin, chunk_end);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(task.error_mutex);
+          if (!task.error) task.error = std::current_exception();
+        }
+        task.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    task.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t span = end - begin;
+  const int64_t num_chunks = (span + grain - 1) / grain;
+  // Inline paths: single chunk, 1-thread pool, or a nested call from a
+  // worker. All execute the same chunk sequence in order, so results match
+  // the threaded path by the determinism contract in the header.
+  if (num_chunks == 1 || num_threads_ == 1 || t_in_pool_worker) {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t chunk_begin = begin + c * grain;
+      body(chunk_begin, std::min(end, chunk_begin + grain));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> loop_lock(loop_mutex_);
+  auto task = std::make_shared<ForTask>();
+  task->body = &body;
+  task->begin = begin;
+  task->end = end;
+  task->grain = grain;
+  task->num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = task;
+  }
+  work_cv_.notify_all();
+
+  // The caller contributes instead of idling. It is flagged as a pool
+  // worker for the duration so a nested ParallelFor issued from a chunk
+  // running on this thread goes inline rather than re-locking loop_mutex_.
+  t_in_pool_worker = true;
+  RunChunks(*task);
+  t_in_pool_worker = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&task] {
+      return task->completed.load(std::memory_order_acquire) == task->num_chunks;
+    });
+    task_.reset();
+  }
+  if (task->error) std::rethrow_exception(task->error);
+}
+
+ThreadPool& ThreadPool::Global() {
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool) return *pool;
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  pool = g_global_pool.load(std::memory_order_relaxed);
+  if (!pool) {
+    GlobalPoolStorage().push_back(std::make_unique<ThreadPool>(DefaultThreads()));
+    pool = GlobalPoolStorage().back().get();
+    g_global_pool.store(pool, std::memory_order_release);
+  }
+  return *pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  GlobalPoolStorage().push_back(std::make_unique<ThreadPool>(num_threads));
+  g_global_pool.store(GlobalPoolStorage().back().get(), std::memory_order_release);
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("DAREC_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  if (end - begin <= grain) {  // one chunk: skip the pool entirely
+    body(begin, end);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace darec::core

@@ -1,0 +1,108 @@
+#ifndef DAREC_CORE_THREAD_POOL_H_
+#define DAREC_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace darec::core {
+
+/// Fixed-size worker pool driving data-parallel loops over index ranges.
+///
+/// The pool exists so the tensor / cluster kernels can split row ranges
+/// across cores; it is not a general task scheduler. Design rules that the
+/// kernels rely on:
+///
+///  * **Deterministic decomposition.** `ParallelFor` splits `[begin, end)`
+///    into fixed chunks of `grain` indices (last chunk ragged). The chunk
+///    list depends only on the range and grain — never on the number of
+///    threads — so a kernel whose per-index work is independent of the
+///    decomposition produces bit-identical results at any pool size.
+///    Kernels that reduce (sum) across indices allocate per-chunk partials
+///    and combine them in chunk order for the same guarantee.
+///  * **Caller participation.** The calling thread processes chunks
+///    alongside the workers, so a 1-thread pool (or a range of at most one
+///    chunk) runs the body inline with zero synchronization — the
+///    single-thread fallback that keeps results reproducible and overhead
+///    near zero for small inputs.
+///  * **Nested calls run inline.** A `ParallelFor` issued from inside a
+///    worker executes serially on that worker; there is no work stealing,
+///    so nesting can never deadlock.
+///  * **Exceptions propagate.** The first exception thrown by the body is
+///    captured, remaining chunks are abandoned, and the exception is
+///    rethrown on the calling thread. The pool stays usable afterwards.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the remaining thread).
+  /// Values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `body(chunk_begin, chunk_end)` over `[begin, end)` split into
+  /// chunks of `grain` indices. Blocks until every chunk finished; rethrows
+  /// the first body exception. `grain < 1` is treated as 1. Concurrent
+  /// ParallelFor calls from different external threads are serialized.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// Process-wide pool used by the free `ParallelFor` below. Created on
+  /// first use with `DefaultThreads()` threads.
+  static ThreadPool& Global();
+
+  /// Replaces the global pool (bench/test hook — e.g. to compare 1-thread
+  /// vs 8-thread runs). Not safe while kernels are executing concurrently.
+  static void SetGlobalThreads(int num_threads);
+
+  /// Thread count from the `DAREC_NUM_THREADS` env var if set to a positive
+  /// integer, else `std::thread::hardware_concurrency()` (at least 1).
+  static int DefaultThreads();
+
+ private:
+  struct ForTask {
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t num_chunks = 0;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  /// Pulls chunks from `task` until exhausted. Returns after contributing
+  /// its share; does not wait for other threads.
+  void RunChunks(ForTask& task);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;                  // guards task_ / stop_ and both cvs
+  std::condition_variable work_cv_;   // wakes workers when a task arrives
+  std::condition_variable done_cv_;   // wakes the caller when chunks finish
+  std::shared_ptr<ForTask> task_;     // at most one active loop
+  std::mutex loop_mutex_;             // serializes external ParallelFor calls
+  bool stop_ = false;
+};
+
+/// `ThreadPool::Global().ParallelFor(...)`, with an inline fast path (no
+/// pool construction, no locking) when the range fits in a single chunk.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_THREAD_POOL_H_

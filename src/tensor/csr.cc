@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/thread_pool.h"
+
 namespace darec::tensor {
+
+namespace {
+
+// Rows per ParallelFor chunk for sparse row-parallel kernels; sized on the
+// dense output width so a chunk stays ≥ ~10⁴ accumulations.
+int64_t SparseRowGrain(int64_t dense_cols) {
+  return std::max<int64_t>(16, (1 << 14) / std::max<int64_t>(1, dense_cols));
+}
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(int64_t rows, int64_t cols)
     : rows_(rows), cols_(cols), row_ptr_(static_cast<size_t>(rows) + 1, 0) {
@@ -55,14 +67,18 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
   DARE_CHECK_EQ(cols_, dense.rows()) << "CsrMatrix::Multiply shape mismatch";
   const int64_t d = dense.cols();
   Matrix out(rows_, d);
-  for (int64_t r = 0; r < rows_; ++r) {
-    float* orow = out.Row(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      const float* drow = dense.Row(col_idx_[k]);
-      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+  // Output rows are disjoint, so row-parallelism is race-free and bitwise
+  // identical to the serial loop at any thread count.
+  core::ParallelFor(0, rows_, SparseRowGrain(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* orow = out.Row(r);
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const float v = values_[k];
+        const float* drow = dense.Row(col_idx_[k]);
+        for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -70,14 +86,47 @@ Matrix CsrMatrix::TransposeMultiply(const Matrix& dense) const {
   DARE_CHECK_EQ(rows_, dense.rows()) << "CsrMatrix::TransposeMultiply shape mismatch";
   const int64_t d = dense.cols();
   Matrix out(cols_, d);
-  for (int64_t r = 0; r < rows_; ++r) {
-    const float* drow = dense.Row(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      float* orow = out.Row(col_idx_[k]);
-      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+  // Aᵀ·X scatters into output rows indexed by column, so input-row
+  // parallelism races. Split the input rows into a fixed number of chunks
+  // (a function of the problem size only — NOT the thread count),
+  // accumulate each chunk into its own partial output, and reduce partials
+  // in chunk order. Identical decomposition + fixed reduction order ⇒
+  // thread-count-invariant results.
+  const int64_t nnz = static_cast<int64_t>(values_.size());
+  constexpr int64_t kMinParallelWork = 1 << 16;
+  constexpr int64_t kChunkRows = 2048;
+  const int64_t num_chunks =
+      std::min<int64_t>(8, (rows_ + kChunkRows - 1) / kChunkRows);
+  if (nnz * d < kMinParallelWork || num_chunks < 2) {
+    for (int64_t r = 0; r < rows_; ++r) {
+      const float* drow = dense.Row(r);
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const float v = values_[k];
+        float* orow = out.Row(col_idx_[k]);
+        for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+      }
     }
+    return out;
   }
+  const int64_t rows_per_chunk = (rows_ + num_chunks - 1) / num_chunks;
+  std::vector<Matrix> partials(static_cast<size_t>(num_chunks));
+  core::ParallelFor(0, num_chunks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t chunk = lo; chunk < hi; ++chunk) {
+      Matrix& partial = partials[static_cast<size_t>(chunk)];
+      partial = Matrix(cols_, d);
+      const int64_t r_begin = chunk * rows_per_chunk;
+      const int64_t r_end = std::min(rows_, r_begin + rows_per_chunk);
+      for (int64_t r = r_begin; r < r_end; ++r) {
+        const float* drow = dense.Row(r);
+        for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+          const float v = values_[k];
+          float* orow = partial.Row(col_idx_[k]);
+          for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+        }
+      }
+    }
+  });
+  for (const Matrix& partial : partials) out.AddInPlace(partial);
   return out;
 }
 

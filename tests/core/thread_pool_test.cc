@@ -1,0 +1,144 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace darec::core {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 10'001;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(0, n, 7, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesFollowGrain) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelFor(5, 47, 10, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back({b, e});
+  });
+  ASSERT_EQ(chunks.size(), 5u);  // ceil(42 / 10)
+  std::sort(chunks.begin(), chunks.end());
+  EXPECT_EQ(chunks.front().first, 5);
+  EXPECT_EQ(chunks.back().second, 47);
+  for (size_t c = 1; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, chunks[c - 1].second);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(3, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(5, 2, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, NonPositiveGrainIsClampedToOne) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 0, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = true;
+  pool.ParallelFor(0, 1000, 10, [&](int64_t, int64_t) {
+    if (std::this_thread::get_id() != caller) same_thread = false;
+  });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  auto throwing = [&] {
+    pool.ParallelFor(0, 1000, 10, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        if (i == 537) throw std::runtime_error("boom");
+      }
+    });
+  };
+  EXPECT_THROW(throwing(), std::runtime_error);
+  // The pool must survive a failed loop and run subsequent work normally.
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(0, 500, 9, [&](int64_t b, int64_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 16, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // Inner loop from a pool thread must run inline rather than waiting
+      // on the (busy) pool.
+      pool.ParallelFor(0, 100, 10, [&](int64_t ib, int64_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16 * 100);
+}
+
+TEST(ThreadPoolTest, NestedFreeFunctionParallelFor) {
+  ThreadPool::SetGlobalThreads(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      ParallelFor(0, 50, 5, [&](int64_t ib, int64_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsReplacesPool) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsHonorsEnvVar) {
+  setenv("DAREC_NUM_THREADS", "5", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 5);
+  setenv("DAREC_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);  // falls back to hardware
+  setenv("DAREC_NUM_THREADS", "-2", 1);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  unsetenv("DAREC_NUM_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ManySmallLoopsStress) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 64, 3, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) sum.fetch_add(i);
+    });
+    ASSERT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace darec::core

@@ -1,0 +1,230 @@
+// Parity and determinism tests for the blocked/threaded kernels:
+//  (a) the blocked MatMul matches a naive triple-loop reference within 1e-5
+//      for all four transpose variants, including ragged and prime sizes;
+//  (b) every parallelized kernel returns bit-identical results with a
+//      1-thread and an 8-thread global pool (the determinism contract of
+//      core::ThreadPool — fixed decomposition, chunk-order reductions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+namespace {
+
+using cluster::KMeansOptions;
+using cluster::KMeansResult;
+using core::Rng;
+using core::ThreadPool;
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+  }
+  return m;
+}
+
+// Naive reference: C(i,j) = Σ_p opA(i,p) · opB(p,j), double accumulation.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t k = trans_a ? a.rows() : a.cols();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  Matrix c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a(p, i) : a(i, p);
+        const float bv = trans_b ? b(j, p) : b(p, j);
+        acc += double(av) * bv;
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.size()) * sizeof(float)),
+            0)
+      << what << ": results differ between thread counts";
+}
+
+// Runs fn with a 1-thread global pool, then an 8-thread pool, and checks the
+// two results are bit-identical. Restores the default pool afterwards.
+template <typename Fn>
+void ExpectThreadInvariant(Fn&& fn, const char* what) {
+  ThreadPool::SetGlobalThreads(1);
+  const Matrix serial = fn();
+  ThreadPool::SetGlobalThreads(8);
+  const Matrix threaded = fn();
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+  ExpectBitIdentical(serial, threaded, what);
+}
+
+// --- (a) blocked MatMul vs naive reference ---------------------------------
+
+using MatMulShape = std::tuple<int64_t, int64_t, int64_t>;  // m, k, n
+
+class MatMulParityTest : public ::testing::TestWithParam<MatMulShape> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulParityTest,
+    ::testing::Values(MatMulShape{1, 1, 1}, MatMulShape{1, 7, 1},
+                      MatMulShape{1, 4, 33}, MatMulShape{33, 4, 1},
+                      MatMulShape{2, 3, 2}, MatMulShape{17, 13, 29},
+                      MatMulShape{31, 37, 41}, MatMulShape{64, 64, 64},
+                      MatMulShape{129, 65, 33}, MatMulShape{128, 1, 128},
+                      MatMulShape{101, 127, 67}));
+
+TEST_P(MatMulParityTest, AllFourTransposeVariantsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  // Operands shaped so op(A) is m×k and op(B) is k×n for each variant.
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      const Matrix a = trans_a ? RandomMatrix(k, m, 11) : RandomMatrix(m, k, 11);
+      const Matrix b = trans_b ? RandomMatrix(n, k, 22) : RandomMatrix(k, n, 22);
+      const Matrix expected = NaiveMatMul(a, b, trans_a, trans_b);
+      const Matrix actual = MatMul(a, b, trans_a, trans_b);
+      ASSERT_TRUE(actual.SameShape(expected));
+      for (int64_t i = 0; i < actual.size(); ++i) {
+        ASSERT_NEAR(actual.data()[i], expected.data()[i], 1e-5f)
+            << "variant trans_a=" << trans_a << " trans_b=" << trans_b
+            << " flat index " << i;
+      }
+    }
+  }
+}
+
+TEST(MatMulParityTest, EmptyDimensionsYieldZeros) {
+  const Matrix a = RandomMatrix(4, 0, 1);
+  const Matrix b = RandomMatrix(0, 5, 2);
+  const Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 4);
+  EXPECT_EQ(c.cols(), 5);
+  for (int64_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0f);
+}
+
+TEST(PairwiseParityTest, MatchesNaiveFormulation) {
+  const Matrix a = RandomMatrix(67, 33, 5);
+  const Matrix b = RandomMatrix(41, 33, 6);
+  const Matrix d = PairwiseSquaredDistances(a, b);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        const double diff = double(a(i, c)) - b(j, c);
+        acc += diff * diff;
+      }
+      ASSERT_NEAR(d(i, j), acc, 1e-3) << i << "," << j;
+      ASSERT_GE(d(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(PairwiseParityTest, IdenticalRowsHaveExactlyZeroDistance) {
+  Matrix a = RandomMatrix(130, 48, 7);
+  a.CopyRowFrom(a, 0, 129);  // duplicate a row across tile boundaries
+  const Matrix d = PairwiseSquaredDistances(a, a);
+  for (int64_t i = 0; i < a.rows(); ++i) EXPECT_EQ(d(i, i), 0.0f) << i;
+  EXPECT_EQ(d(0, 129), 0.0f);
+  EXPECT_EQ(d(129, 0), 0.0f);
+}
+
+// --- (b) 1-thread vs 8-thread bit-identical results ------------------------
+
+TEST(ThreadInvarianceTest, MatMulAllVariants) {
+  const Matrix a = RandomMatrix(257, 63, 1);
+  const Matrix b = RandomMatrix(63, 129, 2);
+  const Matrix at = RandomMatrix(63, 257, 3);
+  const Matrix bt = RandomMatrix(129, 63, 4);
+  ExpectThreadInvariant([&] { return MatMul(a, b); }, "matmul_nn");
+  ExpectThreadInvariant([&] { return MatMul(at, b, true, false); }, "matmul_tn");
+  ExpectThreadInvariant([&] { return MatMul(a, bt, false, true); }, "matmul_nt");
+  ExpectThreadInvariant([&] { return MatMul(at, bt, true, true); }, "matmul_tt");
+}
+
+TEST(ThreadInvarianceTest, PairwiseAndRowKernels) {
+  const Matrix p = RandomMatrix(389, 29, 5);
+  ExpectThreadInvariant([&] { return PairwiseSquaredDistances(p, p); },
+                        "pairwise_sqdist");
+  ExpectThreadInvariant([&] { return RowNormalize(p); }, "row_normalize");
+  ExpectThreadInvariant([&] { return RowNorms(p); }, "row_norms");
+  ExpectThreadInvariant([&] { return Transpose(p); }, "transpose");
+}
+
+TEST(ThreadInvarianceTest, ElementwiseKernels) {
+  const Matrix a = RandomMatrix(300, 200, 6);
+  const Matrix b = RandomMatrix(300, 200, 7);
+  ExpectThreadInvariant([&] { return Add(a, b); }, "add");
+  ExpectThreadInvariant([&] { return Sub(a, b); }, "sub");
+  ExpectThreadInvariant([&] { return Hadamard(a, b); }, "hadamard");
+  ExpectThreadInvariant([&] { return Scale(a, 0.37f); }, "scale");
+}
+
+TEST(ThreadInvarianceTest, CsrMultiplyAndTransposeMultiply) {
+  Rng rng(8);
+  std::vector<Triplet> triplets;
+  const int64_t rows = 3000, cols = 700, d = 40;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t e = 0; e < 12; ++e) {
+      triplets.push_back(
+          {r, rng.UniformInt(cols), static_cast<float>(rng.UniformDouble())});
+    }
+  }
+  const CsrMatrix sparse = CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+  const Matrix dense_right = RandomMatrix(cols, d, 9);
+  const Matrix dense_left = RandomMatrix(rows, d, 10);
+  ExpectThreadInvariant([&] { return sparse.Multiply(dense_right); },
+                        "csr_multiply");
+  ExpectThreadInvariant([&] { return sparse.TransposeMultiply(dense_left); },
+                        "csr_transpose_multiply");
+}
+
+TEST(ThreadInvarianceTest, KMeansFromFixedCenters) {
+  const Matrix points = RandomMatrix(2500, 24, 11);
+  KMeansOptions options;
+  options.num_clusters = 7;
+  options.max_iterations = 12;
+  Matrix init(7, 24);
+  for (int64_t c = 0; c < 7; ++c) init.CopyRowFrom(points, 31 * c, c);
+
+  ThreadPool::SetGlobalThreads(1);
+  const KMeansResult serial = cluster::RunKMeansFrom(points, init, options);
+  ThreadPool::SetGlobalThreads(8);
+  const KMeansResult threaded = cluster::RunKMeansFrom(points, init, options);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+
+  EXPECT_EQ(serial.iterations, threaded.iterations);
+  EXPECT_EQ(serial.assignments, threaded.assignments);
+  EXPECT_EQ(serial.inertia, threaded.inertia);
+  ExpectBitIdentical(serial.centers, threaded.centers, "kmeans_centers");
+}
+
+TEST(ThreadInvarianceTest, ExceptionInsideKernelSizedLoopPropagates) {
+  // Sanity check that the free ParallelFor used by the kernels propagates
+  // exceptions at kernel-scale ranges too.
+  ThreadPool::SetGlobalThreads(8);
+  EXPECT_THROW(
+      core::ParallelFor(0, 1 << 18, 1 << 12,
+                        [&](int64_t b, int64_t) {
+                          if (b >= (1 << 17)) throw std::runtime_error("mid");
+                        }),
+      std::runtime_error);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+}
+
+}  // namespace
+}  // namespace darec::tensor
