@@ -1,0 +1,111 @@
+// Frozen seed scoring paths for bench/topk_bench. Do not modernize: this file
+// deliberately preserves the seed's algorithms (scalar triple loop,
+// nth_element eval ranking; binary_search masking in serving) and is compiled
+// at the seed's -O2 -march=x86-64.
+#include "bench/seed_topk.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace darec::benchseed {
+
+eval::MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
+                                const data::Dataset& dataset,
+                                const eval::EvalOptions& options) {
+  const int64_t num_users = dataset.num_users();
+  const int64_t num_items = dataset.num_items();
+  const int64_t dim = node_embeddings.cols();
+  const int64_t max_k = *std::max_element(options.ks.begin(), options.ks.end());
+
+  eval::MetricSet totals;
+  for (int64_t k : options.ks) {
+    totals.recall[k] = 0.0;
+    totals.ndcg[k] = 0.0;
+    totals.precision[k] = 0.0;
+    totals.hit_rate[k] = 0.0;
+    totals.mrr[k] = 0.0;
+  }
+
+  std::vector<float> scores(num_items);
+  std::vector<int64_t> order(num_items);
+  int64_t evaluated_users = 0;
+
+  for (int64_t user = 0; user < num_users; ++user) {
+    const std::vector<int64_t>& relevant =
+        options.split == eval::EvalSplit::kTest
+            ? dataset.TestItemsOfUser(user)
+            : dataset.ValidationItemsOfUser(user);
+    if (relevant.empty()) continue;
+    ++evaluated_users;
+
+    const float* urow = node_embeddings.Row(user);
+    for (int64_t item = 0; item < num_items; ++item) {
+      const float* irow = node_embeddings.Row(num_users + item);
+      float acc = 0.0f;
+      for (int64_t c = 0; c < dim; ++c) acc += urow[c] * irow[c];
+      scores[item] = acc;
+    }
+    for (int64_t item : dataset.TrainItemsOfUser(user)) {
+      scores[item] = -std::numeric_limits<float>::infinity();
+    }
+
+    for (int64_t i = 0; i < num_items; ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + (max_k - 1), order.end(),
+                     [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+    std::sort(order.begin(), order.begin() + max_k,
+              [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+    std::vector<int64_t> top(order.begin(), order.begin() + max_k);
+
+    for (int64_t k : options.ks) {
+      totals.recall[k] += eval::RecallAtK(top, relevant, k);
+      totals.ndcg[k] += eval::NdcgAtK(top, relevant, k);
+      totals.precision[k] += eval::PrecisionAtK(top, relevant, k);
+      totals.hit_rate[k] += eval::HitRateAtK(top, relevant, k);
+      totals.mrr[k] += eval::MrrAtK(top, relevant, k);
+    }
+  }
+
+  if (evaluated_users > 0) {
+    for (int64_t k : options.ks) {
+      totals.recall[k] /= static_cast<double>(evaluated_users);
+      totals.ndcg[k] /= static_cast<double>(evaluated_users);
+      totals.precision[k] /= static_cast<double>(evaluated_users);
+      totals.hit_rate[k] /= static_cast<double>(evaluated_users);
+      totals.mrr[k] /= static_cast<double>(evaluated_users);
+    }
+  }
+  return totals;
+}
+
+std::vector<std::pair<int64_t, float>> RecommendTopK(
+    const tensor::Matrix& node_embeddings, const data::Dataset& dataset,
+    int64_t user, int64_t k) {
+  const int64_t num_users = dataset.num_users();
+  const int64_t num_items = dataset.num_items();
+  const int64_t dim = node_embeddings.cols();
+  const float* urow = node_embeddings.Row(user);
+  const std::vector<int64_t>& seen = dataset.TrainItemsOfUser(user);
+
+  std::vector<std::pair<int64_t, float>> candidates;
+  candidates.reserve(static_cast<size_t>(num_items) - seen.size());
+  for (int64_t item = 0; item < num_items; ++item) {
+    if (std::binary_search(seen.begin(), seen.end(), item)) continue;
+    const float* irow = node_embeddings.Row(num_users + item);
+    float score = 0.0f;
+    for (int64_t c = 0; c < dim; ++c) score += urow[c] * irow[c];
+    candidates.emplace_back(item, score);
+  }
+  const int64_t take =
+      std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [](const std::pair<int64_t, float>& a,
+                       const std::pair<int64_t, float>& b) {
+                      return a.second != b.second ? a.second > b.second
+                                                  : a.first < b.first;
+                    });
+  candidates.resize(static_cast<size_t>(take));
+  return candidates;
+}
+
+}  // namespace darec::benchseed

@@ -1,0 +1,34 @@
+#ifndef DAREC_BENCH_SEED_TOPK_H_
+#define DAREC_BENCH_SEED_TOPK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "tensor/matrix.h"
+
+namespace darec::benchseed {
+
+// Frozen copies of the seed's per-user scoring paths — the pre-engine
+// eval::EvaluateRanking loop and serve::Recommender::RecommendTopK — pinned
+// to the seed's -O2 -march=x86-64 (see bench/CMakeLists.txt) so
+// bench/topk_bench measures the real end-to-end gain of the batched top-K
+// engine rather than compiler-flag drift.
+
+/// Seed all-ranking evaluation: scalar per-item dot per user, -inf train
+/// mask, nth_element + sort by score.
+eval::MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
+                                const data::Dataset& dataset,
+                                const eval::EvalOptions& options);
+
+/// Seed serving path for one user: per-item binary_search over the seen
+/// list, scalar dot, partial_sort with the (score desc, id asc) tie-break.
+std::vector<std::pair<int64_t, float>> RecommendTopK(
+    const tensor::Matrix& node_embeddings, const data::Dataset& dataset,
+    int64_t user, int64_t k);
+
+}  // namespace darec::benchseed
+
+#endif  // DAREC_BENCH_SEED_TOPK_H_

@@ -14,13 +14,18 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "=== smoke: batched top-K bench (1 repetition, bitwise parity gates) ==="
+cmake --build build -j "$(nproc)" --target topk_bench >/dev/null
+./build/bench/topk_bench smoke=1 out=build/BENCH_topk_smoke.json
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "=== TSan: thread pool + parallel kernels ==="
+  echo "=== TSan: thread pool + parallel kernels + top-K engine ==="
   cmake -B build-tsan -S . -DDAREC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target thread_pool_test parallel_kernels_test >/dev/null
+    --target thread_pool_test parallel_kernels_test topk_engine_test \
+             kmeans_test >/dev/null
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test'
 fi
 
 echo "=== all checks passed ==="

@@ -27,9 +27,9 @@ int64_t AssignGrain(int64_t k, int64_t dim) {
   return std::max<int64_t>(8, (1 << 16) / std::max<int64_t>(1, k * dim));
 }
 
-// Fixed chunk count for the center-accumulation reduction: a function of n
-// only, so the partial-sum tree (and therefore float rounding) is identical
-// at every thread count.
+// Fixed chunk count for the reductions (center accumulation, k-means++
+// distance mass): a function of n only, so the partial-sum tree (and
+// therefore rounding) is identical at every thread count.
 int64_t AccumulateChunks(int64_t n) {
   constexpr int64_t kChunkPoints = 2048;
   return std::min<int64_t>(8, (n + kChunkPoints - 1) / kChunkPoints);
@@ -65,12 +65,32 @@ Matrix KMeansPlusPlusInit(const Matrix& points, int64_t k, core::Rng& rng) {
   // First center uniformly at random.
   centers.CopyRowFrom(points, rng.UniformInt(n), 0);
   std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  // The distance-update scan is the seeding hot loop (k·n·dim flops). It is
+  // point-parallel with disjoint writes; the mass total is reduced through
+  // per-chunk partials with a fixed chunk count (a function of n only) and
+  // combined in chunk order, so seeding draws are bit-identical at any
+  // thread count.
+  const int64_t chunks = AccumulateChunks(n);
+  const int64_t points_per_chunk = (n + chunks - 1) / chunks;
+  std::vector<double> partial_mass(static_cast<size_t>(chunks));
   for (int64_t c = 1; c < k; ++c) {
+    core::ParallelFor(0, chunks, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t chunk = lo; chunk < hi; ++chunk) {
+        const int64_t i_begin = chunk * points_per_chunk;
+        const int64_t i_end = std::min(n, i_begin + points_per_chunk);
+        double mass = 0.0;
+        for (int64_t i = i_begin; i < i_end; ++i) {
+          const double d =
+              SquaredDistance(points.Row(i), centers.Row(c - 1), dim);
+          min_dist[i] = std::min(min_dist[i], d);
+          mass += min_dist[i];
+        }
+        partial_mass[static_cast<size_t>(chunk)] = mass;
+      }
+    });
     double total = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      const double d = SquaredDistance(points.Row(i), centers.Row(c - 1), dim);
-      min_dist[i] = std::min(min_dist[i], d);
-      total += min_dist[i];
+    for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+      total += partial_mass[static_cast<size_t>(chunk)];
     }
     // Sample proportional to squared distance; degenerate case (all points
     // identical) falls back to uniform.

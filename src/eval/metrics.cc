@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <sstream>
 
 #include "core/check.h"
+#include "topk/engine.h"
 
 namespace darec::eval {
 
@@ -90,7 +90,6 @@ MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
   DARE_CHECK(!options.ks.empty());
   const int64_t num_users = dataset.num_users();
   const int64_t num_items = dataset.num_items();
-  const int64_t dim = node_embeddings.cols();
   const int64_t max_k = *std::max_element(options.ks.begin(), options.ks.end());
   DARE_CHECK_LE(max_k, num_items);
 
@@ -103,36 +102,37 @@ MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
     totals.mrr[k] = 0.0;
   }
 
-  std::vector<float> scores(num_items);
-  std::vector<int64_t> order(num_items);
-  int64_t evaluated_users = 0;
-
+  // All-ranking protocol over the shared batched top-K engine: users with
+  // held-out items are scored in blocks against every item on the blocked
+  // GEMM, training items are masked to -inf (they may pad the tail of a
+  // top-max_k list but can never be hits), and the engine's parallel select
+  // returns each user's ranked top-max_k with the deterministic
+  // (score desc, id asc) tie-break.
+  std::vector<int64_t> eval_users;
+  eval_users.reserve(static_cast<size_t>(num_users));
   for (int64_t user = 0; user < num_users; ++user) {
     const std::vector<int64_t>& relevant = options.split == EvalSplit::kTest
                                                ? dataset.TestItemsOfUser(user)
                                                : dataset.ValidationItemsOfUser(user);
-    if (relevant.empty()) continue;
-    ++evaluated_users;
+    if (!relevant.empty()) eval_users.push_back(user);
+  }
+  const int64_t evaluated_users = static_cast<int64_t>(eval_users.size());
 
-    const float* urow = node_embeddings.Row(user);
-    for (int64_t item = 0; item < num_items; ++item) {
-      const float* irow = node_embeddings.Row(num_users + item);
-      float acc = 0.0f;
-      for (int64_t c = 0; c < dim; ++c) acc += urow[c] * irow[c];
-      scores[item] = acc;
-    }
-    // All-ranking protocol: candidates are every item the user has NOT
-    // interacted with in training.
-    for (int64_t item : dataset.TrainItemsOfUser(user)) {
-      scores[item] = -std::numeric_limits<float>::infinity();
-    }
+  const topk::Engine engine(node_embeddings, num_users, num_items);
+  const topk::SeenItemsFn seen = [&dataset](int64_t user) {
+    return &dataset.TrainItemsOfUser(user);
+  };
+  const std::vector<std::vector<topk::ScoredItem>> ranked =
+      engine.TopK(eval_users, max_k, seen, topk::MaskMode::kScoreNegInf);
 
-    for (int64_t i = 0; i < num_items; ++i) order[i] = i;
-    std::nth_element(order.begin(), order.begin() + (max_k - 1), order.end(),
-                     [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
-    std::sort(order.begin(), order.begin() + max_k,
-              [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
-    std::vector<int64_t> top(order.begin(), order.begin() + max_k);
+  std::vector<int64_t> top(static_cast<size_t>(max_k));
+  for (size_t q = 0; q < eval_users.size(); ++q) {
+    const int64_t user = eval_users[q];
+    const std::vector<int64_t>& relevant = options.split == EvalSplit::kTest
+                                               ? dataset.TestItemsOfUser(user)
+                                               : dataset.ValidationItemsOfUser(user);
+    top.clear();
+    for (const topk::ScoredItem& s : ranked[q]) top.push_back(s.item);
 
     for (int64_t k : options.ks) {
       totals.recall[k] += RecallAtK(top, relevant, k);

@@ -61,6 +61,12 @@ double MrrAtK(const std::vector<int64_t>& ranked,
 /// items by inner product, masks that user's training items, and averages
 /// Recall@K / NDCG@K over users. `node_embeddings` holds user rows
 /// [0, num_users) then item rows.
+///
+/// Runs on the batched top-K engine (topk::Engine): user blocks are scored
+/// with one blocked GEMM and ranked by a parallel per-row select with the
+/// deterministic (score desc, id asc) tie-break, so results are
+/// bit-identical at any thread count — and bitwise equal to the per-user
+/// scalar loop this replaced whenever scores are tie-free.
 MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
                           const data::Dataset& dataset,
                           const EvalOptions& options = EvalOptions());

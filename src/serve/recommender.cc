@@ -1,11 +1,17 @@
 #include "serve/recommender.h"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "tensor/io.h"
 
 namespace darec::serve {
+
+Recommender::Recommender(tensor::Matrix embeddings, const data::Dataset* dataset)
+    : embeddings_(std::make_unique<tensor::Matrix>(std::move(embeddings))),
+      dataset_(dataset),
+      engine_(std::make_unique<topk::Engine>(*embeddings_, dataset->num_users(),
+                                             dataset->num_items())) {}
 
 core::StatusOr<Recommender> Recommender::Create(tensor::Matrix node_embeddings,
                                                 const data::Dataset* dataset) {
@@ -31,34 +37,24 @@ core::StatusOr<Recommender> Recommender::Load(const std::string& path,
 
 core::StatusOr<std::vector<ScoredItem>> Recommender::RecommendTopK(
     int64_t user, int64_t k) const {
-  if (user < 0 || user >= dataset_->num_users()) {
-    return core::Status::OutOfRange("bad user id: " + std::to_string(user));
-  }
+  DARE_ASSIGN_OR_RETURN(std::vector<std::vector<ScoredItem>> lists,
+                        RecommendTopKBatch({user}, k));
+  return std::move(lists.front());
+}
+
+core::StatusOr<std::vector<std::vector<ScoredItem>>>
+Recommender::RecommendTopKBatch(const std::vector<int64_t>& users,
+                                int64_t k) const {
   if (k <= 0) return core::Status::InvalidArgument("k must be positive");
-
-  const int64_t num_users = dataset_->num_users();
-  const int64_t num_items = dataset_->num_items();
-  const int64_t dim = embeddings_.cols();
-  const float* urow = embeddings_.Row(user);
-  const std::vector<int64_t>& seen = dataset_->TrainItemsOfUser(user);
-
-  std::vector<ScoredItem> candidates;
-  candidates.reserve(num_items - seen.size());
-  for (int64_t item = 0; item < num_items; ++item) {
-    if (std::binary_search(seen.begin(), seen.end(), item)) continue;
-    const float* irow = embeddings_.Row(num_users + item);
-    float score = 0.0f;
-    for (int64_t c = 0; c < dim; ++c) score += urow[c] * irow[c];
-    candidates.push_back({item, score});
+  for (int64_t user : users) {
+    if (user < 0 || user >= dataset_->num_users()) {
+      return core::Status::OutOfRange("bad user id: " + std::to_string(user));
+    }
   }
-  const int64_t take = std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
-  std::partial_sort(candidates.begin(), candidates.begin() + take, candidates.end(),
-                    [](const ScoredItem& a, const ScoredItem& b) {
-                      return a.score != b.score ? a.score > b.score
-                                                : a.item < b.item;
-                    });
-  candidates.resize(take);
-  return candidates;
+  const topk::SeenItemsFn seen = [this](int64_t user) {
+    return &dataset_->TrainItemsOfUser(user);
+  };
+  return engine_->TopK(users, k, seen, topk::MaskMode::kDrop);
 }
 
 core::StatusOr<float> Recommender::Score(int64_t user, int64_t item) const {
@@ -68,10 +64,10 @@ core::StatusOr<float> Recommender::Score(int64_t user, int64_t item) const {
   if (item < 0 || item >= dataset_->num_items()) {
     return core::Status::OutOfRange("bad item id: " + std::to_string(item));
   }
-  const float* urow = embeddings_.Row(user);
-  const float* irow = embeddings_.Row(dataset_->num_users() + item);
+  const float* urow = embeddings_->Row(user);
+  const float* irow = embeddings_->Row(dataset_->num_users() + item);
   float score = 0.0f;
-  for (int64_t c = 0; c < embeddings_.cols(); ++c) score += urow[c] * irow[c];
+  for (int64_t c = 0; c < embeddings_->cols(); ++c) score += urow[c] * irow[c];
   return score;
 }
 
@@ -81,27 +77,25 @@ core::StatusOr<std::vector<ScoredItem>> Recommender::SimilarItems(int64_t item,
     return core::Status::OutOfRange("bad item id: " + std::to_string(item));
   }
   if (k <= 0) return core::Status::InvalidArgument("k must be positive");
-  const int64_t num_users = dataset_->num_users();
   const int64_t num_items = dataset_->num_items();
-  const int64_t dim = embeddings_.cols();
-  const float* target = embeddings_.Row(num_users + item);
-  double target_norm = 0.0;
-  for (int64_t c = 0; c < dim; ++c) target_norm += double(target[c]) * target[c];
-  target_norm = std::sqrt(target_norm);
+  const int64_t dim = embeddings_->cols();
+
+  // One 1 x d GEMM against the precomputed d x I item block gives every
+  // dot product; norms were computed once at Create.
+  tensor::Matrix query(1, dim);
+  query.CopyRowFrom(*embeddings_, dataset_->num_users() + item, 0);
+  const tensor::Matrix dots = tensor::MatMul(query, engine_->items_transposed());
+  const tensor::Matrix& norms = engine_->item_norms();
+  const double target_norm = norms(item, 0);
 
   std::vector<ScoredItem> candidates;
-  candidates.reserve(num_items - 1);
+  candidates.reserve(static_cast<size_t>(num_items - 1));
   for (int64_t other = 0; other < num_items; ++other) {
     if (other == item) continue;
-    const float* row = embeddings_.Row(num_users + other);
-    double dot = 0.0, norm = 0.0;
-    for (int64_t c = 0; c < dim; ++c) {
-      dot += double(target[c]) * row[c];
-      norm += double(row[c]) * row[c];
-    }
-    const double denom = target_norm * std::sqrt(norm);
+    const double denom = target_norm * norms(other, 0);
     candidates.push_back(
-        {other, denom > 1e-12 ? static_cast<float>(dot / denom) : 0.0f});
+        {other, denom > 1e-12 ? static_cast<float>(dots(0, other) / denom)
+                              : 0.0f});
   }
   const int64_t take = std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
   std::partial_sort(candidates.begin(), candidates.begin() + take, candidates.end(),

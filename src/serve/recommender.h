@@ -2,25 +2,32 @@
 #define DAREC_SERVE_RECOMMENDER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/statusor.h"
 #include "data/dataset.h"
 #include "tensor/matrix.h"
+#include "topk/engine.h"
 
 namespace darec::serve {
 
-/// One recommended item with its raw inner-product score.
-struct ScoredItem {
-  int64_t item = 0;
-  float score = 0.0f;
-};
+/// One recommended item with its raw inner-product score (shared with the
+/// batched top-K engine the facade is built on).
+using ScoredItem = topk::ScoredItem;
 
 /// Serving facade over trained node embeddings: the object a downstream
 /// application holds after training (or after loading persisted
 /// embeddings) to answer top-K queries. Stateless per query and
 /// thread-compatible for concurrent reads.
+///
+/// All top-K scoring runs on the shared topk::Engine: user blocks are
+/// scored against every item with one blocked GEMM, train-seen items are
+/// masked in a linear walk over each user's sorted seen list, and the
+/// parallel per-row select ranks with the deterministic (score desc,
+/// id asc) tie-break. The transposed item block and the item L2 norms are
+/// precomputed once at Create.
 class Recommender {
  public:
   /// `node_embeddings` holds user rows [0, num_users) then item rows, as
@@ -37,14 +44,24 @@ class Recommender {
 
   /// Top-k items for `user`, highest score first, training items excluded.
   /// k is clamped to the number of eligible items. Fails on a bad user id.
+  /// Equivalent to RecommendTopKBatch({user}, k).
   core::StatusOr<std::vector<ScoredItem>> RecommendTopK(int64_t user,
                                                         int64_t k) const;
+
+  /// Batched top-k: answers every user in `users` from blocked GEMM passes
+  /// over the item table (many users per pass instead of one scalar loop
+  /// per request). Result i is the ranked list for users[i]; duplicates are
+  /// allowed. Identical, list for list, to per-user RecommendTopK calls.
+  /// Fails on any bad user id or non-positive k.
+  core::StatusOr<std::vector<std::vector<ScoredItem>>> RecommendTopKBatch(
+      const std::vector<int64_t>& users, int64_t k) const;
 
   /// Score of one (user, item) pair (no masking).
   core::StatusOr<float> Score(int64_t user, int64_t item) const;
 
   /// Items most similar to `item` by cosine of item embeddings, excluding
-  /// itself ("users also liked" carousel).
+  /// itself ("users also liked" carousel). Uses the precomputed item norms
+  /// and transposed item block — one 1 x d GEMM per call.
   core::StatusOr<std::vector<ScoredItem>> SimilarItems(int64_t item,
                                                        int64_t k) const;
 
@@ -52,11 +69,13 @@ class Recommender {
   int64_t num_items() const { return dataset_->num_items(); }
 
  private:
-  Recommender(tensor::Matrix embeddings, const data::Dataset* dataset)
-      : embeddings_(std::move(embeddings)), dataset_(dataset) {}
+  Recommender(tensor::Matrix embeddings, const data::Dataset* dataset);
 
-  tensor::Matrix embeddings_;
+  // unique_ptr keeps the embedding matrix (and therefore the engine's
+  // pointer into it) address-stable across Recommender moves.
+  std::unique_ptr<tensor::Matrix> embeddings_;
   const data::Dataset* dataset_;
+  std::unique_ptr<topk::Engine> engine_;
 };
 
 }  // namespace darec::serve
