@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, then a ThreadSanitizer
-# pass over the parallel runtime (thread pool + blocked/threaded kernels).
+# Repo verification: tier-1 build + full test suite, then an AddressSanitizer
+# pass over the fault-tolerance surface (checkpointing, fail-point injection,
+# corrupted-file parsing) and a ThreadSanitizer pass over the parallel
+# runtime (thread pool + blocked/threaded kernels) and the crash/resume path.
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+run_asan=1
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+for arg in "$@"; do
+  [[ "$arg" == "--no-asan" ]] && run_asan=0
+  [[ "$arg" == "--no-tsan" ]] && run_tsan=0
+done
 
 echo "=== tier-1: Release build + ctest ==="
 cmake -B build -S . >/dev/null
@@ -18,14 +24,24 @@ echo "=== smoke: batched top-K bench (1 repetition, bitwise parity gates) ==="
 cmake --build build -j "$(nproc)" --target topk_bench >/dev/null
 ./build/bench/topk_bench smoke=1 out=build/BENCH_topk_smoke.json
 
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== ASan: checkpointing + fail points + corrupted-file parsing ==="
+  cmake -B build-asan -S . -DDAREC_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$(nproc)" \
+    --target failpoint_test checkpoint_test io_corruption_test io_test \
+             trainer_ckpt_test >/dev/null
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'failpoint_test|checkpoint_test|io_corruption_test|io_test|trainer_ckpt_test'
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "=== TSan: thread pool + parallel kernels + top-K engine ==="
+  echo "=== TSan: thread pool + parallel kernels + top-K engine + crash/resume ==="
   cmake -B build-tsan -S . -DDAREC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target thread_pool_test parallel_kernels_test topk_engine_test \
-             kmeans_test >/dev/null
+             kmeans_test failpoint_test trainer_ckpt_test >/dev/null
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test'
 fi
 
 echo "=== all checks passed ==="

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/status.h"
 #include "tensor/autograd.h"
+#include "tensor/matrix.h"
 
 namespace darec::align {
 
@@ -35,6 +37,21 @@ class Aligner {
 
   /// Trainable parameters owned by the aligner.
   virtual std::vector<tensor::Variable> Params() = 0;
+
+  /// Mutable non-parameter state carried across steps (e.g. warm-start
+  /// k-means centers). The trainer serializes it into checkpoints so a
+  /// resumed run replays bit-identically; stateless aligners return {}.
+  virtual std::vector<tensor::Matrix> MutableState() const { return {}; }
+
+  /// Restores what MutableState() returned. FailedPrecondition if the
+  /// entry count does not match this aligner's layout.
+  virtual core::Status RestoreMutableState(std::vector<tensor::Matrix> state) {
+    if (!state.empty()) {
+      return core::Status::FailedPrecondition(
+          name() + " aligner carries no mutable state");
+    }
+    return core::Status::Ok();
+  }
 };
 
 /// The "Baseline" variant: no LLM knowledge at all.

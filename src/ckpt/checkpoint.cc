@@ -1,0 +1,171 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/serialize.h"
+#include "core/crc32.h"
+#include "core/fsio.h"
+#include "core/logging.h"
+
+namespace darec::ckpt {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'K', 'P'};
+constexpr uint32_t kFormatVersion = 1;
+/// Offset of the byte right after the file-CRC field: magic + version + crc.
+constexpr size_t kCrcCoverageStart = sizeof(kMagic) + 2 * sizeof(uint32_t);
+constexpr int kStepDigits = 12;
+
+}  // namespace
+
+core::StatusOr<std::string_view> Bundle::Get(const std::string& name) const {
+  auto it = sections.find(name);
+  if (it == sections.end()) {
+    return core::Status::NotFound("bundle has no section '" + name + "'");
+  }
+  return std::string_view(it->second);
+}
+
+std::string SerializeBundle(const Bundle& bundle) {
+  ByteWriter content;
+  content.PutU32(static_cast<uint32_t>(bundle.sections.size()));
+  for (const auto& [name, payload] : bundle.sections) {
+    content.PutU32(static_cast<uint32_t>(name.size()));
+    content.PutBytes(name);
+    content.PutU64(payload.size());
+    content.PutU32(core::Crc32(payload));
+    content.PutBytes(payload);
+  }
+  ByteWriter out;
+  out.PutBytes(std::string_view(kMagic, sizeof(kMagic)));
+  out.PutU32(kFormatVersion);
+  out.PutU32(core::Crc32(content.str()));
+  out.PutBytes(content.str());
+  return out.Release();
+}
+
+core::StatusOr<Bundle> ParseBundle(std::string_view data) {
+  if (data.size() < kCrcCoverageStart ||
+      std::string_view(data.data(), sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    return core::Status::InvalidArgument("not a DCKP checkpoint");
+  }
+  ByteReader header(data.substr(sizeof(kMagic)));
+  DARE_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  DARE_ASSIGN_OR_RETURN(uint32_t file_crc, header.GetU32());
+  if (version != kFormatVersion) {
+    return core::Status::FailedPrecondition("unsupported DCKP version " +
+                                            std::to_string(version));
+  }
+  const std::string_view content = data.substr(kCrcCoverageStart);
+  if (core::Crc32(content) != file_crc) {
+    return core::Status::Internal("checkpoint file checksum mismatch");
+  }
+
+  ByteReader reader(content);
+  DARE_ASSIGN_OR_RETURN(uint32_t section_count, reader.GetU32());
+  Bundle bundle;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    DARE_ASSIGN_OR_RETURN(uint32_t name_size, reader.GetU32());
+    DARE_ASSIGN_OR_RETURN(std::string name, reader.GetBytes(name_size));
+    DARE_ASSIGN_OR_RETURN(uint64_t payload_size, reader.GetU64());
+    DARE_ASSIGN_OR_RETURN(uint32_t payload_crc, reader.GetU32());
+    if (payload_size > reader.remaining()) {
+      return core::Status::InvalidArgument("truncated section '" + name + "'");
+    }
+    DARE_ASSIGN_OR_RETURN(std::string payload, reader.GetBytes(payload_size));
+    if (core::Crc32(payload) != payload_crc) {
+      return core::Status::Internal("checksum mismatch in section '" + name + "'");
+    }
+    if (!bundle.sections.emplace(std::move(name), std::move(payload)).second) {
+      return core::Status::InvalidArgument("duplicate bundle section");
+    }
+  }
+  DARE_RETURN_IF_ERROR(reader.ExpectEnd());
+  return bundle;
+}
+
+CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
+    : options_(std::move(options)) {
+  options_.keep_last = std::max<int64_t>(options_.keep_last, 1);
+}
+
+std::string CheckpointManager::PathForStep(int64_t step) const {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "-%0*lld.dckp", kStepDigits,
+                static_cast<long long>(step));
+  return options_.dir + "/" + options_.prefix + suffix;
+}
+
+core::Status CheckpointManager::Save(int64_t step, const Bundle& bundle) {
+  if (step < 0) return core::Status::InvalidArgument("negative checkpoint step");
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return core::Status::Internal("cannot create checkpoint dir " + options_.dir +
+                                  ": " + ec.message());
+  }
+  DARE_RETURN_IF_ERROR(
+      core::WriteFileAtomic(PathForStep(step), SerializeBundle(bundle)));
+
+  // Rotation: drop everything but the newest keep_last checkpoints. Removal
+  // failures are logged, not fatal — the new checkpoint is already durable.
+  std::vector<CheckpointEntry> entries = List();
+  const int64_t excess = static_cast<int64_t>(entries.size()) - options_.keep_last;
+  for (int64_t i = 0; i < excess; ++i) {
+    std::error_code remove_ec;
+    if (!std::filesystem::remove(entries[static_cast<size_t>(i)].path, remove_ec) ||
+        remove_ec) {
+      DARE_LOG(Warning) << "checkpoint rotation: cannot remove "
+                        << entries[static_cast<size_t>(i)].path;
+    }
+  }
+  return core::Status::Ok();
+}
+
+std::vector<CheckpointEntry> CheckpointManager::List() const {
+  std::vector<CheckpointEntry> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options_.dir, ec);
+  if (ec) return entries;
+  const std::string name_prefix = options_.prefix + "-";
+  for (const auto& dir_entry : it) {
+    if (!dir_entry.is_regular_file(ec) || ec) continue;
+    const std::string name = dir_entry.path().filename().string();
+    if (name.size() != name_prefix.size() + kStepDigits + 5 ||
+        name.compare(0, name_prefix.size(), name_prefix) != 0 ||
+        name.compare(name.size() - 5, 5, ".dckp") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(name_prefix.size(), kStepDigits);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    entries.push_back({std::stoll(digits), dir_entry.path().string()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CheckpointEntry& a, const CheckpointEntry& b) {
+              return a.step < b.step;
+            });
+  return entries;
+}
+
+core::StatusOr<Bundle> CheckpointManager::LoadPath(const std::string& path) const {
+  DARE_ASSIGN_OR_RETURN(std::string contents, core::ReadFile(path));
+  return ParseBundle(contents);
+}
+
+core::StatusOr<CheckpointManager::Loaded> CheckpointManager::LoadLatest() const {
+  std::vector<CheckpointEntry> entries = List();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    core::StatusOr<Bundle> bundle = LoadPath(it->path);
+    if (bundle.ok()) {
+      return Loaded{it->step, it->path, *std::move(bundle)};
+    }
+    DARE_LOG(Warning) << "skipping damaged checkpoint " << it->path << ": "
+                      << bundle.status().ToString();
+  }
+  return core::Status::NotFound("no valid checkpoint under " + options_.dir);
+}
+
+}  // namespace darec::ckpt

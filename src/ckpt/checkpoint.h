@@ -1,0 +1,104 @@
+#ifndef DAREC_CKPT_CHECKPOINT_H_
+#define DAREC_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/statusor.h"
+
+namespace darec::ckpt {
+
+/// A named-section container — the unit a CheckpointManager commits.
+///
+/// Producers (the trainer) serialize each component (params, optimizer,
+/// rng, ...) into its own section with ckpt::ByteWriter; consumers fetch
+/// sections by name and parse with ckpt::ByteReader. Sections are opaque
+/// bytes here so the bundle format is independent of what is checkpointed.
+struct Bundle {
+  std::map<std::string, std::string> sections;
+
+  bool Has(const std::string& name) const { return sections.count(name) > 0; }
+  void Put(const std::string& name, std::string payload) {
+    sections[name] = std::move(payload);
+  }
+  /// NotFound if the section is absent (e.g. a bundle from an older writer).
+  core::StatusOr<std::string_view> Get(const std::string& name) const;
+};
+
+/// On-disk bundle layout (all integers host-endian):
+///   magic "DCKP" | u32 format version | u32 file CRC | u32 section count
+///   per section: u32 name length | name | u64 payload size | u32 payload CRC
+///                | payload
+/// The file CRC covers every byte after its own field, so any single
+/// bit-flip anywhere in the file is detected; per-section CRCs localize the
+/// damage for diagnostics.
+std::string SerializeBundle(const Bundle& bundle);
+
+/// Parses and fully validates a serialized bundle. Typed failures:
+///   InvalidArgument     — bad magic, truncation, duplicate section,
+///                         implausible length field
+///   FailedPrecondition  — unsupported format version (version skew)
+///   Internal            — file or section CRC mismatch (corruption)
+/// Never aborts and never returns a partially validated bundle.
+core::StatusOr<Bundle> ParseBundle(std::string_view data);
+
+struct CheckpointManagerOptions {
+  /// Directory the checkpoints live in (created on first Save).
+  std::string dir;
+  /// File names are "<prefix>-<step, zero-padded>.dckp".
+  std::string prefix = "ckpt";
+  /// Rotation: after a successful Save, only the newest `keep_last`
+  /// checkpoints are kept (values < 1 are clamped to 1).
+  int64_t keep_last = 3;
+};
+
+/// One checkpoint file on disk.
+struct CheckpointEntry {
+  int64_t step = 0;
+  std::string path;
+};
+
+/// Commits and restores versioned checkpoint bundles in a directory.
+///
+/// Save serializes the bundle and publishes it with write-to-temp +
+/// rename (core::WriteFileAtomic), so a crash at any byte leaves either the
+/// previous checkpoint or the complete new one. LoadLatest scans newest to
+/// oldest and skips damaged files with a logged warning, so the newest
+/// *valid* checkpoint is always restored — a torn or bit-flipped file is
+/// a fallback, never a crash or silent garbage.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointManagerOptions options);
+
+  /// Serializes `bundle` as step `step` (atomically) and rotates old files.
+  core::Status Save(int64_t step, const Bundle& bundle);
+
+  struct Loaded {
+    int64_t step = 0;
+    std::string path;
+    Bundle bundle;
+  };
+  /// Restores the newest valid checkpoint; NotFound when none exists (or
+  /// every candidate is damaged).
+  core::StatusOr<Loaded> LoadLatest() const;
+
+  /// Parses + validates one checkpoint file (see ParseBundle for codes).
+  core::StatusOr<Bundle> LoadPath(const std::string& path) const;
+
+  /// Checkpoint files present in the directory, ascending by step.
+  std::vector<CheckpointEntry> List() const;
+
+  std::string PathForStep(int64_t step) const;
+  const CheckpointManagerOptions& options() const { return options_; }
+
+ private:
+  CheckpointManagerOptions options_;
+};
+
+}  // namespace darec::ckpt
+
+#endif  // DAREC_CKPT_CHECKPOINT_H_

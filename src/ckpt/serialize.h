@@ -1,0 +1,85 @@
+#ifndef DAREC_CKPT_SERIALIZE_H_
+#define DAREC_CKPT_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/statusor.h"
+#include "tensor/matrix.h"
+
+namespace darec::ckpt {
+
+/// Appends fixed-width host-endian values to a byte buffer — the payload
+/// encoding for checkpoint bundle sections. Checkpoints restore on the host
+/// that wrote them (or one of equal endianness); cross-endian portability is
+/// explicitly out of scope for a single-machine trainer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t value) { PutRaw(&value, sizeof(value)); }
+  void PutU32(uint32_t value) { PutRaw(&value, sizeof(value)); }
+  void PutU64(uint64_t value) { PutRaw(&value, sizeof(value)); }
+  void PutI64(int64_t value) { PutRaw(&value, sizeof(value)); }
+  void PutF32(float value) { PutRaw(&value, sizeof(value)); }
+  void PutF64(double value) { PutRaw(&value, sizeof(value)); }
+
+  /// Raw bytes, no length prefix (caller encodes its own framing).
+  void PutBytes(std::string_view value);
+  /// u64 length followed by the raw bytes.
+  void PutString(std::string_view value);
+  /// i64 rows, i64 cols, then rows*cols row-major float32 (bit-exact).
+  void PutMatrix(const tensor::Matrix& value);
+  void PutI64Vector(const std::vector<int64_t>& value);
+  void PutF64Vector(const std::vector<double>& value);
+
+  const std::string& str() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  void PutRaw(const void* data, size_t size);
+
+  std::string buffer_;
+};
+
+/// Cursor-based counterpart of ByteWriter over an in-memory payload.
+///
+/// Every getter bounds-checks before reading and returns InvalidArgument on
+/// a truncated buffer; container getters additionally validate declared
+/// sizes against the remaining bytes before allocating, so a corrupted
+/// length field can never trigger a huge allocation or an overflow.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  core::StatusOr<uint8_t> GetU8();
+  core::StatusOr<uint32_t> GetU32();
+  core::StatusOr<uint64_t> GetU64();
+  core::StatusOr<int64_t> GetI64();
+  core::StatusOr<float> GetF32();
+  core::StatusOr<double> GetF64();
+  /// `size` raw bytes (the PutBytes counterpart).
+  core::StatusOr<std::string> GetBytes(size_t size);
+  core::StatusOr<std::string> GetString();
+  core::StatusOr<tensor::Matrix> GetMatrix();
+  core::StatusOr<std::vector<int64_t>> GetI64Vector();
+  core::StatusOr<std::vector<double>> GetF64Vector();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return remaining() == 0; }
+  /// InvalidArgument unless the whole payload was consumed (catches a
+  /// version-skewed writer that appended fields this reader ignores).
+  core::Status ExpectEnd() const;
+
+ private:
+  core::Status Need(size_t size) const;
+  void GetRaw(void* out, size_t size);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace darec::ckpt
+
+#endif  // DAREC_CKPT_SERIALIZE_H_

@@ -1,0 +1,23 @@
+#ifndef DAREC_CORE_CRC32_H_
+#define DAREC_CORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace darec::core {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+///
+/// `seed` is the running checksum for incremental use:
+/// `Crc32(b, Crc32(a)) == Crc32(a ++ b)`. Used by the checkpoint bundle
+/// format (ckpt/) to detect torn or bit-flipped sections on load.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_CRC32_H_

@@ -1,0 +1,137 @@
+#include "core/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace darec::core {
+namespace {
+
+struct Entry {
+  int64_t arg = 0;
+  int64_t fires_remaining = -1;  // -1 = unlimited
+  int64_t skip_remaining = 0;
+};
+
+std::mutex& Mutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+std::map<std::string, Entry>& Registry() {
+  static std::map<std::string, Entry>* registry = new std::map<std::string, Entry>;
+  return *registry;
+}
+
+}  // namespace
+
+std::atomic<int> FailPoint::armed_count_{0};
+
+void FailPoint::Arm(const std::string& name, int64_t arg, int64_t fires,
+                    int64_t skip_hits) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Registry().insert_or_assign(name, Entry{arg, fires, skip_hits});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoint::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Registry().erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoint::DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  armed_count_.fetch_sub(static_cast<int>(Registry().size()),
+                         std::memory_order_relaxed);
+  Registry().clear();
+}
+
+bool FailPoint::IsArmed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  return Registry().count(name) > 0;
+}
+
+bool FailPoint::FiresSlow(const char* name, int64_t* arg) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return false;
+  Entry& entry = it->second;
+  if (entry.skip_remaining > 0) {
+    --entry.skip_remaining;
+    return false;
+  }
+  if (entry.fires_remaining == 0) return false;
+  if (arg != nullptr) *arg = entry.arg;
+  if (entry.fires_remaining > 0 && --entry.fires_remaining == 0) {
+    Registry().erase(it);
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+Status FailPoint::ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+
+    std::string name = token;
+    int64_t values[3] = {0, -1, 0};  // arg, fires, skip_hits
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      name = token.substr(0, eq);
+      std::string rest = token.substr(eq + 1);
+      size_t field = 0, rpos = 0;
+      while (rpos <= rest.size() && field < 3) {
+        size_t colon = rest.find(':', rpos);
+        if (colon == std::string::npos) colon = rest.size();
+        const std::string number = rest.substr(rpos, colon - rpos);
+        char* parse_end = nullptr;
+        values[field] = std::strtoll(number.c_str(), &parse_end, 10);
+        if (number.empty() || parse_end != number.c_str() + number.size()) {
+          return Status::InvalidArgument("bad fail point value '" + number +
+                                         "' in token '" + token + "'");
+        }
+        ++field;
+        rpos = colon + 1;
+        if (colon == rest.size()) break;
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("empty fail point name in '" + spec + "'");
+    }
+    Arm(name, values[0], values[1], values[2]);
+  }
+  return Status::Ok();
+}
+
+Status FailPoint::ArmFromEnv() {
+  const char* spec = std::getenv("DAREC_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::Ok();
+  return ArmFromSpec(spec);
+}
+
+namespace {
+
+/// Arms DAREC_FAILPOINTS before main() so any binary can inject faults
+/// without code changes. A malformed spec cannot abort every binary from a
+/// static initializer, so it is reported on stderr and skipped.
+const bool kEnvArmed = [] {
+  const Status status = FailPoint::ArmFromEnv();
+  if (!status.ok()) {
+    std::fprintf(stderr, "DAREC_FAILPOINTS ignored: %s\n",
+                 status.ToString().c_str());
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace darec::core

@@ -1,0 +1,65 @@
+#ifndef DAREC_CORE_FAILPOINT_H_
+#define DAREC_CORE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace darec::core {
+
+/// Test-only fault injection for the robustness test suite.
+///
+/// Library code marks a failure site by asking `FailPoint::Fires("name")`
+/// whether to simulate that failure (e.g. abort a file write after K bytes,
+/// fail a rename, poison a loss with NaN). Tests arm points by name; in
+/// production nothing is armed and a site costs one relaxed atomic load —
+/// no locks, no string allocation, no map lookup.
+///
+/// Registered sites:
+///   fsio.write_abort   (arg = bytes written before the simulated crash)
+///   fsio.rename_fail   (commit rename is skipped; temp file left behind)
+///   trainer.nan_loss   (one batch loss is forced to NaN)
+class FailPoint {
+ public:
+  /// Arms `name`: the point ignores its first `skip_hits` hits, then fires
+  /// `fires` times (-1 = until disarmed), exposing `arg` to the site each
+  /// time. Re-arming an already-armed point replaces its configuration.
+  static void Arm(const std::string& name, int64_t arg = 0, int64_t fires = -1,
+                  int64_t skip_hits = 0);
+
+  static void Disarm(const std::string& name);
+  static void DisarmAll();
+  static bool IsArmed(const std::string& name);
+
+  /// Fast path guard: false unless at least one point is armed anywhere.
+  static bool Enabled() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// True if `name` should fail now; consumes one hit (skip budget first,
+  /// then fire budget — a point whose fire budget reaches 0 auto-disarms).
+  /// When firing, `*arg` (if non-null) receives the armed argument.
+  static bool Fires(const char* name, int64_t* arg = nullptr) {
+    if (!Enabled()) return false;
+    return FiresSlow(name, arg);
+  }
+
+  /// Arms every point in `spec`: "name[=arg[:fires[:skip]]]" entries
+  /// separated by ',' or ';' (e.g. "fsio.rename_fail,trainer.nan_loss=0:1").
+  static Status ArmFromSpec(const std::string& spec);
+
+  /// Arms from the DAREC_FAILPOINTS environment variable (ArmFromSpec
+  /// syntax). A no-op returning OK when the variable is unset or empty.
+  static Status ArmFromEnv();
+
+ private:
+  static bool FiresSlow(const char* name, int64_t* arg);
+
+  static std::atomic<int> armed_count_;
+};
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_FAILPOINT_H_

@@ -1,0 +1,88 @@
+#include "core/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/failpoint.h"
+
+namespace darec::core {
+namespace {
+
+/// Best-effort fsync of the directory containing `path`, so the rename that
+/// published a file is itself durable across a power loss.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read error: " + path);
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string temp = path + ".tmp";
+  FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open for writing: " + temp);
+  }
+
+  size_t to_write = contents.size();
+  int64_t abort_after = 0;
+  const bool abort_write = FailPoint::Fires("fsio.write_abort", &abort_after);
+  if (abort_write) {
+    to_write = std::min<size_t>(to_write,
+                                static_cast<size_t>(std::max<int64_t>(abort_after, 0)));
+  }
+  const size_t written =
+      to_write == 0 ? 0 : std::fwrite(contents.data(), 1, to_write, file);
+  if (abort_write) {
+    // Simulated crash: the truncated temp file stays, the target is untouched.
+    std::fclose(file);
+    return Status::Internal("fail point fsio.write_abort after " +
+                            std::to_string(written) + " bytes: " + path);
+  }
+  if (written != contents.size() || std::fflush(file) != 0 ||
+      ::fsync(fileno(file)) != 0) {
+    std::fclose(file);
+    std::remove(temp.c_str());
+    return Status::Internal("short write to " + temp);
+  }
+  if (std::fclose(file) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal("close failed for " + temp);
+  }
+
+  if (FailPoint::Fires("fsio.rename_fail")) {
+    // Simulated crash between flush and publish: temp stays, target untouched.
+    return Status::Internal("fail point fsio.rename_fail: " + path +
+                            " not published");
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    const int error = errno;
+    std::remove(temp.c_str());
+    return Status::Internal("rename " + temp + " -> " + path + ": " +
+                            std::strerror(error));
+  }
+  SyncParentDirectory(path);
+  return Status::Ok();
+}
+
+}  // namespace darec::core

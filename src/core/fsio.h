@@ -1,0 +1,30 @@
+#ifndef DAREC_CORE_FSIO_H_
+#define DAREC_CORE_FSIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+#include "core/statusor.h"
+
+namespace darec::core {
+
+/// Reads the whole file into a string (binary). NotFound if it cannot be
+/// opened, Internal on a read error.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Commits `contents` to `path` atomically: the bytes go to `path + ".tmp"`,
+/// are flushed to disk (fsync), and are published with rename(2). A crash at
+/// any byte leaves either the previous file or the complete new one — never
+/// a torn mixture. Used for checkpoints and every tensor artifact writer.
+///
+/// Fail points (test-only, see core/failpoint.h):
+///   "fsio.write_abort" (arg K): stop after K bytes and return Internal,
+///       leaving the truncated temp file behind (simulated crash mid-write).
+///   "fsio.rename_fail": skip the publish rename and return Internal
+///       (simulated crash between flush and publish).
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_FSIO_H_

@@ -6,6 +6,15 @@
 
 namespace darec::core {
 
+/// Complete serializable Rng state (see Rng::SaveState / Rng::RestoreState).
+/// Restoring it continues the stream bit-identically, including the Box–
+/// Muller half-pair a Normal() call may have cached.
+struct RngState {
+  uint64_t state = 0;
+  bool have_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (SplitMix64 core).
 ///
 /// Every stochastic component in the project (data generation, negative
@@ -62,6 +71,16 @@ class Rng {
 
   /// Spawns an independent child generator (for per-component streams).
   Rng Fork() { return Rng(NextUint64()); }
+
+  /// Snapshots the full generator state (checkpoint support).
+  RngState SaveState() const { return {state_, have_cached_normal_, cached_normal_}; }
+
+  /// Restores a snapshot; the stream continues exactly where it was saved.
+  void RestoreState(const RngState& snapshot) {
+    state_ = snapshot.state;
+    have_cached_normal_ = snapshot.have_cached_normal;
+    cached_normal_ = snapshot.cached_normal;
+  }
 
  private:
   uint64_t state_;

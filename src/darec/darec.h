@@ -80,6 +80,23 @@ class DaRecAligner final : public align::Aligner {
 
   std::vector<tensor::Variable> Params() override;
 
+  /// Warm-start k-means centers of the local structure loss (Eq. 6): they
+  /// evolve across steps outside the optimizer, so checkpoints must carry
+  /// them for bit-identical resume.
+  std::vector<tensor::Matrix> MutableState() const override {
+    return {local_state_.cf_centers, local_state_.llm_centers};
+  }
+  core::Status RestoreMutableState(std::vector<tensor::Matrix> state) override {
+    if (state.size() != 2) {
+      return core::Status::FailedPrecondition(
+          "darec aligner state needs 2 matrices, got " +
+          std::to_string(state.size()));
+    }
+    local_state_.cf_centers = std::move(state[0]);
+    local_state_.llm_centers = std::move(state[1]);
+    return core::Status::Ok();
+  }
+
   /// Projects the given rows (all nodes when `sample` is empty) through the
   /// four projectors without recording gradients — used by the t-SNE /
   /// preference-center analyses (paper Fig. 6).

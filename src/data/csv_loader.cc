@@ -1,6 +1,7 @@
 #include "data/csv_loader.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -33,6 +34,20 @@ core::StatusOr<int64_t> ParseId(const std::string& text, int64_t line_number,
   return static_cast<int64_t>(value);
 }
 
+core::StatusOr<double> ParseRating(const std::string& text, int64_t line_number) {
+  if (text.empty()) {
+    return core::Status::InvalidArgument("empty rating at line " +
+                                         std::to_string(line_number));
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || !std::isfinite(value)) {
+    return core::Status::InvalidArgument("bad rating '" + text + "' at line " +
+                                         std::to_string(line_number));
+  }
+  return value;
+}
+
 }  // namespace
 
 core::StatusOr<LoadedInteractions> LoadInteractionsCsv(const std::string& path,
@@ -57,7 +72,9 @@ core::StatusOr<LoadedInteractions> LoadInteractionsCsv(const std::string& path,
           std::to_string(needed_columns));
     }
     if (options.rating_column >= 0) {
-      const double rating = std::atof(fields[options.rating_column].c_str());
+      DARE_ASSIGN_OR_RETURN(
+          const double rating,
+          ParseRating(fields[options.rating_column], line_number));
       if (rating < options.min_rating) {
         ++loaded.filtered_rows;
         continue;

@@ -43,6 +43,26 @@ bool BatchIterator::NextBatch(std::vector<TrainTriple>& batch, core::Rng& rng) {
   return true;
 }
 
+core::Status BatchIterator::RestoreOrder(std::vector<int64_t> order) {
+  const int64_t total = static_cast<int64_t>(dataset_.train().size());
+  if (static_cast<int64_t>(order.size()) != total) {
+    return core::Status::FailedPrecondition(
+        "checkpointed batch order has " + std::to_string(order.size()) +
+        " entries, dataset has " + std::to_string(total));
+  }
+  std::vector<bool> seen(order.size(), false);
+  for (int64_t index : order) {
+    if (index < 0 || index >= total || seen[static_cast<size_t>(index)]) {
+      return core::Status::FailedPrecondition(
+          "checkpointed batch order is not a permutation");
+    }
+    seen[static_cast<size_t>(index)] = true;
+  }
+  order_ = std::move(order);
+  cursor_ = total;
+  return core::Status::Ok();
+}
+
 void BatchIterator::NewEpoch(core::Rng& rng) {
   rng.Shuffle(order_);
   cursor_ = 0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/status.h"
 #include "data/dataset.h"
 
 namespace darec::data {
@@ -44,6 +45,17 @@ class BatchIterator {
   void NewEpoch(core::Rng& rng);
 
   int64_t batches_per_epoch() const;
+
+  /// Checkpoint support: the current epoch's shuffled interaction order.
+  /// NewEpoch() shuffles this permutation in place, so it is part of the
+  /// deterministic replay state a resumed run must restore.
+  const std::vector<int64_t>& order() const { return order_; }
+
+  /// Restores a checkpointed permutation, leaving the epoch exhausted (the
+  /// next NewEpoch() reshuffles it exactly as the uninterrupted run would).
+  /// Fails with FailedPrecondition unless `order` is a permutation of the
+  /// training interactions; on failure the iterator is unchanged.
+  core::Status RestoreOrder(std::vector<int64_t> order);
 
  private:
   const Dataset& dataset_;

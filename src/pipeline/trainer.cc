@@ -1,5 +1,11 @@
 #include "pipeline/trainer.h"
 
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "ckpt/serialize.h"
+#include "core/failpoint.h"
 #include "core/logging.h"
 #include "core/stopwatch.h"
 #include "tensor/autograd.h"
@@ -10,6 +16,12 @@ namespace darec::pipeline {
 using tensor::Variable;
 
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Version of the trainer's bundle section layout (bumped when the
+/// serialized state changes shape; RestoreFromBundle rejects skew).
+constexpr uint32_t kTrainerStateVersion = 1;
 
 /// Gathered batch index triples in unified node ids.
 struct BatchNodes {
@@ -54,6 +66,27 @@ Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
                                               options.learning_rate);
   batches_ = std::make_unique<data::BatchIterator>(*dataset_, options.batch_size,
                                                    rng_);
+  if (!options.checkpoint_dir.empty()) {
+    ckpt::CheckpointManagerOptions checkpoint_options;
+    checkpoint_options.dir = options.checkpoint_dir;
+    checkpoint_options.keep_last = options.keep_last_checkpoints;
+    checkpoints_ = std::make_unique<ckpt::CheckpointManager>(checkpoint_options);
+  }
+}
+
+bool Trainer::GradientsFinite() const {
+  for (const Variable& p : optimizer_->params()) {
+    const tensor::Matrix& grad = p.grad();
+    const float* data = grad.data();
+    const int64_t n = grad.size();
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) sum += data[i];
+    // Finite floats can never overflow a double accumulator, so a non-finite
+    // sum is exactly "at least one non-finite gradient entry" (inf pairs of
+    // opposite sign collapse to NaN, never back to a finite value).
+    if (!std::isfinite(sum)) return false;
+  }
+  return true;
 }
 
 double Trainer::RunEpoch() {
@@ -92,10 +125,17 @@ double Trainer::RunEpoch() {
       if (!align_loss.IsNull()) loss = Add(loss, align_loss);
     }
 
-    epoch_loss += loss.scalar();
+    double batch_loss = loss.scalar();
+    if (core::FailPoint::Fires("trainer.nan_loss")) batch_loss = kNan;
+    // Divergence guard: abort the epoch before the poisoned update is
+    // applied; Run() decides whether to roll back to a checkpoint.
+    if (!std::isfinite(batch_loss)) return kNan;
+
+    epoch_loss += batch_loss;
     ++epoch_batches;
     ++step_count_;
     Backward(loss);
+    if (!GradientsFinite()) return kNan;
     optimizer_->Step();
   }
   return epoch_batches > 0 ? epoch_loss / static_cast<double>(epoch_batches) : 0.0;
@@ -114,22 +154,319 @@ eval::MetricSet Trainer::Evaluate(eval::EvalSplit split) {
   return eval::EvaluateRanking(CurrentEmbeddings(), *dataset_, eval_options);
 }
 
+ckpt::Bundle Trainer::MakeBundle() const {
+  ckpt::Bundle bundle;
+  const std::vector<Variable>& params = optimizer_->params();
+  {
+    ckpt::ByteWriter meta;
+    meta.PutU32(kTrainerStateVersion);
+    meta.PutString(backbone_->name());
+    meta.PutString(aligner_ != nullptr ? aligner_->name() : "");
+    meta.PutI64(epochs_completed_);
+    meta.PutI64(step_count_);
+    meta.PutF32(optimizer_->learning_rate());
+    meta.PutU64(params.size());
+    meta.PutI64(static_cast<int64_t>(dataset_->train().size()));
+    bundle.Put("meta", meta.Release());
+  }
+  {
+    ckpt::ByteWriter values;
+    values.PutU64(params.size());
+    for (const Variable& p : params) values.PutMatrix(p.value());
+    bundle.Put("params", values.Release());
+  }
+  {
+    ckpt::ByteWriter adam;
+    adam.PutI64(optimizer_->step_count());
+    adam.PutU64(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      adam.PutMatrix(optimizer_->first_moments()[i]);
+      adam.PutMatrix(optimizer_->second_moments()[i]);
+    }
+    bundle.Put("adam", adam.Release());
+  }
+  {
+    // Aligner-side non-parameter state (e.g. DaRec's warm-start centers).
+    const std::vector<tensor::Matrix> state =
+        aligner_ != nullptr ? aligner_->MutableState()
+                            : std::vector<tensor::Matrix>{};
+    ckpt::ByteWriter aligner_state;
+    aligner_state.PutU64(state.size());
+    for (const tensor::Matrix& m : state) aligner_state.PutMatrix(m);
+    bundle.Put("aligner_state", aligner_state.Release());
+  }
+  {
+    const core::RngState state = rng_.SaveState();
+    ckpt::ByteWriter rng;
+    rng.PutU64(state.state);
+    rng.PutU8(state.have_cached_normal ? 1 : 0);
+    rng.PutF64(state.cached_normal);
+    bundle.Put("rng", rng.Release());
+  }
+  {
+    ckpt::ByteWriter sampler;
+    sampler.PutI64Vector(batches_->order());
+    bundle.Put("sampler", sampler.Release());
+  }
+  {
+    ckpt::ByteWriter history;
+    history.PutF64Vector(epoch_losses_);
+    bundle.Put("history", history.Release());
+  }
+  {
+    ckpt::ByteWriter early;
+    early.PutF64(best_validation_);
+    early.PutI64(evals_since_improvement_);
+    early.PutMatrix(best_embeddings_);
+    bundle.Put("earlystop", early.Release());
+  }
+  return bundle;
+}
+
+core::Status Trainer::RestoreFromBundle(const ckpt::Bundle& bundle) {
+  const std::vector<Variable>& params = optimizer_->params();
+
+  // ---- Stage + validate. Nothing below mutates the trainer. ----
+  DARE_ASSIGN_OR_RETURN(std::string_view meta_bytes, bundle.Get("meta"));
+  ckpt::ByteReader meta(meta_bytes);
+  DARE_ASSIGN_OR_RETURN(uint32_t state_version, meta.GetU32());
+  if (state_version != kTrainerStateVersion) {
+    return core::Status::FailedPrecondition("unsupported trainer state version " +
+                                            std::to_string(state_version));
+  }
+  DARE_ASSIGN_OR_RETURN(std::string backbone_name, meta.GetString());
+  DARE_ASSIGN_OR_RETURN(std::string aligner_name, meta.GetString());
+  const std::string expected_aligner = aligner_ != nullptr ? aligner_->name() : "";
+  if (backbone_name != backbone_->name() || aligner_name != expected_aligner) {
+    return core::Status::FailedPrecondition(
+        "checkpoint is for " + backbone_name + "+" + aligner_name + ", trainer is " +
+        backbone_->name() + "+" + expected_aligner);
+  }
+  DARE_ASSIGN_OR_RETURN(int64_t epochs_completed, meta.GetI64());
+  DARE_ASSIGN_OR_RETURN(int64_t step_count, meta.GetI64());
+  DARE_ASSIGN_OR_RETURN(float learning_rate, meta.GetF32());
+  DARE_ASSIGN_OR_RETURN(uint64_t num_params, meta.GetU64());
+  DARE_ASSIGN_OR_RETURN(int64_t train_size, meta.GetI64());
+  DARE_RETURN_IF_ERROR(meta.ExpectEnd());
+  if (epochs_completed < 0 || step_count < 0 || !std::isfinite(learning_rate) ||
+      learning_rate <= 0.0f) {
+    return core::Status::FailedPrecondition("implausible trainer counters");
+  }
+  if (num_params != params.size()) {
+    return core::Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(num_params) + " params, trainer has " +
+        std::to_string(params.size()));
+  }
+  if (train_size != static_cast<int64_t>(dataset_->train().size())) {
+    return core::Status::FailedPrecondition(
+        "checkpoint was written for a dataset with " + std::to_string(train_size) +
+        " training interactions, this dataset has " +
+        std::to_string(dataset_->train().size()));
+  }
+
+  DARE_ASSIGN_OR_RETURN(std::string_view params_bytes, bundle.Get("params"));
+  ckpt::ByteReader params_reader(params_bytes);
+  DARE_ASSIGN_OR_RETURN(uint64_t value_count, params_reader.GetU64());
+  if (value_count != params.size()) {
+    return core::Status::FailedPrecondition("params section count mismatch");
+  }
+  std::vector<tensor::Matrix> values;
+  values.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    DARE_ASSIGN_OR_RETURN(tensor::Matrix value, params_reader.GetMatrix());
+    if (!value.SameShape(params[i].value())) {
+      return core::Status::FailedPrecondition("param " + std::to_string(i) +
+                                              " shape mismatch");
+    }
+    values.push_back(std::move(value));
+  }
+  DARE_RETURN_IF_ERROR(params_reader.ExpectEnd());
+
+  DARE_ASSIGN_OR_RETURN(std::string_view adam_bytes, bundle.Get("adam"));
+  ckpt::ByteReader adam_reader(adam_bytes);
+  DARE_ASSIGN_OR_RETURN(int64_t adam_steps, adam_reader.GetI64());
+  DARE_ASSIGN_OR_RETURN(uint64_t moment_count, adam_reader.GetU64());
+  if (adam_steps < 0 || moment_count != params.size()) {
+    return core::Status::FailedPrecondition("adam section count mismatch");
+  }
+  std::vector<tensor::Matrix> first_moments, second_moments;
+  first_moments.reserve(params.size());
+  second_moments.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    DARE_ASSIGN_OR_RETURN(tensor::Matrix first, adam_reader.GetMatrix());
+    DARE_ASSIGN_OR_RETURN(tensor::Matrix second, adam_reader.GetMatrix());
+    if (!first.SameShape(params[i].value()) || !second.SameShape(params[i].value())) {
+      return core::Status::FailedPrecondition("adam moment " + std::to_string(i) +
+                                              " shape mismatch");
+    }
+    first_moments.push_back(std::move(first));
+    second_moments.push_back(std::move(second));
+  }
+  DARE_RETURN_IF_ERROR(adam_reader.ExpectEnd());
+
+  DARE_ASSIGN_OR_RETURN(std::string_view aligner_bytes, bundle.Get("aligner_state"));
+  ckpt::ByteReader aligner_reader(aligner_bytes);
+  DARE_ASSIGN_OR_RETURN(uint64_t aligner_state_count, aligner_reader.GetU64());
+  const size_t expected_state =
+      aligner_ != nullptr ? aligner_->MutableState().size() : 0;
+  if (aligner_state_count != expected_state) {
+    return core::Status::FailedPrecondition("aligner state count mismatch");
+  }
+  std::vector<tensor::Matrix> aligner_state;
+  aligner_state.reserve(aligner_state_count);
+  for (uint64_t i = 0; i < aligner_state_count; ++i) {
+    DARE_ASSIGN_OR_RETURN(tensor::Matrix m, aligner_reader.GetMatrix());
+    aligner_state.push_back(std::move(m));
+  }
+  DARE_RETURN_IF_ERROR(aligner_reader.ExpectEnd());
+
+  DARE_ASSIGN_OR_RETURN(std::string_view rng_bytes, bundle.Get("rng"));
+  ckpt::ByteReader rng_reader(rng_bytes);
+  core::RngState rng_state;
+  DARE_ASSIGN_OR_RETURN(rng_state.state, rng_reader.GetU64());
+  DARE_ASSIGN_OR_RETURN(uint8_t have_cached, rng_reader.GetU8());
+  DARE_ASSIGN_OR_RETURN(rng_state.cached_normal, rng_reader.GetF64());
+  DARE_RETURN_IF_ERROR(rng_reader.ExpectEnd());
+  rng_state.have_cached_normal = have_cached != 0;
+
+  DARE_ASSIGN_OR_RETURN(std::string_view sampler_bytes, bundle.Get("sampler"));
+  ckpt::ByteReader sampler_reader(sampler_bytes);
+  DARE_ASSIGN_OR_RETURN(std::vector<int64_t> order, sampler_reader.GetI64Vector());
+  DARE_RETURN_IF_ERROR(sampler_reader.ExpectEnd());
+
+  DARE_ASSIGN_OR_RETURN(std::string_view history_bytes, bundle.Get("history"));
+  ckpt::ByteReader history_reader(history_bytes);
+  DARE_ASSIGN_OR_RETURN(std::vector<double> losses, history_reader.GetF64Vector());
+  DARE_RETURN_IF_ERROR(history_reader.ExpectEnd());
+
+  DARE_ASSIGN_OR_RETURN(std::string_view early_bytes, bundle.Get("earlystop"));
+  ckpt::ByteReader early_reader(early_bytes);
+  DARE_ASSIGN_OR_RETURN(double best_validation, early_reader.GetF64());
+  DARE_ASSIGN_OR_RETURN(int64_t evals_since_improvement, early_reader.GetI64());
+  DARE_ASSIGN_OR_RETURN(tensor::Matrix best_embeddings, early_reader.GetMatrix());
+  DARE_RETURN_IF_ERROR(early_reader.ExpectEnd());
+
+  // ---- Apply. RestoreOrder is the only remaining fallible step and it
+  // mutates nothing on failure, so the trainer is never half-restored. ----
+  DARE_RETURN_IF_ERROR(batches_->RestoreOrder(std::move(order)));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Variable p = params[i];
+    p.mutable_value() = std::move(values[i]);
+    p.ClearGrad();
+  }
+  const core::Status adam_status = optimizer_->RestoreState(
+      adam_steps, std::move(first_moments), std::move(second_moments));
+  DARE_CHECK(adam_status.ok()) << adam_status.ToString();  // Shapes pre-validated.
+  if (aligner_ != nullptr) {
+    const core::Status aligner_status =
+        aligner_->RestoreMutableState(std::move(aligner_state));
+    DARE_CHECK(aligner_status.ok()) << aligner_status.ToString();  // Count checked.
+  }
+  optimizer_->set_learning_rate(learning_rate);
+  rng_.RestoreState(rng_state);
+  epochs_completed_ = epochs_completed;
+  step_count_ = step_count;
+  epoch_losses_ = std::move(losses);
+  best_validation_ = best_validation;
+  evals_since_improvement_ = evals_since_improvement;
+  best_embeddings_ = std::move(best_embeddings);
+  return core::Status::Ok();
+}
+
+core::Status Trainer::SaveCheckpoint() {
+  if (checkpoints_ == nullptr) {
+    return core::Status::FailedPrecondition(
+        "checkpointing disabled: TrainOptions.checkpoint_dir is empty");
+  }
+  return checkpoints_->Save(epochs_completed_, MakeBundle());
+}
+
+core::Status Trainer::RestoreCheckpoint() {
+  if (checkpoints_ == nullptr) {
+    return core::Status::FailedPrecondition(
+        "checkpointing disabled: TrainOptions.checkpoint_dir is empty");
+  }
+  const std::vector<ckpt::CheckpointEntry> entries = checkpoints_->List();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    core::StatusOr<ckpt::Bundle> bundle = checkpoints_->LoadPath(it->path);
+    const core::Status restored =
+        bundle.ok() ? RestoreFromBundle(*bundle) : bundle.status();
+    if (restored.ok()) {
+      if (options_.verbose) {
+        DARE_LOG(Info) << "restored checkpoint " << it->path << " (epoch "
+                       << epochs_completed_ << ", step " << step_count_ << ")";
+      }
+      return core::Status::Ok();
+    }
+    DARE_LOG(Warning) << "skipping checkpoint " << it->path << ": "
+                      << restored.ToString();
+  }
+  return core::Status::NotFound("no restorable checkpoint under " +
+                                options_.checkpoint_dir);
+}
+
 TrainResult Trainer::Run() {
   core::Stopwatch stopwatch;
   TrainResult result;
-  double best_validation = -1.0;
-  tensor::Matrix best_embeddings;
-  int64_t evals_since_improvement = 0;
-  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  int64_t divergence_retries = 0;
+
+  if (checkpoints_ != nullptr && options_.checkpoint_every > 0 &&
+      checkpoints_->List().empty()) {
+    // Initial checkpoint so divergence recovery always has a rollback target.
+    const core::Status saved = SaveCheckpoint();
+    if (!saved.ok()) {
+      DARE_LOG(Warning) << "initial checkpoint failed: " << saved.ToString();
+    }
+  }
+
+  while (epochs_completed_ < options_.epochs) {
     const double mean_loss = RunEpoch();
-    result.epoch_losses.push_back(mean_loss);
+
+    if (!std::isfinite(mean_loss)) {
+      // Divergence: roll back to the last good checkpoint with a smaller
+      // step size instead of letting NaN poison the remaining epochs.
+      if (checkpoints_ != nullptr &&
+          divergence_retries < options_.max_divergence_retries) {
+        ++divergence_retries;
+        const core::Status restored = RestoreCheckpoint();
+        if (restored.ok()) {
+          // f^retries: when the rollback target predates the last backoff
+          // (no checkpoint since), retries still escalate the reduction.
+          const float lr =
+              optimizer_->learning_rate() *
+              std::pow(options_.lr_backoff, static_cast<float>(divergence_retries));
+          optimizer_->set_learning_rate(lr);
+          result.divergence_recoveries = divergence_retries;
+          DARE_LOG(Warning) << backbone_->name() << ": non-finite loss at epoch "
+                            << epochs_completed_ + 1 << "; restored epoch "
+                            << epochs_completed_ << ", lr backed off to " << lr
+                            << " (retry " << divergence_retries << "/"
+                            << options_.max_divergence_retries << ")";
+          continue;
+        }
+        DARE_LOG(Error) << "divergence recovery failed: " << restored.ToString();
+      }
+      DARE_LOG(Error) << backbone_->name() << ": training diverged at epoch "
+                      << epochs_completed_ + 1 << " and cannot recover ("
+                      << (checkpoints_ == nullptr ? "checkpointing disabled"
+                                                  : "retries exhausted")
+                      << ")";
+      epoch_losses_.push_back(mean_loss);
+      result.diverged = true;
+      break;
+    }
+
+    ++epochs_completed_;
+    epoch_losses_.push_back(mean_loss);
     if (options_.verbose) {
       DARE_LOG(Info) << backbone_->name()
                      << (aligner_ != nullptr ? "+" + aligner_->name() : "")
-                     << " epoch " << epoch + 1 << "/" << options_.epochs
+                     << " epoch " << epochs_completed_ << "/" << options_.epochs
                      << " loss=" << mean_loss;
     }
-    if (options_.eval_every > 0 && (epoch + 1) % options_.eval_every == 0) {
+
+    bool stop_early = false;
+    if (options_.eval_every > 0 && epochs_completed_ % options_.eval_every == 0) {
       eval::EvalOptions eval_options;
       eval_options.ks = {options_.eval_k};
       eval_options.split = eval::EvalSplit::kValidation;
@@ -137,22 +474,35 @@ TrainResult Trainer::Run() {
       const double validation =
           eval::EvaluateRanking(embeddings, *dataset_, eval_options)
               .recall.at(options_.eval_k);
-      if (validation > best_validation) {
-        best_validation = validation;
-        best_embeddings = std::move(embeddings);
-        evals_since_improvement = 0;
-      } else if (++evals_since_improvement >= options_.patience) {
+      if (validation > best_validation_) {
+        best_validation_ = validation;
+        best_embeddings_ = std::move(embeddings);
+        evals_since_improvement_ = 0;
+      } else if (++evals_since_improvement_ >= options_.patience) {
         if (options_.verbose) {
-          DARE_LOG(Info) << "early stop at epoch " << epoch + 1
+          DARE_LOG(Info) << "early stop at epoch " << epochs_completed_
                          << " (best val R@" << options_.eval_k << "="
-                         << best_validation << ")";
+                         << best_validation_ << ")";
         }
-        break;
+        stop_early = true;
       }
     }
+
+    if (checkpoints_ != nullptr && options_.checkpoint_every > 0 &&
+        epochs_completed_ % options_.checkpoint_every == 0) {
+      const core::Status saved = SaveCheckpoint();
+      if (!saved.ok()) {
+        // Training carries on from memory; only crash protection degrades.
+        DARE_LOG(Warning) << "checkpoint at epoch " << epochs_completed_
+                          << " failed: " << saved.ToString();
+      }
+    }
+    if (stop_early) break;
   }
-  result.final_embeddings = options_.eval_every > 0 && !best_embeddings.empty()
-                                ? std::move(best_embeddings)
+
+  result.epoch_losses = epoch_losses_;
+  result.final_embeddings = options_.eval_every > 0 && !best_embeddings_.empty()
+                                ? best_embeddings_
                                 : CurrentEmbeddings();
   eval::EvalOptions eval_options;
   result.test_metrics =

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <string>
+
+#include "core/fsio.h"
 
 namespace darec::tensor {
 namespace {
@@ -10,24 +13,29 @@ namespace {
 constexpr char kMagic[4] = {'D', 'M', 'A', 'T'};
 constexpr uint32_t kVersion = 1;
 
+/// Largest accepted element count (2^34 floats = 64 GiB), checked without
+/// ever forming the possibly-overflowing rows * cols product.
+constexpr int64_t kMaxElements = int64_t{1} << 34;
+
+void Append(std::string& out, const void* data, size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
 }  // namespace
 
 core::Status SaveMatrix(const std::string& path, const Matrix& matrix) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return core::Status::NotFound("cannot open for writing: " + path);
-  }
-  out.write(kMagic, sizeof(kMagic));
-  uint32_t version = kVersion;
-  int64_t rows = matrix.rows();
-  int64_t cols = matrix.cols();
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  out.write(reinterpret_cast<const char*>(matrix.data()),
-            static_cast<std::streamsize>(sizeof(float) * matrix.size()));
-  if (!out.good()) return core::Status::Internal("short write to " + path);
-  return core::Status::Ok();
+  std::string contents;
+  contents.reserve(sizeof(kMagic) + sizeof(uint32_t) + 2 * sizeof(int64_t) +
+                   sizeof(float) * static_cast<size_t>(matrix.size()));
+  Append(contents, kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  const int64_t rows = matrix.rows();
+  const int64_t cols = matrix.cols();
+  Append(contents, &version, sizeof(version));
+  Append(contents, &rows, sizeof(rows));
+  Append(contents, &cols, sizeof(cols));
+  Append(contents, matrix.data(), sizeof(float) * static_cast<size_t>(matrix.size()));
+  return core::WriteFileAtomic(path, contents);
 }
 
 core::StatusOr<Matrix> LoadMatrix(const std::string& path) {
@@ -44,10 +52,13 @@ core::StatusOr<Matrix> LoadMatrix(const std::string& path) {
     return core::Status::InvalidArgument("not a DMAT file: " + path);
   }
   if (version != kVersion) {
-    return core::Status::InvalidArgument("unsupported DMAT version " +
-                                         std::to_string(version));
+    return core::Status::FailedPrecondition("unsupported DMAT version " +
+                                            std::to_string(version) + " in " + path);
   }
-  if (rows < 0 || cols < 0 || rows * cols > (int64_t{1} << 34)) {
+  // Validate each dim on its own: rows * cols on attacker-controlled headers
+  // can wrap int64_t and sneak past a product-only bound.
+  if (rows < 0 || cols < 0 || rows > kMaxElements || cols > kMaxElements ||
+      (cols > 0 && rows > kMaxElements / cols)) {
     return core::Status::InvalidArgument("implausible matrix dims in " + path);
   }
   Matrix matrix(rows, cols);
@@ -58,21 +69,17 @@ core::StatusOr<Matrix> LoadMatrix(const std::string& path) {
 }
 
 core::Status SaveMatrixCsv(const std::string& path, const Matrix& matrix) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return core::Status::NotFound("cannot open for writing: " + path);
-  }
+  std::string contents;
   char buffer[32];
   for (int64_t r = 0; r < matrix.rows(); ++r) {
     for (int64_t c = 0; c < matrix.cols(); ++c) {
       std::snprintf(buffer, sizeof(buffer), "%.8g", matrix(r, c));
-      if (c > 0) out << ',';
-      out << buffer;
+      if (c > 0) contents += ',';
+      contents += buffer;
     }
-    out << '\n';
+    contents += '\n';
   }
-  if (!out.good()) return core::Status::Internal("short write to " + path);
-  return core::Status::Ok();
+  return core::WriteFileAtomic(path, contents);
 }
 
 }  // namespace darec::tensor

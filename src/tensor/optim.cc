@@ -55,6 +55,31 @@ Adam::Adam(std::vector<Variable> params, float learning_rate, float beta1,
   }
 }
 
+core::Status Adam::RestoreState(int64_t step_count, std::vector<Matrix> first_moments,
+                                std::vector<Matrix> second_moments) {
+  if (step_count < 0) {
+    return core::Status::FailedPrecondition("negative Adam step count");
+  }
+  if (first_moments.size() != params_.size() ||
+      second_moments.size() != params_.size()) {
+    return core::Status::FailedPrecondition(
+        "Adam state has " + std::to_string(first_moments.size()) + "+" +
+        std::to_string(second_moments.size()) + " moment matrices, expected 2x" +
+        std::to_string(params_.size()));
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!first_moments[i].SameShape(params_[i].value()) ||
+        !second_moments[i].SameShape(params_[i].value())) {
+      return core::Status::FailedPrecondition("Adam moment " + std::to_string(i) +
+                                              " shape mismatch");
+    }
+  }
+  step_count_ = step_count;
+  first_moment_ = std::move(first_moments);
+  second_moment_ = std::move(second_moments);
+  return core::Status::Ok();
+}
+
 void Adam::Step() {
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));

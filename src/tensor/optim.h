@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/status.h"
 #include "tensor/autograd.h"
 #include "tensor/matrix.h"
 
@@ -61,6 +62,21 @@ class Adam final : public Optimizer {
   void Step() override;
 
   int64_t step_count() const { return step_count_; }
+
+  float learning_rate() const { return learning_rate_; }
+  /// Changes the step size mid-run (divergence-guard LR backoff).
+  void set_learning_rate(float learning_rate) { learning_rate_ = learning_rate; }
+
+  /// Serializable per-parameter moment estimates, in params() order
+  /// (checkpoint support; bias correction is derived from step_count()).
+  const std::vector<Matrix>& first_moments() const { return first_moment_; }
+  const std::vector<Matrix>& second_moments() const { return second_moment_; }
+
+  /// Restores serialized optimizer state. Fails with FailedPrecondition if
+  /// the moment count or any shape does not match params(); on failure the
+  /// optimizer is left unchanged.
+  core::Status RestoreState(int64_t step_count, std::vector<Matrix> first_moments,
+                            std::vector<Matrix> second_moments);
 
  private:
   float learning_rate_;

@@ -1,0 +1,118 @@
+#include "core/failpoint.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace darec::core {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoint::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, DisabledByDefault) {
+  EXPECT_FALSE(FailPoint::Enabled());
+  EXPECT_FALSE(FailPoint::Fires("anything"));
+  EXPECT_FALSE(FailPoint::IsArmed("anything"));
+}
+
+TEST_F(FailPointTest, ArmedPointFiresAndExposesArg) {
+  FailPoint::Arm("test.point", /*arg=*/42);
+  EXPECT_TRUE(FailPoint::Enabled());
+  EXPECT_TRUE(FailPoint::IsArmed("test.point"));
+  int64_t arg = 0;
+  EXPECT_TRUE(FailPoint::Fires("test.point", &arg));
+  EXPECT_EQ(arg, 42);
+  // fires = -1: keeps firing until disarmed.
+  EXPECT_TRUE(FailPoint::Fires("test.point"));
+  FailPoint::Disarm("test.point");
+  EXPECT_FALSE(FailPoint::Fires("test.point"));
+  EXPECT_FALSE(FailPoint::Enabled());
+}
+
+TEST_F(FailPointTest, OtherNamesAreUnaffected) {
+  FailPoint::Arm("test.point");
+  EXPECT_FALSE(FailPoint::Fires("test.other"));
+  EXPECT_TRUE(FailPoint::Fires("test.point"));
+}
+
+TEST_F(FailPointTest, FireBudgetAutoDisarms) {
+  FailPoint::Arm("test.point", /*arg=*/0, /*fires=*/2);
+  EXPECT_TRUE(FailPoint::Fires("test.point"));
+  EXPECT_TRUE(FailPoint::Fires("test.point"));
+  EXPECT_FALSE(FailPoint::Fires("test.point"));
+  EXPECT_FALSE(FailPoint::IsArmed("test.point"));
+  EXPECT_FALSE(FailPoint::Enabled());
+}
+
+TEST_F(FailPointTest, SkipBudgetDelaysFiring) {
+  FailPoint::Arm("test.point", /*arg=*/7, /*fires=*/1, /*skip_hits=*/3);
+  EXPECT_FALSE(FailPoint::Fires("test.point"));
+  EXPECT_FALSE(FailPoint::Fires("test.point"));
+  EXPECT_FALSE(FailPoint::Fires("test.point"));
+  int64_t arg = 0;
+  EXPECT_TRUE(FailPoint::Fires("test.point", &arg));
+  EXPECT_EQ(arg, 7);
+  EXPECT_FALSE(FailPoint::Fires("test.point"));
+}
+
+TEST_F(FailPointTest, RearmReplacesConfiguration) {
+  FailPoint::Arm("test.point", /*arg=*/1, /*fires=*/1);
+  FailPoint::Arm("test.point", /*arg=*/9, /*fires=*/2);
+  int64_t arg = 0;
+  EXPECT_TRUE(FailPoint::Fires("test.point", &arg));
+  EXPECT_EQ(arg, 9);
+  EXPECT_TRUE(FailPoint::Fires("test.point"));
+  EXPECT_FALSE(FailPoint::Fires("test.point"));
+}
+
+TEST_F(FailPointTest, DisarmAllClearsEverything) {
+  FailPoint::Arm("test.a");
+  FailPoint::Arm("test.b");
+  FailPoint::DisarmAll();
+  EXPECT_FALSE(FailPoint::Enabled());
+  EXPECT_FALSE(FailPoint::Fires("test.a"));
+  EXPECT_FALSE(FailPoint::Fires("test.b"));
+}
+
+TEST_F(FailPointTest, ArmFromSpecParsesEntries) {
+  ASSERT_TRUE(FailPoint::ArmFromSpec("test.a,test.b=5,test.c=3:2:1").ok());
+  EXPECT_TRUE(FailPoint::IsArmed("test.a"));
+  int64_t arg = 0;
+  EXPECT_TRUE(FailPoint::Fires("test.b", &arg));
+  EXPECT_EQ(arg, 5);
+  // test.c: skip 1 hit, then fire twice with arg 3.
+  EXPECT_FALSE(FailPoint::Fires("test.c"));
+  arg = 0;
+  EXPECT_TRUE(FailPoint::Fires("test.c", &arg));
+  EXPECT_EQ(arg, 3);
+  EXPECT_TRUE(FailPoint::Fires("test.c"));
+  EXPECT_FALSE(FailPoint::Fires("test.c"));
+}
+
+TEST_F(FailPointTest, ArmFromSpecRejectsGarbage) {
+  EXPECT_EQ(FailPoint::ArmFromSpec("=5").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FailPoint::ArmFromSpec("test.a=notanumber").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FailPoint::IsArmed("test.a"));
+}
+
+TEST_F(FailPointTest, ArmFromEnvReadsVariable) {
+  ASSERT_EQ(setenv("DAREC_FAILPOINTS", "test.env=11:1", /*overwrite=*/1), 0);
+  ASSERT_TRUE(FailPoint::ArmFromEnv().ok());
+  unsetenv("DAREC_FAILPOINTS");
+  int64_t arg = 0;
+  EXPECT_TRUE(FailPoint::Fires("test.env", &arg));
+  EXPECT_EQ(arg, 11);
+}
+
+TEST_F(FailPointTest, ArmFromEnvUnsetIsNoOp) {
+  unsetenv("DAREC_FAILPOINTS");
+  EXPECT_TRUE(FailPoint::ArmFromEnv().ok());
+  EXPECT_FALSE(FailPoint::Enabled());
+}
+
+}  // namespace
+}  // namespace darec::core

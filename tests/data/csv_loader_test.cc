@@ -86,6 +86,45 @@ TEST(CsvLoaderTest, MalformedRowsReportLineNumbers) {
   std::remove(negative.c_str());
 }
 
+TEST(CsvLoaderTest, MalformedRatingsReportLineNumbers) {
+  // atof-style silent-zero parsing would *filter* these rows instead of
+  // rejecting them; a malformed rating must be a typed error.
+  const std::string bad = WriteTempFile("badrating.csv", "0,1,5.0\n1,2,n/a\n");
+  CsvLoadOptions options;
+  options.rating_column = 2;
+  auto r1 = LoadInteractionsCsv(bad, options);
+  EXPECT_EQ(r1.status().code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(r1.status().message().find("line 2"), std::string::npos);
+  std::remove(bad.c_str());
+
+  const std::string trailing = WriteTempFile("trailrating.csv", "0,1,5.0x\n");
+  EXPECT_EQ(LoadInteractionsCsv(trailing, options).status().code(),
+            core::StatusCode::kInvalidArgument);
+  std::remove(trailing.c_str());
+
+  const std::string empty = WriteTempFile("emptyrating.csv", "0,1,\n");
+  EXPECT_EQ(LoadInteractionsCsv(empty, options).status().code(),
+            core::StatusCode::kInvalidArgument);
+  std::remove(empty.c_str());
+
+  const std::string nan = WriteTempFile("nanrating.csv", "0,1,nan\n");
+  EXPECT_EQ(LoadInteractionsCsv(nan, options).status().code(),
+            core::StatusCode::kInvalidArgument);
+  std::remove(nan.c_str());
+}
+
+TEST(CsvLoaderTest, ScientificNotationRatingsParse) {
+  const std::string path = WriteTempFile("sci.csv", "0,1,5e0\n1,2,2.5e-1\n");
+  CsvLoadOptions options;
+  options.rating_column = 2;
+  options.min_rating = 3.0;
+  auto loaded = LoadInteractionsCsv(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->interactions.size(), 1u);
+  EXPECT_EQ(loaded->filtered_rows, 1);
+  std::remove(path.c_str());
+}
+
 TEST(CsvLoaderTest, EmptyLinesIgnored) {
   const std::string path = WriteTempFile("blank.csv", "0,1\n\n1,0\n");
   auto loaded = LoadInteractionsCsv(path);

@@ -1,0 +1,150 @@
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/failpoint.h"
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/io.h"
+
+namespace darec::tensor {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A well-formed DMAT header (magic, version 1, dims) with no payload.
+std::string Header(int64_t rows, int64_t cols, uint32_t version = 1) {
+  std::string bytes = "DMAT";
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  bytes.append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  return bytes;
+}
+
+TEST(MatrixIoCorruptionTest, TruncatedHeaderIsInvalidArgument) {
+  const std::string path = TempPath("trunc_header.dmat");
+  // Every prefix of the 24-byte header must be rejected, never read past.
+  const std::string header = Header(2, 2);
+  for (size_t len = 0; len < header.size(); ++len) {
+    WriteBytes(path, header.substr(0, len));
+    auto loaded = LoadMatrix(path);
+    EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument)
+        << "header prefix of " << len << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoCorruptionTest, TruncatedPayloadIsInvalidArgument) {
+  const std::string path = TempPath("trunc_payload.dmat");
+  std::string bytes = Header(4, 4);
+  // 15 of the declared 16 floats.
+  bytes.append(15 * sizeof(float), '\0');
+  WriteBytes(path, bytes);
+  auto loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoCorruptionTest, BadMagicIsInvalidArgument) {
+  const std::string path = TempPath("bad_magic.dmat");
+  std::string bytes = Header(1, 1);
+  bytes.append(sizeof(float), '\0');
+  bytes[0] = 'X';
+  WriteBytes(path, bytes);
+  auto loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoCorruptionTest, UnsupportedVersionIsFailedPrecondition) {
+  const std::string path = TempPath("bad_version.dmat");
+  std::string bytes = Header(1, 1, /*version=*/2);
+  bytes.append(sizeof(float), '\0');
+  WriteBytes(path, bytes);
+  auto loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoCorruptionTest, OverflowingDimsAreInvalidArgument) {
+  const std::string path = TempPath("overflow_dims.dmat");
+  // rows * cols == 2^64 wraps int64_t to 0: each dim must be validated on
+  // its own, the product must be computed overflow-safely.
+  const int64_t big = int64_t{1} << 32;
+  WriteBytes(path, Header(big, big));
+  auto loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument);
+
+  // Also a pair whose product is positive but past the element cap.
+  WriteBytes(path, Header(int64_t{1} << 20, int64_t{1} << 20));
+  loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument);
+
+  // Negative dims.
+  WriteBytes(path, Header(-1, 4));
+  loaded = LoadMatrix(path);
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoCorruptionTest, AbortedSaveNeverPublishesATornFile) {
+  namespace fs = std::filesystem;
+  const std::string path = TempPath("atomic_save.dmat");
+  core::Rng rng(5);
+  Matrix original = RandomNormal(8, 8, 1.0f, rng);
+  ASSERT_TRUE(SaveMatrix(path, original).ok());
+
+  // Kill the rewrite after 10 bytes: the previous file must survive intact.
+  Matrix replacement = RandomNormal(8, 8, 1.0f, rng);
+  core::FailPoint::Arm("fsio.write_abort", /*arg=*/10, /*fires=*/1);
+  EXPECT_EQ(SaveMatrix(path, replacement).code(), core::StatusCode::kInternal);
+  core::FailPoint::DisarmAll();
+
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int64_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->data()[i], original.data()[i]);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(MatrixIoCorruptionTest, AbortedCsvSaveLeavesOldContents) {
+  const std::string path = TempPath("atomic_save.csv");
+  Matrix m(1, 2);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  ASSERT_TRUE(SaveMatrixCsv(path, m).ok());
+  std::string before;
+  {
+    std::ifstream in(path);
+    std::getline(in, before);
+  }
+
+  core::FailPoint::Arm("fsio.write_abort", /*arg=*/1, /*fires=*/1);
+  EXPECT_FALSE(SaveMatrixCsv(path, Matrix(3, 3)).ok());
+  core::FailPoint::DisarmAll();
+
+  std::string after;
+  {
+    std::ifstream in(path);
+    std::getline(in, after);
+  }
+  EXPECT_EQ(after, before);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace darec::tensor
