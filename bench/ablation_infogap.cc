@@ -26,20 +26,26 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> ks{20};
 
   core::Stopwatch total;
+  std::unique_ptr<benchutil::ProgressObserver> progress =
+      benchutil::MakeProgressObserver(config);
+  const std::vector<std::string> variants{"baseline", "rlmrec-con", "darec"};
   benchutil::PrintHeader(
       "Extension: irrelevant-content sweep (Theorem 1, end to end)");
   std::printf("[%s / %s] specific_scale = gain on LLM-specific latent content\n",
               dataset.c_str(), backbone.c_str());
   for (double scale : scales) {
     std::printf("\n  specific_scale=%g\n", scale);
-    for (const std::string variant : {"baseline", "rlmrec-con", "darec"}) {
+    for (const std::string& variant : variants) {
       pipeline::ExperimentSpec spec =
           pipeline::CalibratedSpec(dataset, backbone, variant);
       pipeline::ApplyConfigOverrides(config, &spec);
       spec.dataset = dataset;
       spec.variant = variant;
       spec.llm_options.specific_scale = scale;
-      pipeline::TrainResult result = benchutil::RunOrDie(spec);
+      std::string suffix = "s";
+      suffix += std::to_string(scale);
+      benchutil::ScopeCheckpointDir(&spec, suffix);
+      pipeline::TrainResult result = benchutil::RunOrDie(spec, progress.get());
       benchutil::PrintMetricsRow(variant, result.test_metrics, ks);
     }
   }

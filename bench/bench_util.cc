@@ -26,15 +26,70 @@ std::vector<std::string> SplitCsv(const std::string& csv) {
   return parts;
 }
 
-pipeline::TrainResult RunOrDie(const pipeline::ExperimentSpec& spec) {
-  auto result = pipeline::RunExperiment(spec);
-  if (!result.ok()) {
+void ScopeCheckpointDir(pipeline::ExperimentSpec* spec, const std::string& suffix) {
+  if (spec->train_options.checkpoint_dir.empty()) return;
+  std::string cell = spec->dataset + "-" + spec->backbone + "-" + spec->variant;
+  if (!suffix.empty()) cell += "-" + suffix;
+  spec->train_options.checkpoint_dir += "/" + cell;
+}
+
+void ProgressObserver::OnRunBegin(const pipeline::TrainRunInfo& info) {
+  label_ = info.backbone + (info.aligner.empty() ? "" : "+" + info.aligner);
+  total_epochs_ = info.total_epochs;
+  if (info.start_epoch > 0) {
+    std::fprintf(stderr, "[%s] resumed at epoch %lld/%lld\n", label_.c_str(),
+                 (long long)info.start_epoch, (long long)total_epochs_);
+  }
+}
+
+void ProgressObserver::OnEpochEnd(const pipeline::EpochEndEvent& event) {
+  std::fprintf(stderr, "[%s] epoch %lld/%lld loss=%.6f lr=%.2e (%.2fs)\n",
+               label_.c_str(), (long long)event.epoch, (long long)total_epochs_,
+               event.mean_loss, (double)event.learning_rate, event.seconds);
+}
+
+void ProgressObserver::OnEvalResult(const pipeline::EvalEvent& event) {
+  std::fprintf(stderr, "[%s] eval epoch %lld val R@%lld=%.4f best=%.4f%s%s\n",
+               label_.c_str(), (long long)event.epoch, (long long)event.k,
+               event.validation_recall, event.best_so_far,
+               event.improved ? " (improved)" : "",
+               event.stopped ? " -> early stop" : "");
+}
+
+void ProgressObserver::OnCheckpointCommitted(const pipeline::CheckpointEvent& event) {
+  if (event.ok) {
+    std::fprintf(stderr, "[%s] checkpoint epoch %lld -> %s\n", label_.c_str(),
+                 (long long)event.epoch, event.path.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] checkpoint epoch %lld FAILED: %s\n", label_.c_str(),
+                 (long long)event.epoch, event.error.c_str());
+  }
+}
+
+void ProgressObserver::OnDivergenceRollback(const pipeline::RollbackEvent& event) {
+  std::fprintf(stderr,
+               "[%s] diverged at epoch %lld; rolled back to %lld, lr=%.2e "
+               "(retry %lld/%lld)\n",
+               label_.c_str(), (long long)event.failed_epoch,
+               (long long)event.restored_epoch, (double)event.new_learning_rate,
+               (long long)event.retry, (long long)event.max_retries);
+}
+
+std::unique_ptr<ProgressObserver> MakeProgressObserver(const core::Config& config) {
+  if (!config.GetBool("progress", false)) return nullptr;
+  return std::make_unique<ProgressObserver>();
+}
+
+pipeline::TrainResult RunOrDie(const pipeline::ExperimentSpec& spec,
+                               pipeline::TrainObserver* observer) {
+  auto experiment = pipeline::Experiment::Create(spec);
+  if (!experiment.ok()) {
     std::fprintf(stderr, "experiment %s/%s/%s failed: %s\n", spec.dataset.c_str(),
                  spec.backbone.c_str(), spec.variant.c_str(),
-                 result.status().ToString().c_str());
+                 experiment.status().ToString().c_str());
     std::exit(1);
   }
-  return std::move(result).value();
+  return (*experiment)->Run(observer);
 }
 
 void PrintMetricsRow(const std::string& label, const eval::MetricSet& metrics,

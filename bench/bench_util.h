@@ -2,6 +2,7 @@
 #define DAREC_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,9 +19,39 @@ core::Config ParseArgsOrDie(int argc, char** argv);
 /// Splits a comma-separated list ("a,b,c").
 std::vector<std::string> SplitCsv(const std::string& csv);
 
+/// Checkpoint-aware sweeps: scopes a sweep-wide checkpoint_dir= to one
+/// experiment cell by appending "<dataset>-<backbone>-<variant>[-suffix]",
+/// so concurrent cells of a sweep never restore from or rotate away each
+/// other's files. `suffix` disambiguates swept dimensions that live outside
+/// the cell triple (λ, K, N̂, ...). No-op when checkpointing is off.
+void ScopeCheckpointDir(pipeline::ExperimentSpec* spec,
+                        const std::string& suffix = "");
+
+/// Per-epoch progress tap for long sweeps: logs epoch losses, eval results,
+/// checkpoint commits and divergence rollbacks to stderr so stdout stays a
+/// clean paper table.
+class ProgressObserver final : public pipeline::TrainObserver {
+ public:
+  void OnRunBegin(const pipeline::TrainRunInfo& info) override;
+  void OnEpochEnd(const pipeline::EpochEndEvent& event) override;
+  void OnEvalResult(const pipeline::EvalEvent& event) override;
+  void OnCheckpointCommitted(const pipeline::CheckpointEvent& event) override;
+  void OnDivergenceRollback(const pipeline::RollbackEvent& event) override;
+
+ private:
+  std::string label_;
+  int64_t total_epochs_ = 0;
+};
+
+/// Returns a ProgressObserver when the bench was invoked with progress=1,
+/// null otherwise. Attach the same instance to every cell of a sweep.
+std::unique_ptr<ProgressObserver> MakeProgressObserver(const core::Config& config);
+
 /// Runs one experiment cell from a fully-populated spec; aborts the bench
-/// with a diagnostic if construction fails (bench inputs are static).
-pipeline::TrainResult RunOrDie(const pipeline::ExperimentSpec& spec);
+/// with a diagnostic if construction fails (bench inputs are static). An
+/// optional observer (e.g. MakeProgressObserver) taps the train loop.
+pipeline::TrainResult RunOrDie(const pipeline::ExperimentSpec& spec,
+                               pipeline::TrainObserver* observer = nullptr);
 
 /// Prints one paper-style metric row:
 ///   "  <label>  R@5 ... N@20" for the given ks.

@@ -3,8 +3,10 @@
 // plain backbone, reporting R@5, R@10, N@5, N@10 (the figure's four rows).
 //
 // Usage: fig3_ablation [datasets=amazon-book-small,yelp-small,steam-small]
-//                      [backbones=gccf,lightgcn] [epochs=40] ...
+//                      [backbones=gccf,lightgcn] [epochs=40]
+//                      [progress=1] [checkpoint_dir=DIR resume=1] ...
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "core/stopwatch.h"
@@ -29,6 +31,8 @@ int main(int argc, char** argv) {
   };
 
   core::Stopwatch total;
+  std::unique_ptr<benchutil::ProgressObserver> progress =
+      benchutil::MakeProgressObserver(config);
   benchutil::PrintHeader("Fig. 3: Ablation of DaRec's losses (R@5/R@10/N@5/N@10)");
   for (const std::string& dataset : datasets) {
     for (const std::string& backbone : backbones) {
@@ -45,7 +49,15 @@ int main(int argc, char** argv) {
         spec.darec_options.enable_uniformity = setting.uniformity;
         spec.darec_options.enable_global = setting.global;
         spec.darec_options.enable_local = setting.local;
-        pipeline::TrainResult result = benchutil::RunOrDie(spec);
+        // Loss toggles are swept outside the cell triple; encode them in the
+        // checkpoint suffix so each ablation setting gets its own directory.
+        std::string suffix;
+        suffix += setting.orthogonality ? "o1" : "o0";
+        suffix += setting.uniformity ? "u1" : "u0";
+        suffix += setting.global ? "g1" : "g0";
+        suffix += setting.local ? "l1" : "l0";
+        benchutil::ScopeCheckpointDir(&spec, suffix);
+        pipeline::TrainResult result = benchutil::RunOrDie(spec, progress.get());
         benchutil::PrintMetricsRow(setting.label, result.test_metrics, ks);
       }
     }

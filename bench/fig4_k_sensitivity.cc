@@ -4,8 +4,11 @@
 // Hungarian-optimal) when matching=both.
 //
 // Usage: fig4_k_sensitivity [datasets=amazon-book-small,yelp-small]
-//                           [backbone=lightgcn] [matching=greedy|both] ...
+//                           [backbone=lightgcn] [matching=greedy|both]
+//                           [progress=1] [checkpoint_dir=DIR resume=1] ...
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "core/stopwatch.h"
@@ -21,6 +24,8 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> ks{5, 10, 20};
 
   core::Stopwatch total;
+  std::unique_ptr<benchutil::ProgressObserver> progress =
+      benchutil::MakeProgressObserver(config);
   benchutil::PrintHeader("Fig. 4: Sensitivity to cluster count K");
   for (const std::string& dataset : datasets) {
     std::printf("\n[%s / %s]\n", dataset.c_str(), backbone.c_str());
@@ -36,7 +41,12 @@ int main(int argc, char** argv) {
         spec.darec_options.matching = strategy == "hungarian"
                                           ? model::MatchingStrategy::kHungarian
                                           : model::MatchingStrategy::kGreedy;
-        pipeline::TrainResult result = benchutil::RunOrDie(spec);
+        std::string suffix = "k";
+        suffix += std::to_string(k);
+        suffix += "-";
+        suffix += strategy;
+        benchutil::ScopeCheckpointDir(&spec, suffix);
+        pipeline::TrainResult result = benchutil::RunOrDie(spec, progress.get());
         char label[64];
         std::snprintf(label, sizeof(label), "K=%lld%s", (long long)k,
                       matching == "both" ? ("/" + strategy).c_str() : "");

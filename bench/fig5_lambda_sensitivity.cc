@@ -3,8 +3,11 @@
 // observes a plateau in [0.1, 1.0] with collapse at the extremes.
 //
 // Usage: fig5_lambda_sensitivity [datasets=amazon-book-small,yelp-small]
-//                                [backbone=lightgcn] [epochs=40] ...
+//                                [backbone=lightgcn] [epochs=40]
+//                                [progress=1] [checkpoint_dir=DIR resume=1] ...
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "core/stopwatch.h"
@@ -19,6 +22,8 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> ks{5, 10, 20};
 
   core::Stopwatch total;
+  std::unique_ptr<benchutil::ProgressObserver> progress =
+      benchutil::MakeProgressObserver(config);
   benchutil::PrintHeader("Fig. 5: Sensitivity to trade-off parameter lambda");
   for (const std::string& dataset : datasets) {
     std::printf("\n[%s / %s]\n", dataset.c_str(), backbone.c_str());
@@ -28,7 +33,10 @@ int main(int argc, char** argv) {
       pipeline::ApplyConfigOverrides(config, &spec);
       spec.dataset = dataset;
       spec.darec_options.lambda = static_cast<float>(lambda);
-      pipeline::TrainResult result = benchutil::RunOrDie(spec);
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), "l%g", lambda);
+      benchutil::ScopeCheckpointDir(&spec, suffix);
+      pipeline::TrainResult result = benchutil::RunOrDie(spec, progress.get());
       char label[32];
       std::snprintf(label, sizeof(label), "lambda=%g", lambda);
       benchutil::PrintMetricsRow(label, result.test_metrics, ks);

@@ -6,9 +6,12 @@
 //
 // Usage: fig7_nhat_sensitivity [datasets=amazon-book-small,yelp-small]
 //                              [backbone=lightgcn]
-//                              [n_hats=128,256,512,1024] ...
+//                              [n_hats=128,256,512,1024]
+//                              [progress=1] [checkpoint_dir=DIR resume=1] ...
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "core/stopwatch.h"
@@ -27,6 +30,8 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> ks{5, 10, 20};
 
   core::Stopwatch total;
+  std::unique_ptr<benchutil::ProgressObserver> progress =
+      benchutil::MakeProgressObserver(config);
   benchutil::PrintHeader("Fig. 7: Sensitivity to sampling size N-hat");
   for (const std::string& dataset : datasets) {
     std::printf("\n[%s / %s]\n", dataset.c_str(), backbone.c_str());
@@ -37,8 +42,11 @@ int main(int argc, char** argv) {
       spec.dataset = dataset;
       spec.darec_options.sample_size = n_hat;
       spec.darec_options.uniformity_sample = std::min<int64_t>(n_hat, 256);
+      std::string suffix = "n";
+      suffix += std::to_string(n_hat);
+      benchutil::ScopeCheckpointDir(&spec, suffix);
       core::Stopwatch cell;
-      pipeline::TrainResult result = benchutil::RunOrDie(spec);
+      pipeline::TrainResult result = benchutil::RunOrDie(spec, progress.get());
       char label[32];
       std::snprintf(label, sizeof(label), "N=%lld", (long long)n_hat);
       benchutil::PrintMetricsRow(label, result.test_metrics, ks);

@@ -6,7 +6,12 @@
 // Usage:
 //   table3_main [datasets=amazon-book-small,yelp-small,steam-small]
 //               [backbones=gccf,lightgcn,sgl,simgcl,dccf,autocf]
-//               [epochs=40] [seed=7] ...
+//               [epochs=40] [seed=7] [progress=1]
+//               [checkpoint_dir=DIR checkpoint_every=N resume=1] ...
+//
+// With checkpoint_dir= each cell checkpoints into its own subdirectory and
+// resume=1 restarts a killed sweep from the last per-cell epoch boundary,
+// bit-identical to an uninterrupted run.
 #include <cstdio>
 #include <map>
 
@@ -26,6 +31,8 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> ks{5, 10, 20};
 
   core::Stopwatch total;
+  std::unique_ptr<benchutil::ProgressObserver> progress =
+      benchutil::MakeProgressObserver(config);
   benchutil::PrintHeader("Table III: Main comparison (Ours = DaRec)");
   for (const std::string& dataset : datasets) {
     for (const std::string& backbone : backbones) {
@@ -38,7 +45,8 @@ int main(int argc, char** argv) {
         spec.dataset = dataset;
         spec.backbone = backbone;
         spec.variant = variant;
-        pipeline::TrainResult result = benchutil::RunOrDie(spec);
+        benchutil::ScopeCheckpointDir(&spec);
+        pipeline::TrainResult result = benchutil::RunOrDie(spec, progress.get());
         results[variant] = result.test_metrics;
         benchutil::PrintMetricsRow(variant == "darec" ? "Ours" : variant,
                                    result.test_metrics, ks);
@@ -46,7 +54,8 @@ int main(int argc, char** argv) {
       // Improvement of Ours over the best non-ours variant per metric
       // family (paper compares against the strongest competitor).
       eval::MetricSet best_other = results["baseline"];
-      for (const std::string variant : {"rlmrec-con", "rlmrec-gen"}) {
+      static const std::vector<std::string> competitors{"rlmrec-con", "rlmrec-gen"};
+      for (const std::string& variant : competitors) {
         for (int64_t k : ks) {
           best_other.recall[k] =
               std::max(best_other.recall[k], results[variant].recall.at(k));

@@ -2,8 +2,10 @@
 // KAR, with LightGCN and SGL backbones on Amazon-book and Yelp (R@20, N@20).
 //
 // Usage: table4_llm_enhanced [datasets=amazon-book-small,yelp-small]
-//                            [backbones=lightgcn,sgl] [epochs=40] ...
+//                            [backbones=lightgcn,sgl] [epochs=40]
+//                            [progress=1] [checkpoint_dir=DIR resume=1] ...
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "core/stopwatch.h"
@@ -18,6 +20,8 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> ks{20};
 
   core::Stopwatch total;
+  std::unique_ptr<benchutil::ProgressObserver> progress =
+      benchutil::MakeProgressObserver(config);
   benchutil::PrintHeader("Table IV: LLM-enhanced methods (R@20 / N@20)");
   for (const std::string& dataset : datasets) {
     for (const std::string& backbone : backbones) {
@@ -29,7 +33,8 @@ int main(int argc, char** argv) {
         spec.dataset = dataset;
         spec.backbone = backbone;
         spec.variant = variant;
-        pipeline::TrainResult result = benchutil::RunOrDie(spec);
+        benchutil::ScopeCheckpointDir(&spec);
+        pipeline::TrainResult result = benchutil::RunOrDie(spec, progress.get());
         benchutil::PrintMetricsRow(variant == "darec" ? "Ours" : variant,
                                    result.test_metrics, ks);
       }

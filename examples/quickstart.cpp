@@ -10,6 +10,7 @@
 
 #include "core/config.h"
 #include "pipeline/experiment.h"
+#include "pipeline/observer.h"
 #include "pipeline/specs.h"
 
 namespace {
@@ -37,7 +38,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== DaRec quickstart ==\n");
-  for (const std::string variant : {"baseline", "darec"}) {
+  const std::vector<std::string> variants{"baseline", "darec"};
+  for (const std::string& variant : variants) {
     pipeline::ExperimentSpec spec = pipeline::CalibratedSpec(
         config->GetString("dataset", "amazon-book-small"),
         config->GetString("backbone", "lightgcn"), variant);
@@ -48,11 +50,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
       return 1;
     }
-    if (variant == std::string("baseline")) {
+    if (variant == "baseline") {
       std::printf("dataset: %s\n", (*experiment)->dataset().Summary().c_str());
     }
-    TrainResult result = (*experiment)->Run();
+    // Tap the train loop with a metrics observer: losses, timings and
+    // checkpoint activity accumulate into a snapshot without touching the
+    // training numerics.
+    pipeline::MetricsObserver metrics;
+    TrainResult result = (*experiment)->Run(&metrics);
     PrintResult(spec.backbone + "+" + variant, result);
+    const pipeline::TrainMetricsSnapshot snapshot = metrics.Snapshot();
+    if (!snapshot.epoch_losses.empty()) {
+      std::printf("  epochs=%lld steps=%lld first-loss=%.4f last-loss=%.4f\n",
+                  (long long)snapshot.epochs_completed,
+                  (long long)snapshot.steps_applied, snapshot.epoch_losses.front(),
+                  snapshot.epoch_losses.back());
+    }
   }
   return 0;
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, then an AddressSanitizer
-# pass over the fault-tolerance surface (checkpointing, fail-point injection,
+# Repo verification: tier-1 build + full test suite, a checkpoint-aware bench
+# resume smoke (kill a sweep mid-run, rerun with resume=1, final metrics must
+# match an uninterrupted run), then an AddressSanitizer pass over the
+# fault-tolerance surface (checkpointing, fail-point injection,
 # corrupted-file parsing) and a ThreadSanitizer pass over the parallel
-# runtime (thread pool + blocked/threaded kernels) and the crash/resume path.
+# runtime (thread pool + blocked/threaded kernels) and the staged train loop
+# (crash/resume, policies, observers).
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -24,6 +27,27 @@ echo "=== smoke: batched top-K bench (1 repetition, bitwise parity gates) ==="
 cmake --build build -j "$(nproc)" --target topk_bench >/dev/null
 ./build/bench/topk_bench smoke=1 out=build/BENCH_topk_smoke.json
 
+echo "=== smoke: bench resume (kill table3_main mid-sweep, rerun resume=1) ==="
+cmake --build build -j "$(nproc)" --target table3_main >/dev/null
+smoke_args=(datasets=tiny backbones=lightgcn epochs=60 checkpoint_every=1)
+resume_dir=build/bench_resume_smoke
+rm -rf "$resume_dir"
+./build/bench/table3_main "${smoke_args[@]}" \
+  | grep -v 'completed in' > "$resume_dir.full.txt"
+# Kill the checkpointed sweep partway through (it takes ~1s), then resume
+# it. Resume from any epoch boundary is bit-exact and unstarted cells train
+# from scratch, so the final table must match the uninterrupted run wherever
+# the kill lands.
+timeout --signal=KILL 0.3 \
+  ./build/bench/table3_main "${smoke_args[@]}" checkpoint_dir="$resume_dir" \
+  > /dev/null || true
+./build/bench/table3_main "${smoke_args[@]}" checkpoint_dir="$resume_dir" \
+  resume=1 | grep -v 'completed in' > "$resume_dir.resumed.txt"
+# Wall-time footers are stripped; every metric row must be identical.
+diff "$resume_dir.full.txt" "$resume_dir.resumed.txt"
+rm -rf "$resume_dir" "$resume_dir.full.txt" "$resume_dir.resumed.txt"
+echo "resume smoke: final tables identical"
+
 if [[ "$run_asan" == 1 ]]; then
   echo "=== ASan: checkpointing + fail points + corrupted-file parsing ==="
   cmake -B build-asan -S . -DDAREC_SANITIZE=address >/dev/null
@@ -39,9 +63,10 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DDAREC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target thread_pool_test parallel_kernels_test topk_engine_test \
-             kmeans_test failpoint_test trainer_ckpt_test >/dev/null
+             kmeans_test failpoint_test trainer_ckpt_test \
+             train_policies_test train_observer_test >/dev/null
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test'
 fi
 
 echo "=== all checks passed ==="

@@ -53,8 +53,13 @@ class Experiment {
   static core::StatusOr<std::unique_ptr<Experiment>> Create(
       const ExperimentSpec& spec);
 
-  /// Trains and evaluates.
-  TrainResult Run() { return trainer_->Run(); }
+  /// Trains and evaluates. An optional observer taps the staged train loop
+  /// (progress, metrics); it is attached for the experiment's lifetime and
+  /// must outlive it. Observers never change numerics.
+  TrainResult Run(TrainObserver* observer = nullptr) {
+    if (observer != nullptr) trainer_->AddObserver(observer);
+    return trainer_->Run();
+  }
 
   const ExperimentSpec& spec() const { return spec_; }
   const data::Dataset& dataset() const { return *dataset_; }

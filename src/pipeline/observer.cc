@@ -1,0 +1,120 @@
+#include "pipeline/observer.h"
+
+#include "core/logging.h"
+
+namespace darec::pipeline {
+
+void MultiObserver::Add(TrainObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void MultiObserver::OnRunBegin(const TrainRunInfo& info) {
+  for (TrainObserver* o : observers_) o->OnRunBegin(info);
+}
+
+void MultiObserver::OnEpochBegin(int64_t epoch) {
+  for (TrainObserver* o : observers_) o->OnEpochBegin(epoch);
+}
+
+void MultiObserver::OnBatchEnd(const BatchEndEvent& event) {
+  for (TrainObserver* o : observers_) o->OnBatchEnd(event);
+}
+
+void MultiObserver::OnEpochEnd(const EpochEndEvent& event) {
+  for (TrainObserver* o : observers_) o->OnEpochEnd(event);
+}
+
+void MultiObserver::OnEvalResult(const EvalEvent& event) {
+  for (TrainObserver* o : observers_) o->OnEvalResult(event);
+}
+
+void MultiObserver::OnCheckpointCommitted(const CheckpointEvent& event) {
+  for (TrainObserver* o : observers_) o->OnCheckpointCommitted(event);
+}
+
+void MultiObserver::OnDivergenceRollback(const RollbackEvent& event) {
+  for (TrainObserver* o : observers_) o->OnDivergenceRollback(event);
+}
+
+void MultiObserver::OnRunEnd(const RunEndEvent& event) {
+  for (TrainObserver* o : observers_) o->OnRunEnd(event);
+}
+
+void LoggingObserver::OnRunBegin(const TrainRunInfo& info) {
+  label_ = info.backbone + (info.aligner.empty() ? "" : "+" + info.aligner);
+  total_epochs_ = info.total_epochs;
+}
+
+void LoggingObserver::OnEpochEnd(const EpochEndEvent& event) {
+  DARE_LOG(Info) << label_ << " epoch " << event.epoch << "/" << total_epochs_
+                 << " loss=" << event.mean_loss;
+}
+
+void LoggingObserver::OnEvalResult(const EvalEvent& event) {
+  if (event.stopped) {
+    DARE_LOG(Info) << "early stop at epoch " << event.epoch << " (best val R@"
+                   << event.k << "=" << event.best_so_far << ")";
+  }
+}
+
+void MetricsObserver::OnRunBegin(const TrainRunInfo& info) {
+  (void)info;
+  epoch_bpr_sum_ = epoch_reg_sum_ = epoch_ssl_sum_ = epoch_align_sum_ = 0.0;
+  epoch_batches_ = 0;
+}
+
+void MetricsObserver::OnBatchEnd(const BatchEndEvent& event) {
+  ++snapshot_.batches_seen;
+  snapshot_.steps_applied = event.step;
+  epoch_bpr_sum_ += event.bpr_loss;
+  epoch_reg_sum_ += event.reg_loss;
+  epoch_ssl_sum_ += event.ssl_loss;
+  epoch_align_sum_ += event.align_loss;
+  ++epoch_batches_;
+}
+
+void MetricsObserver::OnEpochEnd(const EpochEndEvent& event) {
+  snapshot_.epochs_completed = event.epoch;
+  snapshot_.epoch_losses.push_back(event.mean_loss);
+  snapshot_.epoch_seconds.push_back(event.seconds);
+  snapshot_.epoch_learning_rates.push_back(event.learning_rate);
+  const double batches =
+      epoch_batches_ > 0 ? static_cast<double>(epoch_batches_) : 1.0;
+  snapshot_.epoch_bpr_losses.push_back(epoch_bpr_sum_ / batches);
+  snapshot_.epoch_reg_losses.push_back(epoch_reg_sum_ / batches);
+  snapshot_.epoch_ssl_losses.push_back(epoch_ssl_sum_ / batches);
+  snapshot_.epoch_align_losses.push_back(epoch_align_sum_ / batches);
+  epoch_bpr_sum_ = epoch_reg_sum_ = epoch_ssl_sum_ = epoch_align_sum_ = 0.0;
+  epoch_batches_ = 0;
+}
+
+void MetricsObserver::OnEvalResult(const EvalEvent& event) {
+  ++snapshot_.evals;
+  snapshot_.best_validation = event.best_so_far;
+}
+
+void MetricsObserver::OnCheckpointCommitted(const CheckpointEvent& event) {
+  if (event.ok) {
+    ++snapshot_.checkpoints_committed;
+  } else {
+    ++snapshot_.checkpoint_failures;
+  }
+}
+
+void MetricsObserver::OnDivergenceRollback(const RollbackEvent& event) {
+  (void)event;
+  ++snapshot_.divergence_rollbacks;
+  // The rolled-back epoch's partial batch sums must not leak into the
+  // retried epoch's component means.
+  epoch_bpr_sum_ = epoch_reg_sum_ = epoch_ssl_sum_ = epoch_align_sum_ = 0.0;
+  epoch_batches_ = 0;
+}
+
+void MetricsObserver::OnRunEnd(const RunEndEvent& event) {
+  snapshot_.run_finished = true;
+  snapshot_.stopped_early = event.stopped_early;
+  snapshot_.diverged = event.diverged;
+  snapshot_.run_seconds = event.seconds;
+}
+
+}  // namespace darec::pipeline

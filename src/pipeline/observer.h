@@ -1,0 +1,204 @@
+#ifndef DAREC_PIPELINE_OBSERVER_H_
+#define DAREC_PIPELINE_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darec::pipeline {
+
+/// Immutable facts about the run a Trainer is about to execute; delivered
+/// once per Run() so observers can label their output without holding a
+/// pointer back into the trainer.
+struct TrainRunInfo {
+  std::string backbone;
+  /// Empty for the plain baseline (no aligner).
+  std::string aligner;
+  /// Epochs already completed before this Run() — non-zero on a resumed run.
+  int64_t start_epoch = 0;
+  int64_t total_epochs = 0;
+  int64_t batches_per_epoch = 0;
+  float learning_rate = 0.0f;
+};
+
+/// One optimizer step. Loss components are the already-weighted
+/// contributions that sum (in accumulation order) to `loss`; a component a
+/// variant does not use is exactly 0.
+struct BatchEndEvent {
+  /// 1-based epoch the batch belongs to.
+  int64_t epoch = 0;
+  /// 0-based batch index within the epoch.
+  int64_t batch_index = 0;
+  /// Global optimizer step count after this batch.
+  int64_t step = 0;
+  double loss = 0.0;
+  double bpr_loss = 0.0;
+  double reg_loss = 0.0;
+  double ssl_loss = 0.0;
+  double align_loss = 0.0;
+};
+
+struct EpochEndEvent {
+  /// 1-based; equals Trainer::epochs_completed() after the epoch.
+  int64_t epoch = 0;
+  double mean_loss = 0.0;
+  int64_t batches = 0;
+  /// Wall time of this epoch (forward/backward/apply only, no eval).
+  double seconds = 0.0;
+  float learning_rate = 0.0f;
+};
+
+/// One early-stopping validation measurement.
+struct EvalEvent {
+  int64_t epoch = 0;
+  /// Recall@k cutoff the early stopper watches.
+  int64_t k = 0;
+  double validation_recall = 0.0;
+  /// Best validation seen so far, including this measurement.
+  double best_so_far = 0.0;
+  bool improved = false;
+  /// True when this measurement exhausted the patience budget.
+  bool stopped = false;
+};
+
+struct CheckpointEvent {
+  int64_t epoch = 0;
+  std::string path;
+  /// False when the commit failed (training carries on from memory).
+  bool ok = false;
+  /// Status text when !ok.
+  std::string error;
+};
+
+struct RollbackEvent {
+  /// 1-based epoch whose loss/gradient went non-finite.
+  int64_t failed_epoch = 0;
+  /// Epochs completed after the rollback (the restored boundary).
+  int64_t restored_epoch = 0;
+  /// 1-based retry number out of max_retries.
+  int64_t retry = 0;
+  int64_t max_retries = 0;
+  float new_learning_rate = 0.0f;
+};
+
+struct RunEndEvent {
+  int64_t epochs_completed = 0;
+  bool stopped_early = false;
+  bool diverged = false;
+  double seconds = 0.0;
+};
+
+/// Observation interface over the staged train loop. Every hook defaults to
+/// a no-op so observers override only what they need. Event order per run:
+///   OnRunBegin
+///   per epoch: OnEpochBegin, OnBatchEnd*, then either OnEpochEnd
+///              (+ OnEvalResult, + OnCheckpointCommitted) or
+///              OnDivergenceRollback (the epoch is retried)
+///   OnRunEnd
+/// Observers are strictly read-only taps: attaching any number of them
+/// never changes losses, metrics, or checkpoint bytes.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+
+  virtual void OnRunBegin(const TrainRunInfo& info) { (void)info; }
+  /// `epoch` is the 1-based epoch about to run.
+  virtual void OnEpochBegin(int64_t epoch) { (void)epoch; }
+  virtual void OnBatchEnd(const BatchEndEvent& event) { (void)event; }
+  virtual void OnEpochEnd(const EpochEndEvent& event) { (void)event; }
+  virtual void OnEvalResult(const EvalEvent& event) { (void)event; }
+  virtual void OnCheckpointCommitted(const CheckpointEvent& event) { (void)event; }
+  virtual void OnDivergenceRollback(const RollbackEvent& event) { (void)event; }
+  virtual void OnRunEnd(const RunEndEvent& event) { (void)event; }
+};
+
+/// Fans every event out to its children in Add() order. Non-owning.
+class MultiObserver final : public TrainObserver {
+ public:
+  /// Ignores nullptr so call sites can pass optional observers through.
+  void Add(TrainObserver* observer);
+  bool empty() const { return observers_.empty(); }
+
+  void OnRunBegin(const TrainRunInfo& info) override;
+  void OnEpochBegin(int64_t epoch) override;
+  void OnBatchEnd(const BatchEndEvent& event) override;
+  void OnEpochEnd(const EpochEndEvent& event) override;
+  void OnEvalResult(const EvalEvent& event) override;
+  void OnCheckpointCommitted(const CheckpointEvent& event) override;
+  void OnDivergenceRollback(const RollbackEvent& event) override;
+  void OnRunEnd(const RunEndEvent& event) override;
+
+ private:
+  std::vector<TrainObserver*> observers_;
+};
+
+/// Logs the loop's progress via DARE_LOG — the observer behind
+/// TrainOptions.verbose (the trainer attaches one internally), reusable by
+/// any consumer that wants the same lines on its own runs.
+class LoggingObserver final : public TrainObserver {
+ public:
+  void OnRunBegin(const TrainRunInfo& info) override;
+  void OnEpochEnd(const EpochEndEvent& event) override;
+  void OnEvalResult(const EvalEvent& event) override;
+
+ private:
+  std::string label_;
+  int64_t total_epochs_ = 0;
+};
+
+/// Aggregate view of a training run, snapshotable at any point. Per-epoch
+/// vectors are aligned: entry i describes the (start_epoch + i + 1)-th
+/// completed epoch. A rolled-back (diverged) epoch contributes to the
+/// counters but never to the per-epoch vectors.
+struct TrainMetricsSnapshot {
+  int64_t epochs_completed = 0;
+  int64_t batches_seen = 0;
+  int64_t steps_applied = 0;
+  std::vector<double> epoch_losses;
+  std::vector<double> epoch_seconds;
+  std::vector<float> epoch_learning_rates;
+  /// Mean per-batch loss components per epoch (same weighting as the loss).
+  std::vector<double> epoch_bpr_losses;
+  std::vector<double> epoch_reg_losses;
+  std::vector<double> epoch_ssl_losses;
+  std::vector<double> epoch_align_losses;
+  int64_t evals = 0;
+  double best_validation = -1.0;
+  int64_t checkpoints_committed = 0;
+  int64_t checkpoint_failures = 0;
+  int64_t divergence_rollbacks = 0;
+  bool run_finished = false;
+  bool stopped_early = false;
+  bool diverged = false;
+  double run_seconds = 0.0;
+};
+
+/// Serving-grade counters for the train loop: accumulates wall-time, loss
+/// components, LR and step counts per epoch and exposes them as a value
+/// struct (Snapshot) that callers can export or assert on.
+class MetricsObserver final : public TrainObserver {
+ public:
+  void OnRunBegin(const TrainRunInfo& info) override;
+  void OnBatchEnd(const BatchEndEvent& event) override;
+  void OnEpochEnd(const EpochEndEvent& event) override;
+  void OnEvalResult(const EvalEvent& event) override;
+  void OnCheckpointCommitted(const CheckpointEvent& event) override;
+  void OnDivergenceRollback(const RollbackEvent& event) override;
+  void OnRunEnd(const RunEndEvent& event) override;
+
+  /// Copy of the counters as of now; safe to call mid-run.
+  TrainMetricsSnapshot Snapshot() const { return snapshot_; }
+
+ private:
+  TrainMetricsSnapshot snapshot_;
+  // Component sums of the in-flight epoch, folded in on OnEpochEnd.
+  double epoch_bpr_sum_ = 0.0;
+  double epoch_reg_sum_ = 0.0;
+  double epoch_ssl_sum_ = 0.0;
+  double epoch_align_sum_ = 0.0;
+  int64_t epoch_batches_ = 0;
+};
+
+}  // namespace darec::pipeline
+
+#endif  // DAREC_PIPELINE_OBSERVER_H_

@@ -1,0 +1,69 @@
+#include "pipeline/policies.h"
+
+#include <cmath>
+#include <utility>
+
+namespace darec::pipeline {
+
+EarlyStopping::EarlyStopping(int64_t eval_every, int64_t patience, int64_t eval_k)
+    : eval_every_(eval_every), patience_(patience), eval_k_(eval_k) {}
+
+bool EarlyStopping::ShouldEvaluate(int64_t epochs_completed) const {
+  return eval_every_ > 0 && epochs_completed % eval_every_ == 0;
+}
+
+EarlyStopping::Decision EarlyStopping::Observe(double validation,
+                                               tensor::Matrix embeddings) {
+  Decision decision;
+  if (validation > best_validation_) {
+    best_validation_ = validation;
+    best_embeddings_ = std::move(embeddings);
+    evals_since_improvement_ = 0;
+    decision.improved = true;
+  } else if (++evals_since_improvement_ >= patience_) {
+    decision.stop = true;
+  }
+  return decision;
+}
+
+void EarlyStopping::AppendState(ckpt::ByteWriter& writer) const {
+  writer.PutF64(best_validation_);
+  writer.PutI64(evals_since_improvement_);
+  writer.PutMatrix(best_embeddings_);
+}
+
+core::StatusOr<EarlyStopping::State> EarlyStopping::ParseState(
+    ckpt::ByteReader& reader) {
+  State state;
+  DARE_ASSIGN_OR_RETURN(state.best_validation, reader.GetF64());
+  DARE_ASSIGN_OR_RETURN(state.evals_since_improvement, reader.GetI64());
+  DARE_ASSIGN_OR_RETURN(state.best_embeddings, reader.GetMatrix());
+  return state;
+}
+
+void EarlyStopping::Restore(State state) {
+  best_validation_ = state.best_validation;
+  evals_since_improvement_ = state.evals_since_improvement;
+  best_embeddings_ = std::move(state.best_embeddings);
+}
+
+CheckpointPolicy::CheckpointPolicy(bool manager_present, int64_t every)
+    : enabled_(manager_present && every > 0), every_(every) {}
+
+bool CheckpointPolicy::ShouldSaveInitial(bool any_checkpoint_exists) const {
+  return enabled_ && !any_checkpoint_exists;
+}
+
+bool CheckpointPolicy::ShouldSave(int64_t epochs_completed) const {
+  return enabled_ && epochs_completed % every_ == 0;
+}
+
+DivergenceGuard::DivergenceGuard(float lr_backoff, int64_t max_retries)
+    : lr_backoff_(lr_backoff), max_retries_(max_retries) {}
+
+float DivergenceGuard::RegisterRetry() {
+  ++retries_;
+  return std::pow(lr_backoff_, static_cast<float>(retries_));
+}
+
+}  // namespace darec::pipeline

@@ -1,0 +1,121 @@
+#ifndef DAREC_PIPELINE_POLICIES_H_
+#define DAREC_PIPELINE_POLICIES_H_
+
+#include <cstdint>
+
+#include "ckpt/serialize.h"
+#include "core/status.h"
+#include "core/statusor.h"
+#include "tensor/matrix.h"
+
+namespace darec::pipeline {
+
+/// Patience-based early stopping on validation Recall@k.
+///
+/// Pure decision + state unit: the loop evaluates when ShouldEvaluate()
+/// says so and feeds the measurement to Observe(); the policy tracks the
+/// best snapshot and the patience budget. Its state round-trips through
+/// the trainer bundle's "earlystop" section with the exact pre-refactor
+/// byte layout, so checkpoints stay format-compatible.
+class EarlyStopping {
+ public:
+  /// Disabled (never evaluates) when eval_every <= 0.
+  EarlyStopping(int64_t eval_every, int64_t patience, int64_t eval_k);
+
+  bool enabled() const { return eval_every_ > 0; }
+  int64_t eval_k() const { return eval_k_; }
+
+  /// True when the (1-based) just-finished epoch is an evaluation epoch.
+  bool ShouldEvaluate(int64_t epochs_completed) const;
+
+  struct Decision {
+    bool improved = false;
+    /// True when patience is exhausted and training should halt.
+    bool stop = false;
+  };
+
+  /// Records one validation measurement; keeps `embeddings` as the best
+  /// snapshot iff the measurement improved on the best seen.
+  Decision Observe(double validation, tensor::Matrix embeddings);
+
+  double best_validation() const { return best_validation_; }
+  int64_t evals_since_improvement() const { return evals_since_improvement_; }
+  /// Empty until the first improving evaluation.
+  const tensor::Matrix& best_embeddings() const { return best_embeddings_; }
+  bool has_best() const { return !best_embeddings_.empty(); }
+
+  /// Serializable state (the "earlystop" checkpoint section).
+  struct State {
+    double best_validation = -1.0;
+    int64_t evals_since_improvement = 0;
+    tensor::Matrix best_embeddings;
+  };
+
+  /// Appends the state in the frozen section layout (f64 best, i64 evals
+  /// since improvement, best-embeddings matrix).
+  void AppendState(ckpt::ByteWriter& writer) const;
+  /// Parses without applying, so a restore can stage every section first
+  /// and only commit once all of them validated.
+  static core::StatusOr<State> ParseState(ckpt::ByteReader& reader);
+  void Restore(State state);
+
+ private:
+  int64_t eval_every_;
+  int64_t patience_;
+  int64_t eval_k_;
+  double best_validation_ = -1.0;
+  int64_t evals_since_improvement_ = 0;
+  tensor::Matrix best_embeddings_;
+};
+
+/// Checkpoint cadence: when the loop commits a bundle. Stateless — the
+/// decision depends only on the epoch counter, which already lives in the
+/// bundle's "meta" section, so a resumed run keeps the exact cadence.
+class CheckpointPolicy {
+ public:
+  /// Disabled when either the manager is absent or every <= 0.
+  CheckpointPolicy(bool manager_present, int64_t every);
+
+  bool enabled() const { return enabled_; }
+
+  /// Commit a step-0 checkpoint before the first epoch (only when the
+  /// directory has none) so divergence recovery always has a rollback
+  /// target.
+  bool ShouldSaveInitial(bool any_checkpoint_exists) const;
+
+  /// Commit after the (1-based) just-finished epoch?
+  bool ShouldSave(int64_t epochs_completed) const;
+
+ private:
+  bool enabled_;
+  int64_t every_;
+};
+
+/// Divergence-recovery budget: how often a non-finite epoch may roll back
+/// to the last good checkpoint, and how hard the LR backs off each time.
+/// Deliberately run-local (not serialized): a resumed run gets a fresh
+/// budget, exactly like the pre-refactor loop.
+class DivergenceGuard {
+ public:
+  DivergenceGuard(float lr_backoff, int64_t max_retries);
+
+  /// True while the retry budget is not exhausted.
+  bool CanRetry() const { return retries_ < max_retries_; }
+
+  /// Consumes one retry and returns the LR multiplier for it:
+  /// lr_backoff^retries, so when the rollback target predates the last
+  /// backoff (no checkpoint since), retries still escalate the reduction.
+  float RegisterRetry();
+
+  int64_t retries() const { return retries_; }
+  int64_t max_retries() const { return max_retries_; }
+
+ private:
+  float lr_backoff_;
+  int64_t max_retries_;
+  int64_t retries_ = 0;
+};
+
+}  // namespace darec::pipeline
+
+#endif  // DAREC_PIPELINE_POLICIES_H_

@@ -49,6 +49,22 @@ void ApplyConfigOverrides(const core::Config& config, ExperimentSpec* spec) {
       config.GetInt("align_interval", spec->train_options.align_interval);
   spec->train_options.verbose =
       config.GetBool("verbose", spec->train_options.verbose);
+  spec->train_options.eval_every =
+      config.GetInt("eval_every", spec->train_options.eval_every);
+  spec->train_options.patience =
+      config.GetInt("patience", spec->train_options.patience);
+
+  // Fault tolerance / resumable sweeps: checkpoint_dir=... checkpoint_every=N
+  // resume=1. Sweep benches scope the directory per experiment cell (see
+  // benchutil::ScopeCheckpointDir) so cells never rotate each other's files.
+  spec->train_options.checkpoint_dir =
+      config.GetString("checkpoint_dir", spec->train_options.checkpoint_dir);
+  spec->train_options.checkpoint_every =
+      config.GetInt("checkpoint_every", spec->train_options.checkpoint_every);
+  spec->train_options.keep_last_checkpoints = config.GetInt(
+      "keep_checkpoints", spec->train_options.keep_last_checkpoints);
+  spec->train_options.resume =
+      config.GetBool("resume", spec->train_options.resume);
 
   spec->backbone_options.embedding_dim =
       config.GetInt("dim", spec->backbone_options.embedding_dim);

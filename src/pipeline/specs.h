@@ -15,8 +15,8 @@ ExperimentSpec CalibratedSpec(const std::string& dataset, const std::string& bac
                               const std::string& variant);
 
 /// Applies command-line overrides (epochs=, dim=, lambda=, k=, n_hat=,
-/// seed=, ...) onto a spec. Unknown keys are ignored so benches can share
-/// one flag vocabulary.
+/// seed=, checkpoint_dir=, checkpoint_every=, resume=, ...) onto a spec.
+/// Unknown keys are ignored so benches can share one flag vocabulary.
 void ApplyConfigOverrides(const core::Config& config, ExperimentSpec* spec);
 
 }  // namespace darec::pipeline

@@ -1,19 +1,14 @@
-#include "pipeline/trainer.h"
+#include "pipeline/train_loop.h"
 
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "ckpt/serialize.h"
-#include "core/failpoint.h"
 #include "core/logging.h"
 #include "core/stopwatch.h"
-#include "tensor/autograd.h"
-#include "tensor/ops.h"
 
 namespace darec::pipeline {
-
-using tensor::Variable;
 
 namespace {
 
@@ -23,27 +18,6 @@ constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 /// serialized state changes shape; RestoreFromBundle rejects skew).
 constexpr uint32_t kTrainerStateVersion = 1;
 
-/// Gathered batch index triples in unified node ids.
-struct BatchNodes {
-  std::vector<int64_t> users;
-  std::vector<int64_t> pos_items;
-  std::vector<int64_t> neg_items;
-};
-
-BatchNodes ToNodeIds(const std::vector<data::TrainTriple>& batch,
-                     const graph::BipartiteGraph& graph) {
-  BatchNodes nodes;
-  nodes.users.reserve(batch.size());
-  nodes.pos_items.reserve(batch.size());
-  nodes.neg_items.reserve(batch.size());
-  for (const data::TrainTriple& t : batch) {
-    nodes.users.push_back(graph.UserNode(t.user));
-    nodes.pos_items.push_back(graph.ItemNode(t.pos_item));
-    nodes.neg_items.push_back(graph.ItemNode(t.neg_item));
-  }
-  return nodes;
-}
-
 }  // namespace
 
 Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
@@ -52,91 +26,61 @@ Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
       aligner_(aligner),
       dataset_(dataset),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      early_stopping_(options.eval_every, options.patience, options.eval_k) {
   DARE_CHECK(backbone != nullptr);
   DARE_CHECK(dataset != nullptr);
   DARE_CHECK_GT(options.epochs, 0);
   DARE_CHECK_GT(options.batch_size, 0);
-  std::vector<Variable> params = backbone_->Params();
+  std::vector<tensor::Variable> params = backbone_->Params();
   if (aligner_ != nullptr) {
-    std::vector<Variable> extra = aligner_->Params();
+    std::vector<tensor::Variable> extra = aligner_->Params();
     params.insert(params.end(), extra.begin(), extra.end());
   }
   optimizer_ = std::make_unique<tensor::Adam>(std::move(params),
                                               options.learning_rate);
   batches_ = std::make_unique<data::BatchIterator>(*dataset_, options.batch_size,
                                                    rng_);
+  step_ = std::make_unique<TrainStep>(backbone_, aligner_, optimizer_.get(),
+                                      options.align_interval);
   if (!options.checkpoint_dir.empty()) {
     ckpt::CheckpointManagerOptions checkpoint_options;
     checkpoint_options.dir = options.checkpoint_dir;
     checkpoint_options.keep_last = options.keep_last_checkpoints;
     checkpoints_ = std::make_unique<ckpt::CheckpointManager>(checkpoint_options);
   }
+  if (options.verbose) {
+    verbose_observer_ = std::make_unique<LoggingObserver>();
+    observers_.Add(verbose_observer_.get());
+  }
 }
 
-bool Trainer::GradientsFinite() const {
-  for (const Variable& p : optimizer_->params()) {
-    const tensor::Matrix& grad = p.grad();
-    const float* data = grad.data();
-    const int64_t n = grad.size();
-    double sum = 0.0;
-    for (int64_t i = 0; i < n; ++i) sum += data[i];
-    // Finite floats can never overflow a double accumulator, so a non-finite
-    // sum is exactly "at least one non-finite gradient entry" (inf pairs of
-    // opposite sign collapse to NaN, never back to a finite value).
-    if (!std::isfinite(sum)) return false;
-  }
-  return true;
-}
+void Trainer::AddObserver(TrainObserver* observer) { observers_.Add(observer); }
 
 double Trainer::RunEpoch() {
-  const cf::BackboneOptions& bopt = backbone_->options();
+  const int64_t epoch = epochs_completed_ + 1;
   batches_->NewEpoch(rng_);
   double epoch_loss = 0.0;
   int64_t epoch_batches = 0;
   std::vector<data::TrainTriple> batch;
   while (batches_->NextBatch(batch, rng_)) {
-    optimizer_->ZeroGrad();
-
-    Variable nodes = backbone_->Forward(/*training=*/true, rng_);
-    Variable scored = aligner_ != nullptr ? aligner_->AugmentNodes(nodes) : nodes;
-
-    BatchNodes ids = ToNodeIds(batch, backbone_->graph());
-    Variable users = GatherRows(scored, ids.users);
-    Variable pos = GatherRows(scored, ids.pos_items);
-    Variable neg = GatherRows(scored, ids.neg_items);
-    Variable loss = BprLoss(RowDot(users, pos), RowDot(users, neg));
-
-    if (bopt.l2_reg > 0.0f) {
-      // Standard BPR regularization on the batch's initial embeddings.
-      Variable e0 = backbone_->initial_embeddings();
-      Variable reg = tensor::L2Penalty({GatherRows(e0, std::move(ids.users)),
-                                        GatherRows(e0, std::move(ids.pos_items)),
-                                        GatherRows(e0, std::move(ids.neg_items))});
-      loss = Add(loss,
-                 ScalarMul(reg, bopt.l2_reg / static_cast<float>(batch.size())));
-    }
-
-    Variable ssl = backbone_->SslLoss(nodes, rng_);
-    if (!ssl.IsNull()) loss = Add(loss, ScalarMul(ssl, bopt.ssl_weight));
-
-    if (aligner_ != nullptr && step_count_ % options_.align_interval == 0) {
-      Variable align_loss = aligner_->Loss(nodes, rng_);
-      if (!align_loss.IsNull()) loss = Add(loss, align_loss);
-    }
-
-    double batch_loss = loss.scalar();
-    if (core::FailPoint::Fires("trainer.nan_loss")) batch_loss = kNan;
+    const TrainStep::Outcome outcome = step_->Execute(batch, rng_);
     // Divergence guard: abort the epoch before the poisoned update is
     // applied; Run() decides whether to roll back to a checkpoint.
-    if (!std::isfinite(batch_loss)) return kNan;
+    if (!outcome.finite) return kNan;
 
-    epoch_loss += batch_loss;
+    epoch_loss += outcome.loss;
+    BatchEndEvent event;
+    event.epoch = epoch;
+    event.batch_index = epoch_batches;
+    event.step = step_->step_count();
+    event.loss = outcome.loss;
+    event.bpr_loss = outcome.bpr_loss;
+    event.reg_loss = outcome.reg_loss;
+    event.ssl_loss = outcome.ssl_loss;
+    event.align_loss = outcome.align_loss;
+    observers_.OnBatchEnd(event);
     ++epoch_batches;
-    ++step_count_;
-    Backward(loss);
-    if (!GradientsFinite()) return kNan;
-    optimizer_->Step();
   }
   return epoch_batches > 0 ? epoch_loss / static_cast<double>(epoch_batches) : 0.0;
 }
@@ -144,7 +88,8 @@ double Trainer::RunEpoch() {
 tensor::Matrix Trainer::CurrentEmbeddings() {
   tensor::Matrix nodes = backbone_->InferenceEmbeddings();
   if (aligner_ == nullptr) return nodes;
-  Variable augmented = aligner_->AugmentNodes(Variable::Constant(std::move(nodes)));
+  tensor::Variable augmented =
+      aligner_->AugmentNodes(tensor::Variable::Constant(std::move(nodes)));
   return augmented.value();
 }
 
@@ -156,14 +101,14 @@ eval::MetricSet Trainer::Evaluate(eval::EvalSplit split) {
 
 ckpt::Bundle Trainer::MakeBundle() const {
   ckpt::Bundle bundle;
-  const std::vector<Variable>& params = optimizer_->params();
+  const std::vector<tensor::Variable>& params = optimizer_->params();
   {
     ckpt::ByteWriter meta;
     meta.PutU32(kTrainerStateVersion);
     meta.PutString(backbone_->name());
     meta.PutString(aligner_ != nullptr ? aligner_->name() : "");
     meta.PutI64(epochs_completed_);
-    meta.PutI64(step_count_);
+    meta.PutI64(step_->step_count());
     meta.PutF32(optimizer_->learning_rate());
     meta.PutU64(params.size());
     meta.PutI64(static_cast<int64_t>(dataset_->train().size()));
@@ -172,7 +117,7 @@ ckpt::Bundle Trainer::MakeBundle() const {
   {
     ckpt::ByteWriter values;
     values.PutU64(params.size());
-    for (const Variable& p : params) values.PutMatrix(p.value());
+    for (const tensor::Variable& p : params) values.PutMatrix(p.value());
     bundle.Put("params", values.Release());
   }
   {
@@ -215,16 +160,14 @@ ckpt::Bundle Trainer::MakeBundle() const {
   }
   {
     ckpt::ByteWriter early;
-    early.PutF64(best_validation_);
-    early.PutI64(evals_since_improvement_);
-    early.PutMatrix(best_embeddings_);
+    early_stopping_.AppendState(early);
     bundle.Put("earlystop", early.Release());
   }
   return bundle;
 }
 
 core::Status Trainer::RestoreFromBundle(const ckpt::Bundle& bundle) {
-  const std::vector<Variable>& params = optimizer_->params();
+  const std::vector<tensor::Variable>& params = optimizer_->params();
 
   // ---- Stage + validate. Nothing below mutates the trainer. ----
   DARE_ASSIGN_OR_RETURN(std::string_view meta_bytes, bundle.Get("meta"));
@@ -341,16 +284,15 @@ core::Status Trainer::RestoreFromBundle(const ckpt::Bundle& bundle) {
 
   DARE_ASSIGN_OR_RETURN(std::string_view early_bytes, bundle.Get("earlystop"));
   ckpt::ByteReader early_reader(early_bytes);
-  DARE_ASSIGN_OR_RETURN(double best_validation, early_reader.GetF64());
-  DARE_ASSIGN_OR_RETURN(int64_t evals_since_improvement, early_reader.GetI64());
-  DARE_ASSIGN_OR_RETURN(tensor::Matrix best_embeddings, early_reader.GetMatrix());
+  DARE_ASSIGN_OR_RETURN(EarlyStopping::State early_state,
+                        EarlyStopping::ParseState(early_reader));
   DARE_RETURN_IF_ERROR(early_reader.ExpectEnd());
 
   // ---- Apply. RestoreOrder is the only remaining fallible step and it
   // mutates nothing on failure, so the trainer is never half-restored. ----
   DARE_RETURN_IF_ERROR(batches_->RestoreOrder(std::move(order)));
   for (size_t i = 0; i < params.size(); ++i) {
-    Variable p = params[i];
+    tensor::Variable p = params[i];
     p.mutable_value() = std::move(values[i]);
     p.ClearGrad();
   }
@@ -365,11 +307,9 @@ core::Status Trainer::RestoreFromBundle(const ckpt::Bundle& bundle) {
   optimizer_->set_learning_rate(learning_rate);
   rng_.RestoreState(rng_state);
   epochs_completed_ = epochs_completed;
-  step_count_ = step_count;
+  step_->set_step_count(step_count);
   epoch_losses_ = std::move(losses);
-  best_validation_ = best_validation;
-  evals_since_improvement_ = evals_since_improvement;
-  best_embeddings_ = std::move(best_embeddings);
+  early_stopping_.Restore(std::move(early_state));
   return core::Status::Ok();
 }
 
@@ -394,7 +334,8 @@ core::Status Trainer::RestoreCheckpoint() {
     if (restored.ok()) {
       if (options_.verbose) {
         DARE_LOG(Info) << "restored checkpoint " << it->path << " (epoch "
-                       << epochs_completed_ << ", step " << step_count_ << ")";
+                       << epochs_completed_ << ", step " << step_->step_count()
+                       << ")";
       }
       return core::Status::Ok();
     }
@@ -405,43 +346,88 @@ core::Status Trainer::RestoreCheckpoint() {
                                 options_.checkpoint_dir);
 }
 
+void Trainer::CommitCheckpoint() {
+  const core::Status saved = SaveCheckpoint();
+  if (!saved.ok()) {
+    // Training carries on from memory; only crash protection degrades.
+    DARE_LOG(Warning) << "checkpoint at epoch " << epochs_completed_
+                      << " failed: " << saved.ToString();
+  }
+  CheckpointEvent event;
+  event.epoch = epochs_completed_;
+  event.path = checkpoints_->PathForStep(epochs_completed_);
+  event.ok = saved.ok();
+  if (!saved.ok()) event.error = saved.ToString();
+  observers_.OnCheckpointCommitted(event);
+}
+
 TrainResult Trainer::Run() {
   core::Stopwatch stopwatch;
   TrainResult result;
-  int64_t divergence_retries = 0;
+  CheckpointPolicy checkpoint_policy(checkpoints_ != nullptr,
+                                     options_.checkpoint_every);
+  DivergenceGuard guard(options_.lr_backoff, options_.max_divergence_retries);
 
-  if (checkpoints_ != nullptr && options_.checkpoint_every > 0 &&
-      checkpoints_->List().empty()) {
+  if (options_.resume && checkpoints_ != nullptr) {
+    const core::Status restored = RestoreCheckpoint();
+    if (!restored.ok() && restored.code() != core::StatusCode::kNotFound) {
+      DARE_LOG(Warning) << "resume requested but restore failed: "
+                        << restored.ToString();
+    }
+  }
+
+  TrainRunInfo info;
+  info.backbone = backbone_->name();
+  info.aligner = aligner_ != nullptr ? aligner_->name() : "";
+  info.start_epoch = epochs_completed_;
+  info.total_epochs = options_.epochs;
+  info.batches_per_epoch = batches_->batches_per_epoch();
+  info.learning_rate = optimizer_->learning_rate();
+  observers_.OnRunBegin(info);
+
+  if (checkpoint_policy.ShouldSaveInitial(
+          checkpoints_ != nullptr && !checkpoints_->List().empty())) {
     // Initial checkpoint so divergence recovery always has a rollback target.
     const core::Status saved = SaveCheckpoint();
     if (!saved.ok()) {
       DARE_LOG(Warning) << "initial checkpoint failed: " << saved.ToString();
     }
+    CheckpointEvent event;
+    event.epoch = epochs_completed_;
+    event.path = checkpoints_->PathForStep(epochs_completed_);
+    event.ok = saved.ok();
+    if (!saved.ok()) event.error = saved.ToString();
+    observers_.OnCheckpointCommitted(event);
   }
 
+  bool stopped_early = false;
   while (epochs_completed_ < options_.epochs) {
+    observers_.OnEpochBegin(epochs_completed_ + 1);
+    core::Stopwatch epoch_watch;
     const double mean_loss = RunEpoch();
 
     if (!std::isfinite(mean_loss)) {
       // Divergence: roll back to the last good checkpoint with a smaller
       // step size instead of letting NaN poison the remaining epochs.
-      if (checkpoints_ != nullptr &&
-          divergence_retries < options_.max_divergence_retries) {
-        ++divergence_retries;
+      if (checkpoints_ != nullptr && guard.CanRetry()) {
+        const int64_t failed_epoch = epochs_completed_ + 1;
         const core::Status restored = RestoreCheckpoint();
         if (restored.ok()) {
-          // f^retries: when the rollback target predates the last backoff
-          // (no checkpoint since), retries still escalate the reduction.
-          const float lr =
-              optimizer_->learning_rate() *
-              std::pow(options_.lr_backoff, static_cast<float>(divergence_retries));
+          const float lr = optimizer_->learning_rate() * guard.RegisterRetry();
           optimizer_->set_learning_rate(lr);
-          result.divergence_recoveries = divergence_retries;
+          result.divergence_recoveries = guard.retries();
           DARE_LOG(Warning) << backbone_->name() << ": non-finite loss at epoch "
-                            << epochs_completed_ + 1 << "; restored epoch "
+                            << failed_epoch << "; restored epoch "
                             << epochs_completed_ << ", lr backed off to " << lr
-                            << " (retry " << divergence_retries << "/"
-                            << options_.max_divergence_retries << ")";
+                            << " (retry " << guard.retries() << "/"
+                            << guard.max_retries() << ")";
+          RollbackEvent event;
+          event.failed_epoch = failed_epoch;
+          event.restored_epoch = epochs_completed_;
+          event.retry = guard.retries();
+          event.max_retries = guard.max_retries();
+          event.new_learning_rate = lr;
+          observers_.OnDivergenceRollback(event);
           continue;
         }
         DARE_LOG(Error) << "divergence recovery failed: " << restored.ToString();
@@ -458,52 +444,48 @@ TrainResult Trainer::Run() {
 
     ++epochs_completed_;
     epoch_losses_.push_back(mean_loss);
-    if (options_.verbose) {
-      DARE_LOG(Info) << backbone_->name()
-                     << (aligner_ != nullptr ? "+" + aligner_->name() : "")
-                     << " epoch " << epochs_completed_ << "/" << options_.epochs
-                     << " loss=" << mean_loss;
-    }
+    EpochEndEvent epoch_event;
+    epoch_event.epoch = epochs_completed_;
+    epoch_event.mean_loss = mean_loss;
+    epoch_event.batches = batches_->batches_per_epoch();
+    epoch_event.seconds = epoch_watch.ElapsedSeconds();
+    epoch_event.learning_rate = optimizer_->learning_rate();
+    observers_.OnEpochEnd(epoch_event);
 
     bool stop_early = false;
-    if (options_.eval_every > 0 && epochs_completed_ % options_.eval_every == 0) {
+    if (early_stopping_.ShouldEvaluate(epochs_completed_)) {
       eval::EvalOptions eval_options;
-      eval_options.ks = {options_.eval_k};
+      eval_options.ks = {early_stopping_.eval_k()};
       eval_options.split = eval::EvalSplit::kValidation;
       tensor::Matrix embeddings = CurrentEmbeddings();
       const double validation =
           eval::EvaluateRanking(embeddings, *dataset_, eval_options)
-              .recall.at(options_.eval_k);
-      if (validation > best_validation_) {
-        best_validation_ = validation;
-        best_embeddings_ = std::move(embeddings);
-        evals_since_improvement_ = 0;
-      } else if (++evals_since_improvement_ >= options_.patience) {
-        if (options_.verbose) {
-          DARE_LOG(Info) << "early stop at epoch " << epochs_completed_
-                         << " (best val R@" << options_.eval_k << "="
-                         << best_validation_ << ")";
-        }
-        stop_early = true;
-      }
+              .recall.at(early_stopping_.eval_k());
+      const EarlyStopping::Decision decision =
+          early_stopping_.Observe(validation, std::move(embeddings));
+      stop_early = decision.stop;
+      EvalEvent eval_event;
+      eval_event.epoch = epochs_completed_;
+      eval_event.k = early_stopping_.eval_k();
+      eval_event.validation_recall = validation;
+      eval_event.best_so_far = early_stopping_.best_validation();
+      eval_event.improved = decision.improved;
+      eval_event.stopped = decision.stop;
+      observers_.OnEvalResult(eval_event);
     }
 
-    if (checkpoints_ != nullptr && options_.checkpoint_every > 0 &&
-        epochs_completed_ % options_.checkpoint_every == 0) {
-      const core::Status saved = SaveCheckpoint();
-      if (!saved.ok()) {
-        // Training carries on from memory; only crash protection degrades.
-        DARE_LOG(Warning) << "checkpoint at epoch " << epochs_completed_
-                          << " failed: " << saved.ToString();
-      }
+    if (checkpoint_policy.ShouldSave(epochs_completed_)) CommitCheckpoint();
+    if (stop_early) {
+      stopped_early = true;
+      break;
     }
-    if (stop_early) break;
   }
 
   result.epoch_losses = epoch_losses_;
-  result.final_embeddings = options_.eval_every > 0 && !best_embeddings_.empty()
-                                ? best_embeddings_
-                                : CurrentEmbeddings();
+  result.final_embeddings =
+      early_stopping_.enabled() && early_stopping_.has_best()
+          ? early_stopping_.best_embeddings()
+          : CurrentEmbeddings();
   eval::EvalOptions eval_options;
   result.test_metrics =
       eval::EvaluateRanking(result.final_embeddings, *dataset_, eval_options);
@@ -511,6 +493,13 @@ TrainResult Trainer::Run() {
   result.validation_metrics =
       eval::EvaluateRanking(result.final_embeddings, *dataset_, eval_options);
   result.train_seconds = stopwatch.ElapsedSeconds();
+
+  RunEndEvent end_event;
+  end_event.epochs_completed = epochs_completed_;
+  end_event.stopped_early = stopped_early;
+  end_event.diverged = result.diverged;
+  end_event.seconds = result.train_seconds;
+  observers_.OnRunEnd(end_event);
   return result;
 }
 

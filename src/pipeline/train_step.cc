@@ -1,0 +1,127 @@
+#include "pipeline/train_step.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/check.h"
+#include "core/failpoint.h"
+#include "graph/bipartite.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace darec::pipeline {
+
+using tensor::Variable;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Gathered batch index triples in unified node ids.
+struct BatchNodes {
+  std::vector<int64_t> users;
+  std::vector<int64_t> pos_items;
+  std::vector<int64_t> neg_items;
+};
+
+BatchNodes ToNodeIds(const std::vector<data::TrainTriple>& batch,
+                     const graph::BipartiteGraph& graph) {
+  BatchNodes nodes;
+  nodes.users.reserve(batch.size());
+  nodes.pos_items.reserve(batch.size());
+  nodes.neg_items.reserve(batch.size());
+  for (const data::TrainTriple& t : batch) {
+    nodes.users.push_back(graph.UserNode(t.user));
+    nodes.pos_items.push_back(graph.ItemNode(t.pos_item));
+    nodes.neg_items.push_back(graph.ItemNode(t.neg_item));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+TrainStep::TrainStep(cf::GraphBackbone* backbone, align::Aligner* aligner,
+                     tensor::Adam* optimizer, int64_t align_interval)
+    : backbone_(backbone),
+      aligner_(aligner),
+      optimizer_(optimizer),
+      align_interval_(align_interval) {
+  DARE_CHECK(backbone != nullptr);
+  DARE_CHECK(optimizer != nullptr);
+  DARE_CHECK_GT(align_interval, 0);
+}
+
+bool TrainStep::GradientsFinite() const {
+  for (const Variable& p : optimizer_->params()) {
+    const tensor::Matrix& grad = p.grad();
+    const float* data = grad.data();
+    const int64_t n = grad.size();
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) sum += data[i];
+    // Finite floats can never overflow a double accumulator, so a non-finite
+    // sum is exactly "at least one non-finite gradient entry" (inf pairs of
+    // opposite sign collapse to NaN, never back to a finite value).
+    if (!std::isfinite(sum)) return false;
+  }
+  return true;
+}
+
+TrainStep::Outcome TrainStep::Execute(const std::vector<data::TrainTriple>& batch,
+                                      core::Rng& rng) {
+  const cf::BackboneOptions& bopt = backbone_->options();
+  Outcome outcome;
+  optimizer_->ZeroGrad();
+
+  Variable nodes = backbone_->Forward(/*training=*/true, rng);
+  Variable scored = aligner_ != nullptr ? aligner_->AugmentNodes(nodes) : nodes;
+
+  BatchNodes ids = ToNodeIds(batch, backbone_->graph());
+  Variable users = GatherRows(scored, ids.users);
+  Variable pos = GatherRows(scored, ids.pos_items);
+  Variable neg = GatherRows(scored, ids.neg_items);
+  Variable loss = BprLoss(RowDot(users, pos), RowDot(users, neg));
+  outcome.bpr_loss = loss.scalar();
+
+  if (bopt.l2_reg > 0.0f) {
+    // Standard BPR regularization on the batch's initial embeddings.
+    Variable e0 = backbone_->initial_embeddings();
+    Variable reg = tensor::L2Penalty({GatherRows(e0, std::move(ids.users)),
+                                      GatherRows(e0, std::move(ids.pos_items)),
+                                      GatherRows(e0, std::move(ids.neg_items))});
+    Variable reg_term =
+        ScalarMul(reg, bopt.l2_reg / static_cast<float>(batch.size()));
+    outcome.reg_loss = reg_term.scalar();
+    loss = Add(loss, reg_term);
+  }
+
+  Variable ssl = backbone_->SslLoss(nodes, rng);
+  if (!ssl.IsNull()) {
+    Variable ssl_term = ScalarMul(ssl, bopt.ssl_weight);
+    outcome.ssl_loss = ssl_term.scalar();
+    loss = Add(loss, ssl_term);
+  }
+
+  if (aligner_ != nullptr && step_count_ % align_interval_ == 0) {
+    Variable align_loss = aligner_->Loss(nodes, rng);
+    if (!align_loss.IsNull()) {
+      outcome.align_loss = align_loss.scalar();
+      loss = Add(loss, align_loss);
+    }
+  }
+
+  outcome.loss = loss.scalar();
+  if (core::FailPoint::Fires("trainer.nan_loss")) outcome.loss = kNan;
+  // Divergence guard: abort before the poisoned update is applied; the loop
+  // above decides whether to roll back to a checkpoint.
+  if (!std::isfinite(outcome.loss)) return outcome;
+
+  ++step_count_;
+  Backward(loss);
+  if (!GradientsFinite()) return outcome;
+  optimizer_->Step();
+  outcome.finite = true;
+  return outcome;
+}
+
+}  // namespace darec::pipeline

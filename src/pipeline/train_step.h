@@ -1,0 +1,66 @@
+#ifndef DAREC_PIPELINE_TRAIN_STEP_H_
+#define DAREC_PIPELINE_TRAIN_STEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "align/aligner.h"
+#include "cf/backbone.h"
+#include "core/rng.h"
+#include "data/sampler.h"
+#include "tensor/optim.h"
+
+namespace darec::pipeline {
+
+/// The deterministic per-batch core of the train loop:
+/// forward → losses → divergence guard → optimizer apply.
+///
+/// Execute() performs exactly the pre-refactor batch sequence, so its
+/// numerics are bit-identical to the monolithic trainer at any thread
+/// count. Isolating the batch here is the seam epoch-level parallelism
+/// needs: everything above it (policies, observers, checkpointing) is
+/// already batch-agnostic.
+class TrainStep {
+ public:
+  /// All pointers are non-owning; aligner may be null (plain baseline).
+  TrainStep(cf::GraphBackbone* backbone, align::Aligner* aligner,
+            tensor::Adam* optimizer, int64_t align_interval);
+
+  struct Outcome {
+    /// Total batch loss; non-finite when the step aborted.
+    double loss = 0.0;
+    /// Already-weighted loss components; they sum (in accumulation order)
+    /// to `loss`. A component the variant does not use is exactly 0.
+    double bpr_loss = 0.0;
+    double reg_loss = 0.0;
+    double ssl_loss = 0.0;
+    double align_loss = 0.0;
+    /// False when the loss or a gradient went non-finite — the poisoned
+    /// optimizer update was never applied and the epoch must abort.
+    bool finite = false;
+  };
+
+  /// Runs one optimizer step over `batch`. Advances step_count() only when
+  /// the loss was finite (matching the pre-refactor counter semantics: the
+  /// align-interval phase is taken before the increment).
+  Outcome Execute(const std::vector<data::TrainTriple>& batch, core::Rng& rng);
+
+  /// Global optimizer-step counter; serialized in the checkpoint "meta"
+  /// section so a resumed run keeps the align-interval phase.
+  int64_t step_count() const { return step_count_; }
+  void set_step_count(int64_t step_count) { step_count_ = step_count; }
+
+ private:
+  /// True if every parameter gradient is finite.
+  bool GradientsFinite() const;
+
+  cf::GraphBackbone* backbone_;
+  align::Aligner* aligner_;  // May be null.
+  tensor::Adam* optimizer_;
+  int64_t align_interval_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace darec::pipeline
+
+#endif  // DAREC_PIPELINE_TRAIN_STEP_H_

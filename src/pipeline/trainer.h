@@ -1,154 +1,20 @@
 #ifndef DAREC_PIPELINE_TRAINER_H_
 #define DAREC_PIPELINE_TRAINER_H_
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "align/aligner.h"
-#include "cf/backbone.h"
-#include "ckpt/checkpoint.h"
-#include "core/rng.h"
-#include "core/status.h"
-#include "data/dataset.h"
-#include "data/sampler.h"
-#include "eval/metrics.h"
-#include "tensor/matrix.h"
-#include "tensor/optim.h"
-
-namespace darec::pipeline {
-
-/// Training-loop configuration (paper: Adam, lr 1e-3, BPR base loss).
-struct TrainOptions {
-  int64_t epochs = 25;
-  int64_t batch_size = 1024;
-  float learning_rate = 1e-3f;
-  /// Apply the aligner loss every this many batches (1 = every batch).
-  int64_t align_interval = 1;
-  uint64_t seed = 7;
-  /// Log per-epoch losses via DARE_LOG(Info).
-  bool verbose = false;
-
-  /// Early stopping (opt-in): if eval_every > 0, validation Recall@eval_k
-  /// is computed every eval_every epochs; training stops after `patience`
-  /// non-improving evaluations and the best-seen embeddings are reported.
-  int64_t eval_every = 0;
-  int64_t patience = 3;
-  int64_t eval_k = 20;
-
-  /// Fault tolerance (opt-in): with a non-empty checkpoint_dir the trainer
-  /// can Save/RestoreCheckpoint; with checkpoint_every > 0 Run() also
-  /// commits a checkpoint every that many epochs (plus one for the initial
-  /// state, so divergence recovery always has somewhere to go back to).
-  /// A resumed run continues bit-identically to an uninterrupted one.
-  std::string checkpoint_dir;
-  int64_t checkpoint_every = 0;
-  /// Rotation: keep only this many newest checkpoints.
-  int64_t keep_last_checkpoints = 3;
-
-  /// Divergence guard: when an epoch produces a non-finite loss or gradient,
-  /// Run() restores the last good checkpoint (if checkpointing is enabled),
-  /// multiplies the learning rate by lr_backoff, and retries — at most
-  /// max_divergence_retries times before giving up.
-  float lr_backoff = 0.5f;
-  int64_t max_divergence_retries = 3;
-};
-
-/// Outcome of one training run.
-struct TrainResult {
-  eval::MetricSet test_metrics;
-  eval::MetricSet validation_metrics;
-  std::vector<double> epoch_losses;
-  double train_seconds = 0.0;
-  /// Final node embeddings (after KAR-style augmentation if any).
-  tensor::Matrix final_embeddings;
-  /// Divergence guard: how often training rolled back to a checkpoint.
-  int64_t divergence_recoveries = 0;
-  /// True if training aborted on an unrecoverable non-finite loss/gradient.
-  bool diverged = false;
-};
-
-/// Trains `backbone` with BPR (+ backbone SSL + aligner loss) and evaluates
-/// under the all-ranking protocol.
+/// Stable include for the training loop.
 ///
-/// The trainer owns only its optimizer state: backbone, aligner (nullable
-/// -> plain baseline), and dataset must outlive it. All mutable training
-/// state (parameters, Adam moments, rng, batch order, loss history, early
-/// stopping) is serializable into a ckpt::Bundle, which is what makes
-/// crash/resume and divergence rollback bit-exact.
-class Trainer {
- public:
-  Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
-          const data::Dataset* dataset, const TrainOptions& options);
+/// The monolithic Trainer was decomposed into a staged train loop:
+///   - train_step.h  — TrainStep, the bit-exact per-batch executor
+///   - policies.h    — EarlyStopping, CheckpointPolicy, DivergenceGuard
+///   - observer.h    — TrainObserver + Multi/Logging/Metrics observers
+///   - train_loop.h  — the slim Trainer facade (TrainOptions, TrainResult)
+/// This header re-exports all of it so existing `#include
+/// "pipeline/trainer.h"` users (examples, benches, out-of-tree code)
+/// compile unchanged.
 
-  Trainer(const Trainer&) = delete;
-  Trainer& operator=(const Trainer&) = delete;
-
-  /// Runs the remaining epochs (all of them on a fresh trainer, the tail
-  /// after RestoreCheckpoint()) and returns final metrics; epoch_losses
-  /// covers the whole run including checkpointed history. Applies the
-  /// divergence guard and periodic checkpoints per TrainOptions.
-  TrainResult Run();
-
-  /// Runs a single epoch; returns the mean total loss over its batches.
-  /// Optimizer state (Adam moments) persists across calls. On a non-finite
-  /// loss or gradient the epoch aborts immediately — the poisoned update is
-  /// never applied — and NaN is returned.
-  double RunEpoch();
-
-  /// Node embeddings as used for scoring right now (inference forward +
-  /// aligner augmentation).
-  tensor::Matrix CurrentEmbeddings();
-
-  /// Evaluates the current embeddings on the given split.
-  eval::MetricSet Evaluate(eval::EvalSplit split);
-
-  /// Commits the complete training state as a checkpoint at the current
-  /// epoch boundary. FailedPrecondition unless checkpoint_dir is set.
-  core::Status SaveCheckpoint();
-
-  /// Restores the newest valid checkpoint from checkpoint_dir. All-or-
-  /// nothing: on any validation failure (damaged file, version skew, shape
-  /// or dataset mismatch) the trainer is left unchanged and a typed error
-  /// is returned. After success, Run() continues bit-identically to a run
-  /// that was never interrupted.
-  core::Status RestoreCheckpoint();
-
-  /// Epochs finished so far (advanced by Run, rewound by RestoreCheckpoint).
-  int64_t epochs_completed() const { return epochs_completed_; }
-
-  /// Optimizer read access (tests assert on LR backoff / step counts).
-  const tensor::Adam& optimizer() const { return *optimizer_; }
-
- private:
-  /// Serializes params, Adam state, rng, batch order, loss history and
-  /// early-stopping state into named bundle sections.
-  ckpt::Bundle MakeBundle() const;
-  /// Validates and applies a bundle; staging-then-commit so a bad bundle
-  /// never leaves the trainer half-restored.
-  core::Status RestoreFromBundle(const ckpt::Bundle& bundle);
-  /// True if every parameter gradient is finite.
-  bool GradientsFinite() const;
-
-  cf::GraphBackbone* backbone_;
-  align::Aligner* aligner_;  // May be null.
-  const data::Dataset* dataset_;
-  TrainOptions options_;
-  core::Rng rng_;
-  std::unique_ptr<tensor::Adam> optimizer_;
-  std::unique_ptr<data::BatchIterator> batches_;
-  std::unique_ptr<ckpt::CheckpointManager> checkpoints_;  // Null if disabled.
-  int64_t step_count_ = 0;
-
-  // Run() state; serialized so a resumed run replays identically.
-  int64_t epochs_completed_ = 0;
-  std::vector<double> epoch_losses_;
-  double best_validation_ = -1.0;
-  tensor::Matrix best_embeddings_;
-  int64_t evals_since_improvement_ = 0;
-};
-
-}  // namespace darec::pipeline
+#include "pipeline/observer.h"    // IWYU pragma: export
+#include "pipeline/policies.h"    // IWYU pragma: export
+#include "pipeline/train_loop.h"  // IWYU pragma: export
+#include "pipeline/train_step.h"  // IWYU pragma: export
 
 #endif  // DAREC_PIPELINE_TRAINER_H_

@@ -1,0 +1,170 @@
+// Golden-trace parity: the staged train loop (TrainStep + policies +
+// observers) must reproduce the pre-refactor monolithic trainer bit for
+// bit. The traces below were dumped from the last monolithic build — epoch
+// losses and final metrics as uint64 bit patterns, checkpoint files as
+// size + CRC-32 — and must never drift, at any thread count. A change here
+// is a behavior change, not a refactor.
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/crc32.h"
+#include "core/thread_pool.h"
+#include "gtest/gtest.h"
+#include "pipeline/experiment.h"
+#include "pipeline/trainer.h"
+
+namespace darec::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t Bits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+ExperimentSpec GoldenSpec(const std::string& variant) {
+  ExperimentSpec spec;
+  spec.dataset = "tiny";
+  spec.backbone = "lightgcn";
+  spec.variant = variant;
+  spec.backbone_options.embedding_dim = 16;
+  spec.backbone_options.num_layers = 2;
+  spec.backbone_options.ssl_batch = 64;
+  spec.train_options.epochs = 5;
+  spec.train_options.batch_size = 256;
+  spec.llm_options.output_dim = 24;
+  spec.llm_options.hidden_dim = 32;
+  spec.rlmrec_options.sample_size = 64;
+  spec.darec_options.sample_size = 64;
+  spec.darec_options.uniformity_sample = 32;
+  spec.darec_options.projection_dim = 16;
+  spec.darec_options.hidden_dim = 24;
+  spec.darec_options.kmeans_iterations = 5;
+  return spec;
+}
+
+struct GoldenTrace {
+  std::string variant;
+  bool early_stopping;
+  std::vector<uint64_t> epoch_loss_bits;
+  uint64_t recall20_bits;
+  uint64_t ndcg20_bits;
+};
+
+// Frozen from the pre-refactor trainer (identical at 1 and 8 threads).
+const std::vector<GoldenTrace>& Traces() {
+  static const std::vector<GoldenTrace> traces{
+      {"baseline",
+       /*early_stopping=*/true,
+       {0x3fe61d0de0000000ull,   // 0.69104665517807007
+        0x3fe61c8270000000ull,   // 0.69098016619682312
+        0x3fe61899a0000000ull,   // 0.69050294160842896
+        0x3fe615e770000000ull,   // 0.69017383456230164
+        0x3fe6161438000000ull},  // 0.69019518792629242
+       0x3fd08cb1275308c9ull,    // recall@20 = 0.25858715858715847
+       0x3fbb280d237c1694ull},   // ndcg@20   = 0.10607988468481216
+      {"darec",
+       /*early_stopping=*/false,
+       {0x3fccc723c0000000ull,   // 0.22482725977897644
+        0x3fc9aa70c0000000ull,   // 0.20051392912864685
+        0x3fc7e0aea0000000ull,   // 0.18654425442218781
+        0x3fc265b1b0000000ull,   // 0.14372845739126205
+        0x3fbb492ae0000000ull},  // 0.10658519715070724
+       0x3fd06cb612e006caull,    // recall@20 = 0.25663520663520656
+       0x3fbcfe70b34a5473ull},   // ndcg@20   = 0.11325744988637769
+  };
+  return traces;
+}
+
+class GoldenTraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    core::ThreadPool::SetGlobalThreads(core::ThreadPool::DefaultThreads());
+  }
+};
+
+TEST_F(GoldenTraceTest, LossesAndMetricsMatchPreRefactorTrainer) {
+  for (int threads : {1, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    core::ThreadPool::SetGlobalThreads(threads);
+    for (const GoldenTrace& golden : Traces()) {
+      SCOPED_TRACE("variant=" + golden.variant);
+      ExperimentSpec spec = GoldenSpec(golden.variant);
+      if (golden.early_stopping) {
+        spec.train_options.eval_every = 2;  // Exercises the early-stop path.
+        spec.train_options.patience = 10;
+      }
+      auto experiment = Experiment::Create(spec);
+      ASSERT_TRUE(experiment.ok());
+      const TrainResult result = (*experiment)->Run();
+
+      ASSERT_EQ(result.epoch_losses.size(), golden.epoch_loss_bits.size());
+      for (size_t i = 0; i < golden.epoch_loss_bits.size(); ++i) {
+        EXPECT_EQ(Bits(result.epoch_losses[i]), golden.epoch_loss_bits[i])
+            << "epoch " << i + 1 << " loss drifted: " << result.epoch_losses[i];
+      }
+      EXPECT_EQ(Bits(result.test_metrics.recall.at(20)), golden.recall20_bits)
+          << "recall@20 drifted: " << result.test_metrics.recall.at(20);
+      EXPECT_EQ(Bits(result.test_metrics.ndcg.at(20)), golden.ndcg20_bits)
+          << "ndcg@20 drifted: " << result.test_metrics.ndcg.at(20);
+    }
+  }
+}
+
+/// Checkpoint bytes are part of the frozen contract: the DCKP files a run
+/// writes must be byte-identical to the pre-refactor ones (same section
+/// layout, same serialized state), pinned here as size + CRC-32.
+TEST_F(GoldenTraceTest, CheckpointBytesMatchPreRefactorTrainer) {
+  struct GoldenFile {
+    const char* name;
+    size_t size;
+    uint32_t crc;
+  };
+  // keep_last_checkpoints=3 rotates the step-0 file away by the end.
+  const std::vector<GoldenFile> golden_files{
+      {"ckpt-000000000001.dckp", 66747, 0x42c5e38e},
+      {"ckpt-000000000002.dckp", 80835, 0x8964857a},
+      {"ckpt-000000000003.dckp", 80843, 0x65bdb4a0},
+  };
+
+  const std::string dir = ::testing::TempDir() + "/golden_trace_ckpt";
+  fs::remove_all(dir);
+  core::ThreadPool::SetGlobalThreads(1);
+
+  ExperimentSpec spec = GoldenSpec("darec");
+  spec.train_options.epochs = 3;
+  spec.train_options.eval_every = 2;
+  spec.train_options.patience = 10;
+  spec.train_options.checkpoint_dir = dir;
+  spec.train_options.checkpoint_every = 1;
+  auto experiment = Experiment::Create(spec);
+  ASSERT_TRUE(experiment.ok());
+  (*experiment)->Run();
+
+  size_t files_on_disk = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files_on_disk;
+  }
+  EXPECT_EQ(files_on_disk, golden_files.size());
+
+  for (const GoldenFile& golden : golden_files) {
+    SCOPED_TRACE(golden.name);
+    std::ifstream in(dir + "/" + golden.name, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "expected checkpoint file missing";
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes.size(), golden.size);
+    EXPECT_EQ(core::Crc32(bytes), golden.crc);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace darec::pipeline

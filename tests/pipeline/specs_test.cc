@@ -50,6 +50,21 @@ TEST(ApplyConfigOverridesTest, UnknownKeysIgnoredDefaultsKept) {
   EXPECT_EQ(spec.dataset, before.dataset);
 }
 
+TEST(ApplyConfigOverridesTest, CheckpointAndResumeKnobs) {
+  ExperimentSpec spec = CalibratedSpec("amazon-book-small", "lightgcn", "darec");
+  auto config = core::Config::FromArgs({"checkpoint_dir=/tmp/sweep",
+                                        "checkpoint_every=5", "keep_checkpoints=7",
+                                        "resume=1", "eval_every=2", "patience=4"});
+  ASSERT_TRUE(config.ok());
+  ApplyConfigOverrides(*config, &spec);
+  EXPECT_EQ(spec.train_options.checkpoint_dir, "/tmp/sweep");
+  EXPECT_EQ(spec.train_options.checkpoint_every, 5);
+  EXPECT_EQ(spec.train_options.keep_last_checkpoints, 7);
+  EXPECT_TRUE(spec.train_options.resume);
+  EXPECT_EQ(spec.train_options.eval_every, 2);
+  EXPECT_EQ(spec.train_options.patience, 4);
+}
+
 TEST(ApplyConfigOverridesTest, LlmKnobs) {
   ExperimentSpec spec = CalibratedSpec("amazon-book-small", "lightgcn", "rlmrec-con");
   auto config = core::Config::FromArgs(

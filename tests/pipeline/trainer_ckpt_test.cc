@@ -137,6 +137,56 @@ TEST_F(TrainerCkptTest, ResumeMatchesStraightRunBitwise) {
   }
 }
 
+/// TrainOptions.resume = the restore-then-run flow as one switch (what the
+/// bench harness exposes as resume=1): Run() picks up the newest checkpoint
+/// itself and the result is bit-identical to a straight run; on an empty
+/// directory it trains from scratch.
+TEST_F(TrainerCkptTest, ResumeOptionRestoresInsideRun) {
+  ExperimentSpec spec = TinySpec("lightgcn", "darec");
+  spec.train_options.epochs = 5;
+  spec.train_options.checkpoint_dir = dir_;
+  spec.train_options.checkpoint_every = 1;
+
+  // Resume over an empty directory is a fresh run.
+  ExperimentSpec fresh_spec = spec;
+  fresh_spec.train_options.resume = true;
+  auto fresh = Experiment::Create(fresh_spec);
+  ASSERT_TRUE(fresh.ok());
+  const TrainResult expected = (*fresh)->Run();
+  ASSERT_EQ(expected.epoch_losses.size(), 5u);
+
+  // Kill-and-rerun: head run stops after 2 epochs; the rerun resumes from
+  // its checkpoints purely via TrainOptions.resume.
+  fs::remove_all(dir_);
+  ExperimentSpec head_spec = spec;
+  head_spec.train_options.epochs = 2;
+  auto head = Experiment::Create(head_spec);
+  ASSERT_TRUE(head.ok());
+  (*head)->Run();
+
+  ExperimentSpec tail_spec = spec;
+  tail_spec.train_options.resume = true;
+  auto tail = Experiment::Create(tail_spec);
+  ASSERT_TRUE(tail.ok());
+  const TrainResult resumed = (*tail)->Run();
+  EXPECT_EQ((*tail)->trainer().epochs_completed(), 5);
+
+  ASSERT_EQ(resumed.epoch_losses.size(), expected.epoch_losses.size());
+  for (size_t i = 0; i < expected.epoch_losses.size(); ++i) {
+    ASSERT_EQ(resumed.epoch_losses[i], expected.epoch_losses[i])
+        << "loss of epoch " << i + 1 << " differs";
+  }
+  ExpectBitIdentical(resumed.final_embeddings, expected.final_embeddings);
+  ASSERT_EQ(resumed.test_metrics.recall, expected.test_metrics.recall);
+
+  // A fully-finished directory resumes to a no-op run with the same result.
+  auto noop = Experiment::Create(tail_spec);
+  ASSERT_TRUE(noop.ok());
+  const TrainResult rerun = (*noop)->Run();
+  ASSERT_EQ(rerun.epoch_losses.size(), expected.epoch_losses.size());
+  ExpectBitIdentical(rerun.final_embeddings, expected.final_embeddings);
+}
+
 TEST_F(TrainerCkptTest, RestoreFallsBackPastCorruptNewest) {
   ExperimentSpec spec = TinySpec("lightgcn", "baseline");
   spec.train_options.epochs = 3;
