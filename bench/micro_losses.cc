@@ -2,11 +2,26 @@
 // paper's §III-D complexity analysis: the alignment losses scale as
 // O(N̂²d) (global, uniformity), O(N̂d) (orthogonality), O(K²d) (local), and
 // the graph propagation as O(nnz·d). Forward + backward per iteration.
+//
+// `micro_losses --alloc_json[=PATH]` instead runs the memory-model profile:
+// steady-state Matrix heap allocations / bytes / wall time per step for each
+// alignment loss and for full TrainStep epochs, with the per-step graph
+// arena + workspace pool on ("pooled") vs off ("legacy"), written as
+// BENCH_autograd.json. This is the before/after evidence for DESIGN.md §10.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cluster/kmeans.h"
 #include "core/rng.h"
 #include "darec/losses.h"
+#include "pipeline/experiment.h"
+#include "pipeline/trainer.h"
+#include "tensor/alloc_stats.h"
+#include "tensor/autograd.h"
 #include "tensor/csr.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
@@ -156,6 +171,237 @@ BENCHMARK(BM_GreedyVsHungarianMatching)
     ->Args({256, 0})
     ->Args({256, 1});
 
+// ---------------------------------------------------------------------------
+// Allocation profile (--alloc_json): the memory-model before/after numbers.
+// ---------------------------------------------------------------------------
+
+/// One profiled scenario, measured twice: with the GraphContext arena +
+/// workspace pool ("pooled") and on the legacy allocate-per-op path.
+struct AllocRow {
+  std::string name;
+  std::string unit;  // "step" or "epoch"
+  int64_t steps = 0;
+  int64_t pooled_allocs = 0, pooled_bytes = 0;
+  int64_t legacy_allocs = 0, legacy_bytes = 0;
+  double pooled_ms = 0.0, legacy_ms = 0.0;
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Profiles `step` (a full forward+backward closure over captive parameters)
+/// for `steps` steady-state iterations after one warm-up, pooled and legacy.
+template <typename StepFn>
+AllocRow ProfileLoss(const std::string& name, StepFn step, int steps = 20) {
+  using tensor::AllocStats;
+  AllocRow row;
+  row.name = name;
+  row.unit = "step";
+  row.steps = steps;
+
+  {  // Pooled: every iteration runs inside a reusable per-step arena.
+    tensor::GraphContext ctx;
+    auto run = [&] {
+      tensor::GraphContext::Scope scope(&ctx);
+      step();
+    };
+    run();  // Warm-up fills arena slots and the workspace pool.
+    ctx.Reset();
+    AllocStats::SetEnabled(true);
+    AllocStats::Reset();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < steps; ++i) {
+      run();
+      ctx.Reset();
+    }
+    row.pooled_ms = MsSince(t0);
+    AllocStats::Snapshot snap = AllocStats::Take();
+    AllocStats::SetEnabled(false);
+    row.pooled_allocs = snap.allocations;
+    row.pooled_bytes = snap.bytes;
+  }
+
+  {  // Legacy: no context — every op value is a fresh heap node.
+    step();  // Symmetric warm-up.
+    tensor::AllocStats::SetEnabled(true);
+    tensor::AllocStats::Reset();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < steps; ++i) step();
+    row.legacy_ms = MsSince(t0);
+    tensor::AllocStats::Snapshot snap = tensor::AllocStats::Take();
+    tensor::AllocStats::SetEnabled(false);
+    row.legacy_allocs = snap.allocations;
+    row.legacy_bytes = snap.bytes;
+  }
+  return row;
+}
+
+pipeline::ExperimentSpec AllocSpec(const std::string& variant) {
+  pipeline::ExperimentSpec spec;
+  spec.dataset = "tiny";
+  spec.backbone = "lightgcn";
+  spec.variant = variant;
+  spec.backbone_options.embedding_dim = 16;
+  spec.backbone_options.num_layers = 2;
+  spec.backbone_options.ssl_batch = 64;
+  spec.train_options.epochs = 8;
+  spec.train_options.batch_size = 256;
+  spec.llm_options.output_dim = 24;
+  spec.llm_options.hidden_dim = 32;
+  spec.darec_options.sample_size = 64;
+  spec.darec_options.uniformity_sample = 32;
+  spec.darec_options.projection_dim = 16;
+  spec.darec_options.hidden_dim = 24;
+  spec.darec_options.kmeans_iterations = 5;
+  return spec;
+}
+
+/// Full training epochs through TrainStep — arena on vs off, fresh
+/// deterministic experiment for each mode.
+AllocRow ProfileTrainEpochs(const std::string& variant, int epochs = 2) {
+  using tensor::AllocStats;
+  AllocRow row;
+  row.name = "train_epoch_" + variant;
+  row.unit = "epoch";
+  row.steps = epochs;
+  for (bool pooled : {true, false}) {
+    auto experiment = pipeline::Experiment::Create(AllocSpec(variant));
+    if (!experiment.ok()) {
+      std::fprintf(stderr, "experiment setup failed: %s\n",
+                   experiment.status().ToString().c_str());
+      continue;
+    }
+    pipeline::Trainer& trainer = (*experiment)->trainer();
+    trainer.mutable_step().set_graph_context_enabled(pooled);
+    trainer.RunEpoch();  // Warm-up epoch.
+    AllocStats::SetEnabled(true);
+    AllocStats::Reset();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int e = 0; e < epochs; ++e) trainer.RunEpoch();
+    const double ms = MsSince(t0);
+    AllocStats::Snapshot snap = AllocStats::Take();
+    AllocStats::SetEnabled(false);
+    if (pooled) {
+      row.pooled_allocs = snap.allocations;
+      row.pooled_bytes = snap.bytes;
+      row.pooled_ms = ms;
+    } else {
+      row.legacy_allocs = snap.allocations;
+      row.legacy_bytes = snap.bytes;
+      row.legacy_ms = ms;
+    }
+  }
+  return row;
+}
+
+int RunAllocProfile(const std::string& out_path) {
+  std::vector<AllocRow> rows;
+
+  {
+    Variable a = Variable::Parameter(RandomMatrix(256, 32, 21));
+    Variable b = Variable::Parameter(RandomMatrix(256, 32, 22));
+    rows.push_back(ProfileLoss("orthogonality_256", [&] {
+      a.ClearGrad();
+      b.ClearGrad();
+      Backward(model::OrthogonalityLoss(a, b));
+    }));
+  }
+  {
+    Variable a = Variable::Parameter(RandomMatrix(256, 32, 23));
+    rows.push_back(ProfileLoss("uniformity_256", [&] {
+      a.ClearGrad();
+      Backward(model::UniformityLoss(a));
+    }));
+  }
+  {
+    Variable a = Variable::Parameter(RandomMatrix(256, 32, 24));
+    Variable b = Variable::Parameter(RandomMatrix(256, 32, 25));
+    rows.push_back(ProfileLoss("global_structure_256", [&] {
+      a.ClearGrad();
+      b.ClearGrad();
+      Backward(model::GlobalStructureLoss(a, b));
+    }));
+  }
+  {
+    Variable a = Variable::Parameter(RandomMatrix(256, 32, 26));
+    Variable b = Variable::Parameter(RandomMatrix(256, 32, 27));
+    rows.push_back(ProfileLoss("global_structure_softmax_256", [&] {
+      a.ClearGrad();
+      b.ClearGrad();
+      Backward(model::GlobalStructureLossSoftmax(a, b, 0.5f));
+    }));
+  }
+  {
+    Variable a = Variable::Parameter(RandomMatrix(256, 32, 28));
+    Variable b = Variable::Parameter(RandomMatrix(256, 32, 29));
+    core::Rng rng(30);
+    model::LocalAlignState align_state;
+    rows.push_back(ProfileLoss("local_structure_k8", [&] {
+      a.ClearGrad();
+      b.ClearGrad();
+      Backward(model::LocalStructureLoss(a, b, 8,
+                                         model::MatchingStrategy::kGreedy, 15,
+                                         rng, &align_state));
+    }));
+  }
+  rows.push_back(ProfileTrainEpochs("baseline"));
+  rows.push_back(ProfileTrainEpochs("darec"));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_losses --alloc_json\",\n");
+  std::fprintf(f,
+               "  \"note\": \"steady-state Matrix heap allocations per "
+               "forward+backward, graph arena + workspace pool (pooled) vs "
+               "allocate-per-op (legacy); counts cover the measured "
+               "iterations after one warm-up\",\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const AllocRow& r = rows[i];
+    const double n = static_cast<double>(r.steps);
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"iterations\": %lld, \"unit\": \"%s\",\n"
+        "     \"pooled\": {\"allocs_per_%s\": %.2f, \"bytes_per_%s\": %.1f, "
+        "\"ms_per_%s\": %.4f},\n"
+        "     \"legacy\": {\"allocs_per_%s\": %.2f, \"bytes_per_%s\": %.1f, "
+        "\"ms_per_%s\": %.4f}}%s\n",
+        r.name.c_str(), static_cast<long long>(r.steps), r.unit.c_str(),
+        r.unit.c_str(), r.pooled_allocs / n, r.unit.c_str(),
+        r.pooled_bytes / n, r.unit.c_str(), r.pooled_ms / n,
+        r.unit.c_str(), r.legacy_allocs / n, r.unit.c_str(),
+        r.legacy_bytes / n, r.unit.c_str(), r.legacy_ms / n,
+        i + 1 < rows.size() ? "," : "");
+    std::printf("%-28s pooled %8.2f allocs/%s  legacy %8.2f allocs/%s\n",
+                r.name.c_str(), r.pooled_allocs / n, r.unit.c_str(),
+                r.legacy_allocs / n, r.unit.c_str());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--alloc_json", 0) == 0) {
+      const size_t eq = arg.find('=');
+      return RunAllocProfile(eq == std::string::npos ? "BENCH_autograd.json"
+                                                     : arg.substr(eq + 1));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,9 +3,10 @@
 # resume smoke (kill a sweep mid-run, rerun with resume=1, final metrics must
 # match an uninterrupted run), then an AddressSanitizer pass over the
 # fault-tolerance surface (checkpointing, fail-point injection,
-# corrupted-file parsing) and a ThreadSanitizer pass over the parallel
-# runtime (thread pool + blocked/threaded kernels) and the staged train loop
-# (crash/resume, policies, observers).
+# corrupted-file parsing) and the arena/workspace memory model, and a
+# ThreadSanitizer pass over the parallel runtime (thread pool +
+# blocked/threaded kernels), the staged train loop (crash/resume, policies,
+# observers) and concurrent workspace acquire/release.
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -26,6 +27,10 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo "=== smoke: batched top-K bench (1 repetition, bitwise parity gates) ==="
 cmake --build build -j "$(nproc)" --target topk_bench >/dev/null
 ./build/bench/topk_bench smoke=1 out=build/BENCH_topk_smoke.json
+
+echo "=== smoke: autograd memory profile (steady-state allocations) ==="
+cmake --build build -j "$(nproc)" --target micro_losses >/dev/null
+./build/bench/micro_losses --alloc_json=build/BENCH_autograd_smoke.json
 
 echo "=== smoke: bench resume (kill table3_main mid-sweep, rerun resume=1) ==="
 cmake --build build -j "$(nproc)" --target table3_main >/dev/null
@@ -53,9 +58,10 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DDAREC_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$(nproc)" \
     --target failpoint_test checkpoint_test io_corruption_test io_test \
-             trainer_ckpt_test >/dev/null
+             trainer_ckpt_test workspace_test graph_context_test \
+             alloc_regression_test >/dev/null
   ctest --test-dir build-asan --output-on-failure \
-    -R 'failpoint_test|checkpoint_test|io_corruption_test|io_test|trainer_ckpt_test'
+    -R 'failpoint_test|checkpoint_test|io_corruption_test|io_test|trainer_ckpt_test|workspace_test|graph_context_test|alloc_regression_test'
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -64,9 +70,9 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" \
     --target thread_pool_test parallel_kernels_test topk_engine_test \
              kmeans_test failpoint_test trainer_ckpt_test \
-             train_policies_test train_observer_test >/dev/null
+             train_policies_test train_observer_test workspace_test >/dev/null
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test'
 fi
 
 echo "=== all checks passed ==="

@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "core/thread_pool.h"
+#include "tensor/workspace.h"
 
 namespace darec::cluster {
 
@@ -135,12 +136,21 @@ KMeansResult LloydIterate(const Matrix& points, Matrix initial_centers,
   result.assignments.assign(n, 0);
 
   std::vector<int64_t> counts(k);
-  Matrix new_centers(k, dim);
+  // Center buffers come from the pool: k-means runs every aligner step in
+  // DaRec's local-structure loss, so steady-state steps must not allocate.
+  tensor::Workspace& ws = tensor::Workspace::Global();
+  tensor::ScratchMatrix new_centers(ws, k, dim);
   std::vector<double> point_dist(n, 0.0);
 
   const int64_t accum_chunks = AccumulateChunks(n);
   const int64_t points_per_chunk = (n + accum_chunks - 1) / accum_chunks;
-  std::vector<Matrix> partial_centers(static_cast<size_t>(accum_chunks));
+  // Acquired serially up front; the in-chunk ResetShape reuses capacity so
+  // the parallel region stays allocation-free (parallel zero-fill kept).
+  std::vector<tensor::ScratchMatrix> partial_centers;
+  partial_centers.reserve(static_cast<size_t>(accum_chunks));
+  for (int64_t chunk = 0; chunk < accum_chunks; ++chunk) {
+    partial_centers.emplace_back(ws, k * dim);
+  }
   std::vector<std::vector<int64_t>> partial_counts(
       static_cast<size_t>(accum_chunks));
 
@@ -157,10 +167,10 @@ KMeansResult LloydIterate(const Matrix& points, Matrix initial_centers,
     // AccumulateChunks) reduced in chunk order.
     core::ParallelFor(0, accum_chunks, 1, [&](int64_t lo, int64_t hi) {
       for (int64_t chunk = lo; chunk < hi; ++chunk) {
-        Matrix& centers_acc = partial_centers[static_cast<size_t>(chunk)];
+        Matrix& centers_acc = *partial_centers[static_cast<size_t>(chunk)];
         std::vector<int64_t>& counts_acc =
             partial_counts[static_cast<size_t>(chunk)];
-        centers_acc = Matrix(k, dim);
+        centers_acc.ResetShape(k, dim);
         counts_acc.assign(static_cast<size_t>(k), 0);
         const int64_t i_begin = chunk * points_per_chunk;
         const int64_t i_end = std::min(n, i_begin + points_per_chunk);
@@ -173,10 +183,10 @@ KMeansResult LloydIterate(const Matrix& points, Matrix initial_centers,
         }
       }
     });
-    new_centers.SetZero();
+    new_centers->SetZero();
     std::fill(counts.begin(), counts.end(), 0);
     for (int64_t chunk = 0; chunk < accum_chunks; ++chunk) {
-      new_centers.AddInPlace(partial_centers[static_cast<size_t>(chunk)]);
+      new_centers->AddInPlace(*partial_centers[static_cast<size_t>(chunk)]);
       for (int64_t c = 0; c < k; ++c) {
         counts[c] += partial_counts[static_cast<size_t>(chunk)][static_cast<size_t>(c)];
       }
@@ -184,23 +194,23 @@ KMeansResult LloydIterate(const Matrix& points, Matrix initial_centers,
     for (int64_t c = 0; c < k; ++c) {
       if (counts[c] > 0) {
         const float inv = 1.0f / static_cast<float>(counts[c]);
-        float* crow = new_centers.Row(c);
+        float* crow = new_centers->Row(c);
         for (int64_t d = 0; d < dim; ++d) crow[d] *= inv;
       } else {
         // Re-seed an empty cluster from the farthest point.
         int64_t farthest = static_cast<int64_t>(
             std::max_element(point_dist.begin(), point_dist.end()) -
             point_dist.begin());
-        new_centers.CopyRowFrom(points, farthest, c);
+        new_centers->CopyRowFrom(points, farthest, c);
         point_dist[farthest] = 0.0;
       }
     }
 
     double movement = 0.0;
     for (int64_t c = 0; c < k; ++c) {
-      movement += SquaredDistance(result.centers.Row(c), new_centers.Row(c), dim);
+      movement += SquaredDistance(result.centers.Row(c), new_centers->Row(c), dim);
     }
-    result.centers = new_centers;
+    result.centers = *new_centers;
     if (movement < options.tolerance) break;
   }
 
@@ -236,18 +246,24 @@ KMeansResult RunKMeansFrom(const Matrix& points, const Matrix& initial_centers,
 
 Matrix AssignmentAveragingMatrix(const std::vector<int64_t>& assignments,
                                  int64_t num_clusters) {
+  Matrix m;
+  AssignmentAveragingMatrixInto(assignments, num_clusters, &m);
+  return m;
+}
+
+void AssignmentAveragingMatrixInto(const std::vector<int64_t>& assignments,
+                                   int64_t num_clusters, Matrix* out) {
   const int64_t n = static_cast<int64_t>(assignments.size());
   std::vector<int64_t> counts(num_clusters, 0);
   for (int64_t a : assignments) {
     DARE_CHECK(a >= 0 && a < num_clusters);
     ++counts[a];
   }
-  Matrix m(num_clusters, n);
+  out->ResetShape(num_clusters, n);
   for (int64_t i = 0; i < n; ++i) {
     const int64_t c = assignments[i];
-    m(c, i) = 1.0f / static_cast<float>(counts[c]);
+    (*out)(c, i) = 1.0f / static_cast<float>(counts[c]);
   }
-  return m;
 }
 
 }  // namespace darec::cluster

@@ -50,6 +50,11 @@ KMeansResult RunKMeansFrom(const tensor::Matrix& points,
 tensor::Matrix AssignmentAveragingMatrix(const std::vector<int64_t>& assignments,
                                          int64_t num_clusters);
 
+/// Write-into variant of AssignmentAveragingMatrix: reshapes `out` reusing
+/// its heap capacity (pooled buffers welcome) and overwrites every element.
+void AssignmentAveragingMatrixInto(const std::vector<int64_t>& assignments,
+                                   int64_t num_clusters, tensor::Matrix* out);
+
 }  // namespace darec::cluster
 
 #endif  // DAREC_CLUSTER_KMEANS_H_

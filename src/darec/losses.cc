@@ -4,6 +4,7 @@
 
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace darec::model {
 
@@ -50,9 +51,12 @@ Variable GlobalStructureLossSoftmax(const Variable& shared_cf,
   Variable ncf = tensor::RowL2Normalize(shared_cf);
   Variable nllm = tensor::RowL2Normalize(shared_llm);
   // Mask self-similarity so each row's target is a distribution over
-  // *other* instances, not the trivial self-match.
-  Variable diag_mask =
-      Variable::Constant(tensor::Scale(tensor::Matrix::Identity(n), 1e4f));
+  // *other* instances, not the trivial self-match. Built in a pooled buffer
+  // (1.0 * 1e4f == 1e4f exactly, so writing 1e4f directly matches the old
+  // Scale(Identity(n), 1e4f) bitwise).
+  tensor::Matrix mask = tensor::Workspace::Global().Acquire(n, n);
+  for (int64_t i = 0; i < n; ++i) mask(i, i) = 1e4f;
+  Variable diag_mask = Variable::Constant(std::move(mask));
   Variable logits_cf = tensor::Sub(
       tensor::ScalarMul(tensor::MatMul(ncf, ncf, false, true), inv_tau), diag_mask);
   Variable logits_llm = tensor::Detach(tensor::Sub(
@@ -61,9 +65,10 @@ Variable GlobalStructureLossSoftmax(const Variable& shared_cf,
 
   Variable targets = tensor::SoftmaxRows(logits_llm);
   // Row-wise cross-entropy: mean_i Σ_j t_ij (logsumexp_i - s_ij).
-  Variable lse_broadcast =
-      tensor::MatMul(tensor::RowLogSumExp(logits_cf),
-                     Variable::Constant(tensor::Matrix::Full(1, n, 1.0f)));
+  tensor::Matrix ones = tensor::Workspace::Global().Acquire(1, n);
+  ones.Fill(1.0f);
+  Variable lse_broadcast = tensor::MatMul(tensor::RowLogSumExp(logits_cf),
+                                          Variable::Constant(std::move(ones)));
   return tensor::ScalarMul(
       tensor::Sum(tensor::Mul(targets, tensor::Sub(lse_broadcast, logits_cf))),
       1.0f / static_cast<float>(n));
@@ -105,27 +110,33 @@ Variable LocalStructureLoss(const Variable& shared_cf, const Variable& shared_ll
   cluster::KMeansOptions kmeans_options;
   kmeans_options.num_clusters = k;
   kmeans_options.max_iterations = kmeans_iterations;
-  cluster::KMeansResult cf_clusters = ClusterModality(
-      tensor::RowNormalize(shared_cf.value()), kmeans_options,
-      state != nullptr ? &state->cf_centers : nullptr, rng);
-  cluster::KMeansResult llm_clusters = ClusterModality(
-      tensor::RowNormalize(shared_llm.value()), kmeans_options,
-      state != nullptr ? &state->llm_centers : nullptr, rng);
+  tensor::Workspace& ws = tensor::Workspace::Global();
+  tensor::ScratchMatrix normalized(
+      ws, std::max(shared_cf.value().size(), shared_llm.value().size()));
+  tensor::RowNormalizeInto(shared_cf.value(), normalized.get());
+  cluster::KMeansResult cf_clusters =
+      ClusterModality(*normalized, kmeans_options,
+                      state != nullptr ? &state->cf_centers : nullptr, rng);
+  tensor::RowNormalizeInto(shared_llm.value(), normalized.get());
+  cluster::KMeansResult llm_clusters =
+      ClusterModality(*normalized, kmeans_options,
+                      state != nullptr ? &state->llm_centers : nullptr, rng);
 
+  tensor::Matrix averaging = ws.AcquireFor(k * shared_cf.rows());
+  cluster::AssignmentAveragingMatrixInto(cf_clusters.assignments, k, &averaging);
   Variable centers_cf =
-      tensor::MatMul(Variable::Constant(cluster::AssignmentAveragingMatrix(
-                         cf_clusters.assignments, k)),
-                     shared_cf);
+      tensor::MatMul(Variable::Constant(std::move(averaging)), shared_cf);
+  averaging = ws.AcquireFor(k * shared_llm.rows());
+  cluster::AssignmentAveragingMatrixInto(llm_clusters.assignments, k, &averaging);
   Variable centers_llm =
-      tensor::MatMul(Variable::Constant(cluster::AssignmentAveragingMatrix(
-                         llm_clusters.assignments, k)),
-                     shared_llm);
+      tensor::MatMul(Variable::Constant(std::move(averaging)), shared_llm);
 
   // Eq. 7–8: adaptive preference matching on the current center values.
-  tensor::Matrix dist = CenterDistances(centers_cf.value(), centers_llm.value());
+  tensor::ScratchMatrix dist(ws, k * k);
+  CenterDistancesInto(centers_cf.value(), centers_llm.value(), dist.get());
   CenterMatching matching = strategy == MatchingStrategy::kGreedy
-                                ? GreedyMatchCenters(dist)
-                                : HungarianMatchCenters(dist);
+                                ? GreedyMatchCenters(*dist)
+                                : HungarianMatchCenters(*dist);
   Variable matched_cf = tensor::GatherRows(centers_cf, matching.left);
   Variable matched_llm = tensor::GatherRows(centers_llm, matching.right);
 

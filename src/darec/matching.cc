@@ -18,10 +18,16 @@ double CenterMatching::TotalCost(const Matrix& dist) const {
 }
 
 Matrix CenterDistances(const Matrix& centers_a, const Matrix& centers_b) {
-  Matrix squared = tensor::PairwiseSquaredDistances(centers_a, centers_b);
-  float* p = squared.data();
-  for (int64_t i = 0, n = squared.size(); i < n; ++i) p[i] = std::sqrt(p[i]);
-  return squared;
+  Matrix out;
+  CenterDistancesInto(centers_a, centers_b, &out);
+  return out;
+}
+
+void CenterDistancesInto(const Matrix& centers_a, const Matrix& centers_b,
+                         Matrix* out) {
+  tensor::PairwiseSquaredDistancesInto(centers_a, centers_b, out);
+  float* p = out->data();
+  for (int64_t i = 0, n = out->size(); i < n; ++i) p[i] = std::sqrt(p[i]);
 }
 
 CenterMatching GreedyMatchCenters(const Matrix& dist) {

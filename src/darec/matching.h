@@ -33,6 +33,11 @@ CenterMatching HungarianMatchCenters(const tensor::Matrix& dist);
 tensor::Matrix CenterDistances(const tensor::Matrix& centers_a,
                                const tensor::Matrix& centers_b);
 
+/// Write-into variant: reshapes `out` reusing its capacity (pooled buffers
+/// welcome) and overwrites every element.
+void CenterDistancesInto(const tensor::Matrix& centers_a,
+                         const tensor::Matrix& centers_b, tensor::Matrix* out);
+
 }  // namespace darec::model
 
 #endif  // DAREC_DAREC_MATCHING_H_

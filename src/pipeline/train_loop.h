@@ -145,6 +145,9 @@ class Trainer {
 
   /// The per-batch step executor (read access for tests and tools).
   const TrainStep& step() const { return *step_; }
+  /// Mutable access for execution-mode toggles (e.g. the graph-context
+  /// escape hatch used by the allocation-regression test and benches).
+  TrainStep& mutable_step() { return *step_; }
 
  private:
   /// Serializes params, Adam state, rng, batch order, loss history and

@@ -69,6 +69,18 @@ bool TrainStep::GradientsFinite() const {
 
 TrainStep::Outcome TrainStep::Execute(const std::vector<data::TrainTriple>& batch,
                                       core::Rng& rng) {
+  if (!graph_context_enabled_) return ExecuteImpl(batch, rng);
+  tensor::GraphContext::Scope scope(&graph_context_);
+  Outcome outcome = ExecuteImpl(batch, rng);
+  // ExecuteImpl's Variables are out of scope here, so the arena can rewind:
+  // edges and closures drop (returning captured scratch to the Workspace)
+  // and every slot is reusable by the next step.
+  graph_context_.Reset();
+  return outcome;
+}
+
+TrainStep::Outcome TrainStep::ExecuteImpl(
+    const std::vector<data::TrainTriple>& batch, core::Rng& rng) {
   const cf::BackboneOptions& bopt = backbone_->options();
   Outcome outcome;
   optimizer_->ZeroGrad();

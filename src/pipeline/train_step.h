@@ -8,6 +8,7 @@
 #include "cf/backbone.h"
 #include "core/rng.h"
 #include "data/sampler.h"
+#include "tensor/autograd.h"
 #include "tensor/optim.h"
 
 namespace darec::pipeline {
@@ -20,6 +21,15 @@ namespace darec::pipeline {
 /// count. Isolating the batch here is the seam epoch-level parallelism
 /// needs: everything above it (policies, observers, checkpointing) is
 /// already batch-agnostic.
+///
+/// Each step's autograd graph is built inside a per-TrainStep GraphContext
+/// (DESIGN.md §10): node objects live in a reset-don't-free arena and value
+/// buffers come from the global Workspace, so steady-state steps perform no
+/// tensor heap allocations. The context is private to this TrainStep, which
+/// is what lets future parallel-epoch trainers run one TrainStep per thread
+/// over a shared (thread-safe) Workspace. set_graph_context_enabled(false)
+/// falls back to the legacy allocate-per-op path (identical numerics; used
+/// by the allocation-regression test and bench to compare the two).
 class TrainStep {
  public:
   /// All pointers are non-owning; aligner may be null (plain baseline).
@@ -50,7 +60,24 @@ class TrainStep {
   int64_t step_count() const { return step_count_; }
   void set_step_count(int64_t step_count) { step_count_ = step_count; }
 
+  /// Toggles the pooled per-step graph arena (on by default). Numerics are
+  /// identical either way; off restores the legacy allocate-per-op path.
+  void set_graph_context_enabled(bool enabled) {
+    graph_context_enabled_ = enabled;
+  }
+  bool graph_context_enabled() const { return graph_context_enabled_; }
+
+  /// Arena counters (slot reuse / evictions) for tests and benchmarks.
+  const tensor::GraphContext::Stats& graph_context_stats() const {
+    return graph_context_.stats();
+  }
+
  private:
+  /// The batch sequence itself; Execute() wraps it in the graph-context
+  /// scope and resets the arena once the step's Variables are gone.
+  Outcome ExecuteImpl(const std::vector<data::TrainTriple>& batch,
+                      core::Rng& rng);
+
   /// True if every parameter gradient is finite.
   bool GradientsFinite() const;
 
@@ -59,6 +86,8 @@ class TrainStep {
   tensor::Adam* optimizer_;
   int64_t align_interval_;
   int64_t step_count_ = 0;
+  tensor::GraphContext graph_context_;
+  bool graph_context_enabled_ = true;
 };
 
 }  // namespace darec::pipeline

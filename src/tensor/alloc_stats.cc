@@ -1,0 +1,20 @@
+#include "tensor/alloc_stats.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace darec::tensor {
+namespace {
+
+bool EnvEnabled() {
+  const char* v = std::getenv("DAREC_COUNT_ALLOCS");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+std::atomic<bool> AllocStats::enabled_{EnvEnabled()};
+std::atomic<int64_t> AllocStats::allocations_{0};
+std::atomic<int64_t> AllocStats::bytes_{0};
+
+}  // namespace darec::tensor

@@ -1,0 +1,57 @@
+#ifndef DAREC_TENSOR_ALLOC_STATS_H_
+#define DAREC_TENSOR_ALLOC_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace darec::tensor {
+
+/// Opt-in counter for Matrix heap allocations — lets benches and tests
+/// observe allocation churn without a profiler. Disabled it costs one
+/// relaxed atomic load per allocation; enable at runtime with
+/// AllocStats::SetEnabled(true) or by setting the DAREC_COUNT_ALLOCS
+/// environment variable before process start.
+///
+/// Counts every float-buffer allocation performed by Matrix (constructors,
+/// copies, Reserve/ResetShape growth). It does NOT count buffers adopted via
+/// Matrix::FromVector (the caller allocated those) or non-Matrix containers.
+class AllocStats {
+ public:
+  struct Snapshot {
+    int64_t allocations = 0;
+    int64_t bytes = 0;
+  };
+
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Called by Matrix on every buffer allocation. Thread-safe.
+  static void Record(int64_t bytes) {
+    if (!Enabled()) return;
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  static void Reset() {
+    allocations_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+  }
+
+  static Snapshot Take() {
+    Snapshot s;
+    s.allocations = allocations_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static std::atomic<bool> enabled_;
+  static std::atomic<int64_t> allocations_;
+  static std::atomic<int64_t> bytes_;
+};
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_ALLOC_STATS_H_

@@ -2,13 +2,51 @@
 #define DAREC_TENSOR_AUTOGRAD_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "tensor/matrix.h"
 
 namespace darec::tensor {
+
+class Node;
+
+/// Move-only type-erased backward closure. std::function requires copyable
+/// callables, which would forbid capturing pooled ScratchMatrix buffers
+/// (forward-pass byproducts like dropout masks or softmax tables) by move.
+class BackwardFn {
+ public:
+  BackwardFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, BackwardFn>>>
+  BackwardFn(F f) : impl_(std::make_unique<Impl<F>>(std::move(f))) {}
+
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  BackwardFn(BackwardFn&&) noexcept = default;
+  BackwardFn& operator=(BackwardFn&&) noexcept = default;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+  void operator()(Node& node) const { impl_->Run(node); }
+  /// Destroys the closure (releasing any captured scratch buffers).
+  void Reset() { impl_.reset(); }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void Run(Node& node) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : f(std::move(f)) {}
+    void Run(Node& node) override { f(node); }
+    F f;
+  };
+  std::unique_ptr<Base> impl_;
+};
 
 /// One node in the dynamically built computation graph.
 ///
@@ -17,6 +55,11 @@ namespace darec::tensor {
 /// gradient, edges to its parents, and a closure that pushes its gradient
 /// into the parents. Node ids increase in creation order, which makes
 /// reverse-creation order a valid reverse topological order for backward.
+///
+/// Inside a GraphContext (the training hot path) nodes live in a
+/// reset-don't-free arena: the context recycles the node object, its value
+/// buffer, and its gradient capacity across steps instead of re-allocating
+/// per op.
 class Node {
  public:
   Node(Matrix value, bool requires_grad);
@@ -34,11 +77,14 @@ class Node {
   bool requires_grad() const { return requires_grad_; }
   int64_t id() const { return id_; }
 
-  /// grad += g, allocating on first use.
+  /// grad += g; the first accumulation bitwise-copies into kept capacity.
   void AccumulateGrad(const Matrix& g);
 
-  /// Drops the gradient so the node can be reused in the next step.
-  void ClearGrad() { grad_ = Matrix(); }
+  /// Empties the gradient but keeps its heap capacity, so the next
+  /// accumulation reuses the buffer. grad().empty() stays true until
+  /// gradient flows again — optimizers rely on that to skip untouched
+  /// parameters.
+  void ClearGrad() { grad_.ClearKeepCapacity(); }
 
   const std::vector<std::shared_ptr<Node>>& parents() const { return parents_; }
 
@@ -46,19 +92,105 @@ class Node {
   void set_parents(std::vector<std::shared_ptr<Node>> parents) {
     parents_ = std::move(parents);
   }
-  void set_backward(std::function<void(Node&)> fn) { backward_fn_ = std::move(fn); }
+  void set_backward(BackwardFn fn) { backward_fn_ = std::move(fn); }
   bool has_backward() const { return static_cast<bool>(backward_fn_); }
   void RunBackward() {
     if (backward_fn_) backward_fn_(*this);
+  }
+
+  /// True when this node lives in a GraphContext arena slot, meaning
+  /// Backward may return its value buffer to the Workspace once dead.
+  bool pooled() const { return pooled_; }
+
+  // --- GraphContext wiring (not for op/user code) ---
+
+  /// Re-initializes an arena slot for a new step graph: fresh id (keeping
+  /// reverse-creation order a valid reverse topological order), cleared
+  /// gradient (capacity kept), pooled flag set. Value/edges are handled by
+  /// the context.
+  void ReinitForReuse(bool requires_grad);
+  /// Drops parent edges (capacity kept) and the backward closure, releasing
+  /// whatever scratch the closure captured.
+  void ClearEdges() {
+    parents_.clear();
+    backward_fn_.Reset();
   }
 
  private:
   Matrix value_;
   Matrix grad_;
   bool requires_grad_;
+  bool pooled_ = false;
   int64_t id_;
   std::vector<std::shared_ptr<Node>> parents_;
-  std::function<void(Node&)> backward_fn_;
+  BackwardFn backward_fn_;
+};
+
+/// Per-step arena that owns a step graph's nodes and value buffers.
+///
+/// While a context is current (see Scope), every op result and every
+/// non-parameter Variable construction takes a recycled node slot instead of
+/// make_shared, and value storage comes from the global Workspace. Reset()
+/// ends the step: edges and closures are dropped (returning captured scratch
+/// to the pool), slot buffers stay put, and the slot cursor rewinds — the
+/// next step rebuilds its graph over the same memory. Backward() additionally
+/// releases each pooled intermediate's value buffer as soon as it is dead, so
+/// buffers recirculate *within* a step too.
+///
+/// One step graph and one Backward per Reset cycle; a Variable held across
+/// Reset gets its slot evicted (handed off) rather than recycled, so stale
+/// external handles stay valid — they just stop being pooled.
+///
+/// Not thread-safe; one context per training thread (Current() is
+/// thread-local).
+class GraphContext {
+ public:
+  struct Stats {
+    int64_t resets = 0;
+    int64_t slot_allocs = 0;   // new arena slots (warm-up / graph growth)
+    int64_t slot_reuses = 0;   // recycled slots (steady state)
+    int64_t evictions = 0;     // slots handed off to external holders
+  };
+
+  GraphContext() = default;
+  GraphContext(const GraphContext&) = delete;
+  GraphContext& operator=(const GraphContext&) = delete;
+
+  /// A node with a zero-filled rows x cols value (pooled capacity).
+  std::shared_ptr<Node> NewNode(int64_t rows, int64_t cols, bool requires_grad);
+  /// A node adopting `value` as-is (the slot's previous buffer is pooled).
+  std::shared_ptr<Node> AdoptNode(Matrix value, bool requires_grad);
+
+  /// Ends the step: see class comment. Call after the step's Variables are
+  /// out of scope (live external handles get evicted, which allocates).
+  void Reset();
+
+  /// Slots handed out since the last Reset.
+  size_t live_nodes() const { return used_; }
+  const Stats& stats() const { return stats_; }
+
+  /// The context new Variables/ops route through, or null (legacy
+  /// make_shared path). Thread-local.
+  static GraphContext* Current();
+
+  /// RAII Current() switch; pass nullptr to force the legacy path.
+  class Scope {
+   public:
+    explicit Scope(GraphContext* ctx);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GraphContext* prev_;
+  };
+
+ private:
+  std::shared_ptr<Node> TakeSlot(bool requires_grad);
+
+  std::vector<std::shared_ptr<Node>> slots_;
+  size_t used_ = 0;
+  Stats stats_;
 };
 
 /// A cheap shared handle to a graph Node — the public face of autograd.
@@ -67,15 +199,20 @@ class Node {
 /// Variable::Parameter(); each training step builds a fresh graph of
 /// intermediate Variables by calling ops, runs Backward() on the scalar
 /// loss, lets the optimizer consume parameter gradients, and drops the
-/// intermediates (shared_ptr reclaim).
+/// intermediates (arena slots inside a GraphContext, shared_ptr reclaim
+/// otherwise).
 class Variable {
  public:
   /// Null handle; most APIs require a non-null Variable.
   Variable() = default;
 
   /// Wraps a value. requires_grad marks the node as a gradient sink.
-  explicit Variable(Matrix value, bool requires_grad = false)
-      : node_(std::make_shared<Node>(std::move(value), requires_grad)) {}
+  /// Non-parameter nodes route through GraphContext::Current() when one is
+  /// active; parameters always get their own heap node.
+  explicit Variable(Matrix value, bool requires_grad = false);
+
+  /// Wraps an existing node (ops and GraphContext plumbing).
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
 
   /// A trainable leaf (gradient sink).
   static Variable Parameter(Matrix value) { return Variable(std::move(value), true); }
@@ -109,6 +246,12 @@ class Variable {
 /// root gradient with 1 and accumulates into every reachable node that
 /// requires (or leads to a node that requires) gradients. Parameter
 /// gradients accumulate across calls until ClearGrad()/optimizer ZeroGrad().
+///
+/// Pooled intermediates (GraphContext nodes) have their value buffers
+/// returned to the Workspace in visit order: a node's value is dead once its
+/// own backward has run, because closures only read their own node's and
+/// their parents' values, and parents (lower ids) are visited later. The
+/// root's value and parameter values are never released.
 void Backward(const Variable& root);
 
 }  // namespace darec::tensor

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/thread_pool.h"
+#include "tensor/workspace.h"
 
 namespace darec::tensor {
 
@@ -64,14 +65,20 @@ float CsrMatrix::At(int64_t r, int64_t c) const {
 }
 
 Matrix CsrMatrix::Multiply(const Matrix& dense) const {
+  Matrix out;
+  MultiplyInto(dense, &out);
+  return out;
+}
+
+void CsrMatrix::MultiplyInto(const Matrix& dense, Matrix* out) const {
   DARE_CHECK_EQ(cols_, dense.rows()) << "CsrMatrix::Multiply shape mismatch";
   const int64_t d = dense.cols();
-  Matrix out(rows_, d);
+  out->ResetShape(rows_, d);
   // Output rows are disjoint, so row-parallelism is race-free and bitwise
   // identical to the serial loop at any thread count.
   core::ParallelFor(0, rows_, SparseRowGrain(d), [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
-      float* orow = out.Row(r);
+      float* orow = out->Row(r);
       for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
         const float v = values_[k];
         const float* drow = dense.Row(col_idx_[k]);
@@ -79,13 +86,18 @@ Matrix CsrMatrix::Multiply(const Matrix& dense) const {
       }
     }
   });
-  return out;
 }
 
 Matrix CsrMatrix::TransposeMultiply(const Matrix& dense) const {
+  Matrix out;
+  TransposeMultiplyInto(dense, &out);
+  return out;
+}
+
+void CsrMatrix::TransposeMultiplyInto(const Matrix& dense, Matrix* out) const {
   DARE_CHECK_EQ(rows_, dense.rows()) << "CsrMatrix::TransposeMultiply shape mismatch";
   const int64_t d = dense.cols();
-  Matrix out(cols_, d);
+  out->ResetShape(cols_, d);
   // Aᵀ·X scatters into output rows indexed by column, so input-row
   // parallelism races. Split the input rows into a fixed number of chunks
   // (a function of the problem size only — NOT the thread count),
@@ -102,18 +114,27 @@ Matrix CsrMatrix::TransposeMultiply(const Matrix& dense) const {
       const float* drow = dense.Row(r);
       for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
         const float v = values_[k];
-        float* orow = out.Row(col_idx_[k]);
+        float* orow = out->Row(col_idx_[k]);
         for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
       }
     }
-    return out;
+    return;
   }
   const int64_t rows_per_chunk = (rows_ + num_chunks - 1) / num_chunks;
-  std::vector<Matrix> partials(static_cast<size_t>(num_chunks));
+  // Chunk partials are pooled. Acquire serially (Workspace is thread-safe but
+  // serial acquisition keeps the hot path allocation-free and orderly); the
+  // in-chunk ResetShape reuses the acquired capacity, so the parallel region
+  // never allocates — it only zero-fills and accumulates, as before.
+  Workspace& ws = Workspace::Global();
+  std::vector<ScratchMatrix> partials;
+  partials.reserve(static_cast<size_t>(num_chunks));
+  for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    partials.emplace_back(ws, cols_ * d);
+  }
   core::ParallelFor(0, num_chunks, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t chunk = lo; chunk < hi; ++chunk) {
-      Matrix& partial = partials[static_cast<size_t>(chunk)];
-      partial = Matrix(cols_, d);
+      Matrix& partial = *partials[static_cast<size_t>(chunk)];
+      partial.ResetShape(cols_, d);
       const int64_t r_begin = chunk * rows_per_chunk;
       const int64_t r_end = std::min(rows_, r_begin + rows_per_chunk);
       for (int64_t r = r_begin; r < r_end; ++r) {
@@ -126,8 +147,7 @@ Matrix CsrMatrix::TransposeMultiply(const Matrix& dense) const {
       }
     }
   });
-  for (const Matrix& partial : partials) out.AddInPlace(partial);
-  return out;
+  for (const ScratchMatrix& partial : partials) out->AddInPlace(*partial);
 }
 
 CsrMatrix CsrMatrix::Transposed() const {

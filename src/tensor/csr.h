@@ -49,9 +49,14 @@ class CsrMatrix {
 
   /// Dense product: this [m,n] * dense [n,d] -> [m,d].
   Matrix Multiply(const Matrix& dense) const;
+  /// Write-into variant: reshapes `out` reusing its capacity. `out` must not
+  /// alias `dense`. Bitwise identical to Multiply at any thread count.
+  void MultiplyInto(const Matrix& dense, Matrix* out) const;
 
   /// Transposed product: thisᵀ [n,m] * dense [m,d] -> [n,d].
   Matrix TransposeMultiply(const Matrix& dense) const;
+  /// Write-into variant; chunk partials come from the global Workspace.
+  void TransposeMultiplyInto(const Matrix& dense, Matrix* out) const;
 
   /// Returns the explicit transpose as a CSR matrix.
   CsrMatrix Transposed() const;

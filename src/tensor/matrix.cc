@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/thread_pool.h"
+#include "tensor/workspace.h"
 
 namespace darec::tensor {
 
@@ -171,63 +172,98 @@ void MatMulNnInto(const Matrix& a, const Matrix& b, Matrix& c) {
 
 }  // namespace
 
-Matrix MatMul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
+void CopyInto(const Matrix& a, Matrix* out) { out->CopyFrom(a); }
+
+void MatMulInto(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b,
+                Matrix* out) {
   const int64_t a_rows = trans_a ? a.cols() : a.rows();
   const int64_t a_cols = trans_a ? a.rows() : a.cols();
   const int64_t b_rows = trans_b ? b.cols() : b.rows();
   const int64_t b_cols = trans_b ? b.rows() : b.cols();
   DARE_CHECK_EQ(a_cols, b_rows) << "MatMul inner-dimension mismatch";
-  Matrix c(a_rows, b_cols);
+  Workspace& ws = Workspace::Global();
   if (!trans_a && !trans_b) {
-    MatMulNnInto(a, b, c);
+    out->ResetShape(a_rows, b_cols);
+    MatMulNnInto(a, b, *out);
   } else if (trans_a && !trans_b) {
-    const Matrix at = Transpose(a);
-    MatMulNnInto(at, b, c);
+    ScratchMatrix at(ws, a.size());
+    TransposeInto(a, at.get());
+    out->ResetShape(a_rows, b_cols);
+    MatMulNnInto(*at, b, *out);
   } else if (!trans_a && trans_b) {
-    const Matrix bt = Transpose(b);
-    MatMulNnInto(a, bt, c);
+    ScratchMatrix bt(ws, b.size());
+    TransposeInto(b, bt.get());
+    out->ResetShape(a_rows, b_cols);
+    MatMulNnInto(a, *bt, *out);
   } else {
     // Aᵀ Bᵀ = (B A)ᵀ; rare path, materialize the transpose.
-    Matrix ba(b.rows(), a.cols());
-    MatMulNnInto(b, a, ba);
-    c = Transpose(ba);
+    ScratchMatrix ba(ws, b.rows() * a.cols());
+    ba->ResetShape(b.rows(), a.cols());
+    MatMulNnInto(b, a, *ba);
+    TransposeInto(*ba, out);
   }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
+  Matrix c;
+  MatMulInto(a, b, trans_a, trans_b, &c);
   return c;
+}
+
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  DARE_CHECK(a.SameShape(b)) << "Add shape mismatch";
+  out->CopyFrom(a);
+  out->AddInPlace(b);
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
-  DARE_CHECK(a.SameShape(b)) << "Add shape mismatch";
-  Matrix c = a;
-  c.AddInPlace(b);
+  Matrix c;
+  AddInto(a, b, &c);
   return c;
+}
+
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  DARE_CHECK(a.SameShape(b)) << "Sub shape mismatch";
+  out->CopyFrom(a);
+  out->AddInPlace(b, -1.0f);
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  DARE_CHECK(a.SameShape(b)) << "Sub shape mismatch";
-  Matrix c = a;
-  c.AddInPlace(b, -1.0f);
+  Matrix c;
+  SubInto(a, b, &c);
   return c;
+}
+
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  DARE_CHECK(a.SameShape(b)) << "Hadamard shape mismatch";
+  out->CopyFrom(a);
+  float* dst = out->data();
+  const float* src = b.data();
+  core::ParallelFor(0, out->size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] *= src[i];
+  });
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
-  DARE_CHECK(a.SameShape(b)) << "Hadamard shape mismatch";
-  Matrix c = a;
-  float* dst = c.data();
-  const float* src = b.data();
-  core::ParallelFor(0, c.size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) dst[i] *= src[i];
-  });
+  Matrix c;
+  HadamardInto(a, b, &c);
   return c;
+}
+
+void ScaleInto(const Matrix& a, float s, Matrix* out) {
+  out->CopyFrom(a);
+  out->ScaleInPlace(s);
 }
 
 Matrix Scale(const Matrix& a, float s) {
-  Matrix c = a;
-  c.ScaleInPlace(s);
+  Matrix c;
+  ScaleInto(a, s, &c);
   return c;
 }
 
-Matrix Transpose(const Matrix& a) {
-  Matrix t(a.cols(), a.rows());
+void TransposeInto(const Matrix& a, Matrix* out) {
+  out->ResetShape(a.cols(), a.rows());
+  Matrix& t = *out;
   const int64_t rows = a.rows(), cols = a.cols();
   constexpr int64_t kTile = 64;  // 64×64 float tile = 16 KB, fits L1
   const int64_t row_tiles = (rows + kTile - 1) / kTile;
@@ -244,6 +280,11 @@ Matrix Transpose(const Matrix& a) {
       }
     }
   });
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t;
+  TransposeInto(a, &t);
   return t;
 }
 
@@ -268,8 +309,9 @@ float MaxAbs(const Matrix& a) {
   return best;
 }
 
-Matrix RowNorms(const Matrix& a) {
-  Matrix norms(a.rows(), 1);
+void RowNormsInto(const Matrix& a, Matrix* out) {
+  out->ResetShape(a.rows(), 1);
+  Matrix& norms = *out;
   const int64_t cols = a.cols();
   core::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
@@ -279,15 +321,20 @@ Matrix RowNorms(const Matrix& a) {
       norms(r, 0) = static_cast<float>(std::sqrt(acc));
     }
   });
+}
+
+Matrix RowNorms(const Matrix& a) {
+  Matrix norms;
+  RowNormsInto(a, &norms);
   return norms;
 }
 
-Matrix RowNormalize(const Matrix& a, float eps) {
-  Matrix out = a;
+void RowNormalizeInto(const Matrix& a, Matrix* out, float eps) {
+  out->CopyFrom(a);
   const int64_t cols = a.cols();
   core::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
-      float* row = out.Row(r);
+      float* row = out->Row(r);
       double acc = 0.0;
       for (int64_t c = 0; c < cols; ++c) acc += double(row[c]) * row[c];
       float norm = static_cast<float>(std::sqrt(acc));
@@ -296,6 +343,11 @@ Matrix RowNormalize(const Matrix& a, float eps) {
       for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
     }
   });
+}
+
+Matrix RowNormalize(const Matrix& a, float eps) {
+  Matrix out;
+  RowNormalizeInto(a, &out, eps);
   return out;
 }
 
@@ -304,47 +356,61 @@ namespace {
 // Per-row squared norms accumulated in float, ascending column order — the
 // same element order the blocked matmul uses along its inner dimension, so
 // ||x||² + ||x||² − 2⟨x,x⟩ cancels exactly and PairwiseSquaredDistances has
-// a bitwise-zero diagonal for identical rows.
-std::vector<float> RowSquaredNormsFloat(const Matrix& a) {
-  std::vector<float> norms(static_cast<size_t>(a.rows()));
+// a bitwise-zero diagonal for identical rows. Written into a rows x 1
+// scratch matrix so the buffer pools.
+void RowSquaredNormsFloatInto(const Matrix& a, Matrix* out) {
+  out->ResetShape(a.rows(), 1);
+  float* norms = out->data();
   const int64_t cols = a.cols();
   core::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* row = a.Row(r);
       float acc = 0.0f;
       for (int64_t c = 0; c < cols; ++c) acc += row[c] * row[c];
-      norms[static_cast<size_t>(r)] = acc;
+      norms[r] = acc;
     }
   });
-  return norms;
 }
 
 }  // namespace
 
-Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
+void PairwiseSquaredDistancesInto(const Matrix& a, const Matrix& b, Matrix* out) {
   DARE_CHECK_EQ(a.cols(), b.cols());
-  Matrix d(a.rows(), b.rows());
-  if (a.rows() == 0 || b.rows() == 0 || a.cols() == 0) return d;
+  out->ResetShape(a.rows(), b.rows());
+  if (a.rows() == 0 || b.rows() == 0 || a.cols() == 0) return;
+  Matrix& d = *out;
   // ||x − y||² = ||x||² + ||y||² − 2⟨x,y⟩ over the blocked GEMM: 2·N²·d flops
   // at matmul throughput instead of 3·N²·d at scalar throughput. Negative
   // round-off is clamped to zero to keep the result a valid distance.
-  const Matrix bt = Transpose(b);
-  Matrix prod(a.rows(), b.rows());
-  MatMulNnInto(a, bt, prod);
-  const std::vector<float> a_norms = RowSquaredNormsFloat(a);
-  const std::vector<float> b_norms = RowSquaredNormsFloat(b);
+  Workspace& ws = Workspace::Global();
+  ScratchMatrix bt(ws, b.size());
+  TransposeInto(b, bt.get());
+  ScratchMatrix prod(ws, a.rows() * b.rows());
+  prod->ResetShape(a.rows(), b.rows());
+  MatMulNnInto(a, *bt, *prod);
+  ScratchMatrix a_norms(ws, a.rows());
+  ScratchMatrix b_norms(ws, b.rows());
+  RowSquaredNormsFloatInto(a, a_norms.get());
+  RowSquaredNormsFloatInto(b, b_norms.get());
+  const float* an_data = a_norms->data();
+  const float* bn_data = b_norms->data();
   const int64_t nb = b.rows();
   core::ParallelFor(0, a.rows(), RowGrain(nb), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      const float an = a_norms[static_cast<size_t>(i)];
-      const float* prow = prod.Row(i);
+      const float an = an_data[i];
+      const float* prow = prod->Row(i);
       float* drow = d.Row(i);
       for (int64_t j = 0; j < nb; ++j) {
-        const float v = an + b_norms[static_cast<size_t>(j)] - 2.0f * prow[j];
+        const float v = an + bn_data[j] - 2.0f * prow[j];
         drow[j] = v > 0.0f ? v : 0.0f;
       }
     }
   });
+}
+
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
+  Matrix d;
+  PairwiseSquaredDistancesInto(a, b, &d);
   return d;
 }
 

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/check.h"
+#include "tensor/alloc_stats.h"
 
 namespace darec::tensor {
 
@@ -21,16 +23,37 @@ class Matrix {
   Matrix() : rows_(0), cols_(0) {}
 
   /// Creates a rows x cols matrix initialized to zero.
-  Matrix(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0f) {
+  Matrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
     DARE_CHECK_GE(rows, 0);
     DARE_CHECK_GE(cols, 0);
+    const size_t n = static_cast<size_t>(rows * cols);
+    if (n > 0) AllocStats::Record(static_cast<int64_t>(n * sizeof(float)));
+    data_.assign(n, 0.0f);
   }
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
-  Matrix(Matrix&&) = default;
-  Matrix& operator=(Matrix&&) = default;
+  Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+    if (!other.data_.empty()) {
+      AllocStats::Record(static_cast<int64_t>(other.data_.size() * sizeof(float)));
+    }
+    data_ = other.data_;
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    return *this;
+  }
 
   /// Creates a rows x cols matrix filled with `value`.
   static Matrix Full(int64_t rows, int64_t cols, float value);
@@ -43,6 +66,8 @@ class Matrix {
   int64_t cols() const { return cols_; }
   int64_t size() const { return rows_ * cols_; }
   bool empty() const { return data_.empty(); }
+  /// Heap capacity in elements (≥ size(); survives ClearKeepCapacity).
+  int64_t capacity() const { return static_cast<int64_t>(data_.capacity()); }
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
@@ -73,6 +98,46 @@ class Matrix {
   void Fill(float value);
   /// Sets every element to zero.
   void SetZero() { Fill(0.0f); }
+
+  /// Ensures capacity for at least `min_elements` without changing shape.
+  void Reserve(int64_t min_elements) {
+    if (min_elements > capacity()) {
+      AllocStats::Record(min_elements * static_cast<int64_t>(sizeof(float)));
+      data_.reserve(static_cast<size_t>(min_elements));
+    }
+  }
+
+  /// Reshapes to rows x cols and zero-fills, reusing existing capacity.
+  /// Allocates only when capacity is insufficient.
+  void ResetShape(int64_t rows, int64_t cols) {
+    DARE_CHECK_GE(rows, 0);
+    DARE_CHECK_GE(cols, 0);
+    rows_ = rows;
+    cols_ = cols;
+    const size_t n = static_cast<size_t>(rows * cols);
+    if (n > data_.capacity()) {
+      AllocStats::Record(static_cast<int64_t>(n * sizeof(float)));
+    }
+    data_.assign(n, 0.0f);
+  }
+
+  /// Becomes empty (0x0) but keeps the heap buffer, so the next
+  /// ResetShape/CopyFrom of a fitting size performs no allocation.
+  void ClearKeepCapacity() {
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+  }
+
+  /// Bitwise copy of `other` (shape and elements), reusing capacity.
+  void CopyFrom(const Matrix& other) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    if (other.data_.size() > data_.capacity()) {
+      AllocStats::Record(static_cast<int64_t>(other.data_.size() * sizeof(float)));
+    }
+    data_.assign(other.data_.begin(), other.data_.end());
+  }
 
   /// this += scale * other. Shapes must match.
   void AddInPlace(const Matrix& other, float scale = 1.0f);
@@ -130,6 +195,37 @@ Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b);
 
 /// True if matrices have the same shape and elements within `tol`.
 bool AllClose(const Matrix& a, const Matrix& b, float tol = 1e-5f);
+
+// ----------------------------------------------------------------------------
+// Write-into kernel variants. Each fully owns the output's state: it reshapes
+// `out` (reusing heap capacity — the whole point) and overwrites every
+// element, so a pooled buffer with stale contents is a safe output. Results
+// are bitwise identical to the value-returning kernels above, which are now
+// thin wrappers over these. `out` must not alias an input.
+// ----------------------------------------------------------------------------
+
+/// out = a (bitwise).
+void CopyInto(const Matrix& a, Matrix* out);
+/// out = op(A) * op(B); transpose variants draw scratch from the global
+/// Workspace instead of allocating.
+void MatMulInto(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b,
+                Matrix* out);
+/// out = Aᵀ.
+void TransposeInto(const Matrix& a, Matrix* out);
+/// out = A + B.
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = A - B.
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = A ∘ B (elementwise).
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = s * A.
+void ScaleInto(const Matrix& a, float s, Matrix* out);
+/// out = per-row L2 norms of A as rows x 1.
+void RowNormsInto(const Matrix& a, Matrix* out);
+/// out = A with rows scaled to unit norm (rows with norm < eps unscaled).
+void RowNormalizeInto(const Matrix& a, Matrix* out, float eps = 1e-12f);
+/// out(i,j) = ||a_i - b_j||²; scratch comes from the global Workspace.
+void PairwiseSquaredDistancesInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 }  // namespace darec::tensor
 

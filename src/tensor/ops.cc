@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "tensor/workspace.h"
+
 namespace darec::tensor {
 namespace {
 
@@ -13,100 +15,140 @@ bool NeedsGrad(const std::shared_ptr<Node>& node) {
   return node->requires_grad() || node->has_backward();
 }
 
-/// Creates the result node, wiring parents and the backward closure.
-Variable MakeResult(Matrix value, std::vector<std::shared_ptr<Node>> parents,
-                    std::function<void(Node&)> backward) {
-  Variable out(std::move(value), /*requires_grad=*/false);
+/// The pool every op draws scratch from.
+Workspace& Ws() { return Workspace::Global(); }
+
+/// Creates the result Variable for an op with a zero-filled rows x cols
+/// value: an arena slot with pooled storage when a GraphContext is current,
+/// a fresh heap node otherwise. The op then writes the value in place
+/// (usually via an *Into kernel) and calls FinishOp.
+Variable NewResult(int64_t rows, int64_t cols) {
+  if (GraphContext* ctx = GraphContext::Current()) {
+    return Variable(ctx->NewNode(rows, cols, /*requires_grad=*/false));
+  }
+  return Variable(Matrix(rows, cols), /*requires_grad=*/false);
+}
+
+/// Wires parents and the backward closure when any parent needs gradients.
+void FinishOp(Variable& out, std::vector<std::shared_ptr<Node>> parents,
+              BackwardFn backward) {
   bool any_grad = false;
   for (const auto& p : parents) any_grad = any_grad || NeedsGrad(p);
   if (any_grad) {
     out.node()->set_parents(std::move(parents));
     out.node()->set_backward(std::move(backward));
   }
-  return out;
 }
 
 }  // namespace
 
 Variable MatMul(const Variable& a, const Variable& b, bool trans_a, bool trans_b) {
-  Matrix value = MatMul(a.value(), b.value(), trans_a, trans_b);
+  const int64_t out_rows = trans_a ? a.cols() : a.rows();
+  const int64_t out_cols = trans_b ? b.rows() : b.cols();
+  Variable out = NewResult(out_rows, out_cols);
+  MatMulInto(a.value(), b.value(), trans_a, trans_b, &out.mutable_value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeResult(
-      std::move(value), {an, bn}, [an, bn, trans_a, trans_b](Node& out) {
-        const Matrix& g = out.grad();
-        if (NeedsGrad(an)) {
-          Matrix da;
-          if (!trans_a && !trans_b) {
-            da = MatMul(g, bn->value(), false, true);  // G Bᵀ
-          } else if (trans_a && !trans_b) {
-            da = MatMul(bn->value(), g, false, true);  // B Gᵀ
-          } else if (!trans_a && trans_b) {
-            da = MatMul(g, bn->value(), false, false);  // G B
-          } else {
-            da = MatMul(bn->value(), g, true, true);  // Bᵀ Gᵀ
-          }
-          an->AccumulateGrad(da);
-        }
-        if (NeedsGrad(bn)) {
-          Matrix db;
-          if (!trans_a && !trans_b) {
-            db = MatMul(an->value(), g, true, false);  // Aᵀ G
-          } else if (trans_a && !trans_b) {
-            db = MatMul(an->value(), g, false, false);  // A G
-          } else if (!trans_a && trans_b) {
-            db = MatMul(g, an->value(), true, false);  // Gᵀ A
-          } else {
-            db = MatMul(g, an->value(), true, true);  // Gᵀ Aᵀ
-          }
-          bn->AccumulateGrad(db);
-        }
-      });
+  FinishOp(out, {an, bn}, [an, bn, trans_a, trans_b](Node& o) {
+    const Matrix& g = o.grad();
+    if (NeedsGrad(an)) {
+      ScratchMatrix da(Ws(), an->value().size());
+      if (!trans_a && !trans_b) {
+        MatMulInto(g, bn->value(), false, true, da.get());  // G Bᵀ
+      } else if (trans_a && !trans_b) {
+        MatMulInto(bn->value(), g, false, true, da.get());  // B Gᵀ
+      } else if (!trans_a && trans_b) {
+        MatMulInto(g, bn->value(), false, false, da.get());  // G B
+      } else {
+        MatMulInto(bn->value(), g, true, true, da.get());  // Bᵀ Gᵀ
+      }
+      an->AccumulateGrad(*da);
+    }
+    if (NeedsGrad(bn)) {
+      ScratchMatrix db(Ws(), bn->value().size());
+      if (!trans_a && !trans_b) {
+        MatMulInto(an->value(), g, true, false, db.get());  // Aᵀ G
+      } else if (trans_a && !trans_b) {
+        MatMulInto(an->value(), g, false, false, db.get());  // A G
+      } else if (!trans_a && trans_b) {
+        MatMulInto(g, an->value(), true, false, db.get());  // Gᵀ A
+      } else {
+        MatMulInto(g, an->value(), true, true, db.get());  // Gᵀ Aᵀ
+      }
+      bn->AccumulateGrad(*db);
+    }
+  });
+  return out;
 }
 
 Variable SpMM(std::shared_ptr<const CsrMatrix> s, const Variable& b) {
   DARE_CHECK(s != nullptr);
-  Matrix value = s->Multiply(b.value());
+  Variable out = NewResult(s->rows(), b.cols());
+  s->MultiplyInto(b.value(), &out.mutable_value());
   auto bn = b.node();
-  return MakeResult(std::move(value), {bn}, [s, bn](Node& out) {
-    if (NeedsGrad(bn)) bn->AccumulateGrad(s->TransposeMultiply(out.grad()));
+  FinishOp(out, {bn}, [s, bn](Node& o) {
+    if (!NeedsGrad(bn)) return;
+    ScratchMatrix db(Ws(), bn->value().size());
+    s->TransposeMultiplyInto(o.grad(), db.get());
+    bn->AccumulateGrad(*db);
   });
+  return out;
 }
 
 Variable Add(const Variable& a, const Variable& b) {
-  Matrix value = Add(a.value(), b.value());
+  Variable out = NewResult(a.rows(), a.cols());
+  AddInto(a.value(), b.value(), &out.mutable_value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
-    if (NeedsGrad(an)) an->AccumulateGrad(out.grad());
-    if (NeedsGrad(bn)) bn->AccumulateGrad(out.grad());
+  FinishOp(out, {an, bn}, [an, bn](Node& o) {
+    if (NeedsGrad(an)) an->AccumulateGrad(o.grad());
+    if (NeedsGrad(bn)) bn->AccumulateGrad(o.grad());
   });
+  return out;
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
-  Matrix value = Sub(a.value(), b.value());
+  Variable out = NewResult(a.rows(), a.cols());
+  SubInto(a.value(), b.value(), &out.mutable_value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
-    if (NeedsGrad(an)) an->AccumulateGrad(out.grad());
-    if (NeedsGrad(bn)) bn->AccumulateGrad(Scale(out.grad(), -1.0f));
+  FinishOp(out, {an, bn}, [an, bn](Node& o) {
+    if (NeedsGrad(an)) an->AccumulateGrad(o.grad());
+    if (NeedsGrad(bn)) {
+      ScratchMatrix db(Ws(), o.grad().size());
+      ScaleInto(o.grad(), -1.0f, db.get());
+      bn->AccumulateGrad(*db);
+    }
   });
+  return out;
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
-  Matrix value = Hadamard(a.value(), b.value());
+  Variable out = NewResult(a.rows(), a.cols());
+  HadamardInto(a.value(), b.value(), &out.mutable_value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
-    if (NeedsGrad(an)) an->AccumulateGrad(Hadamard(out.grad(), bn->value()));
-    if (NeedsGrad(bn)) bn->AccumulateGrad(Hadamard(out.grad(), an->value()));
+  FinishOp(out, {an, bn}, [an, bn](Node& o) {
+    if (NeedsGrad(an)) {
+      ScratchMatrix da(Ws(), o.grad().size());
+      HadamardInto(o.grad(), bn->value(), da.get());
+      an->AccumulateGrad(*da);
+    }
+    if (NeedsGrad(bn)) {
+      ScratchMatrix db(Ws(), o.grad().size());
+      HadamardInto(o.grad(), an->value(), db.get());
+      bn->AccumulateGrad(*db);
+    }
   });
+  return out;
 }
 
 Variable AddRowBroadcast(const Variable& a, const Variable& b) {
   DARE_CHECK_EQ(b.rows(), 1);
   DARE_CHECK_EQ(a.cols(), b.cols());
-  Matrix value = a.value();
+  Variable out = NewResult(a.rows(), a.cols());
+  Matrix& value = out.mutable_value();
+  CopyInto(a.value(), &value);
   for (int64_t r = 0; r < value.rows(); ++r) {
     float* row = value.Row(r);
     const float* bias = b.value().Row(0);
@@ -114,37 +156,46 @@ Variable AddRowBroadcast(const Variable& a, const Variable& b) {
   }
   auto an = a.node();
   auto bn = b.node();
-  return MakeResult(std::move(value), {an, bn}, [an, bn](Node& out) {
-    const Matrix& g = out.grad();
+  FinishOp(out, {an, bn}, [an, bn](Node& o) {
+    const Matrix& g = o.grad();
     if (NeedsGrad(an)) an->AccumulateGrad(g);
     if (NeedsGrad(bn)) {
-      Matrix db(1, g.cols());
+      ScratchMatrix db(Ws(), 1, g.cols());
       for (int64_t r = 0; r < g.rows(); ++r) {
         const float* grow = g.Row(r);
-        float* drow = db.Row(0);
+        float* drow = db->Row(0);
         for (int64_t c = 0; c < g.cols(); ++c) drow[c] += grow[c];
       }
-      bn->AccumulateGrad(db);
+      bn->AccumulateGrad(*db);
     }
   });
+  return out;
 }
 
 Variable ScalarMul(const Variable& a, float s) {
-  Matrix value = Scale(a.value(), s);
+  Variable out = NewResult(a.rows(), a.cols());
+  ScaleInto(a.value(), s, &out.mutable_value());
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an, s](Node& out) {
-    if (NeedsGrad(an)) an->AccumulateGrad(Scale(out.grad(), s));
+  FinishOp(out, {an}, [an, s](Node& o) {
+    if (!NeedsGrad(an)) return;
+    ScratchMatrix da(Ws(), o.grad().size());
+    ScaleInto(o.grad(), s, da.get());
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable AddScalar(const Variable& a, float s) {
-  Matrix value = a.value();
+  Variable out = NewResult(a.rows(), a.cols());
+  Matrix& value = out.mutable_value();
+  CopyInto(a.value(), &value);
   float* p = value.data();
   for (int64_t i = 0, n = value.size(); i < n; ++i) p[i] += s;
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an](Node& out) {
-    if (NeedsGrad(an)) an->AccumulateGrad(out.grad());
+  FinishOp(out, {an}, [an](Node& o) {
+    if (NeedsGrad(an)) an->AccumulateGrad(o.grad());
   });
+  return out;
 }
 
 namespace {
@@ -153,19 +204,23 @@ namespace {
 /// output; `dfn(x, y)` returns dy/dx given input x and output y.
 template <typename Fwd, typename Dfn>
 Variable UnaryElementwise(const Variable& a, Fwd fwd, Dfn dfn) {
-  Matrix value = a.value();
+  Variable out = NewResult(a.rows(), a.cols());
+  Matrix& value = out.mutable_value();
+  CopyInto(a.value(), &value);
   float* p = value.data();
   for (int64_t i = 0, n = value.size(); i < n; ++i) p[i] = fwd(p[i]);
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an, dfn](Node& out) {
+  FinishOp(out, {an}, [an, dfn](Node& o) {
     if (!NeedsGrad(an)) return;
-    Matrix da = out.grad();
-    float* dp = da.data();
+    ScratchMatrix da(Ws(), o.grad().size());
+    CopyInto(o.grad(), da.get());
+    float* dp = da->data();
     const float* xp = an->value().data();
-    const float* yp = out.value().data();
-    for (int64_t i = 0, n = da.size(); i < n; ++i) dp[i] *= dfn(xp[i], yp[i]);
-    an->AccumulateGrad(da);
+    const float* yp = o.value().data();
+    for (int64_t i = 0, n = da->size(); i < n; ++i) dp[i] *= dfn(xp[i], yp[i]);
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 }  // namespace
@@ -230,136 +285,155 @@ Variable Softplus(const Variable& a) {
 
 Variable RowL2Normalize(const Variable& a, float eps) {
   const Matrix& x = a.value();
-  Matrix norms = RowNorms(x);
-  Matrix value = x;
+  ScratchMatrix norms(Ws(), x.rows());
+  RowNormsInto(x, norms.get());
+  Variable out = NewResult(x.rows(), x.cols());
+  Matrix& value = out.mutable_value();
+  CopyInto(x, &value);
   for (int64_t r = 0; r < x.rows(); ++r) {
-    float n = norms(r, 0);
+    float n = (*norms)(r, 0);
     if (n < eps) continue;
     float inv = 1.0f / n;
     float* row = value.Row(r);
     for (int64_t c = 0; c < x.cols(); ++c) row[c] *= inv;
   }
   auto an = a.node();
-  return MakeResult(
-      std::move(value), {an}, [an, norms = std::move(norms), eps](Node& out) {
-        if (!NeedsGrad(an)) return;
-        const Matrix& g = out.grad();
-        const Matrix& y = out.value();
-        Matrix da(g.rows(), g.cols());
-        for (int64_t r = 0; r < g.rows(); ++r) {
-          float n = norms(r, 0);
-          const float* grow = g.Row(r);
-          float* drow = da.Row(r);
-          if (n < eps) {
-            // Forward was identity on this row.
-            std::copy(grow, grow + g.cols(), drow);
-            continue;
-          }
-          const float* yrow = y.Row(r);
-          double dot = 0.0;
-          for (int64_t c = 0; c < g.cols(); ++c) dot += double(grow[c]) * yrow[c];
-          float inv = 1.0f / n;
-          for (int64_t c = 0; c < g.cols(); ++c) {
-            drow[c] = (grow[c] - static_cast<float>(dot) * yrow[c]) * inv;
-          }
-        }
-        an->AccumulateGrad(da);
-      });
+  FinishOp(out, {an}, [an, norms = std::move(norms), eps](Node& o) {
+    if (!NeedsGrad(an)) return;
+    const Matrix& g = o.grad();
+    const Matrix& y = o.value();
+    ScratchMatrix da(Ws(), g.rows(), g.cols());
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      float n = (*norms)(r, 0);
+      const float* grow = g.Row(r);
+      float* drow = da->Row(r);
+      if (n < eps) {
+        // Forward was identity on this row.
+        std::copy(grow, grow + g.cols(), drow);
+        continue;
+      }
+      const float* yrow = y.Row(r);
+      double dot = 0.0;
+      for (int64_t c = 0; c < g.cols(); ++c) dot += double(grow[c]) * yrow[c];
+      float inv = 1.0f / n;
+      for (int64_t c = 0; c < g.cols(); ++c) {
+        drow[c] = (grow[c] - static_cast<float>(dot) * yrow[c]) * inv;
+      }
+    }
+    an->AccumulateGrad(*da);
+  });
+  return out;
 }
 
-Variable Detach(const Variable& a) { return Variable::Constant(a.value()); }
+Variable Detach(const Variable& a) {
+  Variable out = NewResult(a.rows(), a.cols());
+  CopyInto(a.value(), &out.mutable_value());
+  return out;
+}
 
 Variable Dropout(const Variable& a, float drop_prob, core::Rng& rng) {
   DARE_CHECK(drop_prob >= 0.0f && drop_prob < 1.0f);
   if (drop_prob == 0.0f) return a;
   const float keep = 1.0f - drop_prob;
   const float scale = 1.0f / keep;
-  Matrix mask(a.rows(), a.cols());
-  float* mp = mask.data();
-  for (int64_t i = 0, n = mask.size(); i < n; ++i) {
+  ScratchMatrix mask(Ws(), a.rows(), a.cols());
+  float* mp = mask->data();
+  for (int64_t i = 0, n = mask->size(); i < n; ++i) {
     mp[i] = rng.Bernoulli(keep) ? scale : 0.0f;
   }
-  Matrix value = Hadamard(a.value(), mask);
+  Variable out = NewResult(a.rows(), a.cols());
+  HadamardInto(a.value(), *mask, &out.mutable_value());
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an, mask = std::move(mask)](Node& out) {
-    if (NeedsGrad(an)) an->AccumulateGrad(Hadamard(out.grad(), mask));
+  FinishOp(out, {an}, [an, mask = std::move(mask)](Node& o) {
+    if (!NeedsGrad(an)) return;
+    ScratchMatrix da(Ws(), o.grad().size());
+    HadamardInto(o.grad(), *mask, da.get());
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable ConcatRows(const Variable& a, const Variable& b) {
   DARE_CHECK_EQ(a.cols(), b.cols());
-  Matrix value(a.rows() + b.rows(), a.cols());
+  Variable out = NewResult(a.rows() + b.rows(), a.cols());
+  Matrix& value = out.mutable_value();
   for (int64_t r = 0; r < a.rows(); ++r) value.CopyRowFrom(a.value(), r, r);
   for (int64_t r = 0; r < b.rows(); ++r) value.CopyRowFrom(b.value(), r, a.rows() + r);
   auto an = a.node();
   auto bn = b.node();
   const int64_t a_rows = a.rows();
   const int64_t b_rows = b.rows();
-  return MakeResult(std::move(value), {an, bn}, [an, bn, a_rows, b_rows](Node& out) {
-    const Matrix& g = out.grad();
+  FinishOp(out, {an, bn}, [an, bn, a_rows, b_rows](Node& o) {
+    const Matrix& g = o.grad();
     if (NeedsGrad(an)) {
-      Matrix da(a_rows, g.cols());
-      for (int64_t r = 0; r < a_rows; ++r) da.CopyRowFrom(g, r, r);
-      an->AccumulateGrad(da);
+      ScratchMatrix da(Ws(), a_rows, g.cols());
+      for (int64_t r = 0; r < a_rows; ++r) da->CopyRowFrom(g, r, r);
+      an->AccumulateGrad(*da);
     }
     if (NeedsGrad(bn)) {
-      Matrix db(b_rows, g.cols());
-      for (int64_t r = 0; r < b_rows; ++r) db.CopyRowFrom(g, a_rows + r, r);
-      bn->AccumulateGrad(db);
+      ScratchMatrix db(Ws(), b_rows, g.cols());
+      for (int64_t r = 0; r < b_rows; ++r) db->CopyRowFrom(g, a_rows + r, r);
+      bn->AccumulateGrad(*db);
     }
   });
+  return out;
 }
 
 Variable SliceRows(const Variable& a, int64_t start, int64_t count) {
   DARE_CHECK(start >= 0 && count >= 0 && start + count <= a.rows())
       << "SliceRows [" << start << ", " << start + count << ") of " << a.rows();
-  Matrix value(count, a.cols());
+  Variable out = NewResult(count, a.cols());
+  Matrix& value = out.mutable_value();
   for (int64_t r = 0; r < count; ++r) value.CopyRowFrom(a.value(), start + r, r);
   auto an = a.node();
   const int64_t total_rows = a.rows();
-  return MakeResult(std::move(value), {an}, [an, start, count, total_rows](Node& out) {
+  FinishOp(out, {an}, [an, start, count, total_rows](Node& o) {
     if (!NeedsGrad(an)) return;
-    const Matrix& g = out.grad();
-    Matrix da(total_rows, g.cols());
-    for (int64_t r = 0; r < count; ++r) da.CopyRowFrom(g, r, start + r);
-    an->AccumulateGrad(da);
+    const Matrix& g = o.grad();
+    ScratchMatrix da(Ws(), total_rows, g.cols());
+    for (int64_t r = 0; r < count; ++r) da->CopyRowFrom(g, r, start + r);
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable GatherRows(const Variable& a, std::vector<int64_t> indices) {
   for (int64_t idx : indices) {
     DARE_CHECK(idx >= 0 && idx < a.rows()) << "gather index " << idx << " out of range";
   }
-  Matrix value(static_cast<int64_t>(indices.size()), a.cols());
+  Variable out = NewResult(static_cast<int64_t>(indices.size()), a.cols());
+  Matrix& value = out.mutable_value();
   for (size_t i = 0; i < indices.size(); ++i) {
     value.CopyRowFrom(a.value(), indices[i], static_cast<int64_t>(i));
   }
   auto an = a.node();
   const int64_t total_rows = a.rows();
-  return MakeResult(
-      std::move(value), {an},
-      [an, indices = std::move(indices), total_rows](Node& out) {
-        if (!NeedsGrad(an)) return;
-        const Matrix& g = out.grad();
-        Matrix da(total_rows, g.cols());
-        for (size_t i = 0; i < indices.size(); ++i) {
-          const float* grow = g.Row(static_cast<int64_t>(i));
-          float* drow = da.Row(indices[i]);
-          for (int64_t c = 0; c < g.cols(); ++c) drow[c] += grow[c];
-        }
-        an->AccumulateGrad(da);
-      });
+  FinishOp(out, {an}, [an, indices = std::move(indices), total_rows](Node& o) {
+    if (!NeedsGrad(an)) return;
+    const Matrix& g = o.grad();
+    ScratchMatrix da(Ws(), total_rows, g.cols());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const float* grow = g.Row(static_cast<int64_t>(i));
+      float* drow = da->Row(indices[i]);
+      for (int64_t c = 0; c < g.cols(); ++c) drow[c] += grow[c];
+    }
+    an->AccumulateGrad(*da);
+  });
+  return out;
 }
 
 Variable Sum(const Variable& a) {
-  Matrix value(1, 1);
-  value(0, 0) = SumAll(a.value());
+  Variable out = NewResult(1, 1);
+  out.mutable_value()(0, 0) = SumAll(a.value());
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an](Node& out) {
+  FinishOp(out, {an}, [an](Node& o) {
     if (!NeedsGrad(an)) return;
-    an->AccumulateGrad(
-        Matrix::Full(an->value().rows(), an->value().cols(), out.grad()(0, 0)));
+    ScratchMatrix da(Ws(), an->value().size());
+    da->ResetShape(an->value().rows(), an->value().cols());
+    da->Fill(o.grad()(0, 0));
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable Mean(const Variable& a) {
@@ -368,17 +442,21 @@ Variable Mean(const Variable& a) {
 }
 
 Variable SumSquares(const Variable& a) {
-  Matrix value(1, 1);
-  value(0, 0) = SumSquares(a.value());
+  Variable out = NewResult(1, 1);
+  out.mutable_value()(0, 0) = SumSquares(a.value());
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an](Node& out) {
+  FinishOp(out, {an}, [an](Node& o) {
     if (!NeedsGrad(an)) return;
-    an->AccumulateGrad(Scale(an->value(), 2.0f * out.grad()(0, 0)));
+    ScratchMatrix da(Ws(), an->value().size());
+    ScaleInto(an->value(), 2.0f * o.grad()(0, 0), da.get());
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable RowSum(const Variable& a) {
-  Matrix value(a.rows(), 1);
+  Variable out = NewResult(a.rows(), 1);
+  Matrix& value = out.mutable_value();
   for (int64_t r = 0; r < a.rows(); ++r) {
     const float* row = a.value().Row(r);
     double acc = 0.0;
@@ -386,21 +464,24 @@ Variable RowSum(const Variable& a) {
     value(r, 0) = static_cast<float>(acc);
   }
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an](Node& out) {
+  FinishOp(out, {an}, [an](Node& o) {
     if (!NeedsGrad(an)) return;
-    const Matrix& g = out.grad();
-    Matrix da(an->value().rows(), an->value().cols());
-    for (int64_t r = 0; r < da.rows(); ++r) {
+    const Matrix& g = o.grad();
+    ScratchMatrix da(Ws(), an->value().rows(), an->value().cols());
+    for (int64_t r = 0; r < da->rows(); ++r) {
       float gv = g(r, 0);
-      float* drow = da.Row(r);
-      for (int64_t c = 0; c < da.cols(); ++c) drow[c] = gv;
+      float* drow = da->Row(r);
+      for (int64_t c = 0; c < da->cols(); ++c) drow[c] = gv;
     }
-    an->AccumulateGrad(da);
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable SoftmaxRows(const Variable& a) {
-  Matrix value = a.value();
+  Variable out = NewResult(a.rows(), a.cols());
+  Matrix& value = out.mutable_value();
+  CopyInto(a.value(), &value);
   for (int64_t r = 0; r < value.rows(); ++r) {
     float* row = value.Row(r);
     float max_v = row[0];
@@ -414,35 +495,37 @@ Variable SoftmaxRows(const Variable& a) {
     for (int64_t c = 0; c < value.cols(); ++c) row[c] *= inv;
   }
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an](Node& out) {
+  FinishOp(out, {an}, [an](Node& o) {
     if (!NeedsGrad(an)) return;
-    const Matrix& g = out.grad();
-    const Matrix& y = out.value();
-    Matrix da(g.rows(), g.cols());
+    const Matrix& g = o.grad();
+    const Matrix& y = o.value();
+    ScratchMatrix da(Ws(), g.rows(), g.cols());
     for (int64_t r = 0; r < g.rows(); ++r) {
       const float* grow = g.Row(r);
       const float* yrow = y.Row(r);
       double dot = 0.0;
       for (int64_t c = 0; c < g.cols(); ++c) dot += double(grow[c]) * yrow[c];
-      float* drow = da.Row(r);
+      float* drow = da->Row(r);
       for (int64_t c = 0; c < g.cols(); ++c) {
         drow[c] = yrow[c] * (grow[c] - static_cast<float>(dot));
       }
     }
-    an->AccumulateGrad(da);
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable RowLogSumExp(const Variable& a) {
   const Matrix& x = a.value();
-  Matrix value(x.rows(), 1);
-  Matrix softmax(x.rows(), x.cols());
+  Variable out = NewResult(x.rows(), 1);
+  Matrix& value = out.mutable_value();
+  ScratchMatrix softmax(Ws(), x.rows(), x.cols());
   for (int64_t r = 0; r < x.rows(); ++r) {
     const float* row = x.Row(r);
     float max_v = row[0];
     for (int64_t c = 1; c < x.cols(); ++c) max_v = std::max(max_v, row[c]);
     double sum = 0.0;
-    float* srow = softmax.Row(r);
+    float* srow = softmax->Row(r);
     for (int64_t c = 0; c < x.cols(); ++c) {
       srow[c] = std::exp(row[c] - max_v);
       sum += srow[c];
@@ -452,32 +535,35 @@ Variable RowLogSumExp(const Variable& a) {
     for (int64_t c = 0; c < x.cols(); ++c) srow[c] *= inv;
   }
   auto an = a.node();
-  return MakeResult(std::move(value), {an},
-                    [an, softmax = std::move(softmax)](Node& out) {
-                      if (!NeedsGrad(an)) return;
-                      const Matrix& g = out.grad();
-                      Matrix da = softmax;
-                      for (int64_t r = 0; r < da.rows(); ++r) {
-                        float gv = g(r, 0);
-                        float* drow = da.Row(r);
-                        for (int64_t c = 0; c < da.cols(); ++c) drow[c] *= gv;
-                      }
-                      an->AccumulateGrad(da);
-                    });
+  FinishOp(out, {an}, [an, softmax = std::move(softmax)](Node& o) {
+    if (!NeedsGrad(an)) return;
+    const Matrix& g = o.grad();
+    ScratchMatrix da(Ws(), softmax->size());
+    CopyInto(*softmax, da.get());
+    for (int64_t r = 0; r < da->rows(); ++r) {
+      float gv = g(r, 0);
+      float* drow = da->Row(r);
+      for (int64_t c = 0; c < da->cols(); ++c) drow[c] *= gv;
+    }
+    an->AccumulateGrad(*da);
+  });
+  return out;
 }
 
 Variable TakeDiagonal(const Variable& a) {
   DARE_CHECK_EQ(a.rows(), a.cols()) << "TakeDiagonal requires a square matrix";
-  Matrix value(a.rows(), 1);
+  Variable out = NewResult(a.rows(), 1);
+  Matrix& value = out.mutable_value();
   for (int64_t r = 0; r < a.rows(); ++r) value(r, 0) = a.value()(r, r);
   auto an = a.node();
-  return MakeResult(std::move(value), {an}, [an](Node& out) {
+  FinishOp(out, {an}, [an](Node& o) {
     if (!NeedsGrad(an)) return;
-    const Matrix& g = out.grad();
-    Matrix da(an->value().rows(), an->value().cols());
-    for (int64_t r = 0; r < da.rows(); ++r) da(r, r) = g(r, 0);
-    an->AccumulateGrad(da);
+    const Matrix& g = o.grad();
+    ScratchMatrix da(Ws(), an->value().rows(), an->value().cols());
+    for (int64_t r = 0; r < da->rows(); ++r) (*da)(r, r) = g(r, 0);
+    an->AccumulateGrad(*da);
   });
+  return out;
 }
 
 Variable MeanOf(const std::vector<Variable>& vars) {

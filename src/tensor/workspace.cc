@@ -1,0 +1,93 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace darec::tensor {
+namespace {
+
+// Bucket a capacity belongs to: floor(log2(capacity)).
+int FloorLog2(int64_t n) {
+  return std::bit_width(static_cast<uint64_t>(n)) - 1;
+}
+
+// First bucket whose every buffer fits `need`: ceil(log2(need)).
+int CeilLog2(int64_t n) {
+  return n <= 1 ? 0 : std::bit_width(static_cast<uint64_t>(n - 1));
+}
+
+}  // namespace
+
+Matrix Workspace::AcquireFor(int64_t min_elements) {
+  if (min_elements <= 0) return Matrix();
+  const int first = CeilLog2(min_elements);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Buffers in bucket b have capacity ≥ 2^b ≥ need for b ≥ first; scan a
+    // couple of larger buckets too so near-miss sizes still reuse.
+    const int last = std::min(first + 2, kBuckets - 1);
+    for (int b = first; b <= last; ++b) {
+      std::vector<Matrix>& bucket = buckets_[b];
+      if (bucket.empty()) continue;
+      Matrix m = std::move(bucket.back());
+      bucket.pop_back();
+      ++stats_.hits;
+      --stats_.pooled_buffers;
+      stats_.pooled_bytes -= m.capacity() * static_cast<int64_t>(sizeof(float));
+      return m;
+    }
+    ++stats_.misses;
+  }
+  // Fresh buffer: reserve the bucket's full power of two so the
+  // release→re-acquire round trip is a guaranteed hit.
+  Matrix m;
+  m.Reserve(int64_t{1} << first);
+  return m;
+}
+
+void Workspace::Release(Matrix m) {
+  const int64_t cap = m.capacity();
+  if (cap <= 0) return;
+  m.ClearKeepCapacity();
+  const int b = FloorLog2(cap);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.releases;
+  if (buckets_[b].size() >= kMaxBuffersPerBucket) {
+    ++stats_.discarded;
+    return;  // m frees on scope exit
+  }
+  ++stats_.pooled_buffers;
+  stats_.pooled_bytes += cap * static_cast<int64_t>(sizeof(float));
+  buckets_[b].push_back(std::move(m));
+}
+
+void Workspace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::vector<Matrix>& bucket : buckets_) {
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  stats_.pooled_buffers = 0;
+  stats_.pooled_bytes = 0;
+}
+
+Workspace::Stats Workspace::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Workspace::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t buffers = stats_.pooled_buffers;
+  const int64_t bytes = stats_.pooled_bytes;
+  stats_ = Stats();
+  stats_.pooled_buffers = buffers;
+  stats_.pooled_bytes = bytes;
+}
+
+Workspace& Workspace::Global() {
+  static Workspace* global = new Workspace();  // leaked — see header
+  return *global;
+}
+
+}  // namespace darec::tensor

@@ -1,0 +1,125 @@
+#ifndef DAREC_TENSOR_WORKSPACE_H_
+#define DAREC_TENSOR_WORKSPACE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// Size-bucketed pool of Matrix heap buffers — the allocation backbone of the
+/// training hot path (DESIGN.md §10).
+///
+/// Released buffers are binned by floor(log2(capacity)); acquisition looks in
+/// ceil(log2(need)) and the next couple of buckets, so any returned buffer is
+/// guaranteed to fit. A miss reserves the *next power of two*, which makes
+/// the release→re-acquire round trip land in the same bucket — after a warm-up
+/// step, steady-state training acquires hit every time.
+///
+/// Thread-safe (one mutex; acquire/release are short pops/pushes). ParallelFor
+/// workers may release concurrently, but kernels that need several buffers in
+/// a parallel region acquire them serially up front (see
+/// CsrMatrix::TransposeMultiplyInto) to keep the hot section lock-free.
+class Workspace {
+ public:
+  struct Stats {
+    int64_t hits = 0;        // acquisitions served from the pool
+    int64_t misses = 0;      // acquisitions that had to allocate
+    int64_t releases = 0;    // buffers returned
+    int64_t discarded = 0;   // returns dropped because a bucket was full
+    int64_t pooled_buffers = 0;  // currently idle buffers
+    int64_t pooled_bytes = 0;    // their total capacity in bytes
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns an empty (0x0) matrix whose capacity is at least `min_elements`.
+  Matrix AcquireFor(int64_t min_elements);
+
+  /// Returns a zero-filled rows x cols matrix (pooled capacity when
+  /// available) — a drop-in replacement for `Matrix(rows, cols)`.
+  Matrix Acquire(int64_t rows, int64_t cols) {
+    Matrix m = AcquireFor(rows * cols);
+    m.ResetShape(rows, cols);
+    return m;
+  }
+
+  /// Returns `m`'s buffer to the pool (shape is discarded). Empty-capacity
+  /// matrices are ignored; overfull buckets drop the buffer.
+  void Release(Matrix m);
+
+  /// Frees every pooled buffer (tests; steady-state code never needs this).
+  void Clear();
+
+  Stats GetStats() const;
+  void ResetStats();
+
+  /// The process-wide pool used by kernels, autograd, and the losses. Leaked
+  /// on purpose: backward closures and arena nodes may release buffers during
+  /// static destruction.
+  static Workspace& Global();
+
+ private:
+  // 2^47 floats ≫ any tensor here; bucket b holds capacities [2^b, 2^{b+1}).
+  static constexpr int kBuckets = 48;
+  // Bound per-bucket hoarding; beyond this a released buffer is freed.
+  static constexpr size_t kMaxBuffersPerBucket = 256;
+
+  mutable std::mutex mu_;
+  std::array<std::vector<Matrix>, kBuckets> buckets_;
+  Stats stats_;
+};
+
+/// RAII pooled Matrix: acquires from a Workspace, releases on destruction.
+/// Move-only so it can live inside (move-only) backward closures, keeping a
+/// captured buffer pooled for exactly the closure's lifetime.
+class ScratchMatrix {
+ public:
+  /// Empty scratch; hand it to an *Into kernel to shape it.
+  explicit ScratchMatrix(Workspace& ws) : ws_(&ws) {}
+  /// Scratch with capacity for at least `min_elements`, still empty-shaped.
+  ScratchMatrix(Workspace& ws, int64_t min_elements)
+      : ws_(&ws), m_(ws.AcquireFor(min_elements)) {}
+  /// Zero-filled rows x cols scratch.
+  ScratchMatrix(Workspace& ws, int64_t rows, int64_t cols)
+      : ws_(&ws), m_(ws.Acquire(rows, cols)) {}
+
+  ~ScratchMatrix() {
+    if (ws_ != nullptr) ws_->Release(std::move(m_));
+  }
+
+  ScratchMatrix(const ScratchMatrix&) = delete;
+  ScratchMatrix& operator=(const ScratchMatrix&) = delete;
+  ScratchMatrix(ScratchMatrix&& other) noexcept
+      : ws_(other.ws_), m_(std::move(other.m_)) {
+    other.ws_ = nullptr;
+  }
+  ScratchMatrix& operator=(ScratchMatrix&& other) noexcept {
+    if (this != &other) {
+      if (ws_ != nullptr) ws_->Release(std::move(m_));
+      ws_ = other.ws_;
+      m_ = std::move(other.m_);
+      other.ws_ = nullptr;
+    }
+    return *this;
+  }
+
+  Matrix& operator*() { return m_; }
+  const Matrix& operator*() const { return m_; }
+  Matrix* operator->() { return &m_; }
+  const Matrix* operator->() const { return &m_; }
+  Matrix* get() { return &m_; }
+
+ private:
+  Workspace* ws_;
+  Matrix m_;
+};
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_WORKSPACE_H_

@@ -1,0 +1,245 @@
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/alloc_stats.h"
+#include "tensor/autograd.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/workspace.h"
+
+namespace darec::tensor {
+namespace {
+
+Matrix SmoothInput(int64_t rows, int64_t cols, float offset = 0.0f) {
+  Matrix m(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      m(r, c) = 0.3f + 0.17f * static_cast<float>(r) -
+                0.23f * static_cast<float>(c) + offset;
+      if (m(r, c) > -0.05f && m(r, c) < 0.05f) m(r, c) = 0.11f;
+    }
+  }
+  return m;
+}
+
+/// A small but representative step graph: matmul, activation, normalize,
+/// reductions. Returns the scalar loss.
+Variable BuildLoss(const Variable& w1, const Variable& w2) {
+  Variable h = Tanh(MatMul(w1, w2));
+  Variable n = RowL2Normalize(h);
+  Variable sims = MatMul(n, n, false, true);
+  return Add(Mean(Square(sims)), ScalarMul(SumSquares(w1), 0.01f));
+}
+
+TEST(GraphContextTest, SlotsAllocateOnceThenRecycle) {
+  Variable w1 = Variable::Parameter(SmoothInput(6, 4));
+  Variable w2 = Variable::Parameter(SmoothInput(4, 5, 0.1f));
+  GraphContext ctx;
+
+  int64_t first_step_nodes = 0;
+  for (int step = 0; step < 5; ++step) {
+    {
+      GraphContext::Scope scope(&ctx);
+      Variable loss = BuildLoss(w1, w2);
+      Backward(loss);
+    }
+    if (step == 0) first_step_nodes = static_cast<int64_t>(ctx.live_nodes());
+    EXPECT_EQ(static_cast<int64_t>(ctx.live_nodes()), first_step_nodes)
+        << "identical steps must use identical node counts";
+    w1.ClearGrad();
+    w2.ClearGrad();
+    ctx.Reset();
+  }
+  const GraphContext::Stats& stats = ctx.stats();
+  EXPECT_EQ(stats.resets, 5);
+  EXPECT_EQ(stats.slot_allocs, first_step_nodes)
+      << "only the warm-up step may allocate node slots";
+  EXPECT_EQ(stats.slot_reuses, 4 * first_step_nodes);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(GraphContextTest, SteadyStateStepsAllocateNoMatrixBuffers) {
+  Variable w1 = Variable::Parameter(SmoothInput(6, 4));
+  Variable w2 = Variable::Parameter(SmoothInput(4, 5, 0.1f));
+  GraphContext ctx;
+
+  auto run_step = [&] {
+    GraphContext::Scope scope(&ctx);
+    Variable loss = BuildLoss(w1, w2);
+    Backward(loss);
+    w1.ClearGrad();
+    w2.ClearGrad();
+  };
+  // Warm-up populates arena slots, gradient capacity, and the workspace.
+  run_step();
+  ctx.Reset();
+
+  const bool was_enabled = AllocStats::Enabled();
+  AllocStats::SetEnabled(true);
+  AllocStats::Reset();
+  for (int step = 0; step < 10; ++step) {
+    run_step();
+    ctx.Reset();
+  }
+  AllocStats::Snapshot snap = AllocStats::Take();
+  AllocStats::SetEnabled(was_enabled);
+  EXPECT_EQ(snap.allocations, 0)
+      << "steady-state steps allocated " << snap.allocations << " buffers ("
+      << snap.bytes << " bytes)";
+}
+
+TEST(GraphContextTest, PooledGraphMatchesLegacyBitwise) {
+  // The same computation with and without a context must agree bit for bit:
+  // losses AND parameter gradients, across several accumulating steps.
+  Variable w1a = Variable::Parameter(SmoothInput(6, 4));
+  Variable w2a = Variable::Parameter(SmoothInput(4, 5, 0.1f));
+  Variable w1b = Variable::Parameter(SmoothInput(6, 4));
+  Variable w2b = Variable::Parameter(SmoothInput(4, 5, 0.1f));
+  GraphContext ctx;
+
+  for (int step = 0; step < 3; ++step) {
+    float pooled_loss;
+    {
+      GraphContext::Scope scope(&ctx);
+      Variable loss = BuildLoss(w1a, w2a);
+      pooled_loss = loss.scalar();
+      Backward(loss);
+    }
+    ctx.Reset();
+
+    Variable legacy = BuildLoss(w1b, w2b);
+    const float legacy_loss = legacy.scalar();
+    Backward(legacy);
+
+    ASSERT_EQ(pooled_loss, legacy_loss);
+    ASSERT_EQ(w1a.grad().rows(), w1b.grad().rows());
+    for (int64_t r = 0; r < w1a.grad().rows(); ++r) {
+      for (int64_t c = 0; c < w1a.grad().cols(); ++c) {
+        ASSERT_EQ(w1a.grad()(r, c), w1b.grad()(r, c))
+            << "grad drift at step " << step << " (" << r << "," << c << ")";
+      }
+    }
+    // Gradients keep accumulating across steps (no ClearGrad) to exercise
+    // the accumulate-into-kept-capacity path too.
+  }
+}
+
+TEST(GraphContextTest, HeldVariableSurvivesReset) {
+  GraphContext ctx;
+  Variable held;
+  {
+    GraphContext::Scope scope(&ctx);
+    Variable a = Variable::Constant(SmoothInput(3, 3));
+    held = Square(a);  // Pooled node kept across the reset below.
+  }
+  const float expected = held.value()(1, 2);
+  ctx.Reset();
+  // Only the held result is evicted; the constant's slot (no longer
+  // referenced — a constant input wires no parent edge) is recycled.
+  EXPECT_EQ(ctx.stats().evictions, 1);
+  EXPECT_EQ(held.value()(1, 2), expected) << "evicted node must keep its value";
+
+  // The arena keeps working after the hand-off.
+  {
+    GraphContext::Scope scope(&ctx);
+    Variable b = Variable::Constant(SmoothInput(3, 3));
+    EXPECT_EQ(Sum(b).value()(0, 0), SumAll(SmoothInput(3, 3)));
+  }
+  ctx.Reset();
+  EXPECT_EQ(held.value()(1, 2), expected);
+}
+
+TEST(GraphContextTest, BackwardReleasesDeadIntermediateValues) {
+  GraphContext ctx;
+  Workspace& ws = Workspace::Global();
+  GraphContext::Scope scope(&ctx);
+  Variable w = Variable::Parameter(SmoothInput(4, 4));
+  Variable mid = Square(w);
+  Variable loss = Sum(mid);
+  const int64_t pooled_before = ws.GetStats().pooled_buffers;
+  Backward(loss);
+  // The intermediate's buffer went back to the pool mid-backward...
+  EXPECT_TRUE(mid.value().empty())
+      << "pooled intermediate value should be released during Backward";
+  EXPECT_GT(ws.GetStats().pooled_buffers, pooled_before);
+  // ...but the root (read after Backward) and the parameter survive.
+  EXPECT_FALSE(loss.value().empty());
+  EXPECT_FALSE(w.value().empty());
+  EXPECT_EQ(loss.value()(0, 0), SumAll(Square(w).value()));
+}
+
+TEST(GraphContextTest, ClearGradKeepsCapacityAndEmptiness) {
+  Variable w = Variable::Parameter(SmoothInput(8, 8));
+  Variable loss = Sum(Square(w));
+  Backward(loss);
+  ASSERT_FALSE(w.grad().empty());
+  const int64_t cap = w.grad().capacity();
+  ASSERT_GE(cap, 64);
+
+  w.ClearGrad();
+  // empty() is load-bearing: optimizers skip parameters with empty grads.
+  EXPECT_TRUE(w.grad().empty());
+  EXPECT_EQ(w.grad().rows(), 0);
+  EXPECT_EQ(w.grad().cols(), 0);
+  // ...but the capacity survives, so re-accumulation does not allocate.
+  EXPECT_EQ(w.grad().capacity(), cap);
+
+  const bool was_enabled = AllocStats::Enabled();
+  AllocStats::SetEnabled(true);
+  AllocStats::Reset();
+  Variable loss2 = Sum(Square(w));
+  Backward(loss2);
+  // (Without a context the op values allocate; only check the grad matrix.)
+  EXPECT_EQ(w.grad().capacity(), cap);
+  AllocStats::SetEnabled(was_enabled);
+  EXPECT_FALSE(w.grad().empty());
+}
+
+TEST(GraphContextTest, NegativeZeroGradientSurvivesPooling) {
+  // First accumulation must bitwise-copy: adding -0.0f onto a zeroed buffer
+  // would flip it to +0.0f. ScalarMul(x, -0.0f)'s gradient is exactly -0.0.
+  GraphContext ctx;
+  Variable w = Variable::Parameter(Matrix::Full(1, 1, 1.0f));
+  {
+    GraphContext::Scope scope(&ctx);
+    Variable loss = Sum(ScalarMul(w, -0.0f));
+    Backward(loss);
+  }
+  ctx.Reset();
+  const float g = w.grad()(0, 0);
+  EXPECT_EQ(g, 0.0f);
+  EXPECT_TRUE(std::signbit(g)) << "gradient -0.0 was bleached to +0.0";
+}
+
+TEST(GraphContextTest, NestedScopesRestorePreviousContext) {
+  GraphContext outer_ctx;
+  EXPECT_EQ(GraphContext::Current(), nullptr);
+  {
+    GraphContext::Scope outer(&outer_ctx);
+    EXPECT_EQ(GraphContext::Current(), &outer_ctx);
+    {
+      GraphContext::Scope inner(nullptr);  // Force the legacy path.
+      EXPECT_EQ(GraphContext::Current(), nullptr);
+      Variable v = Variable::Constant(SmoothInput(2, 2));
+      EXPECT_FALSE(v.node()->pooled());
+    }
+    EXPECT_EQ(GraphContext::Current(), &outer_ctx);
+    Variable v = Variable::Constant(SmoothInput(2, 2));
+    EXPECT_TRUE(v.node()->pooled());
+  }
+  EXPECT_EQ(GraphContext::Current(), nullptr);
+  outer_ctx.Reset();
+}
+
+TEST(GraphContextTest, ParametersNeverPooled) {
+  GraphContext ctx;
+  GraphContext::Scope scope(&ctx);
+  Variable p = Variable::Parameter(SmoothInput(2, 2));
+  EXPECT_FALSE(p.node()->pooled())
+      << "parameters must keep heap nodes: they outlive every step";
+  EXPECT_EQ(ctx.live_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace darec::tensor

@@ -1,0 +1,191 @@
+#include "tensor/workspace.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/alloc_stats.h"
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+namespace {
+
+TEST(WorkspaceTest, AcquireForGivesEmptyShapedCapacity) {
+  Workspace ws;
+  Matrix m = ws.AcquireFor(100);
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_GE(m.capacity(), 100);
+  EXPECT_EQ(ws.GetStats().misses, 1);
+}
+
+TEST(WorkspaceTest, AcquireIsZeroFilledDropIn) {
+  Workspace ws;
+  // Dirty a buffer, release it, re-acquire shaped: must look freshly zeroed.
+  Matrix m = ws.Acquire(4, 5);
+  m.Fill(7.0f);
+  ws.Release(std::move(m));
+  Matrix again = ws.Acquire(4, 5);
+  EXPECT_EQ(again.rows(), 4);
+  EXPECT_EQ(again.cols(), 5);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 5; ++c) EXPECT_EQ(again(r, c), 0.0f);
+  }
+  EXPECT_EQ(ws.GetStats().hits, 1);
+}
+
+TEST(WorkspaceTest, ReleaseReacquireRoundTripsToSameBucket) {
+  // Any acquire size rounds capacity up to a power of two, so releasing and
+  // re-acquiring the same size is always a pool hit with the same capacity.
+  // (One fresh workspace per size: in a shared pool a nearby size class may
+  // legitimately serve the request from a neighbouring bucket.)
+  for (int64_t n : {1, 2, 3, 60, 64, 65, 1000, 4096, 5000}) {
+    Workspace ws;
+    Matrix m = ws.AcquireFor(n);
+    const int64_t cap = m.capacity();
+    ws.Release(std::move(m));
+    Matrix back = ws.AcquireFor(n);
+    EXPECT_EQ(back.capacity(), cap) << "n=" << n;
+    ws.Release(std::move(back));
+    Workspace::Stats stats = ws.GetStats();
+    EXPECT_EQ(stats.misses, 1) << "n=" << n;
+    EXPECT_EQ(stats.hits, 1) << "n=" << n;
+  }
+}
+
+TEST(WorkspaceTest, SteadyStateAcquiresAllocateNothing) {
+  Workspace ws;
+  // Warm up with the shapes a "step" uses.
+  std::vector<Matrix> held;
+  for (int64_t n : {64, 256, 1024}) held.push_back(ws.AcquireFor(n));
+  for (Matrix& m : held) ws.Release(std::move(m));
+  held.clear();
+
+  const bool was_enabled = AllocStats::Enabled();
+  AllocStats::SetEnabled(true);
+  AllocStats::Reset();
+  for (int step = 0; step < 10; ++step) {
+    for (int64_t n : {64, 256, 1024}) held.push_back(ws.AcquireFor(n));
+    for (Matrix& m : held) ws.Release(std::move(m));
+    held.clear();
+  }
+  AllocStats::Snapshot snap = AllocStats::Take();
+  AllocStats::SetEnabled(was_enabled);
+  EXPECT_EQ(snap.allocations, 0);
+  EXPECT_EQ(snap.bytes, 0);
+}
+
+TEST(WorkspaceTest, StatsTrackPooledBuffersAndBytes) {
+  Workspace ws;
+  Matrix a = ws.AcquireFor(100);  // capacity 128
+  Matrix b = ws.AcquireFor(100);
+  const int64_t cap = a.capacity();
+  ws.Release(std::move(a));
+  ws.Release(std::move(b));
+  Workspace::Stats stats = ws.GetStats();
+  EXPECT_EQ(stats.releases, 2);
+  EXPECT_EQ(stats.pooled_buffers, 2);
+  EXPECT_EQ(stats.pooled_bytes, 2 * cap * static_cast<int64_t>(sizeof(float)));
+
+  ws.Clear();
+  stats = ws.GetStats();
+  EXPECT_EQ(stats.pooled_buffers, 0);
+  EXPECT_EQ(stats.pooled_bytes, 0);
+}
+
+TEST(WorkspaceTest, ResetStatsKeepsPoolAccounting) {
+  Workspace ws;
+  Matrix m = ws.AcquireFor(64);
+  ws.Release(std::move(m));
+  ws.ResetStats();
+  Workspace::Stats stats = ws.GetStats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.releases, 0);
+  EXPECT_EQ(stats.pooled_buffers, 1);  // The buffer is still pooled.
+}
+
+TEST(WorkspaceTest, ReleasingEmptyMatrixIsIgnored) {
+  Workspace ws;
+  ws.Release(Matrix());
+  EXPECT_EQ(ws.GetStats().releases, 0);
+  EXPECT_EQ(ws.GetStats().pooled_buffers, 0);
+}
+
+TEST(WorkspaceTest, OverfullBucketDiscards) {
+  Workspace ws;
+  // Fill one bucket past its cap; the overflow must be dropped, not hoarded.
+  const int64_t n = 64;
+  const int total = 300;  // > kMaxBuffersPerBucket (256)
+  std::vector<Matrix> held;
+  held.reserve(total);
+  for (int i = 0; i < total; ++i) held.push_back(ws.AcquireFor(n));
+  for (Matrix& m : held) ws.Release(std::move(m));
+  Workspace::Stats stats = ws.GetStats();
+  EXPECT_EQ(stats.releases, total);
+  EXPECT_EQ(stats.discarded, total - 256);
+  EXPECT_EQ(stats.pooled_buffers, 256);
+}
+
+TEST(WorkspaceTest, ScratchMatrixReleasesOnDestruction) {
+  Workspace ws;
+  {
+    ScratchMatrix s(ws, 3, 4);
+    EXPECT_EQ(s->rows(), 3);
+    (*s)(0, 0) = 1.0f;
+  }
+  EXPECT_EQ(ws.GetStats().pooled_buffers, 1);
+  {
+    ScratchMatrix s(ws, 3, 4);  // Round trip: the same buffer comes back.
+    EXPECT_EQ((*s)(0, 0), 0.0f) << "Acquire must zero-fill reused buffers";
+  }
+  EXPECT_EQ(ws.GetStats().hits, 1);
+}
+
+TEST(WorkspaceTest, ScratchMatrixMoveTransfersOwnership) {
+  Workspace ws;
+  {
+    ScratchMatrix a(ws, 2, 2);
+    ScratchMatrix b(std::move(a));
+    EXPECT_EQ(b->rows(), 2);
+  }  // Exactly one release.
+  EXPECT_EQ(ws.GetStats().releases, 1);
+  EXPECT_EQ(ws.GetStats().pooled_buffers, 1);
+}
+
+// TSan-targeted: concurrent acquire/release from many threads. Run under
+// scripts/check.sh's thread-sanitizer pass.
+TEST(WorkspaceTest, ConcurrentAcquireReleaseIsSafe) {
+  Workspace ws;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 500;
+  std::atomic<int64_t> checksum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ws, &checksum, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const int64_t n = 16 + 16 * ((t + i) % 7);
+        Matrix m = ws.AcquireFor(n);
+        m.ResetShape(1, n);
+        m(0, 0) = static_cast<float>(t);
+        checksum.fetch_add(static_cast<int64_t>(m(0, 0)),
+                           std::memory_order_relaxed);
+        ws.Release(std::move(m));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(checksum.load(), kIterations * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+  Workspace::Stats stats = ws.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIterations);
+  EXPECT_EQ(stats.releases, kThreads * kIterations);
+}
+
+TEST(WorkspaceTest, GlobalIsASingleton) {
+  EXPECT_EQ(&Workspace::Global(), &Workspace::Global());
+}
+
+}  // namespace
+}  // namespace darec::tensor
