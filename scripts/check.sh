@@ -6,7 +6,9 @@
 # corrupted-file parsing) and the arena/workspace memory model, and a
 # ThreadSanitizer pass over the parallel runtime (thread pool +
 # blocked/threaded kernels), the staged train loop (crash/resume, policies,
-# observers) and concurrent workspace acquire/release.
+# observers), the data-parallel step executor (8-worker super-steps) and
+# concurrent workspace acquire/release. A forced DAREC_SIMD=scalar ctest
+# lane and a train_bench smoke guard the runtime-dispatched SIMD kernels.
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -31,6 +33,15 @@ cmake --build build -j "$(nproc)" --target topk_bench >/dev/null
 echo "=== smoke: autograd memory profile (steady-state allocations) ==="
 cmake --build build -j "$(nproc)" --target micro_losses >/dev/null
 ./build/bench/micro_losses --alloc_json=build/BENCH_autograd_smoke.json
+
+echo "=== smoke: train bench (workers x SIMD sweep, bitwise parity gates) ==="
+cmake --build build -j "$(nproc)" --target train_bench >/dev/null
+./build/bench/train_bench datasets=tiny epochs=2 workers=1,8 \
+  out=build/BENCH_train_smoke.json
+
+echo "=== ctest under DAREC_SIMD=scalar (forced lowest kernel tier) ==="
+DAREC_SIMD=scalar ctest --test-dir build --output-on-failure \
+  -R 'matrix_test|ops_property_test|cpu_features_test|golden_trace_test|parallel_executor_test'
 
 echo "=== smoke: bench resume (kill table3_main mid-sweep, rerun resume=1) ==="
 cmake --build build -j "$(nproc)" --target table3_main >/dev/null
@@ -70,9 +81,12 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" \
     --target thread_pool_test parallel_kernels_test topk_engine_test \
              kmeans_test failpoint_test trainer_ckpt_test \
-             train_policies_test train_observer_test workspace_test >/dev/null
+             train_policies_test train_observer_test workspace_test \
+             parallel_executor_test cpu_features_test >/dev/null
+  # parallel_executor_test drives 8-worker super-steps (GradSink diversion,
+  # fixed-order reduction, per-slot aligner state) under TSan.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test|parallel_executor_test|cpu_features_test'
 fi
 
 echo "=== all checks passed ==="

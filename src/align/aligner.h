@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/check.h"
 #include "core/rng.h"
 #include "core/status.h"
 #include "tensor/autograd.h"
@@ -29,6 +30,21 @@ class Aligner {
   /// Extra loss term for this step; a null Variable means "none".
   /// `nodes` are the backbone's final node embeddings (users then items).
   virtual tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) = 0;
+
+  /// Like Loss(), but reading/writing the caller-supplied mutable-state
+  /// snapshot (MutableState() layout) instead of the aligner's own — the
+  /// hook data-parallel workers use so concurrent slots never share state
+  /// (pipeline::ParallelStepExecutor gives each batch slot a copy and
+  /// adopts the last align slot's afterwards). The default forwards to
+  /// Loss() and insists on an empty snapshot, which is correct for every
+  /// stateless aligner.
+  virtual tensor::Variable LossWithState(const tensor::Variable& nodes,
+                                         core::Rng& rng,
+                                         std::vector<tensor::Matrix>* state) {
+    DARE_CHECK(state != nullptr && state->empty())
+        << name() << " aligner carries no mutable state";
+    return Loss(nodes, rng);
+  }
 
   /// Optional embedding augmentation applied before scoring.
   virtual tensor::Variable AugmentNodes(const tensor::Variable& nodes) {

@@ -20,6 +20,9 @@ class AutoCf final : public GraphBackbone {
 
   std::string name() const override { return "autocf"; }
 
+  /// Forward stashes masked_edges_ for SslLoss — serial training only.
+  bool SupportsConcurrentForward() const override { return false; }
+
   tensor::Variable Forward(bool training, core::Rng& rng) override {
     if (!training) {
       masked_edges_.clear();

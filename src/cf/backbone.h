@@ -74,6 +74,13 @@ class GraphBackbone {
   /// All trainable parameters.
   virtual std::vector<tensor::Variable> Params();
 
+  /// True when Forward()/SslLoss() write no member state, so concurrent
+  /// data-parallel workers (pipeline::ParallelStepExecutor) may call them
+  /// on the same instance. Backbones that stash per-step views in members
+  /// (NCL, AutoCF, DCCF) override to false and are restricted to serial
+  /// training.
+  virtual bool SupportsConcurrentForward() const { return true; }
+
   /// Final node embeddings for evaluation (no augmentation, no gradient
   /// bookkeeping kept).
   tensor::Matrix InferenceEmbeddings();

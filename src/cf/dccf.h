@@ -25,6 +25,10 @@ class Dccf final : public GraphBackbone {
 
   std::string name() const override { return "dccf"; }
 
+  /// Forward caches local_view_/intent_view_ for SslLoss — serial training
+  /// only.
+  bool SupportsConcurrentForward() const override { return false; }
+
   tensor::Variable Forward(bool training, core::Rng& rng) override {
     (void)training;
     (void)rng;

@@ -24,6 +24,9 @@ class Ncl final : public GraphBackbone {
 
   std::string name() const override { return "ncl"; }
 
+  /// Forward caches layer_outputs_ for SslLoss — serial training only.
+  bool SupportsConcurrentForward() const override { return false; }
+
   tensor::Variable Forward(bool training, core::Rng& rng) override {
     (void)training;
     (void)rng;

@@ -236,12 +236,12 @@ KMeansResult RunKMeans(const Matrix& points, const KMeansOptions& options,
   return LloydIterate(points, std::move(centers), options);
 }
 
-KMeansResult RunKMeansFrom(const Matrix& points, const Matrix& initial_centers,
+KMeansResult RunKMeansFrom(const Matrix& points, Matrix initial_centers,
                            const KMeansOptions& options) {
   DARE_CHECK_EQ(initial_centers.rows(), options.num_clusters);
   DARE_CHECK_EQ(initial_centers.cols(), points.cols());
   DARE_CHECK_GE(points.rows(), options.num_clusters);
-  return LloydIterate(points, initial_centers, options);
+  return LloydIterate(points, std::move(initial_centers), options);
 }
 
 Matrix AssignmentAveragingMatrix(const std::vector<int64_t>& assignments,

@@ -38,9 +38,11 @@ KMeansResult RunKMeans(const tensor::Matrix& points, const KMeansOptions& option
 /// Like RunKMeans but warm-starts Lloyd's iterations from `initial_centers`
 /// (must be num_clusters x points.cols()). Used when clustering a slowly
 /// drifting representation every training step: warm starts keep center
-/// identities stable across steps.
+/// identities stable across steps. Takes the centers by value — move them
+/// in to reuse their buffer (the steady-state training path), or pass an
+/// lvalue to keep a copy.
 KMeansResult RunKMeansFrom(const tensor::Matrix& points,
-                           const tensor::Matrix& initial_centers,
+                           tensor::Matrix initial_centers,
                            const KMeansOptions& options);
 
 /// Builds the K x N hard-assignment averaging matrix M with

@@ -1,0 +1,85 @@
+#include "core/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/check.h"
+#include "core/logging.h"
+
+namespace darec::core {
+
+namespace {
+
+// -1 = not yet resolved; otherwise a SimdLevel. Resolved lazily so the
+// DAREC_SIMD override is honored no matter where the first kernel runs.
+std::atomic<int> g_active_level{-1};
+std::once_flag g_active_once;
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdLevel HardwareSimdLevel() {
+  static const SimdLevel level = [] {
+    if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return SimdLevel::kAvx2;
+    }
+    return SimdLevel::kScalar;
+  }();
+  return level;
+}
+
+StatusOr<SimdLevel> ParseSimdLevel(const std::string& value) {
+  if (value == "scalar") return SimdLevel::kScalar;
+  if (value == "avx2") return SimdLevel::kAvx2;
+  if (value == "avx512") return SimdLevel::kAvx512;
+  return Status::InvalidArgument("invalid SIMD level \"" + value +
+                                 "\": expected scalar, avx2, or avx512");
+}
+
+SimdLevel SimdLevelFromEnvOrDie() {
+  const char* env = std::getenv("DAREC_SIMD");
+  if (env == nullptr) return HardwareSimdLevel();
+  const StatusOr<SimdLevel> parsed = ParseSimdLevel(env);
+  DARE_CHECK(parsed.ok()) << "DAREC_SIMD=" << env << ": "
+                          << parsed.status().ToString();
+  DARE_CHECK(*parsed <= HardwareSimdLevel())
+      << "DAREC_SIMD=" << env
+      << " requests an instruction set this CPU lacks (host supports up to "
+      << SimdLevelName(HardwareSimdLevel()) << ")";
+  return *parsed;
+}
+
+SimdLevel ActiveSimdLevel() {
+  std::call_once(g_active_once, [] {
+    const SimdLevel level = SimdLevelFromEnvOrDie();
+    g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    DARE_LOG(Info) << "simd kernels: " << SimdLevelName(level)
+                   << (std::getenv("DAREC_SIMD") != nullptr ? " (DAREC_SIMD)"
+                                                            : " (cpuid)");
+  });
+  return static_cast<SimdLevel>(g_active_level.load(std::memory_order_relaxed));
+}
+
+void SetSimdLevelForTest(SimdLevel level) {
+  DARE_CHECK(level <= HardwareSimdLevel())
+      << "cannot force " << SimdLevelName(level)
+      << " kernels: host supports up to "
+      << SimdLevelName(HardwareSimdLevel());
+  ActiveSimdLevel();  // Run the one-time init/logging first.
+  g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace darec::core

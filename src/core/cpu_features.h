@@ -1,0 +1,47 @@
+#ifndef DAREC_CORE_CPU_FEATURES_H_
+#define DAREC_CORE_CPU_FEATURES_H_
+
+#include <string>
+
+#include "core/statusor.h"
+
+namespace darec::core {
+
+/// Instruction-set tiers the tensor micro-kernels are specialized for
+/// (tensor/simd/). Ordered: a CPU that supports a level supports every
+/// lower one, so levels compare with the built-in relational operators.
+enum class SimdLevel : int {
+  kScalar = 0,  // baseline x86-64 (SSE2) — every build target
+  kAvx2 = 1,    // AVX2 + FMA (the FMA units are required but never used in
+                // a contracted form; see tensor/simd/kernels_impl.inc)
+  kAvx512 = 2,  // AVX-512F
+};
+
+/// Lowercase level name: "scalar", "avx2", "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+/// The highest level this CPU supports (CPUID, cached after the first call).
+SimdLevel HardwareSimdLevel();
+
+/// Parses a DAREC_SIMD value ("scalar" | "avx2" | "avx512").
+/// InvalidArgument on anything else.
+StatusOr<SimdLevel> ParseSimdLevel(const std::string& value);
+
+/// Resolves the startup level: the DAREC_SIMD override when set — aborting
+/// with a clear diagnostic when the value is garbage or the CPU lacks the
+/// requested level — else HardwareSimdLevel(). Exposed separately from
+/// ActiveSimdLevel() so tests can exercise the validation (death tests).
+SimdLevel SimdLevelFromEnvOrDie();
+
+/// The level the dispatched kernels currently run at. Initialized on first
+/// use via SimdLevelFromEnvOrDie() and logged once ("simd kernels: ...").
+SimdLevel ActiveSimdLevel();
+
+/// Re-points the dispatcher (bench/test hook for in-process ISA sweeps).
+/// Aborts if the CPU does not support `level`. Takes effect immediately:
+/// the kernel table is re-resolved on every dispatch.
+void SetSimdLevelForTest(SimdLevel level);
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_CPU_FEATURES_H_

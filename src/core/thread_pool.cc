@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/check.h"
+#include "core/logging.h"
+
 namespace darec::core {
 
 namespace {
@@ -141,7 +144,12 @@ ThreadPool& ThreadPool::Global() {
   std::lock_guard<std::mutex> lock(GlobalPoolMutex());
   pool = g_global_pool.load(std::memory_order_relaxed);
   if (!pool) {
-    GlobalPoolStorage().push_back(std::make_unique<ThreadPool>(DefaultThreads()));
+    const int threads = DefaultThreads();
+    DARE_LOG(Info) << "thread pool: " << threads << " threads"
+                   << (std::getenv("DAREC_NUM_THREADS") != nullptr
+                           ? " (DAREC_NUM_THREADS)"
+                           : " (hardware)");
+    GlobalPoolStorage().push_back(std::make_unique<ThreadPool>(threads));
     pool = GlobalPoolStorage().back().get();
     g_global_pool.store(pool, std::memory_order_release);
   }
@@ -158,9 +166,13 @@ int ThreadPool::DefaultThreads() {
   if (const char* env = std::getenv("DAREC_NUM_THREADS")) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
-      return static_cast<int>(parsed);
-    }
+    // Garbage is a hard error: a typo silently falling back to the hardware
+    // count would change run timings (and mislead determinism debugging)
+    // with no visible sign.
+    DARE_CHECK(end != env && *end == '\0' && parsed > 0 && parsed <= 1024)
+        << "DAREC_NUM_THREADS=" << env
+        << ": expected an integer in [1, 1024]";
+    return static_cast<int>(parsed);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -64,8 +64,10 @@ class ThreadPool {
   /// vs 8-thread runs). Not safe while kernels are executing concurrently.
   static void SetGlobalThreads(int num_threads);
 
-  /// Thread count from the `DAREC_NUM_THREADS` env var if set to a positive
-  /// integer, else `std::thread::hardware_concurrency()` (at least 1).
+  /// Thread count from the `DAREC_NUM_THREADS` env var if set, else
+  /// `std::thread::hardware_concurrency()` (at least 1). A set but invalid
+  /// value (non-integer, ≤ 0, or > 1024) aborts with a diagnostic rather
+  /// than silently falling back.
   static int DefaultThreads();
 
  private:

@@ -34,6 +34,25 @@ DaRecAligner::DaRecAligner(tensor::Matrix llm_embeddings, int64_t cf_dim,
 }
 
 Variable DaRecAligner::Loss(const Variable& nodes, core::Rng& rng) {
+  return LossImpl(nodes, rng, &local_state_);
+}
+
+Variable DaRecAligner::LossWithState(const Variable& nodes, core::Rng& rng,
+                                     std::vector<tensor::Matrix>* state) {
+  DARE_CHECK(state != nullptr && state->size() == 2)
+      << "darec aligner state needs 2 matrices, got "
+      << (state == nullptr ? -1 : static_cast<int64_t>(state->size()));
+  LocalAlignState local;
+  local.cf_centers = std::move((*state)[0]);
+  local.llm_centers = std::move((*state)[1]);
+  Variable loss = LossImpl(nodes, rng, &local);
+  (*state)[0] = std::move(local.cf_centers);
+  (*state)[1] = std::move(local.llm_centers);
+  return loss;
+}
+
+Variable DaRecAligner::LossImpl(const Variable& nodes, core::Rng& rng,
+                                LocalAlignState* state) {
   DARE_CHECK_EQ(nodes.rows(), llm_.rows());
   const int64_t sample_size = std::min<int64_t>(options_.sample_size, nodes.rows());
   std::vector<int64_t> sample =
@@ -88,7 +107,7 @@ Variable DaRecAligner::Loss(const Variable& nodes, core::Rng& rng) {
     // see DESIGN.md §5).
     accumulate(LocalStructureLoss(cf_shared_head, llm_shared,
                                   options_.num_clusters, options_.matching,
-                                  options_.kmeans_iterations, rng, &local_state_));
+                                  options_.kmeans_iterations, rng, state));
   }
   if (total.IsNull()) return total;
   return ScalarMul(total, options_.lambda);

@@ -78,6 +78,12 @@ class DaRecAligner final : public align::Aligner {
 
   tensor::Variable Loss(const tensor::Variable& nodes, core::Rng& rng) override;
 
+  /// Data-parallel form: the k-means warm-start centers are read from and
+  /// written to `state` ({cf_centers, llm_centers}) instead of the member,
+  /// leaving `local_state_` untouched.
+  tensor::Variable LossWithState(const tensor::Variable& nodes, core::Rng& rng,
+                                 std::vector<tensor::Matrix>* state) override;
+
   std::vector<tensor::Variable> Params() override;
 
   /// Warm-start k-means centers of the local structure loss (Eq. 6): they
@@ -106,6 +112,9 @@ class DaRecAligner final : public align::Aligner {
   const DaRecOptions& options() const { return options_; }
 
  private:
+  tensor::Variable LossImpl(const tensor::Variable& nodes, core::Rng& rng,
+                            LocalAlignState* state);
+
   DaRecOptions options_;
   tensor::Variable llm_;  // Constant, row-normalized.
   LocalAlignState local_state_;

@@ -85,11 +85,15 @@ cluster::KMeansResult ClusterModality(const tensor::Matrix& normalized_points,
   cluster::KMeansResult result;
   if (prev_centers != nullptr && prev_centers->rows() == options.num_clusters &&
       prev_centers->cols() == normalized_points.cols()) {
-    result = cluster::RunKMeansFrom(normalized_points, *prev_centers, options);
+    // Move the centers through the clustering and back: the warm-start path
+    // runs every align step, and cycling one buffer keeps it allocation-free
+    // (downstream only reads result.assignments).
+    result = cluster::RunKMeansFrom(normalized_points,
+                                    std::move(*prev_centers), options);
   } else {
     result = cluster::RunKMeans(normalized_points, options, rng);
   }
-  if (prev_centers != nullptr) *prev_centers = result.centers;
+  if (prev_centers != nullptr) *prev_centers = std::move(result.centers);
   return result;
 }
 

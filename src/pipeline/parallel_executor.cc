@@ -1,0 +1,140 @@
+#include "pipeline/parallel_executor.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace darec::pipeline {
+
+using tensor::Variable;
+
+ParallelStepExecutor::ParallelStepExecutor(cf::GraphBackbone* backbone,
+                                           align::Aligner* aligner,
+                                           tensor::Adam* optimizer,
+                                           int64_t align_interval, int workers,
+                                           int64_t grad_accum)
+    : backbone_(backbone),
+      aligner_(aligner),
+      optimizer_(optimizer),
+      workers_(workers),
+      grad_accum_(grad_accum),
+      align_interval_(align_interval),
+      pool_(workers) {
+  DARE_CHECK(backbone != nullptr);
+  DARE_CHECK(optimizer != nullptr);
+  DARE_CHECK_GT(align_interval, 0);
+  DARE_CHECK_GE(workers, 1);
+  DARE_CHECK_GE(grad_accum, 1);
+  DARE_CHECK(workers == 1 || backbone->SupportsConcurrentForward())
+      << backbone->name()
+      << " caches per-step state in Forward/SslLoss and cannot run "
+         "data-parallel workers; use workers=1";
+  steps_.reserve(grad_accum);
+  sinks_.reserve(grad_accum);
+  slot_rngs_.reserve(grad_accum);
+  for (int64_t s = 0; s < grad_accum; ++s) {
+    steps_.push_back(std::make_unique<TrainStep>(backbone, aligner, optimizer,
+                                                 align_interval));
+    sinks_.push_back(std::make_unique<tensor::GradSink>());
+    sinks_.back()->Register(optimizer->params());
+    slot_rngs_.emplace_back(0);  // Reseeded from the main rng every group.
+  }
+  slot_states_.resize(grad_accum);
+  align_phase_.resize(grad_accum, false);
+}
+
+ParallelStepExecutor::SuperStepResult ParallelStepExecutor::Execute(
+    const std::vector<std::vector<data::TrainTriple>>& group, int64_t count,
+    core::Rng& rng, int64_t step_count_before) {
+  DARE_CHECK_GE(count, 1);
+  DARE_CHECK_LE(count, grad_accum_);
+  DARE_CHECK_LE(count, static_cast<int64_t>(group.size()));
+
+  optimizer_->ZeroGrad();
+  // Per-slot setup runs serially on the calling thread, in slot order, so
+  // the main rng advances by exactly `count` draws and every slot input is
+  // worker-count independent.
+  for (int64_t s = 0; s < count; ++s) {
+    sinks_[s]->Clear();
+    slot_rngs_[s] = rng.Fork();
+    align_phase_[s] =
+        aligner_ != nullptr && (step_count_before + s) % align_interval_ == 0;
+    if (align_phase_[s]) {
+      // Every align slot warm-starts from the super-step-initial state —
+      // chaining copies through concurrent slots would reintroduce an order
+      // dependence.
+      slot_states_[s] = aligner_->MutableState();
+    }
+  }
+
+  SuperStepResult result;
+  result.outcomes.resize(count);
+  // Slots share only read-only structures; each writes its own outcome,
+  // sink, rng, and state slot. Grain 1 so every slot can run on its own
+  // worker. With workers > 1 the tensor kernels inside a slot run inline on
+  // that worker (nested-ParallelFor rule); with workers == 1 they use the
+  // global pool — bitwise identical either way by the kernels' thread-count
+  // invariance. Worker exceptions rethrow here.
+  pool_.ParallelFor(0, count, 1, [&](int64_t b, int64_t e) {
+    for (int64_t s = b; s < e; ++s) {
+      result.outcomes[s] = steps_[s]->ExecuteAccumulate(
+          group[s], slot_rngs_[s], align_phase_[s], sinks_[s].get(),
+          &slot_states_[s]);
+    }
+  });
+
+  for (int64_t s = 0; s < count; ++s) {
+    if (!result.outcomes[s].finite) {
+      // Non-finite loss: the serial counter would stop at this slot. No
+      // reduction, no Adam — the super-step is abandoned wholesale.
+      result.steps_advanced = s;
+      return result;
+    }
+  }
+
+  // Fixed-order reduction: per parameter, ascending slot index — the exact
+  // accumulation order a 1-worker run uses.
+  const std::vector<Variable>& params = optimizer_->params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (int64_t s = 0; s < count; ++s) {
+      const tensor::Matrix& buf = sinks_[s]->buffer(i);
+      if (!buf.empty()) params[i].node()->AccumulateGrad(buf);
+    }
+  }
+
+  if (!TrainStep::GradientsFinite(params)) {
+    // All losses were finite, so the serial counter advanced through the
+    // whole group before the (joint) backward poisoning was detected.
+    result.steps_advanced = count;
+    return result;
+  }
+
+  if (count > 1) {
+    // Mean over the group: one update at the serial per-batch gradient
+    // scale, keeping the learning rate comparable across grad_accum values.
+    const float inv = 1.0f / static_cast<float>(count);
+    for (const Variable& p : params) {
+      if (!p.grad().empty()) p.node()->mutable_grad().ScaleInPlace(inv);
+    }
+  }
+  optimizer_->Step();
+
+  if (aligner_ != nullptr) {
+    // Adopt the state of the last align slot — the one a 1-worker run
+    // would leave behind.
+    for (int64_t s = count - 1; s >= 0; --s) {
+      if (!align_phase_[s]) continue;
+      const core::Status adopted =
+          aligner_->RestoreMutableState(std::move(slot_states_[s]));
+      DARE_CHECK(adopted.ok()) << adopted.ToString();
+      slot_states_[s].clear();
+      break;
+    }
+  }
+
+  result.applied = true;
+  result.steps_advanced = count;
+  return result;
+}
+
+}  // namespace darec::pipeline

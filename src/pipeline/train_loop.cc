@@ -43,6 +43,17 @@ Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
                                                    rng_);
   step_ = std::make_unique<TrainStep>(backbone_, aligner_, optimizer_.get(),
                                       options.align_interval);
+  DARE_CHECK_GE(options.workers, 1);
+  DARE_CHECK_GE(options.grad_accum, 0);
+  const int64_t grad_accum =
+      options.grad_accum > 0 ? options.grad_accum : options.workers;
+  if (options.workers > 1 || grad_accum > 1) {
+    // step_ stays the owner of the step counter and the checkpoint/eval
+    // surface; the executor drives the per-batch work.
+    executor_ = std::make_unique<ParallelStepExecutor>(
+        backbone_, aligner_, optimizer_.get(), options.align_interval,
+        options.workers, grad_accum);
+  }
   if (!options.checkpoint_dir.empty()) {
     ckpt::CheckpointManagerOptions checkpoint_options;
     checkpoint_options.dir = options.checkpoint_dir;
@@ -58,6 +69,7 @@ Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
 void Trainer::AddObserver(TrainObserver* observer) { observers_.Add(observer); }
 
 double Trainer::RunEpoch() {
+  if (executor_ != nullptr) return RunEpochParallel();
   const int64_t epoch = epochs_completed_ + 1;
   batches_->NewEpoch(rng_);
   double epoch_loss = 0.0;
@@ -81,6 +93,48 @@ double Trainer::RunEpoch() {
     event.align_loss = outcome.align_loss;
     observers_.OnBatchEnd(event);
     ++epoch_batches;
+  }
+  return epoch_batches > 0 ? epoch_loss / static_cast<double>(epoch_batches) : 0.0;
+}
+
+double Trainer::RunEpochParallel() {
+  const int64_t epoch = epochs_completed_ + 1;
+  const int64_t k = executor_->grad_accum();
+  batches_->NewEpoch(rng_);
+  double epoch_loss = 0.0;
+  int64_t epoch_batches = 0;
+  std::vector<std::vector<data::TrainTriple>> group(k);
+  for (;;) {
+    // Batches (and their negative samples) are drawn serially from the main
+    // rng, exactly like the serial path — the group boundary is the only
+    // difference.
+    int64_t count = 0;
+    while (count < k && batches_->NextBatch(group[count], rng_)) ++count;
+    if (count == 0) break;
+
+    const int64_t step_before = step_->step_count();
+    const ParallelStepExecutor::SuperStepResult result =
+        executor_->Execute(group, count, rng_, step_before);
+    // step_ owns the counter the checkpoints serialize; mirror the
+    // super-step's advance into it.
+    step_->set_step_count(step_before + result.steps_advanced);
+    if (!result.applied) return kNan;
+
+    for (int64_t s = 0; s < count; ++s) {
+      const TrainStep::Outcome& outcome = result.outcomes[s];
+      epoch_loss += outcome.loss;
+      BatchEndEvent event;
+      event.epoch = epoch;
+      event.batch_index = epoch_batches;
+      event.step = step_before + s + 1;
+      event.loss = outcome.loss;
+      event.bpr_loss = outcome.bpr_loss;
+      event.reg_loss = outcome.reg_loss;
+      event.ssl_loss = outcome.ssl_loss;
+      event.align_loss = outcome.align_loss;
+      observers_.OnBatchEnd(event);
+      ++epoch_batches;
+    }
   }
   return epoch_batches > 0 ? epoch_loss / static_cast<double>(epoch_batches) : 0.0;
 }

@@ -15,6 +15,7 @@
 #include "data/sampler.h"
 #include "eval/metrics.h"
 #include "pipeline/observer.h"
+#include "pipeline/parallel_executor.h"
 #include "pipeline/policies.h"
 #include "pipeline/train_step.h"
 #include "tensor/matrix.h"
@@ -61,6 +62,18 @@ struct TrainOptions {
   /// max_divergence_retries times before giving up.
   float lr_backoff = 0.5f;
   int64_t max_divergence_retries = 3;
+
+  /// Data-parallel training (opt-in): with workers > 1 or grad_accum > 1
+  /// the trainer runs super-steps of `grad_accum` consecutive batches
+  /// concurrently on `workers` threads, reduces gradients in batch-slot
+  /// order, and applies one (mean-gradient) Adam update per super-step.
+  /// grad_accum == 0 means "same as workers". The worker count never
+  /// changes results: workers=N is bitwise equal to workers=1 at the same
+  /// grad_accum, and checkpoints are byte-identical across worker counts.
+  /// The default (workers=1, grad_accum=0 → 1) keeps the serial per-batch
+  /// update path, bit-identical to every earlier release.
+  int workers = 1;
+  int64_t grad_accum = 0;
 };
 
 /// Outcome of one training run.
@@ -168,8 +181,12 @@ class Trainer {
   std::unique_ptr<data::BatchIterator> batches_;
   std::unique_ptr<ckpt::CheckpointManager> checkpoints_;  // Null if disabled.
 
+  /// The data-parallel epoch body (super-steps through executor_).
+  double RunEpochParallel();
+
   // Staged-loop units.
   std::unique_ptr<TrainStep> step_;
+  std::unique_ptr<ParallelStepExecutor> executor_;  // Null in serial mode.
   EarlyStopping early_stopping_;
   MultiObserver observers_;
   std::unique_ptr<LoggingObserver> verbose_observer_;  // Owned; null unless verbose.

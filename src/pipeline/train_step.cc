@@ -52,8 +52,8 @@ TrainStep::TrainStep(cf::GraphBackbone* backbone, align::Aligner* aligner,
   DARE_CHECK_GT(align_interval, 0);
 }
 
-bool TrainStep::GradientsFinite() const {
-  for (const Variable& p : optimizer_->params()) {
+bool TrainStep::GradientsFinite(const std::vector<Variable>& params) {
+  for (const Variable& p : params) {
     const tensor::Matrix& grad = p.grad();
     const float* data = grad.data();
     const int64_t n = grad.size();
@@ -79,11 +79,59 @@ TrainStep::Outcome TrainStep::Execute(const std::vector<data::TrainTriple>& batc
   return outcome;
 }
 
+TrainStep::Outcome TrainStep::ExecuteAccumulate(
+    const std::vector<data::TrainTriple>& batch, core::Rng& rng,
+    bool align_phase, tensor::GradSink* sink,
+    std::vector<tensor::Matrix>* align_state) {
+  if (!graph_context_enabled_) {
+    return AccumulateImpl(batch, rng, align_phase, sink, align_state);
+  }
+  tensor::GraphContext::Scope scope(&graph_context_);
+  Outcome outcome = AccumulateImpl(batch, rng, align_phase, sink, align_state);
+  graph_context_.Reset();
+  return outcome;
+}
+
+TrainStep::Outcome TrainStep::AccumulateImpl(
+    const std::vector<data::TrainTriple>& batch, core::Rng& rng,
+    bool align_phase, tensor::GradSink* sink,
+    std::vector<tensor::Matrix>* align_state) {
+  Outcome outcome;
+  Variable loss = BuildLoss(batch, rng, align_phase, align_state, &outcome);
+  if (!std::isfinite(outcome.loss)) return outcome;
+  {
+    // Backward is the only place parameter gradients accumulate, so scoping
+    // the sink here diverts exactly them.
+    tensor::GradSink::Scope sink_scope(sink);
+    Backward(loss);
+  }
+  outcome.finite = true;
+  return outcome;
+}
+
 TrainStep::Outcome TrainStep::ExecuteImpl(
     const std::vector<data::TrainTriple>& batch, core::Rng& rng) {
-  const cf::BackboneOptions& bopt = backbone_->options();
   Outcome outcome;
   optimizer_->ZeroGrad();
+  Variable loss = BuildLoss(batch, rng, step_count_ % align_interval_ == 0,
+                            /*align_state=*/nullptr, &outcome);
+  // Divergence guard: abort before the poisoned update is applied; the loop
+  // above decides whether to roll back to a checkpoint.
+  if (!std::isfinite(outcome.loss)) return outcome;
+
+  ++step_count_;
+  Backward(loss);
+  if (!GradientsFinite(optimizer_->params())) return outcome;
+  optimizer_->Step();
+  outcome.finite = true;
+  return outcome;
+}
+
+Variable TrainStep::BuildLoss(const std::vector<data::TrainTriple>& batch,
+                              core::Rng& rng, bool align_phase,
+                              std::vector<tensor::Matrix>* align_state,
+                              Outcome* outcome) {
+  const cf::BackboneOptions& bopt = backbone_->options();
 
   Variable nodes = backbone_->Forward(/*training=*/true, rng);
   Variable scored = aligner_ != nullptr ? aligner_->AugmentNodes(nodes) : nodes;
@@ -93,7 +141,7 @@ TrainStep::Outcome TrainStep::ExecuteImpl(
   Variable pos = GatherRows(scored, ids.pos_items);
   Variable neg = GatherRows(scored, ids.neg_items);
   Variable loss = BprLoss(RowDot(users, pos), RowDot(users, neg));
-  outcome.bpr_loss = loss.scalar();
+  outcome->bpr_loss = loss.scalar();
 
   if (bopt.l2_reg > 0.0f) {
     // Standard BPR regularization on the batch's initial embeddings.
@@ -103,37 +151,30 @@ TrainStep::Outcome TrainStep::ExecuteImpl(
                                       GatherRows(e0, std::move(ids.neg_items))});
     Variable reg_term =
         ScalarMul(reg, bopt.l2_reg / static_cast<float>(batch.size()));
-    outcome.reg_loss = reg_term.scalar();
+    outcome->reg_loss = reg_term.scalar();
     loss = Add(loss, reg_term);
   }
 
   Variable ssl = backbone_->SslLoss(nodes, rng);
   if (!ssl.IsNull()) {
     Variable ssl_term = ScalarMul(ssl, bopt.ssl_weight);
-    outcome.ssl_loss = ssl_term.scalar();
+    outcome->ssl_loss = ssl_term.scalar();
     loss = Add(loss, ssl_term);
   }
 
-  if (aligner_ != nullptr && step_count_ % align_interval_ == 0) {
-    Variable align_loss = aligner_->Loss(nodes, rng);
+  if (aligner_ != nullptr && align_phase) {
+    Variable align_loss = align_state == nullptr
+                              ? aligner_->Loss(nodes, rng)
+                              : aligner_->LossWithState(nodes, rng, align_state);
     if (!align_loss.IsNull()) {
-      outcome.align_loss = align_loss.scalar();
+      outcome->align_loss = align_loss.scalar();
       loss = Add(loss, align_loss);
     }
   }
 
-  outcome.loss = loss.scalar();
-  if (core::FailPoint::Fires("trainer.nan_loss")) outcome.loss = kNan;
-  // Divergence guard: abort before the poisoned update is applied; the loop
-  // above decides whether to roll back to a checkpoint.
-  if (!std::isfinite(outcome.loss)) return outcome;
-
-  ++step_count_;
-  Backward(loss);
-  if (!GradientsFinite()) return outcome;
-  optimizer_->Step();
-  outcome.finite = true;
-  return outcome;
+  outcome->loss = loss.scalar();
+  if (core::FailPoint::Fires("trainer.nan_loss")) outcome->loss = kNan;
+  return loss;
 }
 
 }  // namespace darec::pipeline

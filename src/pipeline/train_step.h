@@ -55,6 +55,24 @@ class TrainStep {
   /// align-interval phase is taken before the increment).
   Outcome Execute(const std::vector<data::TrainTriple>& batch, core::Rng& rng);
 
+  /// Data-parallel form: forward + losses + backward for one batch slot of
+  /// a super-step, with no optimizer interaction — ZeroGrad, the gradient
+  /// reduction, the finiteness check, and the Adam apply are the executor's
+  /// job (pipeline::ParallelStepExecutor). Parameter gradients land in
+  /// `sink` (registered on the optimizer's params) instead of the shared
+  /// nodes, so concurrent slots never race; the align loss runs iff
+  /// `align_phase`, reading/writing `align_state` instead of the aligner's
+  /// member state. Does not touch step_count(). Outcome.finite means "loss
+  /// finite, gradients captured" — gradient finiteness is judged once on
+  /// the reduced gradients.
+  Outcome ExecuteAccumulate(const std::vector<data::TrainTriple>& batch,
+                            core::Rng& rng, bool align_phase,
+                            tensor::GradSink* sink,
+                            std::vector<tensor::Matrix>* align_state);
+
+  /// True if every gradient in `params` is finite (empty gradients pass).
+  static bool GradientsFinite(const std::vector<tensor::Variable>& params);
+
   /// Global optimizer-step counter; serialized in the checkpoint "meta"
   /// section so a resumed run keeps the align-interval phase.
   int64_t step_count() const { return step_count_; }
@@ -77,9 +95,18 @@ class TrainStep {
   /// scope and resets the arena once the step's Variables are gone.
   Outcome ExecuteImpl(const std::vector<data::TrainTriple>& batch,
                       core::Rng& rng);
+  Outcome AccumulateImpl(const std::vector<data::TrainTriple>& batch,
+                         core::Rng& rng, bool align_phase,
+                         tensor::GradSink* sink,
+                         std::vector<tensor::Matrix>* align_state);
 
-  /// True if every parameter gradient is finite.
-  bool GradientsFinite() const;
+  /// Forward + loss assembly shared by the serial and data-parallel paths;
+  /// fills the outcome's loss components (including the failpoint-poisoned
+  /// total) and returns the total-loss Variable.
+  tensor::Variable BuildLoss(const std::vector<data::TrainTriple>& batch,
+                             core::Rng& rng, bool align_phase,
+                             std::vector<tensor::Matrix>* align_state,
+                             Outcome* outcome);
 
   cf::GraphBackbone* backbone_;
   align::Aligner* aligner_;  // May be null.

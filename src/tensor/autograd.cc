@@ -13,6 +13,8 @@ std::atomic<int64_t> g_next_node_id{0};
 
 thread_local GraphContext* t_current_context = nullptr;
 
+thread_local GradSink* t_current_sink = nullptr;
+
 }  // namespace
 
 Node::Node(Matrix value, bool requires_grad)
@@ -24,6 +26,7 @@ void Node::AccumulateGrad(const Matrix& g) {
   DARE_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols())
       << "gradient shape " << g.rows() << "x" << g.cols() << " vs value "
       << value_.rows() << "x" << value_.cols();
+  if (GradSink::MaybeDivert(this, g)) return;
   if (grad_.empty()) {
     // Bitwise copy, not add-into-zeros: 0.0f + (-0.0f) would flip the sign
     // bit of negative zeros. CopyFrom reuses the capacity ClearGrad kept.
@@ -32,6 +35,43 @@ void Node::AccumulateGrad(const Matrix& g) {
     grad_.AddInPlace(g);
   }
 }
+
+void GradSink::Register(const std::vector<Variable>& params) {
+  DARE_CHECK(buffers_.empty()) << "GradSink registered twice";
+  buffers_.resize(params.size());
+  index_.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    index_.emplace(params[i].node().get(), i);
+  }
+}
+
+void GradSink::Clear() {
+  for (Matrix& b : buffers_) b.ClearKeepCapacity();
+}
+
+bool GradSink::MaybeDivert(Node* node, const Matrix& g) {
+  GradSink* sink = t_current_sink;
+  if (sink == nullptr) return false;
+  const auto it = sink->index_.find(node);
+  if (it == sink->index_.end()) return false;
+  Matrix& buf = sink->buffers_[it->second];
+  // Same bitwise protocol as Node gradients: first touch copies (preserving
+  // negative zeros), later touches add. Draining the buffer through
+  // AccumulateGrad then reproduces exactly what a serial run accumulates.
+  if (buf.empty()) {
+    buf.CopyFrom(g);
+  } else {
+    buf.AddInPlace(g);
+  }
+  return true;
+}
+
+GradSink::Scope::Scope(GradSink* sink) {
+  DARE_CHECK(t_current_sink == nullptr) << "GradSink scopes don't nest";
+  t_current_sink = sink;
+}
+
+GradSink::Scope::~Scope() { t_current_sink = nullptr; }
 
 void Node::ReinitForReuse(bool requires_grad) {
   requires_grad_ = requires_grad;

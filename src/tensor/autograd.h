@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -240,6 +241,60 @@ class Variable {
 
  private:
   std::shared_ptr<Node> node_;
+};
+
+/// Thread-local diversion of parameter-gradient accumulation, the building
+/// block of data-parallel training (pipeline::ParallelStepExecutor).
+///
+/// A worker running backward for its batch slot installs a Scope; while it
+/// is active, Node::AccumulateGrad on a *registered* node lands in the
+/// sink's per-parameter buffer instead of the shared node — concurrent
+/// workers never touch the same memory. Unregistered nodes (the step's
+/// intermediates, which are per-worker anyway) accumulate normally.
+///
+/// Buffers mimic Node gradients bitwise: the first accumulation copies
+/// (preserving negative zeros), later ones AddInPlace. After the workers
+/// join, the executor drains each sink in a fixed slot order via
+/// Node::AccumulateGrad(sink.buffer(i)) — no Scope active — which makes the
+/// cross-slot reduction order worker-count independent.
+///
+/// Not thread-safe; one sink per worker, registered once, Clear()ed between
+/// super-steps (buffer capacity is kept, so steady state allocates nothing).
+class GradSink {
+ public:
+  GradSink() = default;
+  GradSink(const GradSink&) = delete;
+  GradSink& operator=(const GradSink&) = delete;
+
+  /// Registers the parameters whose gradients this sink captures, in the
+  /// reduction order. Call once, before the first Scope.
+  void Register(const std::vector<Variable>& params);
+
+  size_t size() const { return buffers_.size(); }
+  /// Captured gradient for the i-th registered parameter; empty when no
+  /// gradient flowed into it during the sink's Scopes.
+  const Matrix& buffer(size_t i) const { return buffers_[i]; }
+
+  /// Empties every buffer, keeping capacity.
+  void Clear();
+
+  /// True (after accumulating into the buffer) when `node` is registered
+  /// with the sink currently installed on this thread. Called by
+  /// Node::AccumulateGrad.
+  static bool MaybeDivert(Node* node, const Matrix& g);
+
+  /// RAII install on the current thread. Scopes don't nest.
+  class Scope {
+   public:
+    explicit Scope(GradSink* sink);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+ private:
+  std::unordered_map<const Node*, size_t> index_;
+  std::vector<Matrix> buffers_;
 };
 
 /// Runs reverse-mode differentiation from `root` (must be 1x1). Seeds the

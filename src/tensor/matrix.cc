@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/thread_pool.h"
+#include "tensor/simd/kernels.h"
 #include "tensor/workspace.h"
 
 namespace darec::tensor {
@@ -56,15 +57,17 @@ void Matrix::AddInPlace(const Matrix& other, float scale) {
       << other.rows_ << "x" << other.cols_;
   const float* src = other.data();
   float* dst = data();
+  const simd::KernelTable& kt = simd::Kernels();
   core::ParallelFor(0, size(), kElemwiseGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) dst[i] += scale * src[i];
+    kt.axpy(dst + b, src + b, scale, e - b);
   });
 }
 
 void Matrix::ScaleInPlace(float scale) {
   float* dst = data();
+  const simd::KernelTable& kt = simd::Kernels();
   core::ParallelFor(0, size(), kElemwiseGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) dst[i] *= scale;
+    kt.scale(dst + b, scale, e - b);
   });
 }
 
@@ -95,68 +98,15 @@ std::string Matrix::DebugString(int64_t max_rows, int64_t max_cols) const {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Blocked matmul. One register-tiled C += A·B kernel; the transpose variants
-// are reduced to it by materializing the (cheap, parallel) transpose of the
-// smaller operand. Per output element the accumulation order over the inner
-// dimension is always ascending p, independent of tiling and chunking, so
-// every path is bit-deterministic at any thread count.
+// Blocked matmul. One register-tiled C += A·B kernel (the ISA-dispatched
+// simd::matmul_row_range); the transpose variants are reduced to it by
+// materializing the (cheap, parallel) transpose of the smaller operand. Per
+// output element the accumulation order over the inner dimension is always
+// ascending p, independent of tiling, chunking, and ISA tier, so every path
+// is bit-deterministic at any thread count.
 // ---------------------------------------------------------------------------
 
-constexpr int64_t kRowTile = 4;   // C rows per register tile
-constexpr int64_t kColTile = 32;  // C cols per register tile
-
-// Accumulates `rows` (≤ 4) rows × `width` (≤ kColTile) cols of C starting at
-// (i0, j0). Accumulators live in a local tile the compiler keeps in vector
-// registers for the hot full-size case.
-template <int kRows>
-void MatMulTile(const Matrix& a, const Matrix& b, Matrix& c, int64_t i0,
-                int64_t j0, int64_t width) {
-  const int64_t k = a.cols();
-  const float* arow[kRows];
-  float* crow[kRows];
-  for (int r = 0; r < kRows; ++r) {
-    arow[r] = a.Row(i0 + r);
-    crow[r] = c.Row(i0 + r) + j0;
-  }
-  float acc[kRows][kColTile] = {};
-  if (width == kColTile) {  // hot path: fixed trip count, fully vectorized
-    for (int64_t p = 0; p < k; ++p) {
-      const float* bp = b.Row(p) + j0;
-      for (int r = 0; r < kRows; ++r) {
-        const float av = arow[r][p];
-        for (int64_t j = 0; j < kColTile; ++j) acc[r][j] += av * bp[j];
-      }
-    }
-  } else {
-    for (int64_t p = 0; p < k; ++p) {
-      const float* bp = b.Row(p) + j0;
-      for (int r = 0; r < kRows; ++r) {
-        const float av = arow[r][p];
-        for (int64_t j = 0; j < width; ++j) acc[r][j] += av * bp[j];
-      }
-    }
-  }
-  for (int r = 0; r < kRows; ++r) {
-    for (int64_t j = 0; j < width; ++j) crow[r][j] += acc[r][j];
-  }
-}
-
-// C rows [r0, r1) += A rows [r0, r1) · B.
-void MatMulRowRange(const Matrix& a, const Matrix& b, Matrix& c, int64_t r0,
-                    int64_t r1) {
-  const int64_t n = b.cols();
-  int64_t i = r0;
-  for (; i + kRowTile <= r1; i += kRowTile) {
-    int64_t j = 0;
-    for (; j + kColTile <= n; j += kColTile) MatMulTile<kRowTile>(a, b, c, i, j, kColTile);
-    if (j < n) MatMulTile<kRowTile>(a, b, c, i, j, n - j);
-  }
-  for (; i < r1; ++i) {
-    int64_t j = 0;
-    for (; j + kColTile <= n; j += kColTile) MatMulTile<1>(a, b, c, i, j, kColTile);
-    if (j < n) MatMulTile<1>(a, b, c, i, j, n - j);
-  }
-}
+constexpr int64_t kRowTile = simd::kMatMulRowTile;
 
 // C += A · B with A [m,k], B [k,n]; cache/register-blocked, parallel over
 // kRowTile-row strips.
@@ -165,8 +115,10 @@ void MatMulNnInto(const Matrix& a, const Matrix& b, Matrix& c) {
   if (m == 0 || k == 0 || n == 0) return;
   const int64_t strips = (m + kRowTile - 1) / kRowTile;
   const int64_t grain = RowGrain(kRowTile * k * n);
+  const simd::KernelTable& kt = simd::Kernels();
   core::ParallelFor(0, strips, grain, [&](int64_t s0, int64_t s1) {
-    MatMulRowRange(a, b, c, s0 * kRowTile, std::min(m, s1 * kRowTile));
+    kt.matmul_row_range(a.data(), b.data(), c.data(), k, n, s0 * kRowTile,
+                        std::min(m, s1 * kRowTile));
   });
 }
 
@@ -239,8 +191,9 @@ void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out) {
   out->CopyFrom(a);
   float* dst = out->data();
   const float* src = b.data();
+  const simd::KernelTable& kt = simd::Kernels();
   core::ParallelFor(0, out->size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) dst[i] *= src[i];
+    kt.hadamard(dst + lo, src + lo, hi - lo);
   });
 }
 
@@ -395,15 +348,10 @@ void PairwiseSquaredDistancesInto(const Matrix& a, const Matrix& b, Matrix* out)
   const float* an_data = a_norms->data();
   const float* bn_data = b_norms->data();
   const int64_t nb = b.rows();
+  const simd::KernelTable& kt = simd::Kernels();
   core::ParallelFor(0, a.rows(), RowGrain(nb), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      const float an = an_data[i];
-      const float* prow = prod->Row(i);
-      float* drow = d.Row(i);
-      for (int64_t j = 0; j < nb; ++j) {
-        const float v = an + bn_data[j] - 2.0f * prow[j];
-        drow[j] = v > 0.0f ? v : 0.0f;
-      }
+      kt.pairwise_assemble(d.Row(i), prod->Row(i), bn_data, an_data[i], nb);
     }
   });
 }

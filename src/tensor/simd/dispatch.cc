@@ -1,0 +1,23 @@
+#include "tensor/simd/kernels.h"
+
+#include "core/check.h"
+#include "core/cpu_features.h"
+
+namespace darec::tensor::simd {
+
+const KernelTable& KernelsFor(core::SimdLevel level) {
+  switch (level) {
+    case core::SimdLevel::kScalar:
+      return kScalarKernels;
+    case core::SimdLevel::kAvx2:
+      return kAvx2Kernels;
+    case core::SimdLevel::kAvx512:
+      return kAvx512Kernels;
+  }
+  DARE_CHECK(false) << "unknown SimdLevel " << static_cast<int>(level);
+  return kScalarKernels;  // unreachable
+}
+
+const KernelTable& Kernels() { return KernelsFor(core::ActiveSimdLevel()); }
+
+}  // namespace darec::tensor::simd

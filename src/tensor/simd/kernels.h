@@ -1,0 +1,57 @@
+#ifndef DAREC_TENSOR_SIMD_KERNELS_H_
+#define DAREC_TENSOR_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+#include "core/cpu_features.h"
+
+namespace darec::tensor::simd {
+
+/// Register-tile geometry of the blocked matmul (tensor/matrix.cc splits
+/// row strips on kRowTile boundaries; the per-ISA kernels tile inside).
+inline constexpr int64_t kMatMulRowTile = 4;   // C rows per register tile
+inline constexpr int64_t kMatMulColTile = 32;  // C cols per register tile
+
+/// The ISA-specialized inner loops of the tensor hot path. One table per
+/// compiled tier (scalar / AVX2+FMA / AVX-512F); tensor/matrix.cc calls
+/// through the table returned by Kernels().
+///
+/// Bitwise contract: every implementation performs the exact same
+/// per-element operation sequence as the scalar tier — multiply then add
+/// (no FMA contraction), inner-dimension accumulation in ascending order —
+/// so all tiers produce bit-identical results. The wider tiers only
+/// vectorize across *independent* output elements, which never reorders a
+/// per-element chain. Enforced by cpu_features_test and the golden traces.
+struct KernelTable {
+  /// C rows [r0, r1) += A rows [r0, r1) · B, row-major; A is ·×k, B is
+  /// k×n, C is ·×n (leading dimensions == logical widths).
+  void (*matmul_row_range)(const float* a, const float* b, float* c,
+                           int64_t k, int64_t n, int64_t r0, int64_t r1);
+  /// dst[i] += scale * src[i] for i in [0, n).
+  void (*axpy)(float* dst, const float* src, float scale, int64_t n);
+  /// dst[i] *= scale for i in [0, n).
+  void (*scale)(float* dst, float scale, int64_t n);
+  /// dst[i] *= src[i] for i in [0, n).
+  void (*hadamard)(float* dst, const float* src, int64_t n);
+  /// drow[j] = max(a_norm + b_norms[j] - 2 * prow[j], 0) for j in [0, n) —
+  /// the assembly loop of PairwiseSquaredDistances.
+  void (*pairwise_assemble)(float* drow, const float* prow,
+                            const float* b_norms, float a_norm, int64_t n);
+  const char* name;
+};
+
+extern const KernelTable kScalarKernels;
+extern const KernelTable kAvx2Kernels;
+extern const KernelTable kAvx512Kernels;
+
+/// The table for an explicit level (bench sweeps).
+const KernelTable& KernelsFor(core::SimdLevel level);
+
+/// The table for core::ActiveSimdLevel(). Re-resolved on every call (one
+/// relaxed atomic load), so SetSimdLevelForTest switches take effect
+/// immediately; callers hoist the reference out of their chunk loops.
+const KernelTable& Kernels();
+
+}  // namespace darec::tensor::simd
+
+#endif  // DAREC_TENSOR_SIMD_KERNELS_H_

@@ -1,0 +1,169 @@
+#include "core/cpu_features.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/simd/kernels.h"
+
+namespace darec::core {
+namespace {
+
+TEST(CpuFeaturesTest, ParseSimdLevelAcceptsTheThreeTierNames) {
+  auto scalar = ParseSimdLevel("scalar");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(*scalar, SimdLevel::kScalar);
+  auto avx2 = ParseSimdLevel("avx2");
+  ASSERT_TRUE(avx2.ok());
+  EXPECT_EQ(*avx2, SimdLevel::kAvx2);
+  auto avx512 = ParseSimdLevel("avx512");
+  ASSERT_TRUE(avx512.ok());
+  EXPECT_EQ(*avx512, SimdLevel::kAvx512);
+}
+
+TEST(CpuFeaturesTest, ParseSimdLevelRejectsGarbage) {
+  for (const char* bad : {"", "AVX2", "avx-512", "sse", "scalar ", "3"}) {
+    auto parsed = ParseSimdLevel(bad);
+    EXPECT_FALSE(parsed.ok()) << "'" << bad << "' should not parse";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CpuFeaturesTest, LevelNamesRoundTrip) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    auto parsed = ParseSimdLevel(SimdLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+}
+
+TEST(CpuFeaturesTest, SetSimdLevelForTestRedirectsDispatch) {
+  const SimdLevel original = ActiveSimdLevel();
+  SetSimdLevelForTest(SimdLevel::kScalar);
+  EXPECT_STREQ(tensor::simd::Kernels().name, "scalar");
+  if (HardwareSimdLevel() >= SimdLevel::kAvx2) {
+    SetSimdLevelForTest(SimdLevel::kAvx2);
+    EXPECT_STREQ(tensor::simd::Kernels().name, "avx2");
+  }
+  SetSimdLevelForTest(original);
+}
+
+TEST(CpuFeaturesDeathTest, EnvOverrideRejectsGarbage) {
+  setenv("DAREC_SIMD", "fastest", 1);
+  EXPECT_DEATH(SimdLevelFromEnvOrDie(), "DAREC_SIMD");
+  setenv("DAREC_SIMD", "avx1024", 1);
+  EXPECT_DEATH(SimdLevelFromEnvOrDie(), "DAREC_SIMD");
+  unsetenv("DAREC_SIMD");
+}
+
+TEST(CpuFeaturesTest, EnvOverrideHonored) {
+  setenv("DAREC_SIMD", "scalar", 1);
+  EXPECT_EQ(SimdLevelFromEnvOrDie(), SimdLevel::kScalar);
+  unsetenv("DAREC_SIMD");
+  EXPECT_EQ(SimdLevelFromEnvOrDie(), HardwareSimdLevel());
+}
+
+/// Every compiled tier must be bitwise equal to the scalar tier on shapes
+/// chosen to exercise full vector bodies, ragged tails, and sub-vector
+/// remainders (primes, one-past-tile, tiny).
+class SimdParityTest : public ::testing::Test {
+ protected:
+  static std::vector<float> RandomVec(int64_t n, Rng& rng) {
+    std::vector<float> v(n);
+    // Mixed magnitudes and signs so reassociation/contraction would show.
+    for (int64_t i = 0; i < n; ++i) {
+      v[i] = rng.Uniform(-1.0f, 1.0f) * (1.0f + 1000.0f * rng.Uniform(0.0f, 1.0f));
+    }
+    return v;
+  }
+
+  static std::vector<SimdLevel> CompiledLevelsAboveScalar() {
+    std::vector<SimdLevel> levels;
+    if (HardwareSimdLevel() >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+    if (HardwareSimdLevel() >= SimdLevel::kAvx512)
+      levels.push_back(SimdLevel::kAvx512);
+    return levels;
+  }
+};
+
+TEST_F(SimdParityTest, MatMulRowRangeMatchesScalarBitwise) {
+  const tensor::simd::KernelTable& scalar =
+      tensor::simd::KernelsFor(SimdLevel::kScalar);
+  Rng rng(20240807);
+  // (m, k, n) triples: primes, tile-exact, one element, tile+1.
+  const int64_t shapes[][3] = {{7, 13, 31}, {4, 8, 32},  {1, 1, 1},
+                               {5, 32, 33}, {9, 17, 64}, {3, 64, 37}};
+  for (const auto& shape : shapes) {
+    const int64_t m = shape[0], k = shape[1], n = shape[2];
+    const std::vector<float> a = RandomVec(m * k, rng);
+    const std::vector<float> b = RandomVec(k * n, rng);
+    std::vector<float> expected(m * n, 0.5f);
+    scalar.matmul_row_range(a.data(), b.data(), expected.data(), k, n, 0, m);
+    for (SimdLevel level : CompiledLevelsAboveScalar()) {
+      const tensor::simd::KernelTable& kt = tensor::simd::KernelsFor(level);
+      std::vector<float> got(m * n, 0.5f);
+      kt.matmul_row_range(a.data(), b.data(), got.data(), k, n, 0, m);
+      for (int64_t i = 0; i < m * n; ++i) {
+        ASSERT_EQ(got[i], expected[i])
+            << kt.name << " " << m << "x" << k << "x" << n << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST_F(SimdParityTest, ElementwiseKernelsMatchScalarBitwise) {
+  const tensor::simd::KernelTable& scalar =
+      tensor::simd::KernelsFor(SimdLevel::kScalar);
+  Rng rng(777);
+  for (int64_t n : {1, 7, 16, 17, 31, 64, 97, 1024, 1031}) {
+    const std::vector<float> src = RandomVec(n, rng);
+    const std::vector<float> base = RandomVec(n, rng);
+    const float s = 0.37f;
+
+    std::vector<float> axpy_want = base, scale_want = base, had_want = base;
+    scalar.axpy(axpy_want.data(), src.data(), s, n);
+    scalar.scale(scale_want.data(), s, n);
+    scalar.hadamard(had_want.data(), src.data(), n);
+
+    for (SimdLevel level : CompiledLevelsAboveScalar()) {
+      const tensor::simd::KernelTable& kt = tensor::simd::KernelsFor(level);
+      std::vector<float> axpy_got = base, scale_got = base, had_got = base;
+      kt.axpy(axpy_got.data(), src.data(), s, n);
+      kt.scale(scale_got.data(), s, n);
+      kt.hadamard(had_got.data(), src.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(axpy_got[i], axpy_want[i]) << kt.name << " axpy n=" << n;
+        ASSERT_EQ(scale_got[i], scale_want[i]) << kt.name << " scale n=" << n;
+        ASSERT_EQ(had_got[i], had_want[i]) << kt.name << " hadamard n=" << n;
+      }
+    }
+  }
+}
+
+TEST_F(SimdParityTest, PairwiseAssembleMatchesScalarBitwise) {
+  const tensor::simd::KernelTable& scalar =
+      tensor::simd::KernelsFor(SimdLevel::kScalar);
+  Rng rng(31337);
+  for (int64_t n : {1, 15, 16, 17, 61, 128, 131}) {
+    const std::vector<float> prow = RandomVec(n, rng);
+    std::vector<float> b_norms = RandomVec(n, rng);
+    for (float& v : b_norms) v = v * v;  // Norms are non-negative.
+    const float a_norm = 2.5f;
+
+    std::vector<float> want(n, -1.0f), got(n, -1.0f);
+    scalar.pairwise_assemble(want.data(), prow.data(), b_norms.data(), a_norm, n);
+    for (SimdLevel level : CompiledLevelsAboveScalar()) {
+      const tensor::simd::KernelTable& kt = tensor::simd::KernelsFor(level);
+      kt.pairwise_assemble(got.data(), prow.data(), b_norms.data(), a_norm, n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], want[i]) << kt.name << " n=" << n << " elem " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace darec::core

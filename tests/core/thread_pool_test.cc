@@ -121,12 +121,22 @@ TEST(ThreadPoolTest, SetGlobalThreadsReplacesPool) {
 TEST(ThreadPoolTest, DefaultThreadsHonorsEnvVar) {
   setenv("DAREC_NUM_THREADS", "5", 1);
   EXPECT_EQ(ThreadPool::DefaultThreads(), 5);
-  setenv("DAREC_NUM_THREADS", "not-a-number", 1);
-  EXPECT_GE(ThreadPool::DefaultThreads(), 1);  // falls back to hardware
-  setenv("DAREC_NUM_THREADS", "-2", 1);
-  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
   unsetenv("DAREC_NUM_THREADS");
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolDeathTest, DefaultThreadsRejectsGarbageEnvVar) {
+  // A typo silently falling back to the hardware count would change run
+  // timings with no visible sign, so garbage is a hard error.
+  setenv("DAREC_NUM_THREADS", "not-a-number", 1);
+  EXPECT_DEATH(ThreadPool::DefaultThreads(), "DAREC_NUM_THREADS=not-a-number");
+  setenv("DAREC_NUM_THREADS", "-2", 1);
+  EXPECT_DEATH(ThreadPool::DefaultThreads(), "expected an integer");
+  setenv("DAREC_NUM_THREADS", "8x", 1);
+  EXPECT_DEATH(ThreadPool::DefaultThreads(), "expected an integer");
+  setenv("DAREC_NUM_THREADS", "0", 1);
+  EXPECT_DEATH(ThreadPool::DefaultThreads(), "expected an integer");
+  unsetenv("DAREC_NUM_THREADS");
 }
 
 TEST(ThreadPoolTest, ManySmallLoopsStress) {

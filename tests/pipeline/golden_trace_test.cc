@@ -4,6 +4,7 @@
 // losses and final metrics as uint64 bit patterns, checkpoint files as
 // size + CRC-32 — and must never drift, at any thread count. A change here
 // is a behavior change, not a refactor.
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -11,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cpu_features.h"
 #include "core/crc32.h"
 #include "core/thread_pool.h"
 #include "gtest/gtest.h"
@@ -86,8 +88,21 @@ class GoldenTraceTest : public ::testing::Test {
  protected:
   void TearDown() override {
     core::ThreadPool::SetGlobalThreads(core::ThreadPool::DefaultThreads());
+    core::SetSimdLevelForTest(core::SimdLevelFromEnvOrDie());
   }
 };
+
+void ExpectMatchesTrace(const TrainResult& result, const GoldenTrace& golden) {
+  ASSERT_EQ(result.epoch_losses.size(), golden.epoch_loss_bits.size());
+  for (size_t i = 0; i < golden.epoch_loss_bits.size(); ++i) {
+    EXPECT_EQ(Bits(result.epoch_losses[i]), golden.epoch_loss_bits[i])
+        << "epoch " << i + 1 << " loss drifted: " << result.epoch_losses[i];
+  }
+  EXPECT_EQ(Bits(result.test_metrics.recall.at(20)), golden.recall20_bits)
+      << "recall@20 drifted: " << result.test_metrics.recall.at(20);
+  EXPECT_EQ(Bits(result.test_metrics.ndcg.at(20)), golden.ndcg20_bits)
+      << "ndcg@20 drifted: " << result.test_metrics.ndcg.at(20);
+}
 
 TEST_F(GoldenTraceTest, LossesAndMetricsMatchPreRefactorTrainer) {
   for (int threads : {1, 8}) {
@@ -103,16 +118,73 @@ TEST_F(GoldenTraceTest, LossesAndMetricsMatchPreRefactorTrainer) {
       auto experiment = Experiment::Create(spec);
       ASSERT_TRUE(experiment.ok());
       const TrainResult result = (*experiment)->Run();
+      ExpectMatchesTrace(result, golden);
+    }
+  }
+}
 
-      ASSERT_EQ(result.epoch_losses.size(), golden.epoch_loss_bits.size());
-      for (size_t i = 0; i < golden.epoch_loss_bits.size(); ++i) {
-        EXPECT_EQ(Bits(result.epoch_losses[i]), golden.epoch_loss_bits[i])
-            << "epoch " << i + 1 << " loss drifted: " << result.epoch_losses[i];
+/// Every compiled SIMD tier reproduces the frozen traces: the runtime-
+/// dispatched kernels are an execution-policy choice, never a numerics one.
+/// The traces were frozen on a scalar-only build, so passing under avx2 and
+/// avx512 proves the wider tiers bit-exact end to end.
+TEST_F(GoldenTraceTest, EverySimdTierReproducesTheFrozenTraces) {
+  for (core::SimdLevel level : {core::SimdLevel::kScalar, core::SimdLevel::kAvx2,
+                                core::SimdLevel::kAvx512}) {
+    if (level > core::HardwareSimdLevel()) continue;
+    SCOPED_TRACE(std::string("simd=") + core::SimdLevelName(level));
+    core::SetSimdLevelForTest(level);
+    for (const GoldenTrace& golden : Traces()) {
+      SCOPED_TRACE("variant=" + golden.variant);
+      ExperimentSpec spec = GoldenSpec(golden.variant);
+      if (golden.early_stopping) {
+        spec.train_options.eval_every = 2;
+        spec.train_options.patience = 10;
       }
-      EXPECT_EQ(Bits(result.test_metrics.recall.at(20)), golden.recall20_bits)
-          << "recall@20 drifted: " << result.test_metrics.recall.at(20);
-      EXPECT_EQ(Bits(result.test_metrics.ndcg.at(20)), golden.ndcg20_bits)
-          << "ndcg@20 drifted: " << result.test_metrics.ndcg.at(20);
+      auto experiment = Experiment::Create(spec);
+      ASSERT_TRUE(experiment.ok());
+      ExpectMatchesTrace((*experiment)->Run(), golden);
+    }
+  }
+}
+
+/// The data-parallel executor's contract, proven on the golden workload:
+/// at grad_accum=8, runs with 1 and 8 workers are bitwise interchangeable —
+/// same losses, same metrics, same final embedding bits. (The grouped
+/// trajectory itself legitimately differs from the frozen serial traces:
+/// one mean-gradient update per 8 batches is a different optimizer
+/// schedule, which is why the groups compare against each other and the
+/// serial path keeps its own frozen traces above.)
+TEST_F(GoldenTraceTest, DataParallelWorkersMatchSingleWorkerBitwise) {
+  for (const GoldenTrace& golden : Traces()) {
+    SCOPED_TRACE("variant=" + golden.variant);
+    ExperimentSpec spec = GoldenSpec(golden.variant);
+    spec.train_options.grad_accum = 8;
+
+    spec.train_options.workers = 1;
+    auto one = Experiment::Create(spec);
+    ASSERT_TRUE(one.ok());
+    const TrainResult serial = (*one)->Run();
+
+    spec.train_options.workers = 8;
+    auto eight = Experiment::Create(spec);
+    ASSERT_TRUE(eight.ok());
+    const TrainResult parallel = (*eight)->Run();
+
+    ASSERT_EQ(parallel.epoch_losses.size(), serial.epoch_losses.size());
+    for (size_t i = 0; i < serial.epoch_losses.size(); ++i) {
+      EXPECT_EQ(Bits(parallel.epoch_losses[i]), Bits(serial.epoch_losses[i]))
+          << "epoch " << i + 1 << " loss differs across worker counts";
+    }
+    EXPECT_EQ(Bits(parallel.test_metrics.recall.at(20)),
+              Bits(serial.test_metrics.recall.at(20)));
+    EXPECT_EQ(Bits(parallel.test_metrics.ndcg.at(20)),
+              Bits(serial.test_metrics.ndcg.at(20)));
+    ASSERT_TRUE(
+        parallel.final_embeddings.SameShape(serial.final_embeddings));
+    for (int64_t i = 0; i < serial.final_embeddings.size(); ++i) {
+      ASSERT_EQ(parallel.final_embeddings.data()[i],
+                serial.final_embeddings.data()[i])
+          << "embedding element " << i << " differs across worker counts";
     }
   }
 }
@@ -164,6 +236,59 @@ TEST_F(GoldenTraceTest, CheckpointBytesMatchPreRefactorTrainer) {
     EXPECT_EQ(core::Crc32(bytes), golden.crc);
   }
   fs::remove_all(dir);
+}
+
+/// Checkpoints never encode the worker count: at the same grad_accum, runs
+/// with 1 and 8 workers write byte-identical DCKP files, so a sweep can be
+/// checkpointed on a laptop and resumed on a many-core box (or vice versa).
+TEST_F(GoldenTraceTest, CheckpointBytesAreWorkerCountIndependent) {
+  struct FileDigest {
+    std::string name;
+    size_t size;
+    uint32_t crc;
+  };
+  auto digest_run = [](const std::string& dir, int workers) {
+    ExperimentSpec spec = GoldenSpec("darec");
+    spec.train_options.epochs = 3;
+    spec.train_options.grad_accum = 4;
+    spec.train_options.workers = workers;
+    spec.train_options.checkpoint_dir = dir;
+    spec.train_options.checkpoint_every = 1;
+    auto experiment = Experiment::Create(spec);
+    EXPECT_TRUE(experiment.ok());
+    (*experiment)->Run();
+
+    std::vector<FileDigest> digests;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      digests.push_back({entry.path().filename().string(), bytes.size(),
+                         core::Crc32(bytes)});
+    }
+    std::sort(digests.begin(), digests.end(),
+              [](const FileDigest& a, const FileDigest& b) {
+                return a.name < b.name;
+              });
+    return digests;
+  };
+
+  const std::string base = ::testing::TempDir() + "/golden_trace_workers_ckpt";
+  fs::remove_all(base + "_w1");
+  fs::remove_all(base + "_w8");
+  const std::vector<FileDigest> w1 = digest_run(base + "_w1", 1);
+  const std::vector<FileDigest> w8 = digest_run(base + "_w8", 8);
+
+  ASSERT_FALSE(w1.empty());
+  ASSERT_EQ(w1.size(), w8.size());
+  for (size_t i = 0; i < w1.size(); ++i) {
+    SCOPED_TRACE(w1[i].name);
+    EXPECT_EQ(w8[i].name, w1[i].name);
+    EXPECT_EQ(w8[i].size, w1[i].size);
+    EXPECT_EQ(w8[i].crc, w1[i].crc);
+  }
+  fs::remove_all(base + "_w1");
+  fs::remove_all(base + "_w8");
 }
 
 }  // namespace
