@@ -7,8 +7,10 @@
 # ThreadSanitizer pass over the parallel runtime (thread pool +
 # blocked/threaded kernels), the staged train loop (crash/resume, policies,
 # observers), the data-parallel step executor (8-worker super-steps) and
-# concurrent workspace acquire/release. A forced DAREC_SIMD=scalar ctest
-# lane and a train_bench smoke guard the runtime-dispatched SIMD kernels.
+# concurrent workspace acquire/release, and the online serving tier
+# (multi-producer microbatch queue with mid-flight snapshot swaps). A forced
+# DAREC_SIMD=scalar ctest lane and train_bench/serve_bench smokes guard the
+# runtime-dispatched SIMD kernels (fp32 and int8).
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -39,9 +41,15 @@ cmake --build build -j "$(nproc)" --target train_bench >/dev/null
 ./build/bench/train_bench datasets=tiny epochs=2 workers=1,8 \
   out=build/BENCH_train_smoke.json
 
+echo "=== smoke: serve bench (microbatched queue, fp32/int8 parity gates) ==="
+cmake --build build -j "$(nproc)" --target serve_bench >/dev/null
+./build/bench/serve_bench smoke=1 out=build/BENCH_serve_smoke.json
+
 echo "=== ctest under DAREC_SIMD=scalar (forced lowest kernel tier) ==="
+# quant_test exercises the int8 score/dequant kernels' naive-reference
+# parity on the scalar tier as well as the dispatched one.
 DAREC_SIMD=scalar ctest --test-dir build --output-on-failure \
-  -R 'matrix_test|ops_property_test|cpu_features_test|golden_trace_test|parallel_executor_test'
+  -R 'matrix_test|ops_property_test|cpu_features_test|golden_trace_test|parallel_executor_test|quant_test'
 
 echo "=== smoke: bench resume (kill table3_main mid-sweep, rerun resume=1) ==="
 cmake --build build -j "$(nproc)" --target table3_main >/dev/null
@@ -82,11 +90,14 @@ if [[ "$run_tsan" == 1 ]]; then
     --target thread_pool_test parallel_kernels_test topk_engine_test \
              kmeans_test failpoint_test trainer_ckpt_test \
              train_policies_test train_observer_test workspace_test \
-             parallel_executor_test cpu_features_test >/dev/null
+             parallel_executor_test cpu_features_test quant_test \
+             server_test >/dev/null
   # parallel_executor_test drives 8-worker super-steps (GradSink diversion,
-  # fixed-order reduction, per-slot aligner state) under TSan.
+  # fixed-order reduction, per-slot aligner state) under TSan. server_test's
+  # hammer runs multi-producer submits against the microbatch flusher with
+  # snapshot swaps mid-flight.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test|parallel_executor_test|cpu_features_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test|parallel_executor_test|cpu_features_test|quant_test|server_test'
 fi
 
 echo "=== all checks passed ==="

@@ -37,9 +37,19 @@ core::StatusOr<Recommender> Recommender::Load(const std::string& path,
 
 core::StatusOr<std::vector<ScoredItem>> Recommender::RecommendTopK(
     int64_t user, int64_t k) const {
-  DARE_ASSIGN_OR_RETURN(std::vector<std::vector<ScoredItem>> lists,
-                        RecommendTopKBatch({user}, k));
-  return std::move(lists.front());
+  if (k <= 0) return core::Status::InvalidArgument("k must be positive");
+  if (user < 0 || user >= dataset_->num_users()) {
+    return core::Status::OutOfRange("bad user id: " + std::to_string(user));
+  }
+  // Single-row engine path: no batch-of-one vectors, no Matrix allocations
+  // in steady state (scratch comes from the global Workspace). The returned
+  // list is the only per-call heap traffic.
+  std::vector<ScoredItem> out;
+  engine_->TopKOne(
+      user, k,
+      [this](int64_t u) { return &dataset_->TrainItemsOfUser(u); },
+      topk::MaskMode::kDrop, &out);
+  return out;
 }
 
 core::StatusOr<std::vector<std::vector<ScoredItem>>>

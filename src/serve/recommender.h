@@ -43,16 +43,21 @@ class Recommender {
                                           const data::Dataset* dataset);
 
   /// Top-k items for `user`, highest score first, training items excluded.
-  /// k is clamped to the number of eligible items. Fails on a bad user id.
-  /// Equivalent to RecommendTopKBatch({user}, k).
+  /// The one k contract, shared with RecommendTopKBatch: non-positive k is
+  /// InvalidArgument; k larger than the user's eligible-item count is
+  /// clamped (the list is simply shorter). Fails on a bad user id.
+  /// Result-for-result identical to RecommendTopKBatch({user}, k), but runs
+  /// the engine's single-row path: pooled scratch, no per-request Matrix
+  /// allocations (see tensor::AllocStats).
   core::StatusOr<std::vector<ScoredItem>> RecommendTopK(int64_t user,
                                                         int64_t k) const;
 
   /// Batched top-k: answers every user in `users` from blocked GEMM passes
   /// over the item table (many users per pass instead of one scalar loop
   /// per request). Result i is the ranked list for users[i]; duplicates are
-  /// allowed. Identical, list for list, to per-user RecommendTopK calls.
-  /// Fails on any bad user id or non-positive k.
+  /// allowed. Identical, list for list, to per-user RecommendTopK calls,
+  /// under the same k contract: non-positive k fails, oversized k clamps
+  /// per user. Fails on any bad user id.
   core::StatusOr<std::vector<std::vector<ScoredItem>>> RecommendTopKBatch(
       const std::vector<int64_t>& users, int64_t k) const;
 

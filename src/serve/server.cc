@@ -1,0 +1,188 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace darec::serve {
+
+Server::Server(std::shared_ptr<const ModelSnapshot> snapshot,
+               const ServerOptions& options)
+    : options_(options) {
+  DARE_CHECK(snapshot != nullptr) << "Server needs an initial snapshot";
+  options_.max_batch = std::max<int64_t>(1, options_.max_batch);
+  options_.flush_deadline_us = std::max<int64_t>(0, options_.flush_deadline_us);
+  snapshot_ = std::move(snapshot);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+Server::~Server() { Stop(); }
+
+std::future<core::StatusOr<TopKResult>> Server::SubmitTopK(int64_t user,
+                                                           int64_t k) {
+  // The unified k contract (serve::Recommender): non-positive k is rejected
+  // up front — it never occupies a batch slot.
+  if (k <= 0) {
+    std::promise<core::StatusOr<TopKResult>> rejected;
+    rejected.set_value(core::Status::InvalidArgument("k must be positive"));
+    return rejected.get_future();
+  }
+  Pending pending;
+  pending.user = user;
+  pending.k = k;
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<core::StatusOr<TopKResult>> future =
+      pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      pending.promise.set_value(
+          core::Status::FailedPrecondition("server is stopped"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    ++stats_.submitted;
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void Server::ReloadModel(std::shared_ptr<const ModelSnapshot> snapshot) {
+  DARE_CHECK(snapshot != nullptr) << "ReloadModel needs a snapshot";
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.reloads;
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (flusher_.joinable()) flusher_.join();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Server::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    FlushReason reason = FlushReason::kDrain;
+    if (!stopping_) {
+      // Wait until the batch fills or the oldest pending request's deadline
+      // passes — whichever fires first releases the flush.
+      const auto deadline =
+          queue_.front().enqueued +
+          std::chrono::microseconds(options_.flush_deadline_us);
+      const bool filled = cv_.wait_until(lock, deadline, [&] {
+        return stopping_ ||
+               static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+      });
+      reason = stopping_        ? FlushReason::kDrain
+               : filled         ? FlushReason::kSize
+                                : FlushReason::kDeadline;
+    }
+    const int64_t take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), options_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    FlushBatch(std::move(batch), reason);
+    lock.lock();
+  }
+}
+
+void Server::FlushBatch(std::vector<Pending> batch, FlushReason reason) {
+  // One pointer copy pins this whole batch to one snapshot; a concurrent
+  // ReloadModel affects only later flushes.
+  const std::shared_ptr<const ModelSnapshot> snapshot = current_snapshot();
+  const data::Dataset& dataset = snapshot->dataset();
+  const bool int8_ok = options_.precision != Precision::kInt8 ||
+                       snapshot->engine().has_int8();
+
+  std::vector<int64_t> users;
+  std::vector<size_t> slots;  // batch index answered by engine list i
+  users.reserve(batch.size());
+  slots.reserve(batch.size());
+  std::vector<std::optional<core::StatusOr<TopKResult>>> outcomes(
+      batch.size());
+  int64_t k_max = 0;
+  int64_t failed = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    if (!int8_ok) {
+      outcomes[i] = core::Status::FailedPrecondition(
+          "snapshot v" + std::to_string(snapshot->version()) +
+          " was built without int8 blocks");
+      ++failed;
+    } else if (p.user < 0 || p.user >= snapshot->num_users()) {
+      outcomes[i] =
+          core::Status::OutOfRange("bad user id: " + std::to_string(p.user));
+      ++failed;
+    } else {
+      users.push_back(p.user);
+      slots.push_back(i);
+      k_max = std::max(k_max, p.k);
+    }
+  }
+
+  if (!users.empty()) {
+    const topk::SeenItemsFn seen = [&dataset](int64_t user) {
+      return &dataset.TrainItemsOfUser(user);
+    };
+    // One engine batch at the largest requested k; each request takes the
+    // prefix it asked for (the deterministic total order makes the top-k
+    // list a prefix of the top-k_max list).
+    std::vector<std::vector<topk::ScoredItem>> lists =
+        snapshot->engine().TopK(users, k_max, seen, topk::MaskMode::kDrop,
+                                options_.precision);
+    for (size_t i = 0; i < slots.size(); ++i) {
+      std::vector<topk::ScoredItem>& list = lists[i];
+      if (static_cast<int64_t>(list.size()) > batch[slots[i]].k) {
+        list.resize(static_cast<size_t>(batch[slots[i]].k));
+      }
+      outcomes[slots[i]] = TopKResult{std::move(list), snapshot->version()};
+    }
+  }
+
+  // Stats land BEFORE any promise is fulfilled: a caller woken by its
+  // future always observes this flush already counted in stats().
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.flushes;
+    switch (reason) {
+      case FlushReason::kSize: ++stats_.size_flushes; break;
+      case FlushReason::kDeadline: ++stats_.deadline_flushes; break;
+      case FlushReason::kDrain: ++stats_.drain_flushes; break;
+    }
+    stats_.completed += static_cast<int64_t>(slots.size());
+    stats_.failed += failed;
+    stats_.max_batch_observed = std::max(
+        stats_.max_batch_observed, static_cast<int64_t>(batch.size()));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(*outcomes[i]));
+  }
+}
+
+}  // namespace darec::serve

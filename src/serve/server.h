@@ -1,0 +1,155 @@
+#ifndef DAREC_SERVE_SERVER_H_
+#define DAREC_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/statusor.h"
+#include "serve/snapshot.h"
+#include "topk/engine.h"
+
+namespace darec::serve {
+
+/// One completed top-K answer: the ranked list plus the version of the
+/// snapshot that scored it (so callers can observe reloads).
+struct TopKResult {
+  std::vector<topk::ScoredItem> items;
+  uint64_t snapshot_version = 0;
+};
+
+struct ServerOptions {
+  /// Size trigger: a flush fires as soon as this many requests are pending.
+  /// Clamped to ≥ 1. max_batch = 1 degenerates to the single-request path
+  /// (one engine batch-of-one per request) — the serve_bench baseline.
+  int64_t max_batch = 64;
+  /// Deadline trigger: a flush fires at latest this long after the OLDEST
+  /// pending request arrived, whatever the batch size — bounding the
+  /// batching delay any request can pay. 0 flushes immediately.
+  int64_t flush_deadline_us = 1000;
+  /// Numeric path batches are scored on. kInt8 requires snapshots built
+  /// with build_int8; requests flushed against a snapshot without int8
+  /// blocks complete with FailedPrecondition.
+  Precision precision = Precision::kFp32;
+};
+
+/// Monotonic counters (see stats()). A flush's reason is whichever trigger
+/// actually released it: size (max_batch reached), deadline (oldest request
+/// aged out), or drain (server stopping).
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;        // fulfilled with a ranked list
+  int64_t failed = 0;           // fulfilled with an error status
+  int64_t flushes = 0;
+  int64_t size_flushes = 0;
+  int64_t deadline_flushes = 0;
+  int64_t drain_flushes = 0;
+  int64_t reloads = 0;
+  int64_t max_batch_observed = 0;
+};
+
+/// The online serving tier: a microbatched request queue in front of
+/// topk::Engine (DESIGN.md §12).
+///
+/// Many producer threads submit independent single-user top-K requests;
+/// one flusher thread coalesces whatever is pending into a single engine
+/// batch — released by a size OR deadline trigger, whichever fires first —
+/// and completes each request through its future. N concurrent batch-of-one
+/// GEMMs become one blocked GEMM per flush, which is where the engine's
+/// batch throughput (BENCH_topk.json) turns into serving throughput
+/// (BENCH_serve.json).
+///
+/// A flush scores every request in the batch with the engine's largest
+/// requested k and hands each request the prefix it asked for. Selection
+/// follows the engine's deterministic total order (score desc, id asc), so
+/// the prefix of a top-kmax list IS the top-k list: results are bitwise
+/// identical to a direct Recommender::RecommendTopK call against the same
+/// snapshot, at any batch composition.
+///
+/// Model reloads are snapshot swaps: the current ModelSnapshot lives behind
+/// a dedicated mutex held only for a shared_ptr copy; ReloadModel swaps the
+/// pointer and returns. A flush in progress keeps the snapshot it pinned
+/// alive through its shared_ptr copy, so no in-flight request ever blocks
+/// on, or is dropped by, a reload — each batch is answered consistently by
+/// exactly one snapshot, and tags its results with that snapshot's version.
+class Server {
+ public:
+  /// Starts the flusher thread. `snapshot` must not be null.
+  explicit Server(std::shared_ptr<const ModelSnapshot> snapshot,
+                  const ServerOptions& options = ServerOptions());
+  /// Stops (draining every pending request) and joins.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a top-k request for `user`. The future completes with the
+  /// ranked list (training items excluded, k clamped to the eligible count
+  /// — the unified k contract of serve::Recommender) or with an error:
+  /// InvalidArgument for non-positive k (failed immediately, never
+  /// enqueued), OutOfRange for a user id the flushed-against snapshot does
+  /// not know, FailedPrecondition after Stop() or for an int8 server whose
+  /// snapshot lacks int8 blocks.
+  std::future<core::StatusOr<TopKResult>> SubmitTopK(int64_t user, int64_t k);
+
+  /// Atomically swaps the servable model. Requests already flushing keep
+  /// the old snapshot; later flushes (including of already-queued requests)
+  /// use the new one. Never blocks request processing.
+  void ReloadModel(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The snapshot new flushes will score against.
+  std::shared_ptr<const ModelSnapshot> current_snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// Drains the queue (every pending future completes), then stops the
+  /// flusher thread. Idempotent. Subsequent submits fail fast.
+  void Stop();
+
+  ServerStats stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  enum class FlushReason { kSize, kDeadline, kDrain };
+
+  struct Pending {
+    int64_t user = 0;
+    int64_t k = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<core::StatusOr<TopKResult>> promise;
+  };
+
+  void FlusherLoop();
+  /// Scores one batch against the current snapshot and fulfills every
+  /// promise in it. Runs without the queue lock held.
+  void FlushBatch(std::vector<Pending> batch, FlushReason reason);
+
+  ServerOptions options_;
+  /// Guards snapshot_; critical sections are a single shared_ptr copy.
+  /// Deliberately NOT std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic
+  /// is an internal spinlock whose lock-bit handoff TSan cannot model (and
+  /// spinning loses to a mutex on few-core hosts anyway). A flush takes one
+  /// copy per batch, so contention here is one lock per max_batch requests.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+
+  mutable std::mutex mu_;        // guards queue_, stopping_, stats_
+  std::condition_variable cv_;   // queue arrivals / size trigger / stop
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  ServerStats stats_;
+  std::mutex join_mu_;           // serializes concurrent Stop() joins
+  std::thread flusher_;
+};
+
+}  // namespace darec::serve
+
+#endif  // DAREC_SERVE_SERVER_H_

@@ -1,0 +1,38 @@
+#include "serve/snapshot.h"
+
+#include <string>
+#include <utility>
+
+namespace darec::serve {
+
+ModelSnapshot::ModelSnapshot(tensor::Matrix embeddings,
+                             const data::Dataset* dataset, bool build_int8,
+                             uint64_t version)
+    : embeddings_(std::make_unique<tensor::Matrix>(std::move(embeddings))),
+      dataset_(dataset),
+      version_(version) {
+  topk::EngineOptions options;
+  options.build_int8 = build_int8;
+  engine_ = std::make_unique<topk::Engine>(*embeddings_, dataset_->num_users(),
+                                           dataset_->num_items(), options);
+}
+
+core::StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
+    tensor::Matrix node_embeddings, const data::Dataset* dataset,
+    bool build_int8, uint64_t version) {
+  if (dataset == nullptr) {
+    return core::Status::InvalidArgument("dataset must not be null");
+  }
+  if (node_embeddings.rows() != dataset->num_nodes()) {
+    return core::Status::InvalidArgument(
+        "embedding rows (" + std::to_string(node_embeddings.rows()) +
+        ") != dataset nodes (" + std::to_string(dataset->num_nodes()) + ")");
+  }
+  if (node_embeddings.cols() <= 0) {
+    return core::Status::InvalidArgument("embeddings must have positive width");
+  }
+  return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(
+      std::move(node_embeddings), dataset, build_int8, version));
+}
+
+}  // namespace darec::serve

@@ -1,0 +1,57 @@
+#ifndef DAREC_SERVE_SNAPSHOT_H_
+#define DAREC_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/statusor.h"
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+#include "topk/engine.h"
+
+namespace darec::serve {
+
+/// Scoring precision a Server flushes batches at (see topk::Precision).
+using Precision = topk::Precision;
+
+/// One immutable, self-contained servable model: the node embeddings, the
+/// scoring engine precomputed over them (transposed item block, norms,
+/// optional int8 blocks), and the dataset whose train split is masked from
+/// results. Snapshots are what serve::Server swaps atomically on
+/// ReloadModel — every field is set at Create and never mutated, so any
+/// number of threads may score against one snapshot while another is being
+/// built, and an in-flight batch keeps its snapshot alive through the
+/// shared_ptr it loaded (DESIGN.md §12).
+class ModelSnapshot {
+ public:
+  /// `node_embeddings` holds user rows [0, num_users) then item rows, as
+  /// produced by pipeline::TrainResult::final_embeddings. `dataset` must
+  /// outlive the snapshot. `build_int8` additionally quantizes the user and
+  /// item blocks so the snapshot can serve Precision::kInt8. `version` is
+  /// an application-chosen tag echoed into every result answered by this
+  /// snapshot (reload observability). Fails on shape mismatch.
+  static core::StatusOr<std::shared_ptr<const ModelSnapshot>> Create(
+      tensor::Matrix node_embeddings, const data::Dataset* dataset,
+      bool build_int8 = false, uint64_t version = 0);
+
+  const topk::Engine& engine() const { return *engine_; }
+  const data::Dataset& dataset() const { return *dataset_; }
+  uint64_t version() const { return version_; }
+  int64_t num_users() const { return dataset_->num_users(); }
+  int64_t num_items() const { return dataset_->num_items(); }
+
+ private:
+  ModelSnapshot(tensor::Matrix embeddings, const data::Dataset* dataset,
+                bool build_int8, uint64_t version);
+
+  // unique_ptr keeps the embedding matrix (and the engine's pointer into
+  // it) address-stable; the snapshot itself always lives behind shared_ptr.
+  std::unique_ptr<tensor::Matrix> embeddings_;
+  const data::Dataset* dataset_;
+  std::unique_ptr<topk::Engine> engine_;
+  uint64_t version_;
+};
+
+}  // namespace darec::serve
+
+#endif  // DAREC_SERVE_SNAPSHOT_H_

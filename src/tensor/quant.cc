@@ -1,0 +1,83 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/thread_pool.h"
+#include "tensor/simd/kernels.h"
+
+namespace darec::tensor {
+
+namespace {
+
+// Rows per ParallelFor chunk: the score kernel does dim * num_items
+// multiply-adds per row.
+int64_t RowGrain(int64_t work_per_row) {
+  constexpr int64_t kTargetWorkPerChunk = 1 << 18;
+  return std::max<int64_t>(1, kTargetWorkPerChunk /
+                                  std::max<int64_t>(1, work_per_row));
+}
+
+}  // namespace
+
+QuantizedBlock QuantizeRowsInt8(const Matrix& m, int64_t row_begin,
+                                int64_t row_count) {
+  DARE_CHECK_GE(row_begin, 0);
+  DARE_CHECK_GE(row_count, 0);
+  DARE_CHECK_LE(row_begin + row_count, m.rows());
+  const int64_t cols = m.cols();
+  QuantizedBlock block;
+  block.rows = row_count;
+  block.cols = cols;
+  block.values.assign(static_cast<size_t>(row_count * cols), 0);
+  block.scales.assign(static_cast<size_t>(row_count), 0.0f);
+  core::ParallelFor(0, row_count, RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* src = m.Row(row_begin + r);
+      float max_abs = 0.0f;
+      for (int64_t p = 0; p < cols; ++p) {
+        max_abs = std::max(max_abs, std::fabs(src[p]));
+      }
+      if (max_abs == 0.0f) continue;  // scale 0, codes stay 0
+      const float inv = 127.0f / max_abs;
+      int8_t* dst = block.values.data() + r * cols;
+      for (int64_t p = 0; p < cols; ++p) {
+        const long q = std::lrintf(src[p] * inv);
+        dst[p] = static_cast<int8_t>(std::clamp<long>(q, -127, 127));
+      }
+      block.scales[static_cast<size_t>(r)] = max_abs / 127.0f;
+    }
+  });
+  return block;
+}
+
+void Int8ScoreBlockInto(const int8_t* users, const float* user_scales,
+                        int64_t num_rows, const QuantizedBlock& items,
+                        Matrix* out) {
+  DARE_CHECK_GE(num_rows, 0);
+  const int64_t dim = items.cols;
+  const int64_t num_items = items.rows;
+  out->ResetShape(num_rows, num_items);
+  if (num_rows == 0 || num_items == 0) return;
+  // Each row's dequant consumes its int32 accumulators immediately, so one
+  // row-sized buffer per worker thread suffices — and it persists across
+  // calls, keeping the serving hot path allocation-free once warm. Exact
+  // integer accumulation makes any chunking bitwise safe.
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(
+      0, num_rows, RowGrain(dim * num_items), [&](int64_t lo, int64_t hi) {
+        thread_local std::vector<int32_t> acc;
+        if (static_cast<int64_t>(acc.size()) < num_items) {
+          acc.resize(static_cast<size_t>(num_items));
+        }
+        for (int64_t r = lo; r < hi; ++r) {
+          kt.i8_score_row(users + r * dim, items.values.data(), dim, num_items,
+                          acc.data());
+          kt.i8_dequant_row(out->Row(r), acc.data(), items.scales.data(),
+                            user_scales[r], num_items);
+        }
+      });
+}
+
+}  // namespace darec::tensor

@@ -1,0 +1,54 @@
+#ifndef DAREC_TENSOR_QUANT_H_
+#define DAREC_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace darec::tensor {
+
+/// Per-row symmetric int8 quantization of a row block — the low-precision
+/// representation the serving tier scores with (DESIGN.md §12). Each row r
+/// stores q[p] = round(x[p] / scales[r]) with scales[r] = max_p|x[p]| / 127,
+/// so x ≈ scales[r] * q elementwise with |x[p] - scales[r]*q[p]| ≤
+/// scales[r]/2. The codomain is [-127, 127] (symmetric; -128 unused), which
+/// keeps every pairwise product ≤ 127² and the int32 dot exact for any
+/// realistic embedding width (overflow needs dim > 2³¹/127² ≈ 1.3e5).
+struct QuantizedBlock {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> values;  // rows x cols, row-major
+  std::vector<float> scales;   // rows; dequant factor per row
+
+  bool empty() const { return rows == 0; }
+  const int8_t* Row(int64_t r) const {
+    DARE_DCHECK(r >= 0 && r < rows);
+    return values.data() + r * cols;
+  }
+};
+
+/// Quantizes rows [row_begin, row_begin + row_count) of `m`. Rounding is
+/// round-to-nearest-even (lrintf under the default FP environment), so the
+/// result is a pure function of the input bits — deterministic across
+/// builds, thread counts, and SIMD tiers. An all-zero row gets scale 0 and
+/// all-zero codes.
+QuantizedBlock QuantizeRowsInt8(const Matrix& m, int64_t row_begin,
+                                int64_t row_count);
+
+/// Scores `num_rows` quantized query rows (contiguous int8 block `users`,
+/// per-row `user_scales`) against every row of `items`:
+///   out(r, j) = user_scales[r] * items.scales[j] * Σ_p users[r][p]·items[j][p]
+/// The int32 inner product and the one-multiply-chain dequantization run on
+/// the runtime-dispatched SIMD tiers (tensor/simd/); rows are split over
+/// core::ParallelFor. Because the accumulation is exact integer arithmetic
+/// and the dequant is one fixed float chain per element, results are
+/// bitwise identical at any thread count and any SIMD tier. `out` is
+/// reshaped to num_rows x items.rows (pooled capacity reused).
+void Int8ScoreBlockInto(const int8_t* users, const float* user_scales,
+                        int64_t num_rows, const QuantizedBlock& items,
+                        Matrix* out);
+
+}  // namespace darec::tensor
+
+#endif  // DAREC_TENSOR_QUANT_H_

@@ -15,6 +15,7 @@ const KernelTable kAvx2Kernels = {
     &avx2_impl::MatMulRowRange, &avx2_impl::Axpy,
     &avx2_impl::Scale,          &avx2_impl::Hadamard,
     &avx2_impl::PairwiseAssemble,
+    &avx2_impl::I8ScoreRow,     &avx2_impl::I8DequantRow,
     "avx2",
 };
 

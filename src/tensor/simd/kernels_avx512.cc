@@ -15,6 +15,7 @@ const KernelTable kAvx512Kernels = {
     &avx512_impl::MatMulRowRange, &avx512_impl::Axpy,
     &avx512_impl::Scale,          &avx512_impl::Hadamard,
     &avx512_impl::PairwiseAssemble,
+    &avx512_impl::I8ScoreRow,     &avx512_impl::I8DequantRow,
     "avx512",
 };
 

@@ -14,6 +14,7 @@ const KernelTable kScalarKernels = {
     &scalar_impl::MatMulRowRange, &scalar_impl::Axpy,
     &scalar_impl::Scale,          &scalar_impl::Hadamard,
     &scalar_impl::PairwiseAssemble,
+    &scalar_impl::I8ScoreRow,     &scalar_impl::I8DequantRow,
     "scalar",
 };
 

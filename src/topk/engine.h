@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "tensor/quant.h"
 
 namespace darec::topk {
 
@@ -31,11 +32,27 @@ enum class MaskMode {
   kDrop,
 };
 
+/// Numeric path a query is scored on.
+enum class Precision {
+  /// The fp32 blocked GEMM — the reference path; bitwise identical at any
+  /// thread count, block size, and SIMD tier.
+  kFp32,
+  /// Per-row-scaled int8 embeddings with an int32-accumulate GEMM
+  /// (tensor::QuantizedBlock): ~4x less memory traffic per score pass.
+  /// Scores carry the bounded quantization error documented in
+  /// tensor/quant.h; rankings are near-identical to fp32 (parity-gated by
+  /// quant_test / serve_bench). Requires EngineOptions::build_int8.
+  kInt8,
+};
+
 struct EngineOptions {
   /// Users scored per GEMM block; bounds the score-buffer working set to
   /// `block_users * num_items` floats. Values < 1 are clamped to 1. The
   /// block size never affects results: scoring and selection are per-user.
   int64_t block_users = 128;
+  /// Quantize the user and item embedding blocks (per-row symmetric int8)
+  /// at construction so TopK can serve Precision::kInt8 queries.
+  bool build_int8 = false;
 };
 
 /// Sorted ascending list of item ids to mask for `user`, or nullptr for
@@ -43,30 +60,48 @@ struct EngineOptions {
 using SeenItemsFn = std::function<const std::vector<int64_t>*(int64_t user)>;
 
 /// Batched top-K scoring engine — the one scoring core shared by the
-/// all-ranking evaluation (`eval::EvaluateRanking`) and the serving facade
-/// (`serve::Recommender`). A block of users is scored against every item as
-/// one blocked `MatMul(U_block, Iᵀ)` (the PR 1 register-tiled kernel), each
-/// user's sorted seen list is masked in a linear merge walk, and a parallel
-/// per-row bounded-heap select extracts the top-K with the deterministic
-/// (score desc, id asc) tie-break. All chunking derives from shapes only
-/// (core::ParallelFor), so ranked lists are bit-identical at any thread
-/// count and any block size.
+/// all-ranking evaluation (`eval::EvaluateRanking`), the serving facade
+/// (`serve::Recommender`), and the online tier (`serve::Server`). A block
+/// of users is scored against every item as one blocked `MatMul(U_block,
+/// Iᵀ)` (the PR 1 register-tiled kernel), each user's sorted seen list is
+/// masked in a linear merge walk, and a parallel per-row bounded-heap
+/// select extracts the top-K with the deterministic (score desc, id asc)
+/// tie-break. All chunking derives from shapes only (core::ParallelFor), so
+/// ranked lists are bit-identical at any thread count and any block size.
+/// Block and score buffers are drawn from the global tensor::Workspace, so
+/// steady-state queries perform no Matrix allocations.
+///
+/// Thread-compatible for concurrent TopK/TopKOne calls (the engine is
+/// immutable after construction).
 class Engine {
  public:
   /// `node_embeddings` holds user rows [0, num_users) then item rows, as
   /// produced by pipeline::TrainResult::final_embeddings. It is held by
   /// pointer and must outlive the engine. The d x I transposed item block
-  /// and the item L2 norms are precomputed here, once.
+  /// and the item L2 norms are precomputed here, once — plus, when
+  /// options.build_int8 is set, the quantized user/item blocks.
   Engine(const tensor::Matrix& node_embeddings, int64_t num_users,
          int64_t num_items, const EngineOptions& options = EngineOptions());
 
   /// Ranked top-min(k, num_items) list for every queried user (ids in
   /// [0, num_users)), highest score first, ties broken by ascending item id.
   /// `seen` may be empty (no masking). Under kDrop each list is further
-  /// clamped to the user's eligible-item count.
-  std::vector<std::vector<ScoredItem>> TopK(const std::vector<int64_t>& users,
-                                            int64_t k, const SeenItemsFn& seen,
-                                            MaskMode mask_mode) const;
+  /// clamped to the user's eligible-item count. Precision::kInt8 requires
+  /// build_int8 (programmer error otherwise).
+  std::vector<std::vector<ScoredItem>> TopK(
+      const std::vector<int64_t>& users, int64_t k, const SeenItemsFn& seen,
+      MaskMode mask_mode, Precision precision = Precision::kFp32) const;
+
+  /// Single-user TopK writing into `out` (cleared, then filled best-first).
+  /// Identical to TopK({user}, ...).front() but with no per-request list-of
+  /// -lists or query-vector churn — the serving fast path. `out`'s capacity
+  /// is reused across calls.
+  void TopKOne(int64_t user, int64_t k, const SeenItemsFn& seen,
+               MaskMode mask_mode, std::vector<ScoredItem>* out,
+               Precision precision = Precision::kFp32) const;
+
+  /// True when the int8 blocks were built (Precision::kInt8 is servable).
+  bool has_int8() const { return !items_q8_.empty(); }
 
   /// Precomputed d x num_items transposed item block: scores any row block
   /// of queries against all items with one no-transpose GEMM.
@@ -79,12 +114,21 @@ class Engine {
   int64_t num_items() const { return num_items_; }
 
  private:
+  /// Scores users[b0, b1) into a pooled block of float score rows and runs
+  /// the parallel per-row select into lists[b0, b1).
+  void ScoreAndSelectBlock(const std::vector<int64_t>& users, int64_t b0,
+                           int64_t b1, int64_t take, const SeenItemsFn& seen,
+                           MaskMode mask_mode, Precision precision,
+                           std::vector<std::vector<ScoredItem>>* lists) const;
+
   const tensor::Matrix* nodes_;
   int64_t num_users_;
   int64_t num_items_;
   EngineOptions options_;
-  tensor::Matrix items_t_;     // d x I
-  tensor::Matrix item_norms_;  // I x 1
+  tensor::Matrix items_t_;             // d x I
+  tensor::Matrix item_norms_;          // I x 1
+  tensor::QuantizedBlock users_q8_;    // U x d (build_int8 only)
+  tensor::QuantizedBlock items_q8_;    // I x d (build_int8 only)
 };
 
 }  // namespace darec::topk

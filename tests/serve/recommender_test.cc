@@ -133,5 +133,62 @@ TEST(RecommenderTest, KClampedToEligibleItems) {
   EXPECT_EQ(top->size(), 3u);
 }
 
+/// The unified k contract, exercised through BOTH entry points: non-positive
+/// k is InvalidArgument; oversized k clamps to the user's eligible-item
+/// count; and for any valid k the two paths agree bitwise.
+TEST(RecommenderTest, KContractIsTheSameForSingleAndBatch) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+
+  for (int64_t k : {0LL, -3LL}) {
+    auto single = rec->RecommendTopK(0, k);
+    auto batch = rec->RecommendTopKBatch({0}, k);
+    EXPECT_FALSE(single.ok());
+    EXPECT_FALSE(batch.ok());
+    EXPECT_EQ(single.status().code(), batch.status().code()) << "k=" << k;
+  }
+
+  for (int64_t k : {1LL, 3LL, 100LL}) {
+    auto batch = rec->RecommendTopKBatch({0, 1, 2}, k);
+    ASSERT_TRUE(batch.ok()) << "k=" << k;
+    for (int64_t u = 0; u < 3; ++u) {
+      auto single = rec->RecommendTopK(u, k);
+      ASSERT_TRUE(single.ok());
+      // Clamp: never more than the eligible count (3 for every fixture user).
+      EXPECT_LE(single->size(), 3u);
+      const auto& from_batch = (*batch)[static_cast<size_t>(u)];
+      ASSERT_EQ(single->size(), from_batch.size()) << "u=" << u << " k=" << k;
+      for (size_t i = 0; i < single->size(); ++i) {
+        EXPECT_EQ((*single)[i].item, from_batch[i].item);
+        EXPECT_EQ((*single)[i].score, from_batch[i].score);
+      }
+    }
+  }
+}
+
+/// The serving hot path must not allocate Matrix storage per request: after
+/// one warm-up call, repeated RecommendTopK calls reuse pooled workspace
+/// scratch (tensor::Workspace) end to end.
+TEST(RecommenderTest, SingleUserTopKDoesNotAllocateMatrixStorageWhenWarm) {
+  Fixture f;
+  auto rec = Recommender::Create(f.embeddings, f.dataset.get());
+  ASSERT_TRUE(rec.ok());
+  // Warm-up sizes the pooled scratch buffers.
+  ASSERT_TRUE(rec->RecommendTopK(0, 3).ok());
+
+  const bool was_enabled = tensor::AllocStats::Enabled();
+  tensor::AllocStats::SetEnabled(true);
+  tensor::AllocStats::Reset();
+  for (int64_t round = 0; round < 50; ++round) {
+    auto top = rec->RecommendTopK(round % 3, 1 + round % 4);
+    ASSERT_TRUE(top.ok());
+  }
+  const tensor::AllocStats::Snapshot steady = tensor::AllocStats::Take();
+  tensor::AllocStats::SetEnabled(was_enabled);
+  EXPECT_EQ(steady.allocations, 0)
+      << "RecommendTopK allocated Matrix storage on the warm path";
+}
+
 }  // namespace
 }  // namespace darec::serve

@@ -1,0 +1,208 @@
+// int8 quantized scoring: the InferLLM-checker idiom — a naive scalar
+// reference device vs the optimized dispatched kernels, exact for the
+// integer path, analytically bounded for the fp32-vs-dequant error.
+#include "tensor/quant.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/cpu_features.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "gtest/gtest.h"
+#include "tensor/simd/kernels.h"
+
+namespace darec::tensor {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, core::Rng& rng) {
+  Matrix m(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      // Mixed magnitudes so per-row scales differ meaningfully.
+      m(r, c) = rng.Uniform(-1.0f, 1.0f) * (0.1f + 10.0f * rng.Uniform(0.0f, 1.0f));
+    }
+  }
+  return m;
+}
+
+std::vector<core::SimdLevel> CompiledLevels() {
+  std::vector<core::SimdLevel> levels = {core::SimdLevel::kScalar};
+  if (core::HardwareSimdLevel() >= core::SimdLevel::kAvx2) {
+    levels.push_back(core::SimdLevel::kAvx2);
+  }
+  if (core::HardwareSimdLevel() >= core::SimdLevel::kAvx512) {
+    levels.push_back(core::SimdLevel::kAvx512);
+  }
+  return levels;
+}
+
+TEST(QuantizeRowsInt8Test, ReconstructionWithinHalfScalePerElement) {
+  core::Rng rng(11);
+  const Matrix m = RandomMatrix(7, 33, rng);
+  const QuantizedBlock q = QuantizeRowsInt8(m, 0, 7);
+  ASSERT_EQ(q.rows, 7);
+  ASSERT_EQ(q.cols, 33);
+  for (int64_t r = 0; r < 7; ++r) {
+    const float scale = q.scales[static_cast<size_t>(r)];
+    ASSERT_GT(scale, 0.0f);
+    for (int64_t c = 0; c < 33; ++c) {
+      const int8_t code = q.Row(r)[c];
+      EXPECT_GE(code, -127);
+      EXPECT_LE(code, 127);
+      // |x - s*q| <= s/2 + a crumb of float roundoff in the scale itself.
+      EXPECT_LE(std::fabs(m(r, c) - scale * static_cast<float>(code)),
+                0.5f * scale * 1.001f + 1e-6f)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(QuantizeRowsInt8Test, RowBlockOffsetsAndZeroRows) {
+  Matrix m(4, 3);
+  m(1, 0) = 2.0f;
+  m(1, 1) = -4.0f;  // max_abs row 1 = 4
+  m(3, 2) = 1.0f;
+  const QuantizedBlock q = QuantizeRowsInt8(m, 1, 3);  // rows 1..3
+  ASSERT_EQ(q.rows, 3);
+  // Row 1 of m -> row 0 of block: codes 2/4*127 = 63.5 -> 64 (to even), -127.
+  EXPECT_FLOAT_EQ(q.scales[0], 4.0f / 127.0f);
+  EXPECT_EQ(q.Row(0)[0], 64);
+  EXPECT_EQ(q.Row(0)[1], -127);
+  // Row 2 is all zero: scale 0, zero codes.
+  EXPECT_FLOAT_EQ(q.scales[1], 0.0f);
+  EXPECT_EQ(q.Row(1)[0], 0);
+  EXPECT_EQ(q.Row(1)[2], 0);
+  // Row 3: only element -> ±127 at its own scale.
+  EXPECT_EQ(q.Row(2)[2], 127);
+}
+
+/// Every compiled tier must reproduce a naive scalar reference loop exactly
+/// — integer accumulation is exact, so "bounded error" here means zero.
+TEST(Int8KernelParityTest, ScoreRowMatchesNaiveReferenceOnEveryTier) {
+  core::Rng rng(23);
+  // (dim, num_items) incl. primes, one, vector-width straddlers.
+  const int64_t shapes[][2] = {{1, 1},  {7, 13}, {16, 31}, {31, 64},
+                               {64, 7}, {65, 97}, {128, 33}};
+  for (const auto& shape : shapes) {
+    const int64_t dim = shape[0], num_items = shape[1];
+    std::vector<int8_t> user(static_cast<size_t>(dim));
+    std::vector<int8_t> items(static_cast<size_t>(dim * num_items));
+    for (auto& v : user) v = static_cast<int8_t>(rng.UniformInt(255) - 127);
+    for (auto& v : items) v = static_cast<int8_t>(rng.UniformInt(255) - 127);
+    std::vector<int32_t> expected(static_cast<size_t>(num_items));
+    for (int64_t j = 0; j < num_items; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < dim; ++p) {
+        acc += static_cast<int32_t>(user[static_cast<size_t>(p)]) *
+               static_cast<int32_t>(items[static_cast<size_t>(j * dim + p)]);
+      }
+      expected[static_cast<size_t>(j)] = acc;
+    }
+    for (core::SimdLevel level : CompiledLevels()) {
+      const simd::KernelTable& kt = simd::KernelsFor(level);
+      std::vector<int32_t> got(static_cast<size_t>(num_items), -1);
+      kt.i8_score_row(user.data(), items.data(), dim, num_items, got.data());
+      for (int64_t j = 0; j < num_items; ++j) {
+        ASSERT_EQ(got[static_cast<size_t>(j)], expected[static_cast<size_t>(j)])
+            << kt.name << " dim=" << dim << " item " << j;
+      }
+    }
+  }
+}
+
+TEST(Int8KernelParityTest, DequantRowBitwiseAcrossTiers) {
+  core::Rng rng(31);
+  for (const int64_t n : {1LL, 7LL, 31LL, 64LL, 100LL}) {
+    std::vector<int32_t> acc(static_cast<size_t>(n));
+    std::vector<float> scales(static_cast<size_t>(n));
+    for (auto& v : acc) v = static_cast<int32_t>(rng.UniformInt(200001)) - 100000;
+    for (auto& v : scales) v = rng.Uniform(1e-4f, 2.0f);
+    const float user_scale = rng.Uniform(1e-4f, 2.0f);
+    const simd::KernelTable& scalar =
+        simd::KernelsFor(core::SimdLevel::kScalar);
+    std::vector<float> expected(static_cast<size_t>(n));
+    scalar.i8_dequant_row(expected.data(), acc.data(), scales.data(),
+                          user_scale, n);
+    for (core::SimdLevel level : CompiledLevels()) {
+      const simd::KernelTable& kt = simd::KernelsFor(level);
+      std::vector<float> got(static_cast<size_t>(n));
+      kt.i8_dequant_row(got.data(), acc.data(), scales.data(), user_scale, n);
+      for (int64_t j = 0; j < n; ++j) {
+        ASSERT_EQ(got[static_cast<size_t>(j)], expected[static_cast<size_t>(j)])
+            << kt.name << " n=" << n << " elem " << j;
+      }
+    }
+  }
+}
+
+/// fp32 score vs dequantized int8 score, against the analytic bound from
+/// tensor/quant.h: with per-element errors |e_u| ≤ s_u/2 and |e_i| ≤ s_i/2,
+/// |x·y − s_u s_i (q_u·q_i)| ≤ (s_i/2)Σ|x_p| + (s_u/2)Σ|y_p| + 3d·s_u·s_i/4.
+TEST(Int8ScoreBlockTest, ScoreErrorWithinAnalyticBound) {
+  core::Rng rng(47);
+  const int64_t num_rows = 24, num_items = 57, dim = 48;
+  const Matrix users = RandomMatrix(num_rows, dim, rng);
+  const Matrix items = RandomMatrix(num_items, dim, rng);
+  const QuantizedBlock uq = QuantizeRowsInt8(users, 0, num_rows);
+  const QuantizedBlock iq = QuantizeRowsInt8(items, 0, num_items);
+  Matrix scores;
+  Int8ScoreBlockInto(uq.values.data(), uq.scales.data(), num_rows, iq,
+                     &scores);
+  ASSERT_EQ(scores.rows(), num_rows);
+  ASSERT_EQ(scores.cols(), num_items);
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const float su = uq.scales[static_cast<size_t>(r)];
+    double sum_abs_u = 0.0;
+    for (int64_t p = 0; p < dim; ++p) sum_abs_u += std::fabs(users(r, p));
+    for (int64_t j = 0; j < num_items; ++j) {
+      const float si = iq.scales[static_cast<size_t>(j)];
+      double fp = 0.0, sum_abs_i = 0.0;
+      for (int64_t p = 0; p < dim; ++p) {
+        fp += static_cast<double>(users(r, p)) * items(j, p);
+        sum_abs_i += std::fabs(items(j, p));
+      }
+      const double bound = 0.5 * si * sum_abs_u + 0.5 * su * sum_abs_i +
+                           0.75 * dim * su * si;
+      EXPECT_LE(std::fabs(fp - scores(r, j)), bound * 1.01 + 1e-4)
+          << "row " << r << " item " << j;
+    }
+  }
+}
+
+/// Thread-count and tier invariance of the full block wrapper: integer
+/// accumulation + one fixed dequant chain ⇒ bitwise equal everywhere.
+TEST(Int8ScoreBlockTest, BitwiseInvariantAcrossThreadsAndTiers) {
+  core::Rng rng(59);
+  const int64_t num_rows = 13, num_items = 41, dim = 37;
+  const Matrix users = RandomMatrix(num_rows, dim, rng);
+  const Matrix items = RandomMatrix(num_items, dim, rng);
+  const QuantizedBlock uq = QuantizeRowsInt8(users, 0, num_rows);
+  const QuantizedBlock iq = QuantizeRowsInt8(items, 0, num_items);
+  Matrix reference;
+  Int8ScoreBlockInto(uq.values.data(), uq.scales.data(), num_rows, iq,
+                     &reference);
+  const core::SimdLevel original = core::ActiveSimdLevel();
+  for (core::SimdLevel level : CompiledLevels()) {
+    core::SetSimdLevelForTest(level);
+    for (int threads : {1, 8}) {
+      core::ThreadPool::SetGlobalThreads(threads);
+      Matrix got;
+      Int8ScoreBlockInto(uq.values.data(), uq.scales.data(), num_rows, iq,
+                         &got);
+      for (int64_t r = 0; r < num_rows; ++r) {
+        for (int64_t j = 0; j < num_items; ++j) {
+          ASSERT_EQ(got(r, j), reference(r, j))
+              << core::SimdLevelName(level) << " @" << threads << "T row "
+              << r << " item " << j;
+        }
+      }
+    }
+  }
+  core::SetSimdLevelForTest(original);
+  core::ThreadPool::SetGlobalThreads(core::ThreadPool::DefaultThreads());
+}
+
+}  // namespace
+}  // namespace darec::tensor
