@@ -18,6 +18,16 @@
 //  - microbatch_fp32:  max_batch=64, 1ms deadline; a same-content snapshot
 //                      swap happens mid-saturation
 //  - microbatch_int8:  same queue, int8 quantized scoring
+//  - overload:         open-loop Poisson at 2x the measured microbatch_fp32
+//                      capacity, ladder_on (bounded queue + degradation
+//                      ladder + 20ms request deadlines) vs ladder_off
+//                      (unbounded queue, no protection): goodput, shed rate,
+//                      served p99, and queue-depth samples — ladder_off's
+//                      depth grows monotonically, ladder_on's stays bounded.
+//
+// The three closed-loop Server modes run with max_queue=0 (unbounded) and
+// the ladder disabled: saturation deliberately bursts every request up
+// front, which bounded admission would (correctly) shed.
 //
 // Parity gates (always on, including smoke):
 //  - fp32 results — queue off, queue on at any batch mix, and across the
@@ -34,6 +44,11 @@
 // smoke=1 shrinks every workload to a few hundred requests and skips the
 // timing-based throughput gate (parity gates stay) — the CI crash/parity
 // gate used by scripts/check.sh.
+//
+// overload_smoke=1 runs ONLY a deterministic ladder walk (Healthy →
+// Degraded → Shedding → recovery) and exits: check.sh arms
+// DAREC_FAILPOINTS=serve.slow_flush=...:1 so the first flush stalls and the
+// queue deterministically climbs through every watermark.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -52,6 +67,7 @@
 #include "bench/seed_topk.h"
 #include "core/check.h"
 #include "core/config.h"
+#include "core/failpoint.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 #include "core/thread_pool.h"
@@ -330,6 +346,185 @@ PoissonReport RunPoisson(ServerT& server, int64_t num_users,
   return report;
 }
 
+struct OverloadReport {
+  std::string name;     // ladder_on / ladder_off
+  std::string detail;
+  double offered_qps = 0.0;
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t shed = 0;      // ResourceExhausted at admission
+  int64_t expired = 0;   // DeadlineExceeded
+  double goodput_per_sec = 0.0;  // served / wall (first submit -> last done)
+  double shed_rate = 0.0;        // (shed + expired) / requests
+  double served_p50_us = 0.0;
+  double served_p99_us = 0.0;
+  int64_t peak_pending = 0;
+  int64_t degraded_flushes = 0;
+  /// Queue depth sampled at evenly spaced submissions: the ladder_off run
+  /// shows monotonic growth, the ladder_on run stays under max_queue.
+  std::vector<int64_t> depth_samples;
+};
+
+/// Open-loop Poisson arrivals above capacity, tolerating shed / expired
+/// requests (that is the point). Latency percentiles cover SERVED requests
+/// only, measured from scheduled arrival like RunPoisson.
+OverloadReport RunOverload(Server& server, const std::string& name,
+                           int64_t num_users, int64_t num_requests, double qps,
+                           int64_t k, int64_t timeout_us) {
+  using Clock = std::chrono::steady_clock;
+  darec::core::Rng rng(131);
+  std::vector<double> arrival_s(static_cast<size_t>(num_requests));
+  double t = 0.0;
+  for (int64_t i = 0; i < num_requests; ++i) {
+    const double u = static_cast<double>(rng.Uniform(1e-6f, 0.999999f));
+    t += -std::log(1.0 - u) / qps;
+    arrival_s[static_cast<size_t>(i)] = t;
+  }
+
+  std::vector<std::future<darec::core::StatusOr<TopKResult>>> futures(
+      static_cast<size_t>(num_requests));
+  OverloadReport report;
+  report.name = name;
+  report.offered_qps = qps;
+  report.requests = num_requests;
+
+  std::mutex published_mu;
+  std::condition_variable published_cv;
+  int64_t published = 0;
+  std::vector<double> served_latency_us;
+  const Clock::time_point start = Clock::now();
+  const auto scheduled_at = [&](int64_t i) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(
+                           arrival_s[static_cast<size_t>(i)]));
+  };
+
+  std::thread collector([&] {
+    for (int64_t i = 0; i < num_requests; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(published_mu);
+        published_cv.wait(lock, [&] { return published > i; });
+      }
+      auto result = futures[static_cast<size_t>(i)].get();
+      const Clock::time_point done = Clock::now();
+      if (result.ok()) {
+        ++report.served;
+        served_latency_us.push_back(
+            std::chrono::duration<double, std::micro>(done - scheduled_at(i))
+                .count());
+      } else if (result.status().code() ==
+                 darec::core::StatusCode::kResourceExhausted) {
+        ++report.shed;
+      } else if (result.status().code() ==
+                 darec::core::StatusCode::kDeadlineExceeded) {
+        ++report.expired;
+      } else {
+        DARE_CHECK(false) << "overload request " << i
+                          << " failed unexpectedly: "
+                          << result.status().ToString();
+      }
+    }
+  });
+
+  const int64_t sample_every = std::max<int64_t>(1, num_requests / 16);
+  Stopwatch sw;
+  for (int64_t i = 0; i < num_requests; ++i) {
+    std::this_thread::sleep_until(scheduled_at(i));
+    futures[static_cast<size_t>(i)] =
+        server.SubmitTopK(i % num_users, k, timeout_us);
+    if (i % sample_every == 0) report.depth_samples.push_back(server.pending());
+    {
+      std::lock_guard<std::mutex> lock(published_mu);
+      published = i + 1;
+    }
+    published_cv.notify_one();
+  }
+  collector.join();
+  const double seconds = sw.ElapsedSeconds();
+
+  DARE_CHECK_EQ(report.served + report.shed + report.expired, num_requests)
+      << "overload accounting must close";
+  report.goodput_per_sec = static_cast<double>(report.served) / seconds;
+  report.shed_rate =
+      static_cast<double>(report.shed + report.expired) /
+      static_cast<double>(num_requests);
+  std::sort(served_latency_us.begin(), served_latency_us.end());
+  report.served_p50_us = Percentile(served_latency_us, 0.50);
+  report.served_p99_us = Percentile(served_latency_us, 0.99);
+  const darec::serve::ServerStats stats = server.stats();
+  report.peak_pending = stats.peak_pending;
+  report.degraded_flushes = stats.degraded_flushes;
+  return report;
+}
+
+void PrintOverloadReport(const OverloadReport& r) {
+  std::printf(
+      "overload %-10s @%9.0f qps: goodput %9.1f/s shed %5.1f%% served-p99 "
+      "%9.1fus peak-queue %5lld degraded-flushes %lld\n",
+      r.name.c_str(), r.offered_qps, r.goodput_per_sec, 100.0 * r.shed_rate,
+      r.served_p99_us, static_cast<long long>(r.peak_pending),
+      static_cast<long long>(r.degraded_flushes));
+}
+
+/// Deterministic ladder walk for CI: the (env-armed) serve.slow_flush fail
+/// point stalls the first flush, submissions pile through every watermark,
+/// and the run asserts each transition and full recovery. No timing
+/// assertions — the stall dwarfs the submission burst.
+int RunOverloadSmoke(std::shared_ptr<const ModelSnapshot> snapshot,
+                     int64_t num_users, int64_t k) {
+  using darec::core::FailPoint;
+  if (!FailPoint::IsArmed("serve.slow_flush")) {
+    // check.sh arms via DAREC_FAILPOINTS; arm a local default so the mode
+    // also works standalone.
+    FailPoint::Arm("serve.slow_flush", /*arg=*/300'000, /*fires=*/1);
+  }
+  ServerOptions options;
+  options.max_batch = 4;
+  options.flush_deadline_us = 0;
+  options.max_queue = 64;
+  options.overload.degrade_enter = 8;
+  options.overload.degrade_exit = 0;  // only an empty queue recovers
+  options.overload.shed_enter = 16;
+  options.overload.shed_exit = 4;
+  options.overload.k_degraded = std::max<int64_t>(1, k / 2);
+  Server server(snapshot, options);
+
+  std::vector<std::future<darec::core::StatusOr<TopKResult>>> admitted;
+  admitted.push_back(server.SubmitTopK(0, k));  // starts the stalled flush
+  int64_t sheds = 0;
+  for (int64_t i = 1; i <= 64 && sheds == 0; ++i) {
+    auto fut = server.SubmitTopK(i % num_users, k);
+    if (fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready &&
+        !fut.get().ok()) {
+      ++sheds;
+      continue;
+    }
+    admitted.push_back(std::move(fut));
+  }
+  DARE_CHECK_EQ(sheds, 1) << "admission never shed";
+  for (auto& fut : admitted) {
+    auto result = fut.get();
+    DARE_CHECK(result.ok()) << result.status().ToString();
+  }
+  auto probe = server.SubmitTopK(0, k).get();  // drained queue -> Healthy
+  DARE_CHECK(probe.ok()) << probe.status().ToString();
+  const darec::serve::ServerStats stats = server.stats();
+  DARE_CHECK_GE(stats.to_degraded, 1);
+  DARE_CHECK_GE(stats.to_shedding, 1);
+  DARE_CHECK_GE(stats.to_healthy, 1);
+  DARE_CHECK_GE(stats.degraded_flushes, 1);
+  DARE_CHECK_EQ(stats.shed_admission, 1);
+  DARE_CHECK(stats.load_state == darec::serve::LoadState::kHealthy);
+  std::printf(
+      "overload smoke ok: ladder walked Healthy->Degraded(%lld)->"
+      "Shedding(%lld)->Healthy(%lld), %lld degraded flushes, 1 shed\n",
+      static_cast<long long>(stats.to_degraded),
+      static_cast<long long>(stats.to_shedding),
+      static_cast<long long>(stats.to_healthy),
+      static_cast<long long>(stats.degraded_flushes));
+  return 0;
+}
+
 void PrintReport(const ModeReport& m, double qps) {
   std::printf(
       "%-16s sat %10.1f users/s (maxbatch %3lld) | poisson@%.0f p50 %8.1fus "
@@ -345,7 +540,8 @@ void PrintReport(const ModeReport& m, double qps) {
 
 void WriteJson(const std::string& path, const std::string& dataset,
                int64_t num_users, int64_t num_items, int64_t dim, int64_t k,
-               const std::vector<ModeReport>& modes, double speedup,
+               const std::vector<ModeReport>& modes,
+               const std::vector<OverloadReport>& overload, double speedup,
                double int8_overlap, bool smoke) {
   FILE* f = std::fopen(path.c_str(), "w");
   DARE_CHECK(f != nullptr) << "cannot open " << path;
@@ -388,6 +584,38 @@ void WriteJson(const std::string& path, const std::string& dataset,
     std::fprintf(f, "    }%s\n", i + 1 < modes.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"overload\": [\n");
+  for (size_t i = 0; i < overload.size(); ++i) {
+    const OverloadReport& r = overload[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"detail\": \"%s\",\n", r.detail.c_str());
+    std::fprintf(f, "      \"offered_qps\": %.1f,\n", r.offered_qps);
+    std::fprintf(f, "      \"requests\": %lld,\n",
+                 static_cast<long long>(r.requests));
+    std::fprintf(f, "      \"served\": %lld,\n",
+                 static_cast<long long>(r.served));
+    std::fprintf(f, "      \"shed_admission\": %lld,\n",
+                 static_cast<long long>(r.shed));
+    std::fprintf(f, "      \"expired\": %lld,\n",
+                 static_cast<long long>(r.expired));
+    std::fprintf(f, "      \"goodput_per_sec\": %.1f,\n", r.goodput_per_sec);
+    std::fprintf(f, "      \"shed_rate\": %.4f,\n", r.shed_rate);
+    std::fprintf(f, "      \"served_p50_us\": %.1f,\n", r.served_p50_us);
+    std::fprintf(f, "      \"served_p99_us\": %.1f,\n", r.served_p99_us);
+    std::fprintf(f, "      \"peak_pending\": %lld,\n",
+                 static_cast<long long>(r.peak_pending));
+    std::fprintf(f, "      \"degraded_flushes\": %lld,\n",
+                 static_cast<long long>(r.degraded_flushes));
+    std::fprintf(f, "      \"queue_depth_samples\": [");
+    for (size_t s = 0; s < r.depth_samples.size(); ++s) {
+      std::fprintf(f, "%s%lld", s > 0 ? ", " : "",
+                   static_cast<long long>(r.depth_samples[s]));
+    }
+    std::fprintf(f, "]\n");
+    std::fprintf(f, "    }%s\n", i + 1 < overload.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"gates\": {\n");
   std::fprintf(f,
                "    \"microbatch_saturation_speedup_vs_single_request\": "
@@ -419,7 +647,10 @@ int main(int argc, char** argv) {
   const int64_t dim = config->GetInt("d", 64);
   const int64_t k = config->GetInt("k", 10);
   const bool smoke = config->GetBool("smoke", false);
+  const bool overload_smoke = config->GetBool("overload_smoke", false);
   const int64_t requests = smoke ? 400 : config->GetInt("requests", 20000);
+  const int64_t overload_requests =
+      smoke ? 300 : config->GetInt("overload_requests", 6000);
   const int64_t producers = config->GetInt("producers", 4);
   const double qps = static_cast<double>(config->GetInt("qps", 3000));
   const int64_t poisson_requests =
@@ -443,6 +674,13 @@ int main(int argc, char** argv) {
               dataset_name.c_str(), (long long)num_users,
               (long long)dataset->num_items(), (long long)dim, (long long)k,
               smoke ? " [smoke]" : "");
+
+  if (overload_smoke) {
+    auto snapshot = ModelSnapshot::Create(nodes, &*dataset,
+                                          /*build_int8=*/true, 1);
+    DARE_CHECK(snapshot.ok());
+    return RunOverloadSmoke(*snapshot, num_users, k);
+  }
 
   // Serial fp32 reference: what every fp32 result (seed loop, queue off,
   // queue on, across the swap) must match bitwise, and what int8 overlap is
@@ -492,6 +730,8 @@ int main(int argc, char** argv) {
     ServerOptions options;
     options.max_batch = 1;
     options.flush_deadline_us = 0;
+    options.max_queue = 0;  // closed-loop burst: no admission control
+    options.overload.enabled = false;
     ModeReport report;
     report.name = "queue_off_fp32";
     report.detail = "serve::Server, max_batch=1: one engine batch-of-one per "
@@ -515,6 +755,8 @@ int main(int argc, char** argv) {
 
   {  // --- microbatch_fp32, with a mid-saturation snapshot swap -------------
     ServerOptions options;  // max_batch=64, deadline=1ms
+    options.max_queue = 0;  // closed-loop burst: no admission control
+    options.overload.enabled = false;
     ModeReport report;
     report.name = "microbatch_fp32";
     report.detail =
@@ -539,6 +781,8 @@ int main(int argc, char** argv) {
   {  // --- microbatch_int8 ---------------------------------------------------
     ServerOptions options;
     options.precision = Precision::kInt8;
+    options.max_queue = 0;  // closed-loop burst: no admission control
+    options.overload.enabled = false;
     ModeReport report;
     report.name = "microbatch_int8";
     report.detail = "max_batch=64, deadline=1ms, int8 quantized scoring";
@@ -562,6 +806,43 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(report));
   }
 
+  // --- overload: open-loop at 2x measured capacity, ladder on vs off -------
+  std::vector<OverloadReport> overload_reports;
+  {
+    const double capacity = reports[2].saturation_users_per_sec;
+    const double overload_qps = 2.0 * capacity;
+    {
+      ServerOptions options;  // max_batch=64, deadline=1ms
+      options.max_queue = 512;
+      options.overload.k_degraded = std::max<int64_t>(1, k / 2);
+      Server server(*int8_snapshot, options);  // int8 blocks for degradation
+      OverloadReport report =
+          RunOverload(server, "ladder_on", num_users, overload_requests,
+                      overload_qps, k, /*timeout_us=*/20'000);
+      server.Stop();
+      report.detail =
+          "max_queue=512, derived watermarks, k_degraded=k/2, int8 when "
+          "degraded, 20ms request deadlines";
+      PrintOverloadReport(report);
+      overload_reports.push_back(std::move(report));
+    }
+    {
+      ServerOptions options;  // unbounded queue, no ladder, no deadlines
+      options.max_queue = 0;
+      options.overload.enabled = false;
+      Server server(*int8_snapshot, options);
+      OverloadReport report =
+          RunOverload(server, "ladder_off", num_users, overload_requests,
+                      overload_qps, k, /*timeout_us=*/0);
+      server.Stop();
+      report.detail =
+          "unbounded queue, no ladder, no deadlines: every request eventually "
+          "served, queue depth grows monotonically under overload";
+      PrintOverloadReport(report);
+      overload_reports.push_back(std::move(report));
+    }
+  }
+
   const double speedup = reports[2].saturation_users_per_sec /
                          reports[0].saturation_users_per_sec;
   std::printf("microbatch vs single-request baseline at saturation: %.2fx\n",
@@ -576,6 +857,6 @@ int main(int argc, char** argv) {
   }
 
   WriteJson(out_path, dataset_name, num_users, dataset->num_items(), dim, k,
-            reports, speedup, int8_overlap, smoke);
+            reports, overload_reports, speedup, int8_overlap, smoke);
   return 0;
 }

@@ -8,7 +8,8 @@
 # blocked/threaded kernels), the staged train loop (crash/resume, policies,
 # observers), the data-parallel step executor (8-worker super-steps) and
 # concurrent workspace acquire/release, and the online serving tier
-# (multi-producer microbatch queue with mid-flight snapshot swaps). A forced
+# (multi-producer microbatch queue with mid-flight snapshot swaps, bounded
+# admission + degradation ladder + request deadlines). A forced
 # DAREC_SIMD=scalar ctest lane and train_bench/serve_bench smokes guard the
 # runtime-dispatched SIMD kernels (fp32 and int8).
 #
@@ -45,6 +46,13 @@ echo "=== smoke: serve bench (microbatched queue, fp32/int8 parity gates) ==="
 cmake --build build -j "$(nproc)" --target serve_bench >/dev/null
 ./build/bench/serve_bench smoke=1 out=build/BENCH_serve_smoke.json
 
+echo "=== smoke: overload ladder (fail-point-stalled flush walks all 3 states) ==="
+# serve.slow_flush stalls the first flush 300ms; the burst of submissions
+# deterministically climbs the queue through degrade_enter and shed_enter,
+# then drains back to Healthy. Asserted inside the binary (DARE_CHECKs).
+DAREC_FAILPOINTS=serve.slow_flush=300000:1 \
+  ./build/bench/serve_bench overload_smoke=1
+
 echo "=== ctest under DAREC_SIMD=scalar (forced lowest kernel tier) ==="
 # quant_test exercises the int8 score/dequant kernels' naive-reference
 # parity on the scalar tier as well as the dispatched one.
@@ -78,9 +86,11 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$(nproc)" \
     --target failpoint_test checkpoint_test io_corruption_test io_test \
              trainer_ckpt_test workspace_test graph_context_test \
-             alloc_regression_test >/dev/null
+             alloc_regression_test backoff_test overload_test >/dev/null
+  # overload_test under ASan covers the fail-point-injected flush stalls and
+  # failures (expired-promise and degraded-batch memory handling).
   ctest --test-dir build-asan --output-on-failure \
-    -R 'failpoint_test|checkpoint_test|io_corruption_test|io_test|trainer_ckpt_test|workspace_test|graph_context_test|alloc_regression_test'
+    -R 'failpoint_test|checkpoint_test|io_corruption_test|io_test|trainer_ckpt_test|workspace_test|graph_context_test|alloc_regression_test|backoff_test|overload_test'
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -91,13 +101,15 @@ if [[ "$run_tsan" == 1 ]]; then
              kmeans_test failpoint_test trainer_ckpt_test \
              train_policies_test train_observer_test workspace_test \
              parallel_executor_test cpu_features_test quant_test \
-             server_test >/dev/null
+             server_test overload_test >/dev/null
   # parallel_executor_test drives 8-worker super-steps (GradSink diversion,
   # fixed-order reduction, per-slot aligner state) under TSan. server_test's
-  # hammer runs multi-producer submits against the microbatch flusher with
-  # snapshot swaps mid-flight.
+  # hammers run multi-producer submits against the microbatch flusher with
+  # snapshot swaps mid-flight and Stop() racing deadline-carrying submits;
+  # overload_test adds bounded admission, the degradation ladder, and
+  # SubmitWithRetry under the same flusher.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test|parallel_executor_test|cpu_features_test|quant_test|server_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test|parallel_executor_test|cpu_features_test|quant_test|server_test|overload_test'
 fi
 
 echo "=== all checks passed ==="

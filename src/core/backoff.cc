@@ -1,0 +1,36 @@
+#include "core/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darec::core {
+
+Backoff::Backoff(const BackoffOptions& options)
+    : options_(options), rng_(options.seed) {
+  options_.initial_us = std::max<int64_t>(1, options_.initial_us);
+  options_.multiplier = std::max(1.0, options_.multiplier);
+  options_.max_us = std::max(options_.initial_us, options_.max_us);
+  options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  base_us_ = static_cast<double>(options_.initial_us);
+}
+
+int64_t Backoff::NextDelayUs() {
+  const double capped = std::min(base_us_, static_cast<double>(options_.max_us));
+  // Uniform in [capped * (1 - jitter), capped]. The draw is consumed even
+  // when jitter == 0 so toggling jitter does not shift the rest of the
+  // stream relative to a jittered run of the same seed.
+  const double u = rng_.UniformDouble();
+  const double jittered = capped * (1.0 - options_.jitter * u);
+  base_us_ = std::min(base_us_ * options_.multiplier,
+                      static_cast<double>(options_.max_us));
+  ++attempts_;
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(jittered)));
+}
+
+void Backoff::Reset() {
+  rng_ = Rng(options_.seed);
+  base_us_ = static_cast<double>(options_.initial_us);
+  attempts_ = 0;
+}
+
+}  // namespace darec::core

@@ -1,0 +1,60 @@
+#ifndef DAREC_CORE_BACKOFF_H_
+#define DAREC_CORE_BACKOFF_H_
+
+#include <cstdint>
+
+#include "core/rng.h"
+
+namespace darec::core {
+
+struct BackoffOptions {
+  /// First delay (before jitter). Clamped to >= 1.
+  int64_t initial_us = 200;
+  /// Growth factor per attempt; clamped to >= 1.0.
+  double multiplier = 2.0;
+  /// Ceiling on the pre-jitter delay; clamped to >= initial_us.
+  int64_t max_us = 100'000;
+  /// Fraction of each delay randomized away: a delay d becomes a uniform
+  /// draw from [d * (1 - jitter), d]. 0 disables jitter; clamped to [0, 1].
+  double jitter = 0.5;
+  /// Seed for the jitter stream — the whole delay sequence is a pure
+  /// function of (options, seed), so retry schedules are reproducible.
+  uint64_t seed = 0;
+};
+
+/// Deterministic exponential backoff with seeded jitter.
+///
+/// The canonical retry pacer for transient failures (a serve::Server
+/// shedding with ResourceExhausted, a contended file commit): the base
+/// delay grows geometrically up to a ceiling, and each emitted delay is
+/// jittered by a core::Rng owned by this object — so two Backoff instances
+/// with the same options produce the same sequence, and tests can assert
+/// schedules exactly instead of sleeping. Not thread-safe; one instance
+/// per retry loop.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options = BackoffOptions());
+
+  /// Returns the next delay in microseconds and advances the schedule:
+  /// jitter(initial), jitter(initial*multiplier), ... capped at max_us.
+  int64_t NextDelayUs();
+
+  /// Restarts the schedule, including the jitter stream: a Reset() Backoff
+  /// replays exactly the sequence it produced after construction.
+  void Reset();
+
+  /// Delays handed out since construction or the last Reset().
+  int64_t attempts() const { return attempts_; }
+
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double base_us_;
+  int64_t attempts_ = 0;
+};
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_BACKOFF_H_

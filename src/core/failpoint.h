@@ -21,6 +21,13 @@ namespace darec::core {
 ///   fsio.write_abort   (arg = bytes written before the simulated crash)
 ///   fsio.rename_fail   (commit rename is skipped; temp file left behind)
 ///   trainer.nan_loss   (one batch loss is forced to NaN)
+///   serve.slow_flush   (arg = microseconds the flusher stalls inside a
+///                       flush, after pinning the snapshot and before the
+///                       deadline re-check — makes queue build-up, request
+///                       expiry, and the degradation ladder reproducible
+///                       without timing races)
+///   serve.flush_fail   (every live request in the flush completes with
+///                       Internal instead of being scored)
 class FailPoint {
  public:
   /// Arms `name`: the point ignores its first `skip_hits` hits, then fires

@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kAlreadyExists:
       return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -17,6 +17,8 @@ enum class StatusCode : int {
   kInternal = 5,
   kUnimplemented = 6,
   kAlreadyExists = 7,
+  kResourceExhausted = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -60,6 +62,12 @@ class Status {
   }
   static Status AlreadyExists(std::string message) {
     return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

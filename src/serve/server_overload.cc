@@ -1,0 +1,79 @@
+#include "serve/server_overload.h"
+
+#include <chrono>
+#include <thread>
+
+#include "core/backoff.h"
+#include "serve/server.h"
+
+namespace darec::serve {
+
+std::string_view LoadStateToString(LoadState state) {
+  switch (state) {
+    case LoadState::kHealthy: return "healthy";
+    case LoadState::kDegraded: return "degraded";
+    case LoadState::kShedding: return "shedding";
+  }
+  return "unknown";
+}
+
+LoadState NextLoadState(LoadState state, int64_t depth,
+                        const OverloadOptions& options) {
+  if (!options.enabled) return LoadState::kHealthy;
+  switch (state) {
+    case LoadState::kHealthy:
+      // A spike can jump the ladder: the shed watermark dominates.
+      if (depth >= options.shed_enter) return LoadState::kShedding;
+      if (depth >= options.degrade_enter) return LoadState::kDegraded;
+      return LoadState::kHealthy;
+    case LoadState::kDegraded:
+      if (depth >= options.shed_enter) return LoadState::kShedding;
+      if (depth <= options.degrade_exit) return LoadState::kHealthy;
+      return LoadState::kDegraded;
+    case LoadState::kShedding:
+      if (depth > options.shed_exit) return LoadState::kShedding;
+      // Recovery descends through the same hysteresis bands it climbed.
+      return depth <= options.degrade_exit ? LoadState::kHealthy
+                                           : LoadState::kDegraded;
+  }
+  return state;
+}
+
+LoadState LoadController::Observe(int64_t depth) {
+  const LoadState next = NextLoadState(state_, depth, options_);
+  if (next != state_) {
+    switch (next) {
+      case LoadState::kHealthy: ++to_healthy_; break;
+      case LoadState::kDegraded: ++to_degraded_; break;
+      case LoadState::kShedding: ++to_shedding_; break;
+    }
+    state_ = next;
+  }
+  return state_;
+}
+
+core::StatusOr<TopKResult> SubmitWithRetry(Server& server, int64_t user,
+                                           int64_t k, int64_t timeout_us,
+                                           core::Backoff& backoff,
+                                           int64_t max_attempts) {
+  core::StatusOr<TopKResult> result =
+      core::Status::Internal("SubmitWithRetry: no attempt made");
+  for (int64_t attempt = 0; attempt < std::max<int64_t>(1, max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoff.NextDelayUs()));
+    }
+    result = server.SubmitTopK(user, k, timeout_us).get();
+    // Only admission shed is worth retrying: the queue was full or the
+    // ladder was shedding, both transient. Deadline expiry, bad arguments,
+    // and a stopped server fail the same way on every retry.
+    if (result.ok() ||
+        result.status().code() != core::StatusCode::kResourceExhausted) {
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace darec::serve

@@ -152,7 +152,7 @@ std::vector<std::vector<ScoredItem>> Engine::TopK(
   const int64_t num_queries = static_cast<int64_t>(users.size());
   std::vector<std::vector<ScoredItem>> lists(static_cast<size_t>(num_queries));
   if (num_queries == 0 || num_items_ == 0) return lists;
-  const int64_t take = std::min(k, num_items_);
+  const int64_t take = ClampK(k, num_items_);
   for (int64_t b0 = 0; b0 < num_queries; b0 += options_.block_users) {
     const int64_t b1 = std::min(num_queries, b0 + options_.block_users);
     ScoreAndSelectBlock(users, b0, b1, take, seen, mask_mode, precision,
@@ -168,7 +168,7 @@ void Engine::TopKOne(int64_t user, int64_t k, const SeenItemsFn& seen,
   DARE_CHECK(user >= 0 && user < num_users_) << "bad user id: " << user;
   out->clear();
   if (num_items_ == 0) return;
-  const int64_t take = std::min(k, num_items_);
+  const int64_t take = ClampK(k, num_items_);
   const int64_t dim = nodes_->cols();
   tensor::Workspace& ws = tensor::Workspace::Global();
   tensor::ScratchMatrix scores(ws, num_items_);

@@ -1,6 +1,7 @@
 #ifndef DAREC_TOPK_ENGINE_H_
 #define DAREC_TOPK_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -58,6 +59,16 @@ struct EngineOptions {
 /// Sorted ascending list of item ids to mask for `user`, or nullptr for
 /// none. Invoked from pool worker threads — must be a pure lookup.
 using SeenItemsFn = std::function<const std::vector<int64_t>*(int64_t user)>;
+
+/// The one k-clamp used everywhere a requested k meets a limit: the engine's
+/// item-count bound and the serving tier's degradation cap (`k_degraded`)
+/// both funnel through it, so a clamped request is indistinguishable — and
+/// bitwise identical — to a request submitted with the clamped k in the
+/// first place (a top-k' list is a prefix of the top-k list under the
+/// deterministic total order). `cap <= 0` means "no cap".
+inline int64_t ClampK(int64_t k, int64_t cap) {
+  return cap > 0 ? std::min(k, cap) : k;
+}
 
 /// Batched top-K scoring engine — the one scoring core shared by the
 /// all-ranking evaluation (`eval::EvaluateRanking`), the serving facade

@@ -1,0 +1,99 @@
+// core::Backoff: the delay schedule is a pure function of (options, seed) —
+// tests assert sequences exactly instead of sleeping.
+#include "core/backoff.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace darec::core {
+namespace {
+
+TEST(BackoffTest, NoJitterIsExactGeometricGrowthCappedAtMax) {
+  BackoffOptions options;
+  options.initial_us = 100;
+  options.multiplier = 2.0;
+  options.max_us = 1000;
+  options.jitter = 0.0;
+  Backoff backoff(options);
+  EXPECT_EQ(backoff.NextDelayUs(), 100);
+  EXPECT_EQ(backoff.NextDelayUs(), 200);
+  EXPECT_EQ(backoff.NextDelayUs(), 400);
+  EXPECT_EQ(backoff.NextDelayUs(), 800);
+  EXPECT_EQ(backoff.NextDelayUs(), 1000);  // capped
+  EXPECT_EQ(backoff.NextDelayUs(), 1000);  // stays capped
+  EXPECT_EQ(backoff.attempts(), 6);
+}
+
+TEST(BackoffTest, SameSeedSameSequence) {
+  BackoffOptions options;
+  options.seed = 42;
+  options.jitter = 0.5;
+  Backoff a(options);
+  Backoff b(options);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.NextDelayUs(), b.NextDelayUs()) << "attempt " << i;
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsDiverge) {
+  BackoffOptions options;
+  options.jitter = 0.5;
+  options.seed = 1;
+  Backoff a(options);
+  options.seed = 2;
+  Backoff b(options);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.NextDelayUs() != b.NextDelayUs();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BackoffTest, JitteredDelaysStayInBand) {
+  BackoffOptions options;
+  options.initial_us = 1000;
+  options.multiplier = 2.0;
+  options.max_us = 64000;
+  options.jitter = 0.5;
+  options.seed = 7;
+  Backoff backoff(options);
+  double base = 1000.0;
+  for (int i = 0; i < 12; ++i) {
+    const double capped = std::min(base, 64000.0);
+    const int64_t delay = backoff.NextDelayUs();
+    EXPECT_GE(delay, static_cast<int64_t>(capped * 0.5) - 1) << "attempt " << i;
+    EXPECT_LE(delay, static_cast<int64_t>(capped) + 1) << "attempt " << i;
+    base = std::min(base * 2.0, 64000.0);
+  }
+}
+
+TEST(BackoffTest, ResetReplaysTheSequence) {
+  BackoffOptions options;
+  options.seed = 9;
+  options.jitter = 0.3;
+  Backoff backoff(options);
+  std::vector<int64_t> first;
+  for (int i = 0; i < 8; ++i) first.push_back(backoff.NextDelayUs());
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(backoff.NextDelayUs(), first[static_cast<size_t>(i)])
+        << "attempt " << i;
+  }
+}
+
+TEST(BackoffTest, DegenerateOptionsAreClamped) {
+  BackoffOptions options;
+  options.initial_us = -5;
+  options.multiplier = 0.1;   // would shrink: clamped to 1.0
+  options.max_us = -100;      // clamped to initial
+  options.jitter = 3.0;       // clamped to 1.0
+  Backoff backoff(options);
+  EXPECT_EQ(backoff.options().initial_us, 1);
+  EXPECT_EQ(backoff.options().multiplier, 1.0);
+  EXPECT_EQ(backoff.options().max_us, 1);
+  EXPECT_EQ(backoff.options().jitter, 1.0);
+  for (int i = 0; i < 5; ++i) EXPECT_GE(backoff.NextDelayUs(), 1);
+}
+
+}  // namespace
+}  // namespace darec::core

@@ -270,5 +270,72 @@ TEST(ServerTest, MultiProducerHammerWithMidFlightReloads) {
   EXPECT_GT(stats.max_batch_observed, 1) << "queue never coalesced a batch";
 }
 
+/// Stop() races live submits carrying a mix of deadlines while the queue is
+/// bounded: every future must complete exactly once, and client-observed
+/// outcomes must reconcile exactly with the server's own counters —
+/// completed + failed == submitted, with sheds and admission-expired
+/// deadlines accounted separately. Runs under TSan in check.sh.
+TEST(ServerTest, StopVsSubmitHammerWithDeadlines) {
+  Fixture f;
+  ServerOptions options;
+  options.max_batch = 16;
+  options.flush_deadline_us = 200;
+  options.max_queue = 32;
+  options.overload.k_degraded = 3;
+  Server server(f.Snapshot(/*build_int8=*/true, 1), options);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 300;
+  // Client-side tally of every possible outcome.
+  std::atomic<int> ok{0};
+  std::atomic<int> deadline{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> stopped{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      core::Rng rng(200 + t);
+      const int64_t timeouts[] = {0, 50, 1000, 5000};
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int64_t user = rng.UniformInt(40);
+        const int64_t timeout_us = timeouts[rng.UniformInt(4)];
+        auto result = server.SubmitTopK(user, 1 + (user % 13), timeout_us).get();
+        if (result.ok()) {
+          ok.fetch_add(1);
+          continue;
+        }
+        switch (result.status().code()) {
+          case core::StatusCode::kDeadlineExceeded: deadline.fetch_add(1); break;
+          case core::StatusCode::kResourceExhausted: shed.fetch_add(1); break;
+          case core::StatusCode::kFailedPrecondition: stopped.fetch_add(1); break;
+          default: other.fetch_add(1); break;
+        }
+      }
+    });
+  }
+  // Stop mid-stream: producers past the cutoff observe FailedPrecondition.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.Stop();
+  for (auto& p : producers) p.join();
+
+  // Every request completed exactly once, with a recognized outcome.
+  EXPECT_EQ(ok + deadline + shed + stopped, kProducers * kPerProducer);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(stopped.load(), 0) << "Stop() landed after all submits";
+
+  // Server-side accounting closes: everything admitted was fulfilled.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.failed, stats.submitted);
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.shed_admission, shed.load());
+  // Client-observed DeadlineExceeded = admission-expired (not submitted)
+  // + expired at assembly / in flush (counted in failed).
+  EXPECT_EQ(stats.shed_deadline, deadline.load());
+  EXPECT_GT(stats.peak_pending, 0);
+  EXPECT_LE(stats.peak_pending, options.max_queue);
+}
+
 }  // namespace
 }  // namespace darec::serve
