@@ -8,14 +8,22 @@
 // alignment loss and for full TrainStep epochs, with the per-step graph
 // arena + workspace pool on ("pooled") vs off ("legacy"), written as
 // BENCH_autograd.json. This is the before/after evidence for DESIGN.md §10.
+//
+// `micro_losses --fusion_json[=PATH]` profiles expression fusion (DESIGN.md
+// §14): forward+backward wall time per step for each recorded loss chain
+// with fusion on vs replayed eagerly, written as BENCH_fusion.json. Every
+// scenario is parity-gated — the run aborts if the fused loss value is not
+// bitwise equal to the replayed one.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "core/check.h"
 #include "core/rng.h"
 #include "darec/losses.h"
 #include "pipeline/experiment.h"
@@ -23,6 +31,7 @@
 #include "tensor/alloc_stats.h"
 #include "tensor/autograd.h"
 #include "tensor/csr.h"
+#include "tensor/expr.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -388,6 +397,169 @@ int RunAllocProfile(const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Fusion profile (--fusion_json): fused vs replayed loss chains, parity-gated.
+// ---------------------------------------------------------------------------
+
+struct FusionRow {
+  std::string name;
+  int64_t steps = 0;
+  double fused_ms = 0.0, eager_ms = 0.0;
+  int64_t fused_ops = 0;  // fused-traversal nodes per step (arena telemetry)
+};
+
+uint32_t FloatBits(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Times `step` (forward+backward over captive parameters, returning the
+/// loss value) with fusion on and with every chain replayed eagerly, inside
+/// the same pooled per-step arena both ways. Aborts on value divergence.
+template <typename StepFn>
+FusionRow ProfileFusion(const std::string& name, StepFn step, int steps = 40) {
+  FusionRow row;
+  row.name = name;
+  row.steps = steps;
+  tensor::GraphContext ctx;
+  auto run = [&] {
+    tensor::GraphContext::Scope scope(&ctx);
+    const float value = step();
+    ctx.Reset();
+    return value;
+  };
+  float fused_value = 0.0f;
+  for (bool fused : {true, false}) {
+    tensor::expr::SetFusionForTest(fused);
+    const int64_t ops_before = ctx.stats().fused_ops;
+    const float warm = run();  // Warm-up fills arena slots + recorder storage.
+    if (fused) {
+      fused_value = warm;
+      row.fused_ops = ctx.stats().fused_ops - ops_before;
+    } else {
+      DARE_CHECK(FloatBits(warm) == FloatBits(fused_value))
+          << name << ": fused loss " << fused_value
+          << " != replayed loss " << warm;
+      DARE_CHECK(ctx.stats().fused_ops == ops_before)
+          << name << ": replay executed fused traversals";
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < steps; ++i) run();
+    (fused ? row.fused_ms : row.eager_ms) = MsSince(t0);
+  }
+  tensor::expr::SetFusionForTest(true);
+  return row;
+}
+
+int RunFusionProfile(const std::string& out_path) {
+  std::vector<FusionRow> rows;
+  for (int64_t n : {256, 1024}) {
+    const std::string suffix = "_" + std::to_string(n);
+    {
+      Variable a = Variable::Parameter(RandomMatrix(n, 32, 41));
+      Variable b = Variable::Parameter(RandomMatrix(n, 32, 42));
+      rows.push_back(ProfileFusion("orthogonality" + suffix, [&] {
+        a.ClearGrad();
+        b.ClearGrad();
+        Variable loss = model::OrthogonalityLoss(a, b);
+        Backward(loss);
+        return loss.scalar();
+      }));
+    }
+    {
+      Variable a = Variable::Parameter(RandomMatrix(n, 32, 43));
+      rows.push_back(ProfileFusion("uniformity" + suffix, [&] {
+        a.ClearGrad();
+        Variable loss = model::UniformityLoss(a);
+        Backward(loss);
+        return loss.scalar();
+      }));
+    }
+    {
+      Variable a = Variable::Parameter(RandomMatrix(n, 32, 44));
+      Variable b = Variable::Parameter(RandomMatrix(n, 32, 45));
+      rows.push_back(ProfileFusion("global_structure" + suffix, [&] {
+        a.ClearGrad();
+        b.ClearGrad();
+        Variable loss = model::GlobalStructureLoss(a, b);
+        Backward(loss);
+        return loss.scalar();
+      }));
+    }
+    {
+      // MseLoss on square matrices: the reconstruction objective (RLMRec-gen)
+      // with the matmul share at zero — the pure chain-fusion effect.
+      Variable a = Variable::Parameter(RandomMatrix(n, n, 46));
+      Variable b = Variable::Parameter(RandomMatrix(n, n, 47));
+      rows.push_back(ProfileFusion("mse" + suffix, [&] {
+        a.ClearGrad();
+        b.ClearGrad();
+        Variable loss = tensor::MseLoss(a, b);
+        Backward(loss);
+        return loss.scalar();
+      }));
+    }
+  }
+  {
+    // Out-of-cache preset: at 2048x2048 (16 MiB per operand) every pass over
+    // the matrices hits DRAM, so the traversals fusion removes are the
+    // dominant cost.
+    Variable a = Variable::Parameter(RandomMatrix(2048, 2048, 50));
+    Variable b = Variable::Parameter(RandomMatrix(2048, 2048, 51));
+    rows.push_back(ProfileFusion("mse_2048", [&] {
+      a.ClearGrad();
+      b.ClearGrad();
+      Variable loss = tensor::MseLoss(a, b);
+      Backward(loss);
+      return loss.scalar();
+    }, /*steps=*/20));
+  }
+  {
+    Variable a = Variable::Parameter(RandomMatrix(256, 32, 48));
+    Variable b = Variable::Parameter(RandomMatrix(256, 32, 49));
+    rows.push_back(ProfileFusion("global_structure_softmax_256", [&] {
+      a.ClearGrad();
+      b.ClearGrad();
+      Variable loss = model::GlobalStructureLossSoftmax(a, b, 0.5f);
+      Backward(loss);
+      return loss.scalar();
+    }));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_losses --fusion_json\",\n");
+  std::fprintf(f,
+               "  \"note\": \"forward+backward wall time per step, recorded "
+               "loss chains fused (DAREC_FUSION=on) vs replayed eagerly; "
+               "fused loss values are bitwise equal to replayed ones "
+               "(DARE_CHECK-gated), so speedup is the only delta\",\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const FusionRow& r = rows[i];
+    const double n = static_cast<double>(r.steps);
+    const double speedup = r.fused_ms > 0.0 ? r.eager_ms / r.fused_ms : 0.0;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"fused_ops_per_step\": %lld,\n"
+                 "     \"fused_ms_per_step\": %.4f, \"eager_ms_per_step\": "
+                 "%.4f, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), static_cast<long long>(r.steps),
+                 static_cast<long long>(r.fused_ops), r.fused_ms / n,
+                 r.eager_ms / n, speedup, i + 1 < rows.size() ? "," : "");
+    std::printf("%-28s fused %8.4f ms  eager %8.4f ms  %.2fx\n",
+                r.name.c_str(), r.fused_ms / n, r.eager_ms / n, speedup);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -397,6 +569,11 @@ int main(int argc, char** argv) {
       const size_t eq = arg.find('=');
       return RunAllocProfile(eq == std::string::npos ? "BENCH_autograd.json"
                                                      : arg.substr(eq + 1));
+    }
+    if (arg.rfind("--fusion_json", 0) == 0) {
+      const size_t eq = arg.find('=');
+      return RunFusionProfile(eq == std::string::npos ? "BENCH_fusion.json"
+                                                      : arg.substr(eq + 1));
     }
   }
   benchmark::Initialize(&argc, argv);

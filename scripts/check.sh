@@ -11,7 +11,9 @@
 # (multi-producer microbatch queue with mid-flight snapshot swaps, bounded
 # admission + degradation ladder + request deadlines). A forced
 # DAREC_SIMD=scalar ctest lane and train_bench/serve_bench smokes guard the
-# runtime-dispatched SIMD kernels (fp32 and int8).
+# runtime-dispatched SIMD kernels (fp32 and int8); a DAREC_FUSION=off lane
+# and a parity-gated fusion bench smoke guard expression fusion (both
+# evaluation paths must stay bitwise identical).
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -37,6 +39,9 @@ echo "=== smoke: autograd memory profile (steady-state allocations) ==="
 cmake --build build -j "$(nproc)" --target micro_losses >/dev/null
 ./build/bench/micro_losses --alloc_json=build/BENCH_autograd_smoke.json
 
+echo "=== smoke: fused loss chains (fused vs eager, bitwise parity gates) ==="
+./build/bench/micro_losses --fusion_json=build/BENCH_fusion_smoke.json
+
 echo "=== smoke: train bench (workers x SIMD sweep, bitwise parity gates) ==="
 cmake --build build -j "$(nproc)" --target train_bench >/dev/null
 ./build/bench/train_bench datasets=tiny epochs=2 workers=1,8 \
@@ -58,6 +63,12 @@ echo "=== ctest under DAREC_SIMD=scalar (forced lowest kernel tier) ==="
 # parity on the scalar tier as well as the dispatched one.
 DAREC_SIMD=scalar ctest --test-dir build --output-on-failure \
   -R 'matrix_test|ops_property_test|cpu_features_test|golden_trace_test|parallel_executor_test|quant_test'
+
+echo "=== ctest under DAREC_FUSION=off (every recorded chain replayed) ==="
+# The replay path must carry the same golden traces, property contracts, and
+# steady-state allocation budget as the fused default.
+DAREC_FUSION=off ctest --test-dir build --output-on-failure \
+  -R 'expr_test|ops_property_test|losses_test|golden_trace_test|alloc_regression_test'
 
 echo "=== smoke: bench resume (kill table3_main mid-sweep, rerun resume=1) ==="
 cmake --build build -j "$(nproc)" --target table3_main >/dev/null

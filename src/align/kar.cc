@@ -1,5 +1,6 @@
 #include "align/kar.h"
 
+#include "align/llm_input.h"
 #include "core/rng.h"
 #include "tensor/ops.h"
 
@@ -9,7 +10,7 @@ using tensor::Variable;
 
 Kar::Kar(tensor::Matrix llm_embeddings, int64_t cf_dim, const KarOptions& options)
     : options_(options),
-      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+      llm_(NormalizedLlmConstant(std::move(llm_embeddings))) {
   core::Rng rng(options.seed);
   adapter_ = std::make_unique<tensor::Mlp>(
       std::vector<int64_t>{llm_.cols(), options.hidden_dim, cf_dim}, rng);

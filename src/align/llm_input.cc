@@ -1,0 +1,13 @@
+#include "align/llm_input.h"
+
+#include <utility>
+
+namespace darec::align {
+
+tensor::Variable NormalizedLlmConstant(tensor::Matrix llm_embeddings) {
+  tensor::Matrix normalized;
+  tensor::RowNormalizeInto(llm_embeddings, &normalized);
+  return tensor::Variable::Constant(std::move(normalized));
+}
+
+}  // namespace darec::align

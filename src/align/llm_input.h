@@ -1,0 +1,16 @@
+#ifndef DAREC_ALIGN_LLM_INPUT_H_
+#define DAREC_ALIGN_LLM_INPUT_H_
+
+#include "tensor/autograd.h"
+#include "tensor/matrix.h"
+
+namespace darec::align {
+
+/// The frozen LLM-profile input every aligner (and the DaRec model) starts
+/// from: rows L2-normalized, wrapped as a non-trainable constant. One place
+/// for the convention instead of per-aligner constructor boilerplate.
+tensor::Variable NormalizedLlmConstant(tensor::Matrix llm_embeddings);
+
+}  // namespace darec::align
+
+#endif  // DAREC_ALIGN_LLM_INPUT_H_

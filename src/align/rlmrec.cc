@@ -1,5 +1,6 @@
 #include "align/rlmrec.h"
 
+#include "align/llm_input.h"
 #include "core/rng.h"
 #include "tensor/ops.h"
 
@@ -28,7 +29,7 @@ Variable RlmrecCon::Loss(const Variable& nodes, core::Rng& rng) {
 RlmrecGen::RlmrecGen(tensor::Matrix llm_embeddings, int64_t cf_dim,
                      const RlmrecOptions& options)
     : options_(options),
-      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+      llm_(NormalizedLlmConstant(std::move(llm_embeddings))) {
   core::Rng rng(options.seed ^ 0x6E6EULL);
   decoder_ = std::make_unique<tensor::Mlp>(
       std::vector<int64_t>{cf_dim, options.hidden_dim, llm_.cols()}, rng);

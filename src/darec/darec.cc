@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "align/llm_input.h"
 #include "core/rng.h"
 #include "tensor/ops.h"
 
@@ -12,7 +13,7 @@ using tensor::Variable;
 DaRecAligner::DaRecAligner(tensor::Matrix llm_embeddings, int64_t cf_dim,
                            const DaRecOptions& options)
     : options_(options),
-      llm_(Variable::Constant(tensor::RowNormalize(llm_embeddings))) {
+      llm_(align::NormalizedLlmConstant(std::move(llm_embeddings))) {
   DARE_CHECK_GT(options.lambda, 0.0f);
   DARE_CHECK_GT(options.sample_size, 1);
   DARE_CHECK(options.projector_layers == 1 || options.projector_layers == 2);

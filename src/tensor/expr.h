@@ -1,0 +1,96 @@
+#ifndef DAREC_TENSOR_EXPR_H_
+#define DAREC_TENSOR_EXPR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/statusor.h"
+#include "tensor/autograd.h"
+
+namespace darec::tensor::expr {
+
+// Lazy expression recording over the autograd arena (DESIGN.md §14).
+//
+// The functions below don't compute anything: they append nodes to a
+// thread-local recording and hand back lightweight Expr handles. Eval()
+// materializes the recorded chain — when fusion is enabled it pattern-matches
+// reduction-rooted subchains onto the fused ops in ops.h (one traversal, one
+// graph node per chain); otherwise it replays the chain through the eager
+// ops one node at a time, in the exact order the handwritten composition
+// would have used. Both paths produce bitwise-identical values and
+// gradients; fusion only changes how many passes over memory (and graph
+// nodes) it takes.
+//
+// Lifetime: a recording lives on the calling thread from the first In() to
+// the next Eval(), which consumes it — every outstanding Expr handle becomes
+// stale (checked). Recording storage is reused across steps, so steady-state
+// training epochs stay allocation-free. Recordings don't nest and must be
+// evaluated on the thread that recorded them.
+
+/// Opaque handle to a node of the current thread-local recording.
+class Expr {
+ public:
+  Expr() : index_(-1), gen_(0) {}
+
+ private:
+  friend class RecorderAccess;
+  Expr(int32_t index, uint32_t gen) : index_(index), gen_(gen) {}
+  int32_t index_;
+  uint32_t gen_;
+};
+
+// --- Recording ------------------------------------------------------------
+
+/// Enters `v` as a leaf of the current recording.
+Expr In(const Variable& v);
+
+Expr Add(Expr a, Expr b);
+Expr Sub(Expr a, Expr b);
+Expr Mul(Expr a, Expr b);
+Expr ScalarMul(Expr a, float s);
+Expr AddScalar(Expr a, float s);
+Expr Square(Expr a);
+Expr Abs(Expr a);
+Expr Exp(Expr a);
+Expr Log(Expr a, float eps = 1e-12f);
+Expr RowL2Normalize(Expr a, float eps = 1e-12f);
+/// Per-row sum -> rows x 1.
+Expr RowSum(Expr a);
+/// Sum of all elements -> 1x1.
+Expr Sum(Expr a);
+/// Squared Frobenius norm -> 1x1.
+Expr SumSquares(Expr a);
+/// Mean of all elements -> 1x1.
+Expr Mean(Expr a);
+
+/// Materializes `root` and ends the recording (all other Expr handles from
+/// it become stale). Returns the root's Variable, wired into the autograd
+/// graph exactly as the equivalent eager composition would be.
+Variable Eval(Expr root);
+
+/// True while this thread has an open recording (or is inside Eval).
+/// Composite ops (RowDot, MseLoss, ...) check this before recording their
+/// own chain so they never clobber a caller's in-progress recording.
+bool RecorderActive();
+
+// --- DAREC_FUSION toggle --------------------------------------------------
+
+/// Parses a DAREC_FUSION value ("on" | "off"). InvalidArgument otherwise.
+core::StatusOr<bool> ParseFusionMode(const std::string& value);
+
+/// Resolves the startup mode: the DAREC_FUSION override when set — aborting
+/// with a clear diagnostic when the value is garbage — else on. Exposed
+/// separately from FusionEnabled() so tests can exercise the validation.
+bool FusionModeFromEnvOrDie();
+
+/// Whether Eval fuses matched chains. Initialized on first use via
+/// FusionModeFromEnvOrDie() and logged once ("expression fusion: ...").
+bool FusionEnabled();
+
+/// Flips the mode in-process (parity tests / bench sweeps). Takes effect on
+/// the next Eval.
+void SetFusionForTest(bool enabled);
+
+}  // namespace darec::tensor::expr
+
+#endif  // DAREC_TENSOR_EXPR_H_

@@ -372,4 +372,175 @@ bool AllClose(const Matrix& a, const Matrix& b, float tol) {
   return true;
 }
 
+void AddScalarInto(const Matrix& a, float s, Matrix* out) {
+  out->CopyFrom(a);
+  float* p = out->data();
+  core::ParallelFor(0, out->size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) p[i] += s;
+  });
+}
+
+void SquareInto(const Matrix& a, Matrix* out) {
+  out->CopyFrom(a);
+  float* p = out->data();
+  core::ParallelFor(0, out->size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) p[i] *= p[i];
+  });
+}
+
+// ----------------------------------------------------------------------------
+// Fused-traversal kernels. The full reductions stay single-threaded in flat
+// ascending order (the SumAll/SumSquares contract); elementwise gradients and
+// per-row kernels chunk with the usual shape-only deterministic grains.
+// ----------------------------------------------------------------------------
+
+float FusedSubSumSquares(const Matrix& a, const Matrix& b) {
+  DARE_CHECK(a.SameShape(b)) << "FusedSubSumSquares shape mismatch";
+  return static_cast<float>(
+      simd::Kernels().fused_sub_sumsq(a.data(), b.data(), a.size()));
+}
+
+void FusedSubGradInto(const Matrix& a, const Matrix& b, float scale,
+                      Matrix* da, Matrix* db) {
+  DARE_CHECK(a.SameShape(b)) << "FusedSubGradInto shape mismatch";
+  if (da != nullptr) da->ResetShape(a.rows(), a.cols());
+  if (db != nullptr) db->ResetShape(a.rows(), a.cols());
+  if (da == nullptr && db == nullptr) return;
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, a.size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
+    kt.fused_sub_grad(da ? da->data() + lo : nullptr,
+                      db ? db->data() + lo : nullptr, a.data() + lo,
+                      b.data() + lo, scale, hi - lo);
+  });
+}
+
+float FusedSquareSum(const Matrix& a, bool has_bias, float bias) {
+  return static_cast<float>(
+      simd::Kernels().fused_square_sum(a.data(), bias, has_bias ? 1 : 0,
+                                       a.size()));
+}
+
+void FusedSquareSumGradInto(const Matrix& a, bool has_bias, float bias,
+                            float g, Matrix* dx) {
+  dx->ResetShape(a.rows(), a.cols());
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, a.size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
+    kt.fused_square_sum_grad(dx->data() + lo, a.data() + lo, bias,
+                             has_bias ? 1 : 0, g, hi - lo);
+  });
+}
+
+float FusedExpAffineSum(const Matrix& a, float s1, float b1, float s2,
+                        Matrix* y) {
+  y->ResetShape(a.rows(), a.cols());
+  return static_cast<float>(simd::Kernels().fused_exp_affine_sum(
+      a.data(), s1, b1, s2, y->data(), a.size()));
+}
+
+void FusedExpAffineSumGradInto(const Matrix& y, float s1, float s2, float g,
+                               Matrix* dx) {
+  dx->ResetShape(y.rows(), y.cols());
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, y.size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
+    kt.fused_exp_affine_grad(dx->data() + lo, y.data() + lo, s1, s2, g,
+                             hi - lo);
+  });
+}
+
+float FusedMulSubSum(const Matrix& t, const Matrix& a, const Matrix& b) {
+  DARE_CHECK(t.SameShape(a)) << "FusedMulSubSum shape mismatch";
+  DARE_CHECK(a.SameShape(b)) << "FusedMulSubSum shape mismatch";
+  return static_cast<float>(
+      simd::Kernels().fused_mul_sub_sum(t.data(), a.data(), b.data(),
+                                        a.size()));
+}
+
+void FusedMulSubSumGradInto(const Matrix& t, const Matrix& a, const Matrix& b,
+                            float g, Matrix* dt, Matrix* da, Matrix* db) {
+  DARE_CHECK(t.SameShape(a)) << "FusedMulSubSumGradInto shape mismatch";
+  DARE_CHECK(a.SameShape(b)) << "FusedMulSubSumGradInto shape mismatch";
+  if (dt != nullptr) dt->ResetShape(a.rows(), a.cols());
+  if (da != nullptr) da->ResetShape(a.rows(), a.cols());
+  if (db != nullptr) db->ResetShape(a.rows(), a.cols());
+  if (dt == nullptr && da == nullptr && db == nullptr) return;
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, a.size(), kElemwiseGrain, [&](int64_t lo, int64_t hi) {
+    kt.fused_mul_sub_grad(dt ? dt->data() + lo : nullptr,
+                          da ? da->data() + lo : nullptr,
+                          db ? db->data() + lo : nullptr, t.data() + lo,
+                          a.data() + lo, b.data() + lo, g, hi - lo);
+  });
+}
+
+void FusedCosineRowsInto(const Matrix& a, const Matrix& b, float eps,
+                         Matrix* out, Matrix* norms) {
+  DARE_CHECK(a.SameShape(b)) << "FusedCosineRowsInto shape mismatch";
+  out->ResetShape(a.rows(), 1);
+  norms->ResetShape(a.rows(), 2);
+  Matrix& sims = *out;
+  Matrix& norm_pairs = *norms;
+  const int64_t cols = a.cols();
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, a.rows(), RowGrain(3 * cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      sims(r, 0) = kt.fused_cosine_row(a.Row(r), b.Row(r), cols, eps,
+                                       norm_pairs.Row(r));
+    }
+  });
+}
+
+void FusedCosineRowsGradInto(const Matrix& a, const Matrix& b, const Matrix& g,
+                             float eps, const Matrix& norms, Matrix* da,
+                             Matrix* db) {
+  DARE_CHECK(a.SameShape(b)) << "FusedCosineRowsGradInto shape mismatch";
+  DARE_CHECK_EQ(g.rows(), a.rows());
+  DARE_CHECK_EQ(g.cols(), 1);
+  DARE_CHECK_EQ(norms.rows(), a.rows());
+  DARE_CHECK_EQ(norms.cols(), 2);
+  if (da != nullptr) da->ResetShape(a.rows(), a.cols());
+  if (db != nullptr) db->ResetShape(a.rows(), a.cols());
+  if (da == nullptr && db == nullptr) return;
+  const int64_t cols = a.cols();
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, a.rows(), RowGrain(4 * cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      kt.fused_cosine_row_grad(da ? da->Row(r) : nullptr,
+                               db ? db->Row(r) : nullptr, a.Row(r), b.Row(r),
+                               g(r, 0), cols, eps, norms.Row(r));
+    }
+  });
+}
+
+void FusedRowDotInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  DARE_CHECK(a.SameShape(b)) << "FusedRowDotInto shape mismatch";
+  out->ResetShape(a.rows(), 1);
+  Matrix& dots = *out;
+  const int64_t cols = a.cols();
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      dots(r, 0) = kt.fused_rowdot_row(a.Row(r), b.Row(r), cols);
+    }
+  });
+}
+
+void FusedRowDotGradInto(const Matrix& a, const Matrix& b, const Matrix& g,
+                         Matrix* da, Matrix* db) {
+  DARE_CHECK(a.SameShape(b)) << "FusedRowDotGradInto shape mismatch";
+  DARE_CHECK_EQ(g.rows(), a.rows());
+  DARE_CHECK_EQ(g.cols(), 1);
+  if (da != nullptr) da->ResetShape(a.rows(), a.cols());
+  if (db != nullptr) db->ResetShape(a.rows(), a.cols());
+  if (da == nullptr && db == nullptr) return;
+  const int64_t cols = a.cols();
+  const simd::KernelTable& kt = simd::Kernels();
+  core::ParallelFor(0, a.rows(), RowGrain(2 * cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      kt.fused_rowdot_row_grad(da ? da->Row(r) : nullptr,
+                               db ? db->Row(r) : nullptr, a.Row(r), b.Row(r),
+                               g(r, 0), cols);
+    }
+  });
+}
+
 }  // namespace darec::tensor

@@ -220,12 +220,66 @@ void SubInto(const Matrix& a, const Matrix& b, Matrix* out);
 void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out);
 /// out = s * A.
 void ScaleInto(const Matrix& a, float s, Matrix* out);
+/// out = A + s (elementwise scalar add).
+void AddScalarInto(const Matrix& a, float s, Matrix* out);
+/// out = A ∘ A (elementwise square).
+void SquareInto(const Matrix& a, Matrix* out);
 /// out = per-row L2 norms of A as rows x 1.
 void RowNormsInto(const Matrix& a, Matrix* out);
 /// out = A with rows scaled to unit norm (rows with norm < eps unscaled).
 void RowNormalizeInto(const Matrix& a, Matrix* out, float eps = 1e-12f);
 /// out(i,j) = ||a_i - b_j||²; scratch comes from the global Workspace.
 void PairwiseSquaredDistancesInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+// ----------------------------------------------------------------------------
+// Fused-traversal kernels (expression fusion, DESIGN.md §14). Each function
+// is bitwise identical to the eager op composition named in its comment: the
+// per-element float sequence and the serial double accumulation order match
+// the eager kernels exactly, at every SIMD tier and thread count. Forward
+// full reductions run single-threaded (the eager SumAll/SumSquares contract);
+// per-row and per-element loops use the usual deterministic ParallelFor
+// decomposition. Gradient outputs may be nullptr to skip that operand.
+// ----------------------------------------------------------------------------
+
+/// ≡ SumSquares(Sub(a, b)).
+float FusedSubSumSquares(const Matrix& a, const Matrix& b);
+/// Backward of the above: da = (a - b) * scale, db = -da (elementwise).
+void FusedSubGradInto(const Matrix& a, const Matrix& b, float scale,
+                      Matrix* da, Matrix* db);
+/// ≡ SumAll(Square(A + bias)) when has_bias, else SumAll(Square(A)); note
+/// this is the float-squared accumulation, distinct from SumSquares.
+float FusedSquareSum(const Matrix& a, bool has_bias, float bias);
+/// Backward: dx = g * (2 * (a + bias?)).
+void FusedSquareSumGradInto(const Matrix& a, bool has_bias, float bias,
+                            float g, Matrix* dx);
+/// ≡ SumAll(Exp(((A * s1) + b1) * s2)) with the eager op's float staging.
+/// Stashes the per-element exp results into `y` (same shape as `a`) so the
+/// backward pass never re-evaluates exp.
+float FusedExpAffineSum(const Matrix& a, float s1, float b1, float s2,
+                        Matrix* y);
+/// Backward over the forward's stashed y: dx = ((g * y) * s2) * s1.
+void FusedExpAffineSumGradInto(const Matrix& y, float s1, float s2, float g,
+                               Matrix* dx);
+/// ≡ SumAll(Hadamard(T, Sub(a, b))).
+float FusedMulSubSum(const Matrix& t, const Matrix& a, const Matrix& b);
+/// Backward: dt = g*(a-b), da = g*t, db = -g*t.
+void FusedMulSubSumGradInto(const Matrix& t, const Matrix& a, const Matrix& b,
+                            float g, Matrix* dt, Matrix* da, Matrix* db);
+/// out (rows x 1) ≡ row-sums of Hadamard(RowNormalize(a, eps),
+/// RowNormalize(b, eps)) — per-row cosine similarity in one pass. Stashes
+/// the per-row norm pair (na, nb) into `norms` (rows x 2) for the backward.
+void FusedCosineRowsInto(const Matrix& a, const Matrix& b, float eps,
+                         Matrix* out, Matrix* norms);
+/// Backward of the above; `g` is the rows x 1 upstream gradient and `norms`
+/// the forward's stashed rows x 2 norm pairs.
+void FusedCosineRowsGradInto(const Matrix& a, const Matrix& b, const Matrix& g,
+                             float eps, const Matrix& norms, Matrix* da,
+                             Matrix* db);
+/// out (rows x 1) ≡ row-sums of Hadamard(a, b).
+void FusedRowDotInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// Backward: da = g ⊗ b, db = g ⊗ a (g broadcast across each row).
+void FusedRowDotGradInto(const Matrix& a, const Matrix& b, const Matrix& g,
+                         Matrix* da, Matrix* db);
 
 }  // namespace darec::tensor
 

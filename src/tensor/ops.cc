@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "tensor/expr.h"
 #include "tensor/workspace.h"
 
 namespace darec::tensor {
@@ -187,10 +188,7 @@ Variable ScalarMul(const Variable& a, float s) {
 
 Variable AddScalar(const Variable& a, float s) {
   Variable out = NewResult(a.rows(), a.cols());
-  Matrix& value = out.mutable_value();
-  CopyInto(a.value(), &value);
-  float* p = value.data();
-  for (int64_t i = 0, n = value.size(); i < n; ++i) p[i] += s;
+  AddScalarInto(a.value(), s, &out.mutable_value());
   auto an = a.node();
   FinishOp(out, {an}, [an](Node& o) {
     if (NeedsGrad(an)) an->AccumulateGrad(o.grad());
@@ -265,8 +263,27 @@ Variable Log(const Variable& a, float eps) {
 }
 
 Variable Square(const Variable& a) {
-  return UnaryElementwise(a, [](float x) { return x * x; },
-                          [](float x, float) { return 2.0f * x; });
+  // Forward through the write-into kernel; backward is the usual
+  // elementwise dy/dx = 2x (same bits as the UnaryElementwise form).
+  Variable out = NewResult(a.rows(), a.cols());
+  SquareInto(a.value(), &out.mutable_value());
+  auto an = a.node();
+  FinishOp(out, {an}, [an](Node& o) {
+    if (!NeedsGrad(an)) return;
+    ScratchMatrix da(Ws(), o.grad().size());
+    CopyInto(o.grad(), da.get());
+    float* dp = da->data();
+    const float* xp = an->value().data();
+    for (int64_t i = 0, n = da->size(); i < n; ++i) dp[i] *= 2.0f * xp[i];
+    an->AccumulateGrad(*da);
+  });
+  return out;
+}
+
+Variable Abs(const Variable& a) {
+  return UnaryElementwise(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 
 Variable Softplus(const Variable& a) {
@@ -573,10 +590,17 @@ Variable MeanOf(const std::vector<Variable>& vars) {
   return ScalarMul(acc, 1.0f / static_cast<float>(vars.size()));
 }
 
-Variable RowDot(const Variable& a, const Variable& b) { return RowSum(Mul(a, b)); }
+Variable RowDot(const Variable& a, const Variable& b) {
+  if (expr::RecorderActive()) return RowSum(Mul(a, b));
+  return expr::Eval(expr::RowSum(expr::Mul(expr::In(a), expr::In(b))));
+}
 
 Variable CosineRowSimilarity(const Variable& a, const Variable& b) {
-  return RowDot(RowL2Normalize(a), RowL2Normalize(b));
+  if (expr::RecorderActive()) {
+    return RowSum(Mul(RowL2Normalize(a), RowL2Normalize(b)));
+  }
+  return expr::Eval(expr::RowSum(expr::Mul(expr::RowL2Normalize(expr::In(a)),
+                                           expr::RowL2Normalize(expr::In(b)))));
 }
 
 Variable BprLoss(const Variable& pos_scores, const Variable& neg_scores) {
@@ -600,7 +624,10 @@ Variable InfoNceLoss(const Variable& a, const Variable& b, float temperature) {
 Variable MseLoss(const Variable& a, const Variable& b) {
   DARE_CHECK(a.value().SameShape(b.value()));
   DARE_CHECK_GT(a.value().size(), 0);
-  return ScalarMul(SumSquares(Sub(a, b)), 1.0f / static_cast<float>(a.value().size()));
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  if (expr::RecorderActive()) return ScalarMul(SumSquares(Sub(a, b)), inv);
+  return expr::Eval(expr::ScalarMul(
+      expr::SumSquares(expr::Sub(expr::In(a), expr::In(b))), inv));
 }
 
 Variable L2Penalty(const std::vector<Variable>& vars) {
@@ -608,6 +635,175 @@ Variable L2Penalty(const std::vector<Variable>& vars) {
   Variable acc = SumSquares(vars[0]);
   for (size_t i = 1; i < vars.size(); ++i) acc = Add(acc, SumSquares(vars[i]));
   return ScalarMul(acc, 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-traversal ops. Each replaces a whole chain of the ops above with one
+// node: the forward runs the chain's exact float sequence in a single pass
+// (tensor/simd fused kernels), and the backward re-expands to the same
+// per-op gradients in the same accumulation order the eager chain's
+// closures would produce — so parameter gradients are bitwise identical
+// and golden traces don't move.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local int64_t g_fused_ops_executed = 0;
+
+void NoteFused() {
+  ++g_fused_ops_executed;
+  if (GraphContext* ctx = GraphContext::Current()) ctx->NoteFusedOp();
+}
+
+}  // namespace
+
+int64_t FusedOpsExecuted() { return g_fused_ops_executed; }
+
+Variable FusedSubSumSquares(const Variable& a, const Variable& b) {
+  DARE_CHECK(a.value().SameShape(b.value()));
+  NoteFused();
+  Variable out = NewResult(1, 1);
+  out.mutable_value()(0, 0) = FusedSubSumSquares(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  FinishOp(out, {an, bn}, [an, bn](Node& o) {
+    const bool need_a = NeedsGrad(an);
+    const bool need_b = NeedsGrad(bn);
+    if (!need_a && !need_b) return;
+    // Eager chain: SumSquares backward scales the Sub value by 2g; Sub
+    // backward passes it to a and negates it into b, a first.
+    const float scale = 2.0f * o.grad()(0, 0);
+    ScratchMatrix da(Ws(), an->value().size());
+    ScratchMatrix db(Ws(), bn->value().size());
+    FusedSubGradInto(an->value(), bn->value(), scale,
+                     need_a ? da.get() : nullptr, need_b ? db.get() : nullptr);
+    if (need_a) an->AccumulateGrad(*da);
+    if (need_b) bn->AccumulateGrad(*db);
+  });
+  return out;
+}
+
+Variable FusedSquareSum(const Variable& a, bool has_bias, float bias,
+                        bool has_scale, float scale) {
+  NoteFused();
+  Variable out = NewResult(1, 1);
+  const float sum = FusedSquareSum(a.value(), has_bias, bias);
+  out.mutable_value()(0, 0) = has_scale ? sum * scale : sum;
+  auto an = a.node();
+  FinishOp(out, {an}, [an, has_bias, bias, has_scale, scale](Node& o) {
+    if (!NeedsGrad(an)) return;
+    // Eager chain: ScalarMul backward scales g, Sum backward broadcasts it,
+    // Square backward multiplies by 2u, AddScalar backward passes through.
+    const float g = has_scale ? o.grad()(0, 0) * scale : o.grad()(0, 0);
+    ScratchMatrix da(Ws(), an->value().size());
+    FusedSquareSumGradInto(an->value(), has_bias, bias, g, da.get());
+    an->AccumulateGrad(*da);
+  });
+  return out;
+}
+
+Variable FusedExpAffineSum(const Variable& a, float s1, float b1, float s2) {
+  NoteFused();
+  Variable out = NewResult(1, 1);
+  // The exp results are stashed for the backward closure — exp is by far the
+  // most expensive step of the chain and the eager path also evaluates it
+  // only once (the Exp node keeps its output).
+  ScratchMatrix y(Ws(), a.value().size());
+  out.mutable_value()(0, 0) = FusedExpAffineSum(a.value(), s1, b1, s2, y.get());
+  auto an = a.node();
+  FinishOp(out, {an}, [an, s1, s2, y = std::move(y)](Node& o) mutable {
+    if (!NeedsGrad(an)) return;
+    const float g = o.grad()(0, 0);
+    ScratchMatrix da(Ws(), an->value().size());
+    FusedExpAffineSumGradInto(*y, s1, s2, g, da.get());
+    an->AccumulateGrad(*da);
+  });
+  return out;
+}
+
+Variable FusedMulSubSum(const Variable& t, const Variable& a,
+                        const Variable& b) {
+  DARE_CHECK(t.value().SameShape(a.value()));
+  DARE_CHECK(a.value().SameShape(b.value()));
+  NoteFused();
+  Variable out = NewResult(1, 1);
+  out.mutable_value()(0, 0) = FusedMulSubSum(t.value(), a.value(), b.value());
+  auto tn = t.node();
+  auto an = a.node();
+  auto bn = b.node();
+  FinishOp(out, {tn, an, bn}, [tn, an, bn](Node& o) {
+    const bool need_t = NeedsGrad(tn);
+    const bool need_a = NeedsGrad(an);
+    const bool need_b = NeedsGrad(bn);
+    if (!need_t && !need_a && !need_b) return;
+    // Eager chain accumulation order: Mul backward hits t, then Sub backward
+    // hits a then b.
+    const float g = o.grad()(0, 0);
+    ScratchMatrix dt(Ws(), tn->value().size());
+    ScratchMatrix da(Ws(), an->value().size());
+    ScratchMatrix db(Ws(), bn->value().size());
+    FusedMulSubSumGradInto(tn->value(), an->value(), bn->value(), g,
+                           need_t ? dt.get() : nullptr,
+                           need_a ? da.get() : nullptr,
+                           need_b ? db.get() : nullptr);
+    if (need_t) tn->AccumulateGrad(*dt);
+    if (need_a) an->AccumulateGrad(*da);
+    if (need_b) bn->AccumulateGrad(*db);
+  });
+  return out;
+}
+
+Variable FusedCosineRowSimilarity(const Variable& a, const Variable& b,
+                                  float eps) {
+  DARE_CHECK(a.value().SameShape(b.value()));
+  NoteFused();
+  Variable out = NewResult(a.rows(), 1);
+  // The row norms computed by the forward pass are stashed for the backward
+  // closure, which would otherwise re-derive them (two dots per row).
+  ScratchMatrix norms(Ws(), a.rows() * 2);
+  FusedCosineRowsInto(a.value(), b.value(), eps, &out.mutable_value(),
+                      norms.get());
+  auto an = a.node();
+  auto bn = b.node();
+  FinishOp(out, {an, bn},
+           [an, bn, eps, norms = std::move(norms)](Node& o) mutable {
+    const bool need_a = NeedsGrad(an);
+    const bool need_b = NeedsGrad(bn);
+    if (!need_a && !need_b) return;
+    ScratchMatrix da(Ws(), an->value().size());
+    ScratchMatrix db(Ws(), bn->value().size());
+    FusedCosineRowsGradInto(an->value(), bn->value(), o.grad(), eps, *norms,
+                            need_a ? da.get() : nullptr,
+                            need_b ? db.get() : nullptr);
+    // The eager chain visits RowL2Normalize(b) (higher id) before
+    // RowL2Normalize(a), so b's gradient lands first.
+    if (need_b) bn->AccumulateGrad(*db);
+    if (need_a) an->AccumulateGrad(*da);
+  });
+  return out;
+}
+
+Variable FusedRowDot(const Variable& a, const Variable& b) {
+  DARE_CHECK(a.value().SameShape(b.value()));
+  NoteFused();
+  Variable out = NewResult(a.rows(), 1);
+  FusedRowDotInto(a.value(), b.value(), &out.mutable_value());
+  auto an = a.node();
+  auto bn = b.node();
+  FinishOp(out, {an, bn}, [an, bn](Node& o) {
+    const bool need_a = NeedsGrad(an);
+    const bool need_b = NeedsGrad(bn);
+    if (!need_a && !need_b) return;
+    ScratchMatrix da(Ws(), an->value().size());
+    ScratchMatrix db(Ws(), bn->value().size());
+    FusedRowDotGradInto(an->value(), bn->value(), o.grad(),
+                        need_a ? da.get() : nullptr,
+                        need_b ? db.get() : nullptr);
+    // Mul backward hits a before b in the eager chain.
+    if (need_a) an->AccumulateGrad(*da);
+    if (need_b) bn->AccumulateGrad(*db);
+  });
+  return out;
 }
 
 }  // namespace darec::tensor

@@ -52,6 +52,62 @@ struct KernelTable {
   void (*i8_dequant_row)(float* dst, const int32_t* scores,
                          const float* item_scales, float user_scale,
                          int64_t n);
+
+  // --- Fused-traversal bodies (expression fusion, DESIGN.md §14) ---
+  //
+  // Each fused kernel performs the exact per-element float sequence of the
+  // eager op chain it replaces (named in its comment), so fused ≡ eager
+  // bitwise. Reductions accumulate in double in ascending flat order on one
+  // thread — the same serial contract as SumAll/SumSquares — which keeps
+  // them trivially tier- and thread-count-invariant; the grad kernels run
+  // over independent output elements and may vectorize freely. Any grad
+  // output pointer may be null to skip that input (constant operands).
+
+  /// Σ_i double(d)·d with d = a[i] + (-1.0f)*b[i] — SumSquares(Sub(a, b)).
+  double (*fused_sub_sumsq)(const float* a, const float* b, int64_t n);
+  /// da[i] = (a[i] + (-1.0f)*b[i]) * scale; db[i] = da[i] * (-1.0f) —
+  /// the backward of SumSquares(Sub(a, b)) with incoming scale.
+  void (*fused_sub_grad)(float* da, float* db, const float* a, const float* b,
+                         float scale, int64_t n);
+  /// Σ_i double(u·u) with u = x[i] (+ bias when has_bias) — the float
+  /// square then double accumulation of Sum(Square(AddScalar?(x, bias))).
+  double (*fused_square_sum)(const float* x, float bias, int has_bias,
+                             int64_t n);
+  /// dx[i] = g * (2.0f * u) — the backward of the chain above.
+  void (*fused_square_sum_grad)(float* dx, const float* x, float bias,
+                                int has_bias, float g, int64_t n);
+  /// Σ_i double(exp(((x[i]*s1) + b1) * s2)) —
+  /// Sum(Exp(ScalarMul(AddScalar(ScalarMul(x, s1), b1), s2))). Writes each
+  /// exp result to y[i] so the backward never re-evaluates exp.
+  double (*fused_exp_affine_sum)(const float* x, float s1, float b1, float s2,
+                                 float* y, int64_t n);
+  /// dx[i] = ((g * y[i]) * s2) * s1 over the forward's stashed y.
+  void (*fused_exp_affine_grad)(float* dx, const float* y, float s1, float s2,
+                                float g, int64_t n);
+  /// Σ_i double(t[i] * d) with d = a[i] + (-1.0f)*b[i] —
+  /// Sum(Mul(t, Sub(a, b))).
+  double (*fused_mul_sub_sum)(const float* t, const float* a, const float* b,
+                              int64_t n);
+  /// dt[i] = g * d; da[i] = g * t[i]; db[i] = (g * t[i]) * (-1.0f).
+  void (*fused_mul_sub_grad)(float* dt, float* da, float* db, const float* t,
+                             const float* a, const float* b, float g,
+                             int64_t n);
+  /// One row of RowSum(Mul(RowL2Normalize(a), RowL2Normalize(b))): norms as
+  /// float(sqrt(Σ double(v)·v)), rows below eps pass through, dot as a
+  /// double accumulation of the float products. Writes the two row norms to
+  /// norms[0] (na) and norms[1] (nb) for the backward pass.
+  float (*fused_cosine_row)(const float* a, const float* b, int64_t cols,
+                            float eps, float* norms);
+  /// Backward of one cosine row: reuses the forward's stashed norms and
+  /// applies the RowSum → Mul → RowL2Normalize gradient chain.
+  void (*fused_cosine_row_grad)(float* da, float* db, const float* a,
+                                const float* b, float g, int64_t cols,
+                                float eps, const float* norms);
+  /// One row of RowSum(Mul(a, b)): Σ_c double(a[c]*b[c]).
+  float (*fused_rowdot_row)(const float* a, const float* b, int64_t cols);
+  /// da[c] = g * b[c]; db[c] = g * a[c].
+  void (*fused_rowdot_row_grad)(float* da, float* db, const float* a,
+                                const float* b, float g, int64_t cols);
   const char* name;
 };
 

@@ -10,6 +10,7 @@
 #include "pipeline/experiment.h"
 #include "pipeline/trainer.h"
 #include "tensor/alloc_stats.h"
+#include "tensor/expr.h"
 
 namespace darec::pipeline {
 namespace {
@@ -120,6 +121,33 @@ TEST(AllocRegressionTest, SteadyStateEpochsAllocateAlmostNothing) {
     // And warm-up itself must stay far below one legacy epoch.
     EXPECT_LT(pooled.warm_allocations, legacy.steady_allocations);
   }
+}
+
+TEST(AllocRegressionTest, FusionOnAndOffProduceBitwiseEqualEpochLosses) {
+  // Expression fusion changes how many traversals (and graph nodes) a loss
+  // chain takes, never its bits — end to end, over full training epochs.
+  tensor::expr::SetFusionForTest(true);
+  std::vector<double> fused = RunEpochs("darec", /*pooled=*/true, 3);
+  tensor::expr::SetFusionForTest(false);
+  std::vector<double> replayed = RunEpochs("darec", /*pooled=*/true, 3);
+  tensor::expr::SetFusionForTest(true);
+  ASSERT_EQ(fused.size(), replayed.size());
+  for (size_t e = 0; e < fused.size(); ++e) {
+    EXPECT_EQ(Bits(fused[e]), Bits(replayed[e]))
+        << "epoch " << e + 1 << " loss drifted: fused=" << fused[e]
+        << " replayed=" << replayed[e];
+  }
+}
+
+TEST(AllocRegressionTest, FusedSteadyStateEpochsStayAllocationFree) {
+  // The expr recorder reuses its node/memo storage across Evals, so fusion
+  // must not disturb the steady-state allocation budget.
+  tensor::expr::SetFusionForTest(true);
+  EpochAllocs fused = MeasureEpochAllocs("darec", /*pooled=*/true);
+  EXPECT_LE(fused.steady_allocations, 24)
+      << "fusion broke the steady-state allocation budget: "
+      << fused.steady_allocations << " allocs / " << fused.steady_bytes
+      << " bytes over two epochs";
 }
 
 TEST(AllocRegressionTest, ArenaRecyclesSlotsAcrossEpochs) {
