@@ -13,7 +13,9 @@
 # DAREC_SIMD=scalar ctest lane and train_bench/serve_bench smokes guard the
 # runtime-dispatched SIMD kernels (fp32 and int8); a DAREC_FUSION=off lane
 # and a parity-gated fusion bench smoke guard expression fusion (both
-# evaluation paths must stay bitwise identical).
+# evaluation paths must stay bitwise identical). A data_bench smoke
+# generates a multi-shard web_scale catalog and gates the streamed
+# (memory-mapped) data path bitwise against the resident one.
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -46,6 +48,14 @@ echo "=== smoke: train bench (workers x SIMD sweep, bitwise parity gates) ==="
 cmake --build build -j "$(nproc)" --target train_bench >/dev/null
 ./build/bench/train_bench datasets=tiny epochs=2 workers=1,8 \
   out=build/BENCH_train_smoke.json
+
+echo "=== smoke: data bench (web_scale shards, streamed vs resident parity) ==="
+cmake --build build -j "$(nproc)" --target data_bench >/dev/null
+# Generates a downscaled multi-shard web_scale catalog, streams BPR epochs
+# off the memory-mapped shards, and hard-fails on any bitwise drift between
+# the streamed and resident data paths.
+./build/bench/data_bench users=20000 items=5000 epochs=1 \
+  out=build/BENCH_data_smoke.json
 
 echo "=== smoke: serve bench (microbatched queue, fp32/int8 parity gates) ==="
 cmake --build build -j "$(nproc)" --target serve_bench >/dev/null
@@ -97,11 +107,16 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$(nproc)" \
     --target failpoint_test checkpoint_test io_corruption_test io_test \
              trainer_ckpt_test workspace_test graph_context_test \
-             alloc_regression_test backoff_test overload_test >/dev/null
+             alloc_regression_test backoff_test overload_test \
+             shards_test web_scale_test sharded_checkpoint_test \
+             interactions_test >/dev/null
   # overload_test under ASan covers the fail-point-injected flush stalls and
   # failures (expired-promise and degraded-batch memory handling).
+  # shards_test/sharded_checkpoint_test replay the bit-flip and truncation
+  # sweeps over the mmap'd shard + manifest parsers under ASan, where an
+  # out-of-bounds read caused by a corrupted length field would trap.
   ctest --test-dir build-asan --output-on-failure \
-    -R 'failpoint_test|checkpoint_test|io_corruption_test|io_test|trainer_ckpt_test|workspace_test|graph_context_test|alloc_regression_test|backoff_test|overload_test'
+    -R 'failpoint_test|checkpoint_test|io_corruption_test|io_test|trainer_ckpt_test|workspace_test|graph_context_test|alloc_regression_test|backoff_test|overload_test|shards_test|web_scale_test|sharded_checkpoint_test|interactions_test'
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -112,15 +127,17 @@ if [[ "$run_tsan" == 1 ]]; then
              kmeans_test failpoint_test trainer_ckpt_test \
              train_policies_test train_observer_test workspace_test \
              parallel_executor_test cpu_features_test quant_test \
-             server_test overload_test >/dev/null
+             server_test overload_test sharded_checkpoint_test >/dev/null
   # parallel_executor_test drives 8-worker super-steps (GradSink diversion,
   # fixed-order reduction, per-slot aligner state) under TSan. server_test's
   # hammers run multi-producer submits against the microbatch flusher with
   # snapshot swaps mid-flight and Stop() racing deadline-carrying submits;
   # overload_test adds bounded admission, the degradation ladder, and
-  # SubmitWithRetry under the same flusher.
+  # SubmitWithRetry under the same flusher. sharded_checkpoint_test runs the
+  # parallel per-section checkpoint I/O (writes and reads on the global
+  # pool) under TSan, including the 1-vs-8-thread byte-parity sweep.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test|parallel_executor_test|cpu_features_test|quant_test|server_test|overload_test'
+    -R 'thread_pool_test|parallel_kernels_test|topk_engine_test|kmeans_test|failpoint_test|trainer_ckpt_test|train_policies_test|train_observer_test|workspace_test|parallel_executor_test|cpu_features_test|quant_test|server_test|overload_test|sharded_checkpoint_test'
 fi
 
 echo "=== all checks passed ==="

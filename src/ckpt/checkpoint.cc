@@ -8,15 +8,40 @@
 #include "core/crc32.h"
 #include "core/fsio.h"
 #include "core/logging.h"
+#include "core/thread_pool.h"
 
 namespace darec::ckpt {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'C', 'K', 'P'};
+constexpr char kManifestMagic[4] = {'D', 'C', 'K', 'M'};
 constexpr uint32_t kFormatVersion = 1;
 /// Offset of the byte right after the file-CRC field: magic + version + crc.
 constexpr size_t kCrcCoverageStart = sizeof(kMagic) + 2 * sizeof(uint32_t);
 constexpr int kStepDigits = 12;
+
+bool EndsWith(const std::string& value, std::string_view suffix) {
+  return value.size() >= suffix.size() &&
+         value.compare(value.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+/// "<prefix>-<step>.dckm" -> "<prefix>-<step>.dckd" (the section dir).
+std::string SectionDirFor(const std::string& manifest_path) {
+  return manifest_path.substr(0, manifest_path.size() - 5) + ".dckd";
+}
+
+/// Section names double as file names, so reject anything that could
+/// escape the section directory or collide with dot files.
+bool SafeSectionName(const std::string& name) {
+  return !name.empty() && name[0] != '.' &&
+         name.find('/') == std::string::npos &&
+         name.find('\\') == std::string::npos;
+}
+
+core::Status SectionError(const std::string& name, const std::string& what) {
+  return core::Status::InvalidArgument("section '" + name + "': " + what);
+}
 
 }  // namespace
 
@@ -94,9 +119,164 @@ CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
 
 std::string CheckpointManager::PathForStep(int64_t step) const {
   char suffix[32];
-  std::snprintf(suffix, sizeof(suffix), "-%0*lld.dckp", kStepDigits,
-                static_cast<long long>(step));
+  std::snprintf(suffix, sizeof(suffix), "-%0*lld.%s", kStepDigits,
+                static_cast<long long>(step),
+                options_.sharded ? "dckm" : "dckp");
   return options_.dir + "/" + options_.prefix + suffix;
+}
+
+core::Status CheckpointManager::SaveSharded(const std::string& manifest_path,
+                                            const Bundle& bundle) const {
+  const std::string section_dir = SectionDirFor(manifest_path);
+  std::error_code ec;
+  std::filesystem::create_directories(section_dir, ec);
+  if (ec) {
+    return core::Status::Internal("cannot create section dir " + section_dir +
+                                  ": " + ec.message());
+  }
+  struct SectionJob {
+    const std::string* name;
+    const std::string* payload;
+    std::string filename;
+  };
+  std::vector<SectionJob> jobs;
+  jobs.reserve(bundle.sections.size());
+  for (const auto& [name, payload] : bundle.sections) {
+    if (!SafeSectionName(name)) {
+      return SectionError(name, "name is not usable as a file name");
+    }
+    jobs.push_back({&name, &payload, name + ".sec"});
+  }
+
+  // Section payloads go out in parallel; each one is individually atomic
+  // (write-temp + rename), and the manifest below is the commit point — a
+  // crash before it publishes leaves only an orphaned .dckd directory that
+  // the next Save at this step overwrites and rotation eventually removes.
+  std::vector<core::Status> statuses(jobs.size());
+  core::ParallelFor(0, static_cast<int64_t>(jobs.size()), 1,
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        const SectionJob& job = jobs[static_cast<size_t>(i)];
+                        statuses[static_cast<size_t>(i)] =
+                            core::WriteFileAtomic(
+                                section_dir + "/" + job.filename,
+                                *job.payload);
+                      }
+                    });
+  for (const core::Status& status : statuses) {
+    DARE_RETURN_IF_ERROR(status);
+  }
+
+  ByteWriter content;
+  content.PutU32(static_cast<uint32_t>(jobs.size()));
+  for (const SectionJob& job : jobs) {
+    content.PutString(*job.name);
+    content.PutString(job.filename);
+    content.PutU64(job.payload->size());
+    content.PutU32(core::Crc32(*job.payload));
+  }
+  ByteWriter manifest;
+  manifest.PutBytes(std::string_view(kManifestMagic, sizeof(kManifestMagic)));
+  manifest.PutU32(kFormatVersion);
+  manifest.PutU32(core::Crc32(content.str()));
+  manifest.PutBytes(content.str());
+  return core::WriteFileAtomic(manifest_path, manifest.str());
+}
+
+core::StatusOr<Bundle> CheckpointManager::LoadSharded(
+    const std::string& manifest_path) const {
+  DARE_ASSIGN_OR_RETURN(std::string bytes, core::ReadFile(manifest_path));
+  if (bytes.size() < kCrcCoverageStart ||
+      std::string_view(bytes.data(), sizeof(kManifestMagic)) !=
+          std::string_view(kManifestMagic, sizeof(kManifestMagic))) {
+    return core::Status::InvalidArgument("not a DCKM checkpoint manifest");
+  }
+  ByteReader header(std::string_view(bytes).substr(sizeof(kManifestMagic)));
+  DARE_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  DARE_ASSIGN_OR_RETURN(uint32_t manifest_crc, header.GetU32());
+  if (version != kFormatVersion) {
+    return core::Status::FailedPrecondition("unsupported DCKM version " +
+                                            std::to_string(version));
+  }
+  const std::string_view content =
+      std::string_view(bytes).substr(kCrcCoverageStart);
+  if (core::Crc32(content) != manifest_crc) {
+    return core::Status::Internal("checkpoint manifest checksum mismatch");
+  }
+
+  ByteReader reader(content);
+  DARE_ASSIGN_OR_RETURN(uint32_t section_count, reader.GetU32());
+  struct SectionInfo {
+    std::string name;
+    std::string path;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+  const std::string section_dir = SectionDirFor(manifest_path);
+  std::vector<SectionInfo> infos;
+  infos.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    SectionInfo info;
+    DARE_ASSIGN_OR_RETURN(info.name, reader.GetString());
+    std::string filename;
+    DARE_ASSIGN_OR_RETURN(filename, reader.GetString());
+    DARE_ASSIGN_OR_RETURN(info.size, reader.GetU64());
+    DARE_ASSIGN_OR_RETURN(info.crc, reader.GetU32());
+    if (!SafeSectionName(info.name)) {
+      return SectionError(info.name, "illegal section name");
+    }
+    if (filename.empty() || filename[0] == '.' ||
+        filename.find('/') != std::string::npos ||
+        filename.find('\\') != std::string::npos) {
+      return SectionError(info.name, "illegal section file name '" + filename +
+                                         "'");
+    }
+    info.path = section_dir + "/" + filename;
+    infos.push_back(std::move(info));
+  }
+  DARE_RETURN_IF_ERROR(reader.ExpectEnd());
+
+  // Sections come back in parallel, each validated against its manifest
+  // size and CRC so a bit-flip or truncation anywhere is caught here.
+  std::vector<core::Status> statuses(infos.size());
+  std::vector<std::string> payloads(infos.size());
+  core::ParallelFor(
+      0, static_cast<int64_t>(infos.size()), 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const SectionInfo& info = infos[static_cast<size_t>(i)];
+          core::StatusOr<std::string> payload = core::ReadFile(info.path);
+          if (!payload.ok()) {
+            statuses[static_cast<size_t>(i)] = payload.status();
+            continue;
+          }
+          if (payload->size() != info.size) {
+            statuses[static_cast<size_t>(i)] = core::Status::Internal(
+                "section '" + info.name + "' (" + info.path + "): " +
+                std::to_string(payload->size()) +
+                " bytes on disk, manifest says " + std::to_string(info.size));
+            continue;
+          }
+          if (core::Crc32(*payload) != info.crc) {
+            statuses[static_cast<size_t>(i)] = core::Status::Internal(
+                "checksum mismatch in section '" + info.name + "' (" +
+                info.path + ")");
+            continue;
+          }
+          payloads[static_cast<size_t>(i)] = *std::move(payload);
+        }
+      });
+  for (const core::Status& status : statuses) {
+    DARE_RETURN_IF_ERROR(status);
+  }
+  Bundle bundle;
+  for (size_t i = 0; i < infos.size(); ++i) {
+    if (!bundle.sections.emplace(std::move(infos[i].name),
+                                 std::move(payloads[i]))
+             .second) {
+      return core::Status::InvalidArgument("duplicate bundle section");
+    }
+  }
+  return bundle;
 }
 
 core::Status CheckpointManager::Save(int64_t step, const Bundle& bundle) {
@@ -107,19 +287,26 @@ core::Status CheckpointManager::Save(int64_t step, const Bundle& bundle) {
     return core::Status::Internal("cannot create checkpoint dir " + options_.dir +
                                   ": " + ec.message());
   }
-  DARE_RETURN_IF_ERROR(
-      core::WriteFileAtomic(PathForStep(step), SerializeBundle(bundle)));
+  if (options_.sharded) {
+    DARE_RETURN_IF_ERROR(SaveSharded(PathForStep(step), bundle));
+  } else {
+    DARE_RETURN_IF_ERROR(
+        core::WriteFileAtomic(PathForStep(step), SerializeBundle(bundle)));
+  }
 
   // Rotation: drop everything but the newest keep_last checkpoints. Removal
   // failures are logged, not fatal — the new checkpoint is already durable.
   std::vector<CheckpointEntry> entries = List();
   const int64_t excess = static_cast<int64_t>(entries.size()) - options_.keep_last;
   for (int64_t i = 0; i < excess; ++i) {
+    const CheckpointEntry& entry = entries[static_cast<size_t>(i)];
     std::error_code remove_ec;
-    if (!std::filesystem::remove(entries[static_cast<size_t>(i)].path, remove_ec) ||
-        remove_ec) {
-      DARE_LOG(Warning) << "checkpoint rotation: cannot remove "
-                        << entries[static_cast<size_t>(i)].path;
+    if (!std::filesystem::remove(entry.path, remove_ec) || remove_ec) {
+      DARE_LOG(Warning) << "checkpoint rotation: cannot remove " << entry.path;
+    }
+    if (entry.sharded) {
+      // The manifest is gone, so the section directory is dead weight.
+      std::filesystem::remove_all(SectionDirFor(entry.path), remove_ec);
     }
   }
   return core::Status::Ok();
@@ -135,22 +322,24 @@ std::vector<CheckpointEntry> CheckpointManager::List() const {
     if (!dir_entry.is_regular_file(ec) || ec) continue;
     const std::string name = dir_entry.path().filename().string();
     if (name.size() != name_prefix.size() + kStepDigits + 5 ||
-        name.compare(0, name_prefix.size(), name_prefix) != 0 ||
-        name.compare(name.size() - 5, 5, ".dckp") != 0) {
+        name.compare(0, name_prefix.size(), name_prefix) != 0) {
       continue;
     }
+    const bool sharded = EndsWith(name, ".dckm");
+    if (!sharded && !EndsWith(name, ".dckp")) continue;
     const std::string digits = name.substr(name_prefix.size(), kStepDigits);
     if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
-    entries.push_back({std::stoll(digits), dir_entry.path().string()});
+    entries.push_back({std::stoll(digits), dir_entry.path().string(), sharded});
   }
   std::sort(entries.begin(), entries.end(),
             [](const CheckpointEntry& a, const CheckpointEntry& b) {
-              return a.step < b.step;
+              return a.step != b.step ? a.step < b.step : a.path < b.path;
             });
   return entries;
 }
 
 core::StatusOr<Bundle> CheckpointManager::LoadPath(const std::string& path) const {
+  if (EndsWith(path, ".dckm")) return LoadSharded(path);
   DARE_ASSIGN_OR_RETURN(std::string contents, core::ReadFile(path));
   return ParseBundle(contents);
 }

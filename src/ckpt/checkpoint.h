@@ -49,17 +49,40 @@ core::StatusOr<Bundle> ParseBundle(std::string_view data);
 struct CheckpointManagerOptions {
   /// Directory the checkpoints live in (created on first Save).
   std::string dir;
-  /// File names are "<prefix>-<step, zero-padded>.dckp".
+  /// File names are "<prefix>-<step, zero-padded>.dckp" (single-file
+  /// layout) or ".dckm" + a ".dckd/" section directory (sharded layout).
   std::string prefix = "ckpt";
   /// Rotation: after a successful Save, only the newest `keep_last`
   /// checkpoints are kept (values < 1 are clamped to 1).
   int64_t keep_last = 3;
+  /// Sharded layout (opt-in): Save writes each bundle section to its own
+  /// file "<prefix>-<step>.dckd/<name>.sec" — in parallel on the global
+  /// thread pool — and commits by atomically publishing the manifest
+  /// "<prefix>-<step>.dckm" last. Every guarantee of the single-file
+  /// layout carries over: any single bit-flip in any section or the
+  /// manifest is detected on load, a crash at any byte leaves the previous
+  /// checkpoint restorable, and the written bytes are identical at every
+  /// thread count. Load/List/rotation understand both layouts regardless
+  /// of this flag.
+  bool sharded = false;
 };
 
-/// One checkpoint file on disk.
+/// On-disk sharded layout:
+///   manifest "<prefix>-<step>.dckm":
+///     magic "DCKM" | u32 format version | u32 manifest CRC
+///     u32 section count
+///     per section: string name | string filename | u64 size | u32 CRC
+///   section payloads: "<prefix>-<step>.dckd/<name>.sec" — raw bytes,
+///     exactly the section payload (its CRC lives in the manifest).
+/// The manifest CRC covers every byte after its own field; section files
+/// are validated against their manifest size + CRC on load, so corruption
+/// anywhere in the checkpoint is detected and localized to a section.
+
+/// One checkpoint on disk (single-file .dckp or sharded .dckm manifest).
 struct CheckpointEntry {
   int64_t step = 0;
   std::string path;
+  bool sharded = false;
 };
 
 /// Commits and restores versioned checkpoint bundles in a directory.
@@ -86,16 +109,23 @@ class CheckpointManager {
   /// every candidate is damaged).
   core::StatusOr<Loaded> LoadLatest() const;
 
-  /// Parses + validates one checkpoint file (see ParseBundle for codes).
+  /// Parses + validates one checkpoint (single-file or, when `path` ends in
+  /// ".dckm", sharded; see ParseBundle for codes).
   core::StatusOr<Bundle> LoadPath(const std::string& path) const;
 
-  /// Checkpoint files present in the directory, ascending by step.
+  /// Checkpoints present in the directory (both layouts), ascending by step.
   std::vector<CheckpointEntry> List() const;
 
+  /// The commit path for `step` under the configured layout: the bundle
+  /// file (single-file mode) or the manifest (sharded mode).
   std::string PathForStep(int64_t step) const;
   const CheckpointManagerOptions& options() const { return options_; }
 
  private:
+  core::Status SaveSharded(const std::string& manifest_path,
+                           const Bundle& bundle) const;
+  core::StatusOr<Bundle> LoadSharded(const std::string& manifest_path) const;
+
   CheckpointManagerOptions options_;
 };
 

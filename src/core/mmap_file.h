@@ -1,0 +1,48 @@
+#ifndef DAREC_CORE_MMAP_FILE_H_
+#define DAREC_CORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/statusor.h"
+
+namespace darec::core {
+
+/// Read-only memory-mapped file (RAII over mmap/munmap).
+///
+/// Backs the sharded interaction stores: a mapped shard costs address space,
+/// not resident memory — the kernel pages data in on access and evicts clean
+/// pages under pressure, which is what keeps a block-streamed epoch's peak
+/// RSS at O(shard) instead of O(dataset). The mapping is private and
+/// read-only; an empty file maps to a valid object with size() == 0.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. NotFound if it cannot be opened, Internal on a
+  /// stat/mmap failure.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr || size_ == 0; }
+  std::string_view view() const { return {data(), size_}; }
+
+  /// Unmaps; the object becomes empty (size() == 0).
+  void Reset();
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace darec::core
+
+#endif  // DAREC_CORE_MMAP_FILE_H_

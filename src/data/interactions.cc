@@ -1,0 +1,122 @@
+#include "data/interactions.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/alloc_stats.h"
+
+namespace darec::data {
+
+ResidentInteractions ResidentInteractions::FromTrainSplit(
+    const Dataset& dataset) {
+  const std::vector<Interaction>& train = dataset.train();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(dataset.num_users()) + 1, 0);
+  std::vector<int64_t> cols;
+  cols.reserve(train.size());
+  int64_t prev_user = 0;
+  for (const Interaction& it : train) {
+    // Dataset::Create emits train() grouped by ascending user, which is what
+    // makes the flat replay-order CSR equal to train() element for element —
+    // the property the streamed/resident bit-identity proof rests on.
+    DARE_CHECK_GE(it.user, prev_user) << "train split not grouped by user";
+    prev_user = it.user;
+    ++row_ptr[static_cast<size_t>(it.user) + 1];
+    cols.push_back(it.item);
+  }
+  for (size_t u = 1; u < row_ptr.size(); ++u) row_ptr[u] += row_ptr[u - 1];
+  return ResidentInteractions(dataset.num_users(), dataset.num_items(),
+                              /*rows_sorted=*/false, std::move(row_ptr),
+                              std::move(cols));
+}
+
+ResidentInteractions ResidentInteractions::FromHeldoutSplit(
+    const Dataset& dataset, HeldoutSplit split) {
+  const int64_t num_users = dataset.num_users();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(num_users) + 1, 0);
+  std::vector<int64_t> cols;
+  for (int64_t u = 0; u < num_users; ++u) {
+    const std::vector<int64_t>& items = split == HeldoutSplit::kTest
+                                            ? dataset.TestItemsOfUser(u)
+                                            : dataset.ValidationItemsOfUser(u);
+    cols.insert(cols.end(), items.begin(), items.end());
+    row_ptr[static_cast<size_t>(u) + 1] =
+        row_ptr[static_cast<size_t>(u)] + static_cast<int64_t>(items.size());
+  }
+  return ResidentInteractions(num_users, dataset.num_items(),
+                              /*rows_sorted=*/true, std::move(row_ptr),
+                              std::move(cols));
+}
+
+ResidentInteractions ResidentInteractions::FromCsr(const tensor::CsrMatrix& csr,
+                                                   bool rows_sorted) {
+  return ResidentInteractions(csr.rows(), csr.cols(), rows_sorted,
+                              csr.row_ptr(), csr.col_idx());
+}
+
+core::StatusOr<ResidentInteractions> ResidentInteractions::FromStoreSorted(
+    const InteractionStore& store) {
+  std::vector<int64_t> row_ptr;
+  row_ptr.reserve(static_cast<size_t>(store.num_users()) + 1);
+  row_ptr.push_back(0);
+  std::vector<int64_t> cols;
+  cols.reserve(static_cast<size_t>(store.nnz()));
+  for (int64_t b = 0; b < store.num_blocks(); ++b) {
+    DARE_ASSIGN_OR_RETURN(RowBlockView view, store.FetchBlock(b));
+    for (int64_t row = view.row_begin; row < view.row_end; ++row) {
+      const std::span<const int64_t> ids = view.Row(row);
+      const size_t start = cols.size();
+      cols.insert(cols.end(), ids.begin(), ids.end());
+      if (!store.rows_sorted()) {
+        std::sort(cols.begin() + static_cast<int64_t>(start), cols.end());
+      }
+      row_ptr.push_back(static_cast<int64_t>(cols.size()));
+    }
+  }
+  return ResidentInteractions(store.num_users(), store.num_items(),
+                              /*rows_sorted=*/true, std::move(row_ptr),
+                              std::move(cols));
+}
+
+core::StatusOr<RowBlockView> ResidentInteractions::FetchBlock(
+    int64_t block) const {
+  if (block != 0) {
+    return core::Status::InvalidArgument(
+        "resident store has one block, asked for block " +
+        std::to_string(block));
+  }
+  RowBlockView view;
+  view.row_begin = 0;
+  view.row_end = num_users_;
+  view.row_offsets = row_ptr_.data();
+  view.cols = cols_.data();
+  return view;
+}
+
+void SortedBlockRows::Rebuild(const RowBlockView& view, bool already_sorted) {
+  row_begin_ = view.row_begin;
+  row_end_ = view.row_end;
+  const int64_t rows = view.rows();
+  const int64_t base = view.row_offsets[0];
+  // Report capacity growth so AllocStats-gated tests can assert the masking
+  // scratch reaches a steady state of zero allocations per streamed epoch.
+  if (static_cast<size_t>(rows) + 1 > offsets_.capacity()) {
+    tensor::AllocStats::Record(
+        static_cast<int64_t>((rows + 1) * sizeof(int64_t)));
+  }
+  if (static_cast<size_t>(view.nnz()) > cols_.capacity()) {
+    tensor::AllocStats::Record(static_cast<int64_t>(view.nnz()) *
+                               static_cast<int64_t>(sizeof(int64_t)));
+  }
+  offsets_.resize(static_cast<size_t>(rows) + 1);
+  for (int64_t r = 0; r <= rows; ++r) {
+    offsets_[static_cast<size_t>(r)] = view.row_offsets[r] - base;
+  }
+  cols_.assign(view.cols, view.cols + view.nnz());
+  if (already_sorted) return;
+  for (int64_t r = 0; r < rows; ++r) {
+    std::sort(cols_.begin() + offsets_[static_cast<size_t>(r)],
+              cols_.begin() + offsets_[static_cast<size_t>(r) + 1]);
+  }
+}
+
+}  // namespace darec::data

@@ -1,0 +1,178 @@
+#ifndef DAREC_DATA_INTERACTIONS_H_
+#define DAREC_DATA_INTERACTIONS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+#include "core/statusor.h"
+#include "data/dataset.h"
+#include "tensor/csr.h"
+
+namespace darec::data {
+
+/// A borrowed window onto the interaction CSR covering the user (row) range
+/// [row_begin, row_end). `row_offsets` has rows()+1 ascending entries; row r
+/// (a global user id) occupies cols[row_offsets[r - row_begin] -
+/// row_offsets[0] .. row_offsets[r - row_begin + 1] - row_offsets[0]). The
+/// base subtraction lets one view format serve both per-shard files (local
+/// offsets starting at 0) and windows into a global row_ptr array.
+///
+/// Views borrow from their store: valid until the next FetchBlock on the
+/// same store (resident stores keep every view valid for their lifetime;
+/// memory-mapped stores may unmap the previous block).
+struct RowBlockView {
+  int64_t row_begin = 0;
+  int64_t row_end = 0;
+  const int64_t* row_offsets = nullptr;
+  const int64_t* cols = nullptr;
+
+  int64_t rows() const { return row_end - row_begin; }
+  int64_t nnz() const { return row_offsets[rows()] - row_offsets[0]; }
+
+  /// Column ids of global row `row` (must be in [row_begin, row_end)).
+  std::span<const int64_t> Row(int64_t row) const {
+    DARE_DCHECK(row >= row_begin && row < row_end);
+    const int64_t local = row - row_begin;
+    const int64_t base = row_offsets[0];
+    return {cols + (row_offsets[local] - base),
+            static_cast<size_t>(row_offsets[local + 1] - row_offsets[local])};
+  }
+};
+
+/// The streaming interaction interface every data-path consumer talks to:
+/// a user-range-partitioned CSR served one row block at a time. Training
+/// (BatchIterator), evaluation (eval::EvaluateRanking), top-K masking, and
+/// graph adjacency construction all consume RowBlockViews, so the same code
+/// runs against a fully resident matrix (ResidentInteractions, one block)
+/// and a memory-mapped sharded store (ShardedInteractions, O(shard) RSS).
+///
+/// Blocks partition [0, num_users()) in ascending, gap-free order.
+/// FetchBlock is a sequential-access API: fetching a block may invalidate
+/// the previously returned view, and stores may keep mutable caching state
+/// behind it — one reader at a time per store.
+class InteractionStore {
+ public:
+  virtual ~InteractionStore() = default;
+
+  virtual int64_t num_users() const = 0;
+  virtual int64_t num_items() const = 0;
+  /// Total stored interactions across all blocks.
+  virtual int64_t nnz() const = 0;
+
+  virtual int64_t num_blocks() const = 0;
+  virtual int64_t block_row_begin(int64_t block) const = 0;
+  virtual int64_t block_row_end(int64_t block) const = 0;
+  /// Interactions in `block`, without fetching it (metadata-only).
+  virtual int64_t block_nnz(int64_t block) const = 0;
+
+  /// True when every row's column ids are sorted ascending. Training stores
+  /// preserve interaction replay order (unsorted); held-out stores and
+  /// serving indexes are written sorted.
+  virtual bool rows_sorted() const = 0;
+
+  /// The CSR window for `block`. May invalidate the previous view.
+  virtual core::StatusOr<RowBlockView> FetchBlock(int64_t block) const = 0;
+};
+
+/// Which held-out split to materialize from a Dataset.
+enum class HeldoutSplit { kTest, kValidation };
+
+/// Fully resident single-block store — the in-memory implementation of the
+/// streaming interface that keeps every existing test and the frozen golden
+/// traces valid. Holds one flat CSR (row_ptr + cols) for all users.
+class ResidentInteractions final : public InteractionStore {
+ public:
+  /// The training split in dataset.train() replay order: rows ascend by
+  /// user and the k-th stored column is exactly dataset.train()[k].item, so
+  /// global interaction index k maps 1:1 onto the replay-ordered CSR.
+  static ResidentInteractions FromTrainSplit(const Dataset& dataset);
+
+  /// A held-out split with per-user sorted rows (the eval convention).
+  static ResidentInteractions FromHeldoutSplit(const Dataset& dataset,
+                                               HeldoutSplit split);
+
+  /// Adapts an existing user x item CSR matrix (e.g. tensor::CsrMatrix
+  /// built elsewhere). `rows_sorted` declares whether its rows are sorted.
+  static ResidentInteractions FromCsr(const tensor::CsrMatrix& csr,
+                                      bool rows_sorted);
+
+  /// Materializes any store into a resident one with sorted rows — the
+  /// serving path: snapshots need random per-user access, so user histories
+  /// are compacted into one resident index at snapshot-build time.
+  static core::StatusOr<ResidentInteractions> FromStoreSorted(
+      const InteractionStore& store);
+
+  int64_t num_users() const override { return num_users_; }
+  int64_t num_items() const override { return num_items_; }
+  int64_t nnz() const override { return static_cast<int64_t>(cols_.size()); }
+  int64_t num_blocks() const override { return 1; }
+  int64_t block_row_begin(int64_t block) const override {
+    DARE_DCHECK(block == 0);
+    return 0;
+  }
+  int64_t block_row_end(int64_t block) const override {
+    DARE_DCHECK(block == 0);
+    return num_users_;
+  }
+  int64_t block_nnz(int64_t block) const override {
+    DARE_DCHECK(block == 0);
+    return nnz();
+  }
+  bool rows_sorted() const override { return rows_sorted_; }
+  core::StatusOr<RowBlockView> FetchBlock(int64_t block) const override;
+
+  /// Random row access (resident stores only; O(1), always valid).
+  std::span<const int64_t> Row(int64_t user) const {
+    DARE_DCHECK(user >= 0 && user < num_users_);
+    return {cols_.data() + row_ptr_[user],
+            static_cast<size_t>(row_ptr_[user + 1] - row_ptr_[user])};
+  }
+
+ private:
+  ResidentInteractions(int64_t num_users, int64_t num_items, bool rows_sorted,
+                       std::vector<int64_t> row_ptr, std::vector<int64_t> cols)
+      : num_users_(num_users),
+        num_items_(num_items),
+        rows_sorted_(rows_sorted),
+        row_ptr_(std::move(row_ptr)),
+        cols_(std::move(cols)) {}
+
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  bool rows_sorted_ = false;
+  std::vector<int64_t> row_ptr_;  // num_users_ + 1 entries.
+  std::vector<int64_t> cols_;
+};
+
+/// Reusable per-block sorted-row index for masking paths: copies one block's
+/// columns into an owned buffer and sorts each row ascending (skipping the
+/// sort when the source store is already sorted). Buffers are reused across
+/// Rebuild calls, so streaming an epoch of blocks through one instance costs
+/// O(max block) memory total, not O(dataset).
+class SortedBlockRows {
+ public:
+  void Rebuild(const RowBlockView& view, bool already_sorted);
+
+  int64_t row_begin() const { return row_begin_; }
+  int64_t row_end() const { return row_end_; }
+
+  /// Sorted column ids of global row `row` within the rebuilt block.
+  std::span<const int64_t> Row(int64_t row) const {
+    DARE_DCHECK(row >= row_begin_ && row < row_end_);
+    const int64_t local = row - row_begin_;
+    return {cols_.data() + offsets_[local],
+            static_cast<size_t>(offsets_[local + 1] - offsets_[local])};
+  }
+
+ private:
+  int64_t row_begin_ = 0;
+  int64_t row_end_ = 0;
+  std::vector<int64_t> offsets_;  // Local, rebased to 0.
+  std::vector<int64_t> cols_;
+};
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_INTERACTIONS_H_

@@ -35,6 +35,14 @@ core::StatusOr<DatasetPreset> GetPreset(const std::string& name) {
   for (const DatasetPreset& preset : Registry()) {
     if (preset.name == name) return preset;
   }
+  if (name == "web_scale") {
+    // web_scale never materializes a Dataset — it is generated shard-by-shard
+    // straight to disk. Point the caller at the streaming entry point.
+    return core::Status::NotFound(
+        "preset 'web_scale' is disk-backed; generate it with "
+        "data::GenerateWebScaleCatalog (see data/web_scale.h) and open the "
+        "manifests with data::ShardedInteractions::Open");
+  }
   return core::Status::NotFound("unknown dataset preset: " + name);
 }
 

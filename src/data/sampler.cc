@@ -1,54 +1,157 @@
 #include "data/sampler.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/check.h"
+#include "tensor/alloc_stats.h"
 
 namespace darec::data {
+namespace {
 
-int64_t NegativeSampler::Sample(int64_t user, core::Rng& rng) const {
-  const std::vector<int64_t>& positives = dataset_.TrainItemsOfUser(user);
-  DARE_CHECK_LT(static_cast<int64_t>(positives.size()), dataset_.num_items())
-      << "user " << user << " interacted with every item; cannot sample a negative";
-  // Rejection sampling; positives are a small fraction of the catalog, so
-  // the expected number of draws is ~1.
+/// Draws an item outside the sorted `positives` set. Rejection sampling;
+/// positives are a small fraction of the catalog, so the expected number of
+/// draws is ~1. Draw-for-draw identical to the historical Dataset-backed
+/// sampler given the same rng state and positive set.
+int64_t SampleNegative(std::span<const int64_t> positives, int64_t num_items,
+                       core::Rng& rng) {
+  DARE_CHECK_LT(static_cast<int64_t>(positives.size()), num_items)
+      << "user interacted with every item; cannot sample a negative";
   while (true) {
-    const int64_t candidate = rng.UniformInt(dataset_.num_items());
+    const int64_t candidate = rng.UniformInt(num_items);
     if (!std::binary_search(positives.begin(), positives.end(), candidate)) {
       return candidate;
     }
   }
 }
 
+/// resize() that reports capacity growth to AllocStats, so tests can assert
+/// the streaming iterator's steady-state epochs allocate nothing.
+void TrackedResize(std::vector<int64_t>& values, size_t count) {
+  if (count > values.capacity()) {
+    tensor::AllocStats::Record(static_cast<int64_t>(count * sizeof(int64_t)));
+  }
+  values.resize(count);
+}
+
+}  // namespace
+
+int64_t NegativeSampler::Sample(int64_t user, core::Rng& rng) const {
+  const std::vector<int64_t>& positives = dataset_.TrainItemsOfUser(user);
+  return SampleNegative(positives, dataset_.num_items(), rng);
+}
+
 BatchIterator::BatchIterator(const Dataset& dataset, int64_t batch_size,
                              core::Rng& rng)
-    : dataset_(dataset), sampler_(dataset), batch_size_(batch_size) {
+    : store_(nullptr), batch_size_(batch_size) {
   DARE_CHECK_GT(batch_size, 0);
-  order_.resize(dataset.train().size());
+  owned_ = std::make_unique<ResidentInteractions>(
+      ResidentInteractions::FromTrainSplit(dataset));
+  store_ = owned_.get();
+  Init(rng);
+}
+
+BatchIterator::BatchIterator(const InteractionStore& store, int64_t batch_size,
+                             core::Rng& rng)
+    : store_(&store), batch_size_(batch_size) {
+  DARE_CHECK_GT(batch_size, 0);
+  Init(rng);
+}
+
+void BatchIterator::Init(core::Rng& rng) {
+  one_block_ = store_->num_blocks() <= 1;
+  if (one_block_) {
+    // Historical layout: one persistent permutation over every interaction.
+    order_.resize(static_cast<size_t>(store_->nnz()));
+    if (store_->num_blocks() == 1) {
+      core::StatusOr<RowBlockView> view = store_->FetchBlock(0);
+      DARE_CHECK(view.ok()) << view.status().message();
+      view_ = *view;
+      sorted_rows_.Rebuild(view_, store_->rows_sorted());
+    }
+  } else {
+    order_.resize(static_cast<size_t>(store_->num_blocks()));
+  }
   for (size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int64_t>(i);
   NewEpoch(rng);
 }
 
+int64_t BatchIterator::UserOfFlatIndex(int64_t flat) const {
+  // Flat index `flat` is block-local: it names the offset row_offsets[0] +
+  // flat, and its row is the last one whose start offset is <= that.
+  const int64_t* offsets = view_.row_offsets;
+  const int64_t target = offsets[0] + flat;
+  const int64_t* it =
+      std::upper_bound(offsets, offsets + view_.rows() + 1, target);
+  return view_.row_begin + (it - offsets) - 1;
+}
+
+void BatchIterator::EnterBlock(core::Rng& rng) {
+  core::StatusOr<RowBlockView> view =
+      store_->FetchBlock(order_[static_cast<size_t>(block_cursor_)]);
+  DARE_CHECK(view.ok()) << view.status().message();
+  view_ = *view;
+  sorted_rows_.Rebuild(view_, store_->rows_sorted());
+  TrackedResize(intra_order_, static_cast<size_t>(view_.nnz()));
+  for (size_t i = 0; i < intra_order_.size(); ++i) {
+    intra_order_[i] = static_cast<int64_t>(i);
+  }
+  rng.Shuffle(intra_order_);
+  block_entered_ = true;
+  cursor_ = 0;
+}
+
 bool BatchIterator::NextBatch(std::vector<TrainTriple>& batch, core::Rng& rng) {
   batch.clear();
-  const int64_t total = static_cast<int64_t>(order_.size());
-  if (cursor_ >= total) return false;
-  const int64_t end = std::min(cursor_ + batch_size_, total);
-  batch.reserve(end - cursor_);
-  for (int64_t k = cursor_; k < end; ++k) {
-    const Interaction& it = dataset_.train()[order_[k]];
-    batch.push_back({it.user, it.item, sampler_.Sample(it.user, rng)});
+  const int64_t num_items = store_->num_items();
+  if (one_block_) {
+    const int64_t total = static_cast<int64_t>(order_.size());
+    if (cursor_ >= total) return false;
+    const int64_t end = std::min(cursor_ + batch_size_, total);
+    batch.reserve(static_cast<size_t>(end - cursor_));
+    for (int64_t k = cursor_; k < end; ++k) {
+      const int64_t flat = order_[static_cast<size_t>(k)];
+      const int64_t user = UserOfFlatIndex(flat);
+      // Replay-order CSR: the flat column sequence equals the historical
+      // train() sequence element for element, so order_[k] indexes the same
+      // (user, item) the Dataset-backed iterator produced.
+      const int64_t pos = view_.cols[flat];
+      batch.push_back(
+          {user, pos, SampleNegative(sorted_rows_.Row(user), num_items, rng)});
+    }
+    cursor_ = end;
+    return true;
   }
-  cursor_ = end;
-  return true;
+  while (true) {
+    if (block_cursor_ >= static_cast<int64_t>(order_.size())) return false;
+    if (!block_entered_) EnterBlock(rng);
+    const int64_t total = static_cast<int64_t>(intra_order_.size());
+    if (cursor_ >= total) {
+      ++block_cursor_;
+      block_entered_ = false;
+      continue;
+    }
+    const int64_t end = std::min(cursor_ + batch_size_, total);
+    batch.reserve(static_cast<size_t>(end - cursor_));
+    for (int64_t k = cursor_; k < end; ++k) {
+      const int64_t local = intra_order_[static_cast<size_t>(k)];
+      const int64_t user = UserOfFlatIndex(local);
+      const int64_t pos = view_.cols[local];
+      batch.push_back(
+          {user, pos, SampleNegative(sorted_rows_.Row(user), num_items, rng)});
+    }
+    cursor_ = end;
+    return true;
+  }
 }
 
 core::Status BatchIterator::RestoreOrder(std::vector<int64_t> order) {
-  const int64_t total = static_cast<int64_t>(dataset_.train().size());
+  const int64_t total =
+      one_block_ ? store_->nnz() : store_->num_blocks();
   if (static_cast<int64_t>(order.size()) != total) {
     return core::Status::FailedPrecondition(
         "checkpointed batch order has " + std::to_string(order.size()) +
-        " entries, dataset has " + std::to_string(total));
+        " entries, store has " + std::to_string(total));
   }
   std::vector<bool> seen(order.size(), false);
   for (int64_t index : order) {
@@ -59,18 +162,39 @@ core::Status BatchIterator::RestoreOrder(std::vector<int64_t> order) {
     seen[static_cast<size_t>(index)] = true;
   }
   order_ = std::move(order);
-  cursor_ = total;
+  // Leave the epoch exhausted; the next NewEpoch reshuffles the restored
+  // permutation in place, exactly as the uninterrupted run would.
+  if (one_block_) {
+    cursor_ = total;
+  } else {
+    block_cursor_ = total;
+    block_entered_ = false;
+    cursor_ = 0;
+  }
   return core::Status::Ok();
 }
 
 void BatchIterator::NewEpoch(core::Rng& rng) {
+  // One-block mode: order_ is the interaction permutation (n-1 draws).
+  // Streaming mode: order_ is the block permutation; with one block this
+  // would draw nothing, which is what keeps the two modes' rng streams
+  // identical when a sharded store happens to fit in one shard.
   rng.Shuffle(order_);
   cursor_ = 0;
+  block_cursor_ = 0;
+  block_entered_ = false;
 }
 
 int64_t BatchIterator::batches_per_epoch() const {
-  const int64_t total = static_cast<int64_t>(order_.size());
-  return (total + batch_size_ - 1) / batch_size_;
+  if (one_block_) {
+    const int64_t total = static_cast<int64_t>(order_.size());
+    return (total + batch_size_ - 1) / batch_size_;
+  }
+  int64_t batches = 0;
+  for (int64_t b = 0; b < store_->num_blocks(); ++b) {
+    batches += (store_->block_nnz(b) + batch_size_ - 1) / batch_size_;
+  }
+  return batches;
 }
 
 }  // namespace darec::data

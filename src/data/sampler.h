@@ -2,11 +2,13 @@
 #define DAREC_DATA_SAMPLER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/rng.h"
 #include "core/status.h"
 #include "data/dataset.h"
+#include "data/interactions.h"
 
 namespace darec::data {
 
@@ -30,12 +32,36 @@ class NegativeSampler {
   const Dataset& dataset_;
 };
 
-/// Iterates shuffled mini-batches of BPR triples over the training split.
-/// A fresh epoch reshuffles; the last batch of an epoch may be smaller.
+/// Iterates shuffled mini-batches of BPR triples over a training
+/// InteractionStore. A fresh epoch reshuffles; the last batch of each row
+/// block may be smaller (batches never span block boundaries).
+///
+/// Two regimes, chosen by the store's block count:
+///
+///  * One block (every resident store, and a sharded store that fits in one
+///    shard): the iterator keeps the classic persistent permutation over all
+///    interactions and NewEpoch shuffles it in place — the rng draw
+///    sequence, batch contents, and checkpointed order() are bit-identical
+///    to the pre-streaming iterator.
+///
+///  * Many blocks: NewEpoch shuffles a persistent permutation over *blocks*
+///    in place, and each block's intra-block order is regenerated (identity
+///    + shuffle with the same master rng) when the epoch reaches it. Peak
+///    iterator memory is O(largest block), never O(dataset); the schedule
+///    is still a deterministic function of the rng state at epoch start, so
+///    checkpoint/resume replays it exactly.
 class BatchIterator {
  public:
-  /// Keeps references to `dataset`; it must outlive the iterator.
+  /// Classic constructor: builds an owned resident store over
+  /// dataset.train(). Keeps a reference to `dataset`; draw-for-draw
+  /// compatible with the historical Dataset-backed iterator.
   BatchIterator(const Dataset& dataset, int64_t batch_size, core::Rng& rng);
+
+  /// Streaming constructor. Keeps a reference to `store`; it must outlive
+  /// the iterator, and the iterator is its single reader (FetchBlock
+  /// invalidates previous views).
+  BatchIterator(const InteractionStore& store, int64_t batch_size,
+                core::Rng& rng);
 
   /// Fills `batch` with up to batch_size triples; returns false when the
   /// epoch is exhausted (call NewEpoch() to continue).
@@ -46,23 +72,46 @@ class BatchIterator {
 
   int64_t batches_per_epoch() const;
 
-  /// Checkpoint support: the current epoch's shuffled interaction order.
-  /// NewEpoch() shuffles this permutation in place, so it is part of the
-  /// deterministic replay state a resumed run must restore.
+  /// Total training interactions in the underlying store.
+  int64_t num_interactions() const { return store_->nnz(); }
+
+  /// Checkpoint support: the persistent permutation NewEpoch shuffles in
+  /// place — over interactions in one-block mode (historical layout), over
+  /// row blocks in streaming mode. Everything else the epoch schedule needs
+  /// (intra-block orders, negatives) is regenerated from the checkpointed
+  /// rng state, so this is the only order state a resumed run must restore.
   const std::vector<int64_t>& order() const { return order_; }
 
   /// Restores a checkpointed permutation, leaving the epoch exhausted (the
   /// next NewEpoch() reshuffles it exactly as the uninterrupted run would).
   /// Fails with FailedPrecondition unless `order` is a permutation of the
-  /// training interactions; on failure the iterator is unchanged.
+  /// interactions (one-block mode) or blocks (streaming mode); on failure
+  /// the iterator is unchanged.
   core::Status RestoreOrder(std::vector<int64_t> order);
 
  private:
-  const Dataset& dataset_;
-  NegativeSampler sampler_;
+  void Init(core::Rng& rng);
+  /// Fetches block `order_[block_cursor_]`, rebuilds the sorted-row index,
+  /// and (streaming mode) regenerates the intra-block order.
+  void EnterBlock(core::Rng& rng);
+  int64_t UserOfFlatIndex(int64_t flat) const;
+
+  const InteractionStore* store_;
+  std::unique_ptr<ResidentInteractions> owned_;  // Classic-ctor backing store.
   int64_t batch_size_;
+  bool one_block_;
+
+  /// The persistent checkpointed permutation (see order()).
   std::vector<int64_t> order_;
-  int64_t cursor_ = 0;
+  /// Streaming mode: the current block's shuffled local interaction order,
+  /// reused across blocks and epochs (tracked via tensor::AllocStats).
+  std::vector<int64_t> intra_order_;
+  int64_t block_cursor_ = 0;  // Position in order_ over blocks (streaming).
+  int64_t cursor_ = 0;        // Position in the active permutation.
+  bool block_entered_ = false;
+
+  RowBlockView view_;           // Current block (one-block: fetched once).
+  SortedBlockRows sorted_rows_;  // Sorted positives for negative sampling.
 };
 
 }  // namespace darec::data

@@ -1,0 +1,412 @@
+#include "data/shards.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "ckpt/serialize.h"
+#include "core/check.h"
+#include "core/crc32.h"
+#include "core/fsio.h"
+
+namespace darec::data {
+namespace {
+
+constexpr char kShardMagic[4] = {'D', 'S', 'H', '1'};
+constexpr char kManifestMagic[4] = {'D', 'S', 'M', '1'};
+constexpr uint32_t kManifestVersion = 1;
+/// magic + crc + (row_begin, row_end, num_items, nnz).
+constexpr size_t kShardHeaderBytes = 8 + 4 * sizeof(int64_t);
+/// Per-shard nnz beyond this is implausible on one machine and would risk
+/// overflow in the size arithmetic below.
+constexpr int64_t kMaxPlausibleNnz = int64_t{1} << 48;
+
+std::string ShardFilename(const std::string& stem, size_t index) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "-%05zu.dsh", index);
+  return stem + suffix;
+}
+
+/// "shard 3 (users-00003.dsh): <what>" — every manifest rejection names the
+/// offending line item.
+core::Status ShardError(size_t index, const std::string& filename,
+                        const std::string& what) {
+  return core::Status::InvalidArgument("shard " + std::to_string(index) + " (" +
+                                       filename + "): " + what);
+}
+
+uint64_t ExpectedShardFileSize(int64_t rows, int64_t nnz) {
+  return static_cast<uint64_t>(kShardHeaderBytes) +
+         static_cast<uint64_t>(rows + 1 + nnz) * sizeof(int64_t);
+}
+
+int64_t ReadI64(const char* bytes) {
+  int64_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+core::StatusOr<ShardWriter> ShardWriter::Create(const std::string& dir,
+                                                const std::string& stem,
+                                                int64_t num_users,
+                                                int64_t num_items,
+                                                Options options) {
+  if (num_users < 0 || num_items < 0) {
+    return core::Status::InvalidArgument("negative user or item count");
+  }
+  if (options.rows_per_shard <= 0) {
+    return core::Status::InvalidArgument("rows_per_shard must be positive");
+  }
+  if (stem.empty() || stem.find('/') != std::string::npos) {
+    return core::Status::InvalidArgument("stem must be a bare file name");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return core::Status::Internal("cannot create shard dir " + dir + ": " +
+                                  ec.message());
+  }
+  ShardWriter writer;
+  writer.dir_ = dir;
+  writer.stem_ = stem;
+  writer.num_users_ = num_users;
+  writer.num_items_ = num_items;
+  writer.options_ = options;
+  return writer;
+}
+
+core::Status ShardWriter::AppendRow(std::span<const int64_t> items) {
+  if (finalized_) {
+    return core::Status::FailedPrecondition("writer already finalized");
+  }
+  if (rows_appended_ >= num_users_) {
+    return core::Status::FailedPrecondition(
+        "all " + std::to_string(num_users_) + " rows already appended");
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i] < 0 || items[i] >= num_items_) {
+      return core::Status::InvalidArgument(
+          "row " + std::to_string(rows_appended_) + ": item " +
+          std::to_string(items[i]) + " out of range [0, " +
+          std::to_string(num_items_) + ")");
+    }
+    if (options_.rows_sorted && i > 0 && items[i] <= items[i - 1]) {
+      return core::Status::InvalidArgument(
+          "row " + std::to_string(rows_appended_) +
+          ": items not strictly ascending in a rows_sorted store");
+    }
+  }
+  cols_.insert(cols_.end(), items.begin(), items.end());
+  offsets_.push_back(static_cast<int64_t>(cols_.size()));
+  ++rows_appended_;
+  total_nnz_ += static_cast<int64_t>(items.size());
+  if (static_cast<int64_t>(offsets_.size()) - 1 >= options_.rows_per_shard) {
+    return FlushShard();
+  }
+  return core::Status::Ok();
+}
+
+core::Status ShardWriter::FlushShard() {
+  const int64_t rows = static_cast<int64_t>(offsets_.size()) - 1;
+  DARE_CHECK_GT(rows, 0);
+  const int64_t row_begin = shard_row_begin_;
+  const int64_t row_end = shard_row_begin_ + rows;
+  const int64_t nnz = static_cast<int64_t>(cols_.size());
+
+  ckpt::ByteWriter payload;  // Everything the shard CRC covers.
+  payload.PutI64(row_begin);
+  payload.PutI64(row_end);
+  payload.PutI64(num_items_);
+  payload.PutI64(nnz);
+  payload.PutBytes(std::string_view(
+      reinterpret_cast<const char*>(offsets_.data()),
+      offsets_.size() * sizeof(int64_t)));
+  payload.PutBytes(std::string_view(reinterpret_cast<const char*>(cols_.data()),
+                                    cols_.size() * sizeof(int64_t)));
+  const uint32_t crc = core::Crc32(payload.str());
+
+  ckpt::ByteWriter file;
+  file.PutBytes(std::string_view(kShardMagic, sizeof(kShardMagic)));
+  file.PutU32(crc);
+  file.PutBytes(payload.str());
+
+  ShardMeta meta;
+  meta.filename = ShardFilename(stem_, shards_.size());
+  meta.row_begin = row_begin;
+  meta.row_end = row_end;
+  meta.nnz = nnz;
+  meta.file_size = file.str().size();
+  meta.crc = crc;
+  DARE_RETURN_IF_ERROR(
+      core::WriteFileAtomic(dir_ + "/" + meta.filename, file.str()));
+  shards_.push_back(std::move(meta));
+
+  shard_row_begin_ = row_end;
+  offsets_.clear();
+  offsets_.push_back(0);
+  cols_.clear();
+  return core::Status::Ok();
+}
+
+core::StatusOr<std::string> ShardWriter::Finalize() {
+  if (finalized_) {
+    return core::Status::FailedPrecondition("writer already finalized");
+  }
+  if (rows_appended_ != num_users_) {
+    return core::Status::FailedPrecondition(
+        "appended " + std::to_string(rows_appended_) + " rows, store declares " +
+        std::to_string(num_users_) + " users");
+  }
+  if (static_cast<int64_t>(offsets_.size()) > 1) {
+    DARE_RETURN_IF_ERROR(FlushShard());
+  }
+  finalized_ = true;
+
+  ckpt::ByteWriter content;
+  content.PutU32(kManifestVersion);
+  content.PutU8(options_.rows_sorted ? 1 : 0);
+  content.PutI64(num_users_);
+  content.PutI64(num_items_);
+  content.PutI64(total_nnz_);
+  content.PutU32(static_cast<uint32_t>(shards_.size()));
+  for (const ShardMeta& meta : shards_) {
+    content.PutString(meta.filename);
+    content.PutI64(meta.row_begin);
+    content.PutI64(meta.row_end);
+    content.PutI64(meta.nnz);
+    content.PutU64(meta.file_size);
+    content.PutU32(meta.crc);
+  }
+  ckpt::ByteWriter file;
+  file.PutBytes(std::string_view(kManifestMagic, sizeof(kManifestMagic)));
+  file.PutU32(core::Crc32(content.str()));
+  file.PutBytes(content.str());
+
+  const std::string manifest_path = dir_ + "/" + stem_ + ".dsm";
+  DARE_RETURN_IF_ERROR(core::WriteFileAtomic(manifest_path, file.str()));
+  return manifest_path;
+}
+
+core::StatusOr<ShardedInteractions> ShardedInteractions::Open(
+    const std::string& manifest_path) {
+  DARE_ASSIGN_OR_RETURN(std::string bytes, core::ReadFile(manifest_path));
+  if (bytes.size() < 8 || std::string_view(bytes.data(), 4) !=
+                              std::string_view(kManifestMagic, 4)) {
+    return core::Status::InvalidArgument(manifest_path +
+                                         " is not a DSM1 shard manifest");
+  }
+  ckpt::ByteReader header(std::string_view(bytes).substr(4));
+  DARE_ASSIGN_OR_RETURN(uint32_t crc, header.GetU32());
+  const std::string_view content = std::string_view(bytes).substr(8);
+  if (core::Crc32(content) != crc) {
+    return core::Status::Internal("shard manifest checksum mismatch: " +
+                                  manifest_path);
+  }
+
+  ckpt::ByteReader reader(content);
+  DARE_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
+  if (version != kManifestVersion) {
+    return core::Status::FailedPrecondition("unsupported shard manifest version " +
+                                            std::to_string(version));
+  }
+  DARE_ASSIGN_OR_RETURN(uint8_t rows_sorted, reader.GetU8());
+  ShardedInteractions store;
+  store.rows_sorted_ = rows_sorted != 0;
+  DARE_ASSIGN_OR_RETURN(store.num_users_, reader.GetI64());
+  DARE_ASSIGN_OR_RETURN(store.num_items_, reader.GetI64());
+  DARE_ASSIGN_OR_RETURN(store.total_nnz_, reader.GetI64());
+  if (store.num_users_ < 0 || store.num_items_ < 0 || store.total_nnz_ < 0) {
+    return core::Status::InvalidArgument(
+        "shard manifest declares negative counts");
+  }
+  DARE_ASSIGN_OR_RETURN(uint32_t shard_count, reader.GetU32());
+
+  const std::filesystem::path manifest_dir =
+      std::filesystem::path(manifest_path).parent_path();
+  const std::string dir =
+      manifest_dir.empty() ? std::string(".") : manifest_dir.string();
+
+  int64_t covered = 0;    // Row ranges must tile [0, num_users) in order.
+  int64_t nnz_sum = 0;    // Must equal total_nnz without overflowing.
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    ShardInfo info;
+    std::string filename;
+    {
+      core::StatusOr<std::string> name = reader.GetString();
+      if (!name.ok()) {
+        return ShardError(s, "?", "truncated manifest entry: " +
+                                      name.status().message());
+      }
+      filename = *std::move(name);
+    }
+    if (filename.empty() || filename.find('/') != std::string::npos ||
+        filename.find('\\') != std::string::npos || filename[0] == '.') {
+      return ShardError(s, filename, "illegal shard filename");
+    }
+    DARE_ASSIGN_OR_RETURN(info.row_begin, reader.GetI64());
+    DARE_ASSIGN_OR_RETURN(info.row_end, reader.GetI64());
+    DARE_ASSIGN_OR_RETURN(info.nnz, reader.GetI64());
+    DARE_ASSIGN_OR_RETURN(info.file_size, reader.GetU64());
+    DARE_ASSIGN_OR_RETURN(info.crc, reader.GetU32());
+    if (info.row_end <= info.row_begin || info.row_begin < 0 ||
+        info.row_end > store.num_users_) {
+      return ShardError(s, filename,
+                        "row range [" + std::to_string(info.row_begin) + ", " +
+                            std::to_string(info.row_end) +
+                            ") is empty or outside [0, " +
+                            std::to_string(store.num_users_) + ")");
+    }
+    if (info.row_begin < covered) {
+      return ShardError(s, filename,
+                        "row range [" + std::to_string(info.row_begin) + ", " +
+                            std::to_string(info.row_end) +
+                            ") overlaps the previous shard (covered up to " +
+                            std::to_string(covered) + ")");
+    }
+    if (info.row_begin > covered) {
+      return ShardError(s, filename,
+                        "row range [" + std::to_string(info.row_begin) + ", " +
+                            std::to_string(info.row_end) +
+                            ") leaves rows [" + std::to_string(covered) + ", " +
+                            std::to_string(info.row_begin) + ") uncovered");
+    }
+    if (info.nnz < 0 || info.nnz > kMaxPlausibleNnz) {
+      return ShardError(s, filename,
+                        "implausible nnz " + std::to_string(info.nnz));
+    }
+    if (nnz_sum > std::numeric_limits<int64_t>::max() - info.nnz) {
+      return ShardError(s, filename, "total nnz overflows int64");
+    }
+    const uint64_t expected_size =
+        ExpectedShardFileSize(info.row_end - info.row_begin, info.nnz);
+    if (info.file_size != expected_size) {
+      return ShardError(s, filename,
+                        "declared file size " + std::to_string(info.file_size) +
+                            " != " + std::to_string(expected_size) +
+                            " implied by its row range and nnz");
+    }
+    covered = info.row_end;
+    nnz_sum += info.nnz;
+    info.path = dir + "/" + filename;
+    store.shards_.push_back(std::move(info));
+  }
+  DARE_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (covered != store.num_users_) {
+    return core::Status::InvalidArgument(
+        "shards cover rows [0, " + std::to_string(covered) +
+        ") but the manifest declares " + std::to_string(store.num_users_) +
+        " users");
+  }
+  if (nnz_sum != store.total_nnz_) {
+    return core::Status::InvalidArgument(
+        "per-shard nnz sums to " + std::to_string(nnz_sum) +
+        ", manifest declares " + std::to_string(store.total_nnz_));
+  }
+  store.crc_verified_.assign(store.shards_.size(), false);
+  return store;
+}
+
+core::StatusOr<RowBlockView> ShardedInteractions::FetchBlock(
+    int64_t block) const {
+  if (block < 0 || block >= num_blocks()) {
+    return core::Status::InvalidArgument("block " + std::to_string(block) +
+                                         " out of range [0, " +
+                                         std::to_string(num_blocks()) + ")");
+  }
+  const ShardInfo& info = shards_[static_cast<size_t>(block)];
+  if (mapped_block_ != block) {
+    DARE_ASSIGN_OR_RETURN(core::MmapFile mapping, core::MmapFile::Open(info.path));
+    if (mapping.size() != info.file_size) {
+      return core::Status::Internal(
+          info.path + ": " + std::to_string(mapping.size()) +
+          " bytes on disk, manifest says " + std::to_string(info.file_size));
+    }
+    const char* bytes = mapping.data();
+    if (std::string_view(bytes, 4) != std::string_view(kShardMagic, 4)) {
+      return core::Status::InvalidArgument(info.path +
+                                           " is not a DSH1 shard file");
+    }
+    uint32_t embedded_crc;
+    std::memcpy(&embedded_crc, bytes + 4, sizeof(embedded_crc));
+    if (embedded_crc != info.crc) {
+      return core::Status::Internal(info.path +
+                                    ": shard CRC disagrees with the manifest");
+    }
+    if (ReadI64(bytes + 8) != info.row_begin ||
+        ReadI64(bytes + 16) != info.row_end ||
+        ReadI64(bytes + 24) != num_items_ || ReadI64(bytes + 32) != info.nnz) {
+      return core::Status::Internal(
+          info.path + ": shard header disagrees with the manifest");
+    }
+    if (!crc_verified_[static_cast<size_t>(block)]) {
+      // One full pass on first touch; clean pages are evictable afterwards,
+      // so validation does not pin the shard in memory.
+      if (core::Crc32(bytes + 8, mapping.size() - 8) != info.crc) {
+        return core::Status::Internal(info.path + ": shard checksum mismatch");
+      }
+      crc_verified_[static_cast<size_t>(block)] = true;
+    }
+    mapping_ = std::move(mapping);  // Unmaps the previous block.
+    mapped_block_ = block;
+  }
+  RowBlockView view;
+  view.row_begin = info.row_begin;
+  view.row_end = info.row_end;
+  view.row_offsets =
+      reinterpret_cast<const int64_t*>(mapping_.data() + kShardHeaderBytes);
+  view.cols = view.row_offsets + (info.row_end - info.row_begin + 1);
+  return view;
+}
+
+core::StatusOr<std::string> WriteShardedTrain(const Dataset& dataset,
+                                              const std::string& dir,
+                                              const std::string& stem,
+                                              int64_t rows_per_shard) {
+  ShardWriter::Options options;
+  options.rows_per_shard = rows_per_shard;
+  options.rows_sorted = false;
+  DARE_ASSIGN_OR_RETURN(
+      ShardWriter writer,
+      ShardWriter::Create(dir, stem, dataset.num_users(), dataset.num_items(),
+                          options));
+  const std::vector<Interaction>& train = dataset.train();
+  std::vector<int64_t> row;
+  size_t k = 0;
+  for (int64_t user = 0; user < dataset.num_users(); ++user) {
+    row.clear();
+    while (k < train.size() && train[k].user == user) {
+      row.push_back(train[k].item);
+      ++k;
+    }
+    DARE_RETURN_IF_ERROR(writer.AppendRow(row));
+  }
+  DARE_CHECK_EQ(k, train.size()) << "train split not grouped by user";
+  return writer.Finalize();
+}
+
+core::StatusOr<std::string> WriteShardedHeldout(const Dataset& dataset,
+                                                HeldoutSplit split,
+                                                const std::string& dir,
+                                                const std::string& stem,
+                                                int64_t rows_per_shard) {
+  ShardWriter::Options options;
+  options.rows_per_shard = rows_per_shard;
+  options.rows_sorted = true;
+  DARE_ASSIGN_OR_RETURN(
+      ShardWriter writer,
+      ShardWriter::Create(dir, stem, dataset.num_users(), dataset.num_items(),
+                          options));
+  for (int64_t user = 0; user < dataset.num_users(); ++user) {
+    const std::vector<int64_t>& items = split == HeldoutSplit::kTest
+                                            ? dataset.TestItemsOfUser(user)
+                                            : dataset.ValidationItemsOfUser(user);
+    DARE_RETURN_IF_ERROR(writer.AppendRow(items));
+  }
+  return writer.Finalize();
+}
+
+}  // namespace darec::data

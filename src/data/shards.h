@@ -1,0 +1,171 @@
+#ifndef DAREC_DATA_SHARDS_H_
+#define DAREC_DATA_SHARDS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mmap_file.h"
+#include "core/status.h"
+#include "core/statusor.h"
+#include "data/dataset.h"
+#include "data/interactions.h"
+
+namespace darec::data {
+
+/// On-disk layout of a sharded interaction store (all integers host-endian,
+/// written via core::WriteFileAtomic so a crash never publishes a torn
+/// file):
+///
+/// Shard file "<stem>-<5 digits>.dsh":
+///   magic "DSH1" | u32 crc            — crc covers every byte after itself
+///   i64 row_begin | i64 row_end | i64 num_items | i64 nnz
+///   i64 row_offsets[rows+1]           — local, row_offsets[0] == 0
+///   i64 cols[nnz]
+/// The 40-byte prefix keeps both i64 arrays 8-aligned, so a reader serves
+/// RowBlockViews straight out of the mapping — zero copy, zero parse.
+///
+/// Manifest file "<stem>.dsm" (ckpt::ByteWriter framing):
+///   magic "DSM1" | u32 crc            — crc covers every byte after itself
+///   u32 version | u8 rows_sorted
+///   i64 num_users | i64 num_items | i64 total_nnz
+///   u32 shard_count
+///   per shard: string filename | i64 row_begin | i64 row_end | i64 nnz
+///              | u64 file_size | u32 file_crc
+/// The manifest is written last — it is the atomic commit point; a crash
+/// mid-generation leaves shard files but no manifest, and Open fails with
+/// NotFound rather than seeing a partial store.
+
+/// Streams a row-range-sharded store to disk without ever holding more than
+/// one shard in memory: AppendRow is called once per user in ascending user
+/// order; every rows_per_shard rows the buffered shard is flushed via
+/// WriteFileAtomic. Finalize flushes the tail shard and commits the
+/// manifest.
+class ShardWriter {
+ public:
+  struct Options {
+    int64_t rows_per_shard = 1 << 20;
+    /// Declare rows sorted ascending (held-out stores). Checked per row.
+    bool rows_sorted = false;
+  };
+
+  /// Shard files are "<dir>/<stem>-NNNNN.dsh", the manifest "<dir>/<stem>.dsm".
+  /// Creates `dir` if needed.
+  static core::StatusOr<ShardWriter> Create(const std::string& dir,
+                                            const std::string& stem,
+                                            int64_t num_users,
+                                            int64_t num_items, Options options);
+
+  /// Appends the next user's column ids (possibly empty). Items must be in
+  /// [0, num_items); with rows_sorted they must ascend strictly.
+  core::Status AppendRow(std::span<const int64_t> items);
+
+  /// Flushes the final shard, writes the manifest, and returns its path.
+  /// FailedPrecondition unless exactly num_users rows were appended.
+  core::StatusOr<std::string> Finalize();
+
+  int64_t rows_appended() const { return rows_appended_; }
+
+ private:
+  ShardWriter() = default;
+
+  core::Status FlushShard();
+
+  struct ShardMeta {
+    std::string filename;
+    int64_t row_begin = 0;
+    int64_t row_end = 0;
+    int64_t nnz = 0;
+    uint64_t file_size = 0;
+    uint32_t crc = 0;
+  };
+
+  std::string dir_;
+  std::string stem_;
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  Options options_;
+  int64_t rows_appended_ = 0;
+  int64_t shard_row_begin_ = 0;
+  int64_t total_nnz_ = 0;
+  std::vector<int64_t> offsets_{0};  // Current shard, local offsets.
+  std::vector<int64_t> cols_;       // Current shard, column ids.
+  std::vector<ShardMeta> shards_;
+  bool finalized_ = false;
+};
+
+/// Memory-mapped reader over a ShardWriter layout. Open parses and fully
+/// bounds-checks the manifest (ByteReader style: row ranges must tile
+/// [0, num_users) without gaps or overlaps, per-shard nnz must sum to
+/// total_nnz without int64 overflow — each violation is rejected with a
+/// line-item error naming the shard). FetchBlock maps one shard at a time,
+/// validating its header against the manifest and its CRC-32 on first
+/// touch, and unmaps the previous shard — so a sequential sweep keeps
+/// O(shard) resident, never O(dataset).
+class ShardedInteractions final : public InteractionStore {
+ public:
+  static core::StatusOr<ShardedInteractions> Open(
+      const std::string& manifest_path);
+
+  int64_t num_users() const override { return num_users_; }
+  int64_t num_items() const override { return num_items_; }
+  int64_t nnz() const override { return total_nnz_; }
+  int64_t num_blocks() const override {
+    return static_cast<int64_t>(shards_.size());
+  }
+  int64_t block_row_begin(int64_t block) const override {
+    return shards_[static_cast<size_t>(block)].row_begin;
+  }
+  int64_t block_row_end(int64_t block) const override {
+    return shards_[static_cast<size_t>(block)].row_end;
+  }
+  int64_t block_nnz(int64_t block) const override {
+    return shards_[static_cast<size_t>(block)].nnz;
+  }
+  bool rows_sorted() const override { return rows_sorted_; }
+  core::StatusOr<RowBlockView> FetchBlock(int64_t block) const override;
+
+ private:
+  struct ShardInfo {
+    std::string path;
+    int64_t row_begin = 0;
+    int64_t row_end = 0;
+    int64_t nnz = 0;
+    uint64_t file_size = 0;
+    uint32_t crc = 0;
+  };
+
+  ShardedInteractions() = default;
+
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  int64_t total_nnz_ = 0;
+  bool rows_sorted_ = false;
+  std::vector<ShardInfo> shards_;
+
+  // One-shard mapping cache (see InteractionStore's single-reader contract).
+  mutable int64_t mapped_block_ = -1;
+  mutable core::MmapFile mapping_;
+  mutable std::vector<bool> crc_verified_;
+};
+
+/// Writes `dataset`'s training split as a sharded store in replay order
+/// (rows ascend by user; within a user, train() order — the order the
+/// one-shard/resident bit-identity contract is stated in). Returns the
+/// manifest path.
+core::StatusOr<std::string> WriteShardedTrain(const Dataset& dataset,
+                                              const std::string& dir,
+                                              const std::string& stem,
+                                              int64_t rows_per_shard);
+
+/// Writes a held-out split (per-user sorted rows). Returns the manifest path.
+core::StatusOr<std::string> WriteShardedHeldout(const Dataset& dataset,
+                                                HeldoutSplit split,
+                                                const std::string& dir,
+                                                const std::string& stem,
+                                                int64_t rows_per_shard);
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_SHARDS_H_

@@ -1,0 +1,104 @@
+#include "data/web_scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "data/shards.h"
+
+namespace darec::data {
+namespace {
+
+/// One popularity draw by inverse CDF over the cumulative Zipf weights:
+/// O(log num_items), no per-draw allocation.
+int64_t DrawItem(const std::vector<double>& cumulative, core::Rng& rng) {
+  const double u = rng.UniformDouble() * cumulative.back();
+  const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  return std::min<int64_t>(it - cumulative.begin(),
+                           static_cast<int64_t>(cumulative.size()) - 1);
+}
+
+}  // namespace
+
+core::StatusOr<WebScaleCatalog> GenerateWebScaleCatalog(
+    const std::string& dir, const WebScaleOptions& options) {
+  if (options.num_users <= 0 || options.num_items <= 0) {
+    return core::Status::InvalidArgument("web_scale needs users and items");
+  }
+  if (options.mean_train_degree <= 0 || options.heldout_per_user < 0) {
+    return core::Status::InvalidArgument("web_scale needs a positive degree");
+  }
+  if (options.mean_train_degree + options.heldout_per_user >=
+      options.num_items) {
+    return core::Status::InvalidArgument(
+        "per-user degree must be far below the item count");
+  }
+
+  ShardWriter::Options train_opts;
+  train_opts.rows_per_shard = options.users_per_shard;
+  train_opts.rows_sorted = false;
+  DARE_ASSIGN_OR_RETURN(
+      ShardWriter train,
+      ShardWriter::Create(dir, "train", options.num_users, options.num_items,
+                          train_opts));
+  ShardWriter::Options heldout_opts;
+  heldout_opts.rows_per_shard = options.users_per_shard;
+  heldout_opts.rows_sorted = true;
+  DARE_ASSIGN_OR_RETURN(
+      ShardWriter heldout,
+      ShardWriter::Create(dir, "heldout", options.num_users, options.num_items,
+                          heldout_opts));
+
+  // Cumulative Zipf popularity — the only O(num_items) state; everything
+  // else is O(one user's degree) plus the ShardWriter's O(one shard) buffer.
+  std::vector<double> cumulative(static_cast<size_t>(options.num_items));
+  double total = 0.0;
+  for (int64_t i = 0; i < options.num_items; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -options.zipf_exponent);
+    cumulative[static_cast<size_t>(i)] = total;
+  }
+
+  core::Rng rng(options.seed);
+  // Mean-preserving log-normal activity multiplier.
+  const double sigma = options.activity_sigma;
+  const double mean_log = -0.5 * sigma * sigma;
+  // A user's degree is capped so the rejection loop below stays cheap even
+  // in the extreme activity tail.
+  const int64_t max_degree =
+      std::min<int64_t>(options.num_items / 4 + 1,
+                        options.mean_train_degree * 64 + 1);
+
+  std::vector<int64_t> drawn;    // This user's distinct items, draw order.
+  std::vector<int64_t> heldset;  // This user's held-out items, sorted.
+  for (int64_t user = 0; user < options.num_users; ++user) {
+    const double activity = std::exp(rng.Normal(mean_log, sigma));
+    int64_t degree = static_cast<int64_t>(
+        std::llround(static_cast<double>(options.mean_train_degree) * activity));
+    degree = std::clamp<int64_t>(degree, 1, max_degree);
+    const int64_t want = degree + options.heldout_per_user;
+
+    drawn.clear();
+    while (static_cast<int64_t>(drawn.size()) < want) {
+      const int64_t item = DrawItem(cumulative, rng);
+      if (std::find(drawn.begin(), drawn.end(), item) == drawn.end()) {
+        drawn.push_back(item);
+      }
+    }
+    // First `degree` draws become the training row (replay order); the rest
+    // are held out, sorted as the evaluation convention requires.
+    heldset.assign(drawn.begin() + degree, drawn.end());
+    std::sort(heldset.begin(), heldset.end());
+    drawn.resize(static_cast<size_t>(degree));
+    DARE_RETURN_IF_ERROR(train.AppendRow(drawn));
+    DARE_RETURN_IF_ERROR(heldout.AppendRow(heldset));
+  }
+
+  WebScaleCatalog catalog;
+  DARE_ASSIGN_OR_RETURN(catalog.train_manifest, train.Finalize());
+  DARE_ASSIGN_OR_RETURN(catalog.heldout_manifest, heldout.Finalize());
+  return catalog;
+}
+
+}  // namespace darec::data

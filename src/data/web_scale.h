@@ -1,0 +1,46 @@
+#ifndef DAREC_DATA_WEB_SCALE_H_
+#define DAREC_DATA_WEB_SCALE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/statusor.h"
+
+namespace darec::data {
+
+/// The `web_scale` preset: a long-tail catalog in the spirit of the paper's
+/// Table II datasets but at production scale — millions of users, a Zipf
+/// item popularity curve, log-normal per-user activity. It is generated
+/// shard-by-shard straight into a ShardedInteractions layout: peak memory is
+/// O(one shard), never O(users x degree), so the full catalog can be larger
+/// than RAM.
+struct WebScaleOptions {
+  int64_t num_users = 2'000'000;
+  int64_t num_items = 200'000;
+  /// Mean training interactions per user; actual degree is log-normal.
+  int64_t mean_train_degree = 10;
+  /// Sigma of the log-normal activity multiplier (0 = every user identical).
+  double activity_sigma = 0.9;
+  /// Item popularity ~ 1 / rank^zipf_exponent.
+  double zipf_exponent = 0.9;
+  /// Held-out (test) interactions per user.
+  int64_t heldout_per_user = 2;
+  /// Users per shard file in both output stores.
+  int64_t users_per_shard = 250'000;
+  uint64_t seed = 20'250'808;
+};
+
+/// The manifests a generated catalog consists of.
+struct WebScaleCatalog {
+  std::string train_manifest;    // Replay-order rows (training store).
+  std::string heldout_manifest;  // Sorted rows (evaluation store).
+};
+
+/// Generates the catalog under `dir` (created if needed) as two sharded
+/// stores, "train" and "heldout". Deterministic for a fixed options struct.
+core::StatusOr<WebScaleCatalog> GenerateWebScaleCatalog(
+    const std::string& dir, const WebScaleOptions& options);
+
+}  // namespace darec::data
+
+#endif  // DAREC_DATA_WEB_SCALE_H_

@@ -24,7 +24,7 @@ std::string MetricSet::ToString() const {
 }
 
 double RecallAtK(const std::vector<int64_t>& ranked,
-                 const std::vector<int64_t>& relevant, int64_t k) {
+                 std::span<const int64_t> relevant, int64_t k) {
   if (relevant.empty()) return 0.0;
   const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
   int64_t hits = 0;
@@ -35,7 +35,7 @@ double RecallAtK(const std::vector<int64_t>& ranked,
 }
 
 double NdcgAtK(const std::vector<int64_t>& ranked,
-               const std::vector<int64_t>& relevant, int64_t k) {
+               std::span<const int64_t> relevant, int64_t k) {
   if (relevant.empty()) return 0.0;
   const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
   double dcg = 0.0;
@@ -54,7 +54,7 @@ double NdcgAtK(const std::vector<int64_t>& ranked,
 }
 
 double PrecisionAtK(const std::vector<int64_t>& ranked,
-                    const std::vector<int64_t>& relevant, int64_t k) {
+                    std::span<const int64_t> relevant, int64_t k) {
   if (relevant.empty() || k <= 0) return 0.0;
   const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
   int64_t hits = 0;
@@ -65,7 +65,7 @@ double PrecisionAtK(const std::vector<int64_t>& ranked,
 }
 
 double HitRateAtK(const std::vector<int64_t>& ranked,
-                  const std::vector<int64_t>& relevant, int64_t k) {
+                  std::span<const int64_t> relevant, int64_t k) {
   const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
   for (int64_t p = 0; p < limit; ++p) {
     if (std::binary_search(relevant.begin(), relevant.end(), ranked[p])) return 1.0;
@@ -74,7 +74,7 @@ double HitRateAtK(const std::vector<int64_t>& ranked,
 }
 
 double MrrAtK(const std::vector<int64_t>& ranked,
-              const std::vector<int64_t>& relevant, int64_t k) {
+              std::span<const int64_t> relevant, int64_t k) {
   const int64_t limit = std::min<int64_t>(k, static_cast<int64_t>(ranked.size()));
   for (int64_t p = 0; p < limit; ++p) {
     if (std::binary_search(relevant.begin(), relevant.end(), ranked[p])) {
@@ -86,10 +86,28 @@ double MrrAtK(const std::vector<int64_t>& ranked,
 
 MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
                           const data::Dataset& dataset, const EvalOptions& options) {
-  DARE_CHECK_EQ(node_embeddings.rows(), dataset.num_nodes());
+  // The resident path is now a one-block instance of the streamed path:
+  // adapt both splits to InteractionStores and walk their (single) blocks.
+  const data::ResidentInteractions train =
+      data::ResidentInteractions::FromTrainSplit(dataset);
+  const data::ResidentInteractions heldout =
+      data::ResidentInteractions::FromHeldoutSplit(
+          dataset, options.split == EvalSplit::kTest
+                       ? data::HeldoutSplit::kTest
+                       : data::HeldoutSplit::kValidation);
+  return EvaluateRanking(node_embeddings, train, heldout, options);
+}
+
+MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
+                          const data::InteractionStore& train,
+                          const data::InteractionStore& heldout,
+                          const EvalOptions& options) {
+  DARE_CHECK_EQ(train.num_users(), heldout.num_users());
+  DARE_CHECK_EQ(train.num_items(), heldout.num_items());
+  const int64_t num_users = train.num_users();
+  const int64_t num_items = train.num_items();
+  DARE_CHECK_EQ(node_embeddings.rows(), num_users + num_items);
   DARE_CHECK(!options.ks.empty());
-  const int64_t num_users = dataset.num_users();
-  const int64_t num_items = dataset.num_items();
   const int64_t max_k = *std::max_element(options.ks.begin(), options.ks.end());
   DARE_CHECK_LE(max_k, num_items);
 
@@ -102,45 +120,82 @@ MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
     totals.mrr[k] = 0.0;
   }
 
-  // All-ranking protocol over the shared batched top-K engine: users with
-  // held-out items are scored in blocks against every item on the blocked
-  // GEMM, training items are masked to -inf (they may pad the tail of a
-  // top-max_k list but can never be hits), and the engine's parallel select
-  // returns each user's ranked top-max_k with the deterministic
-  // (score desc, id asc) tie-break.
-  std::vector<int64_t> eval_users;
-  eval_users.reserve(static_cast<size_t>(num_users));
-  for (int64_t user = 0; user < num_users; ++user) {
-    const std::vector<int64_t>& relevant = options.split == EvalSplit::kTest
-                                               ? dataset.TestItemsOfUser(user)
-                                               : dataset.ValidationItemsOfUser(user);
-    if (!relevant.empty()) eval_users.push_back(user);
-  }
-  const int64_t evaluated_users = static_cast<int64_t>(eval_users.size());
-
   const topk::Engine engine(node_embeddings, num_users, num_items);
-  const topk::SeenItemsFn seen = [&dataset](int64_t user) {
-    return &dataset.TrainItemsOfUser(user);
-  };
-  const std::vector<std::vector<topk::ScoredItem>> ranked =
-      engine.TopK(eval_users, max_k, seen, topk::MaskMode::kScoreNegInf);
 
+  // All-ranking protocol, streamed: walk the user axis once, advancing
+  // through both stores' block partitions in lockstep. Each intersection
+  // segment [seg_begin, seg_end) lies inside exactly one training block and
+  // one held-out block, so at most one block of each store is live at a
+  // time — O(shard) resident for memory-mapped stores. Users are evaluated
+  // in ascending order and the top-K engine's per-user results do not
+  // depend on query batching, so per-segment TopK calls accumulate exactly
+  // the numbers one whole-catalog call would.
+  data::SortedBlockRows train_sorted;   // Masking needs sorted positives.
+  data::SortedBlockRows heldout_sorted; // Only used if heldout is unsorted.
+  int64_t train_block = -1, heldout_block = -1;
+  data::RowBlockView train_view, heldout_view;
+  int64_t evaluated_users = 0;
+  std::vector<int64_t> eval_users;
   std::vector<int64_t> top(static_cast<size_t>(max_k));
-  for (size_t q = 0; q < eval_users.size(); ++q) {
-    const int64_t user = eval_users[q];
-    const std::vector<int64_t>& relevant = options.split == EvalSplit::kTest
-                                               ? dataset.TestItemsOfUser(user)
-                                               : dataset.ValidationItemsOfUser(user);
-    top.clear();
-    for (const topk::ScoredItem& s : ranked[q]) top.push_back(s.item);
 
-    for (int64_t k : options.ks) {
-      totals.recall[k] += RecallAtK(top, relevant, k);
-      totals.ndcg[k] += NdcgAtK(top, relevant, k);
-      totals.precision[k] += PrecisionAtK(top, relevant, k);
-      totals.hit_rate[k] += HitRateAtK(top, relevant, k);
-      totals.mrr[k] += MrrAtK(top, relevant, k);
+  int64_t user = 0;
+  while (user < num_users) {
+    // Advance to the blocks containing `user` (partitions are ascending and
+    // gap-free, so a linear advance visits each block once per evaluation).
+    while (train.block_row_end(train_block < 0 ? 0 : train_block) <= user ||
+           train_block < 0) {
+      ++train_block;
+      core::StatusOr<data::RowBlockView> view = train.FetchBlock(train_block);
+      DARE_CHECK(view.ok()) << view.status().message();
+      train_view = *view;
+      if (!train.rows_sorted()) {
+        train_sorted.Rebuild(train_view, /*already_sorted=*/false);
+      }
     }
+    while (heldout.block_row_end(heldout_block < 0 ? 0 : heldout_block) <=
+               user ||
+           heldout_block < 0) {
+      ++heldout_block;
+      core::StatusOr<data::RowBlockView> view =
+          heldout.FetchBlock(heldout_block);
+      DARE_CHECK(view.ok()) << view.status().message();
+      heldout_view = *view;
+      if (!heldout.rows_sorted()) {
+        heldout_sorted.Rebuild(heldout_view, /*already_sorted=*/false);
+      }
+    }
+    const int64_t seg_end =
+        std::min(train_view.row_end, heldout_view.row_end);
+
+    const auto relevant_of = [&](int64_t u) -> std::span<const int64_t> {
+      return heldout.rows_sorted() ? heldout_view.Row(u) : heldout_sorted.Row(u);
+    };
+    eval_users.clear();
+    for (int64_t u = user; u < seg_end; ++u) {
+      if (!relevant_of(u).empty()) eval_users.push_back(u);
+    }
+    if (!eval_users.empty()) {
+      const topk::SeenItemsFn seen = [&](int64_t u) {
+        return train.rows_sorted() ? topk::ItemSpan(train_view.Row(u))
+                                   : topk::ItemSpan(train_sorted.Row(u));
+      };
+      const std::vector<std::vector<topk::ScoredItem>> ranked =
+          engine.TopK(eval_users, max_k, seen, topk::MaskMode::kScoreNegInf);
+      for (size_t q = 0; q < eval_users.size(); ++q) {
+        const std::span<const int64_t> relevant = relevant_of(eval_users[q]);
+        top.clear();
+        for (const topk::ScoredItem& s : ranked[q]) top.push_back(s.item);
+        for (int64_t k : options.ks) {
+          totals.recall[k] += RecallAtK(top, relevant, k);
+          totals.ndcg[k] += NdcgAtK(top, relevant, k);
+          totals.precision[k] += PrecisionAtK(top, relevant, k);
+          totals.hit_rate[k] += HitRateAtK(top, relevant, k);
+          totals.mrr[k] += MrrAtK(top, relevant, k);
+        }
+      }
+      evaluated_users += static_cast<int64_t>(eval_users.size());
+    }
+    user = seg_end;
   }
 
   if (evaluated_users > 0) {

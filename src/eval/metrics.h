@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/interactions.h"
 #include "tensor/matrix.h"
 
 namespace darec::eval {
@@ -37,25 +39,25 @@ struct EvalOptions {
 /// Recall@K for one ranked list: |hits in top-K| / |relevant|.
 /// `relevant` must be sorted.
 double RecallAtK(const std::vector<int64_t>& ranked,
-                 const std::vector<int64_t>& relevant, int64_t k);
+                 std::span<const int64_t> relevant, int64_t k);
 
 /// NDCG@K with binary relevance under the all-ranking protocol:
 /// DCG = Σ 1/log2(pos+2) over hit positions, normalized by the ideal DCG of
 /// min(K, |relevant|) leading hits. `relevant` must be sorted.
 double NdcgAtK(const std::vector<int64_t>& ranked,
-               const std::vector<int64_t>& relevant, int64_t k);
+               std::span<const int64_t> relevant, int64_t k);
 
 /// Precision@K: |hits in top-K| / K. `relevant` must be sorted.
 double PrecisionAtK(const std::vector<int64_t>& ranked,
-                    const std::vector<int64_t>& relevant, int64_t k);
+                    std::span<const int64_t> relevant, int64_t k);
 
 /// HitRate@K: 1 if any relevant item is in the top-K, else 0.
 double HitRateAtK(const std::vector<int64_t>& ranked,
-                  const std::vector<int64_t>& relevant, int64_t k);
+                  std::span<const int64_t> relevant, int64_t k);
 
 /// MRR@K: 1/(position+1) of the first hit within the top-K, else 0.
 double MrrAtK(const std::vector<int64_t>& ranked,
-              const std::vector<int64_t>& relevant, int64_t k);
+              std::span<const int64_t> relevant, int64_t k);
 
 /// All-ranking evaluation: for every user with held-out items, scores all
 /// items by inner product, masks that user's training items, and averages
@@ -69,6 +71,19 @@ double MrrAtK(const std::vector<int64_t>& ranked,
 /// scalar loop this replaced whenever scores are tie-free.
 MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
                           const data::Dataset& dataset,
+                          const EvalOptions& options = EvalOptions());
+
+/// Streamed evaluation over InteractionStores: walks the intersection
+/// segments of the training and held-out stores' row-block partitions, so
+/// both stores are touched one block at a time (O(shard) resident for
+/// memory-mapped stores) and per-user results are accumulated in ascending
+/// user order. Because the top-K engine's per-user results are independent
+/// of query batching, the metrics are bitwise identical to the resident
+/// Dataset overload — which now routes through this function.
+/// `options.split` is ignored: the held-out store IS the split.
+MetricSet EvaluateRanking(const tensor::Matrix& node_embeddings,
+                          const data::InteractionStore& train,
+                          const data::InteractionStore& heldout,
                           const EvalOptions& options = EvalOptions());
 
 }  // namespace darec::eval

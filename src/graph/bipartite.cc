@@ -9,11 +9,42 @@ namespace darec::graph {
 using tensor::CsrMatrix;
 using tensor::Triplet;
 
-BipartiteGraph::BipartiteGraph(const data::Dataset& dataset)
-    : num_users_(dataset.num_users()),
-      num_items_(dataset.num_items()),
-      num_edges_(static_cast<int64_t>(dataset.train().size())),
-      edges_(dataset.train()) {
+BipartiteGraph::BipartiteGraph(const data::Dataset& dataset) {
+  num_users_ = dataset.num_users();
+  num_items_ = dataset.num_items();
+  num_edges_ = static_cast<int64_t>(dataset.train().size());
+  edges_ = dataset.train();
+  BuildAdjacency();
+}
+
+BipartiteGraph::BipartiteGraph(const data::InteractionStore& store) {
+  num_users_ = store.num_users();
+  num_items_ = store.num_items();
+  num_edges_ = store.nnz();
+  edges_.reserve(static_cast<size_t>(num_edges_));
+  for (int64_t b = 0; b < store.num_blocks(); ++b) {
+    core::StatusOr<data::RowBlockView> view = store.FetchBlock(b);
+    DARE_CHECK(view.ok()) << view.status().message();
+    for (int64_t user = view->row_begin; user < view->row_end; ++user) {
+      for (int64_t item : view->Row(user)) {
+        edges_.push_back({user, item});
+      }
+    }
+  }
+  DARE_CHECK_EQ(static_cast<int64_t>(edges_.size()), num_edges_);
+  BuildAdjacency();
+}
+
+BipartiteGraph BipartiteGraph::Edgeless(int64_t num_users, int64_t num_items) {
+  BipartiteGraph graph;
+  graph.num_users_ = num_users;
+  graph.num_items_ = num_items;
+  graph.num_edges_ = 0;
+  graph.BuildAdjacency();
+  return graph;
+}
+
+void BipartiteGraph::BuildAdjacency() {
   std::vector<Triplet> triplets;
   triplets.reserve(2 * edges_.size());
   for (const data::Interaction& e : edges_) {

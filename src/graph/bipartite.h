@@ -7,6 +7,7 @@
 
 #include "core/rng.h"
 #include "data/dataset.h"
+#include "data/interactions.h"
 #include "tensor/csr.h"
 
 namespace darec::graph {
@@ -19,6 +20,17 @@ class BipartiteGraph {
  public:
   /// Builds from the training split of `dataset`.
   explicit BipartiteGraph(const data::Dataset& dataset);
+
+  /// Builds from a training InteractionStore, streaming its row blocks.
+  /// The edge list and adjacency are still materialized (propagation
+  /// backbones are inherently O(edges) resident); for stores too large for
+  /// that, use Edgeless() with a propagation-free backbone ("mf").
+  explicit BipartiteGraph(const data::InteractionStore& store);
+
+  /// A graph with no edges — the shape-only stand-in for backbones that
+  /// never propagate over the adjacency (matrix factorization), letting the
+  /// web-scale path skip the O(edges) adjacency entirely.
+  static BipartiteGraph Edgeless(int64_t num_users, int64_t num_items);
 
   int64_t num_users() const { return num_users_; }
   int64_t num_items() const { return num_items_; }
@@ -59,12 +71,16 @@ class BipartiteGraph {
   const std::vector<data::Interaction>& edges() const { return edges_; }
 
  private:
+  BipartiteGraph() = default;
+
   std::shared_ptr<const tensor::CsrMatrix> BuildNormalized(
       const std::vector<bool>& edge_kept) const;
 
-  int64_t num_users_;
-  int64_t num_items_;
-  int64_t num_edges_;
+  void BuildAdjacency();
+
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  int64_t num_edges_ = 0;
   std::vector<data::Interaction> edges_;
   std::shared_ptr<const tensor::CsrMatrix> adjacency_;
   std::shared_ptr<const tensor::CsrMatrix> normalized_;

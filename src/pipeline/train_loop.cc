@@ -39,8 +39,13 @@ Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
   }
   optimizer_ = std::make_unique<tensor::Adam>(std::move(params),
                                               options.learning_rate);
-  batches_ = std::make_unique<data::BatchIterator>(*dataset_, options.batch_size,
-                                                   rng_);
+  if (options.train_store != nullptr) {
+    batches_ = std::make_unique<data::BatchIterator>(*options.train_store,
+                                                     options.batch_size, rng_);
+  } else {
+    batches_ = std::make_unique<data::BatchIterator>(*dataset_,
+                                                     options.batch_size, rng_);
+  }
   step_ = std::make_unique<TrainStep>(backbone_, aligner_, optimizer_.get(),
                                       options.align_interval);
   DARE_CHECK_GE(options.workers, 1);
@@ -58,6 +63,7 @@ Trainer::Trainer(cf::GraphBackbone* backbone, align::Aligner* aligner,
     ckpt::CheckpointManagerOptions checkpoint_options;
     checkpoint_options.dir = options.checkpoint_dir;
     checkpoint_options.keep_last = options.keep_last_checkpoints;
+    checkpoint_options.sharded = options.sharded_checkpoints;
     checkpoints_ = std::make_unique<ckpt::CheckpointManager>(checkpoint_options);
   }
   if (options.verbose) {
@@ -165,7 +171,7 @@ ckpt::Bundle Trainer::MakeBundle() const {
     meta.PutI64(step_->step_count());
     meta.PutF32(optimizer_->learning_rate());
     meta.PutU64(params.size());
-    meta.PutI64(static_cast<int64_t>(dataset_->train().size()));
+    meta.PutI64(batches_->num_interactions());
     bundle.Put("meta", meta.Release());
   }
   {
@@ -254,11 +260,11 @@ core::Status Trainer::RestoreFromBundle(const ckpt::Bundle& bundle) {
         "checkpoint has " + std::to_string(num_params) + " params, trainer has " +
         std::to_string(params.size()));
   }
-  if (train_size != static_cast<int64_t>(dataset_->train().size())) {
+  if (train_size != batches_->num_interactions()) {
     return core::Status::FailedPrecondition(
         "checkpoint was written for a dataset with " + std::to_string(train_size) +
         " training interactions, this dataset has " +
-        std::to_string(dataset_->train().size()));
+        std::to_string(batches_->num_interactions()));
   }
 
   DARE_ASSIGN_OR_RETURN(std::string_view params_bytes, bundle.Get("params"));

@@ -74,6 +74,19 @@ struct TrainOptions {
   /// update path, bit-identical to every earlier release.
   int workers = 1;
   int64_t grad_accum = 0;
+
+  /// Streaming data path (opt-in): when set, the trainer iterates this
+  /// store instead of the Dataset's train split — with a sharded
+  /// memory-mapped store the epoch streams one shard at a time (O(shard)
+  /// resident). The store must describe the same interactions as the
+  /// dataset's train split when both are given; a one-block store is
+  /// bit-identical to the classic path. Not owned; must outlive the trainer.
+  const data::InteractionStore* train_store = nullptr;
+
+  /// Write checkpoints in the sharded per-section layout (manifest +
+  /// section files, parallel section I/O) instead of the single-file DCKP
+  /// bundle. Restore reads both layouts either way.
+  bool sharded_checkpoints = false;
 };
 
 /// Outcome of one training run.

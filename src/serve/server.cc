@@ -262,7 +262,6 @@ void Server::FlushBatch(std::vector<Pending> batch, FlushReason reason,
   }
   const int64_t k_cap = degraded ? options_.overload.k_degraded : 0;
 
-  const data::Dataset& dataset = snapshot->dataset();
   const bool int8_ok =
       precision != Precision::kInt8 || snapshot->engine().has_int8();
 
@@ -311,8 +310,8 @@ void Server::FlushBatch(std::vector<Pending> batch, FlushReason reason,
   }
 
   if (!users.empty()) {
-    const topk::SeenItemsFn seen = [&dataset](int64_t user) {
-      return &dataset.TrainItemsOfUser(user);
+    const topk::SeenItemsFn seen = [&snapshot](int64_t user) {
+      return snapshot->SeenOf(user);
     };
     // One engine batch at the largest requested (post-clamp) k; each
     // request takes the prefix it asked for (the deterministic total order

@@ -5,16 +5,21 @@
 
 namespace darec::serve {
 
-ModelSnapshot::ModelSnapshot(tensor::Matrix embeddings,
-                             const data::Dataset* dataset, bool build_int8,
-                             uint64_t version)
+ModelSnapshot::ModelSnapshot(
+    tensor::Matrix embeddings, int64_t num_users, int64_t num_items,
+    const data::Dataset* dataset,
+    std::unique_ptr<const data::ResidentInteractions> seen, bool build_int8,
+    uint64_t version)
     : embeddings_(std::make_unique<tensor::Matrix>(std::move(embeddings))),
+      num_users_(num_users),
+      num_items_(num_items),
       dataset_(dataset),
+      seen_(std::move(seen)),
       version_(version) {
   topk::EngineOptions options;
   options.build_int8 = build_int8;
-  engine_ = std::make_unique<topk::Engine>(*embeddings_, dataset_->num_users(),
-                                           dataset_->num_items(), options);
+  engine_ = std::make_unique<topk::Engine>(*embeddings_, num_users_,
+                                           num_items_, options);
 }
 
 core::StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
@@ -32,7 +37,30 @@ core::StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Create(
     return core::Status::InvalidArgument("embeddings must have positive width");
   }
   return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(
-      std::move(node_embeddings), dataset, build_int8, version));
+      std::move(node_embeddings), dataset->num_users(), dataset->num_items(),
+      dataset, /*seen=*/nullptr, build_int8, version));
+}
+
+core::StatusOr<std::shared_ptr<const ModelSnapshot>>
+ModelSnapshot::CreateFromStore(tensor::Matrix node_embeddings,
+                               const data::InteractionStore& store,
+                               bool build_int8, uint64_t version) {
+  if (node_embeddings.rows() != store.num_users() + store.num_items()) {
+    return core::Status::InvalidArgument(
+        "embedding rows (" + std::to_string(node_embeddings.rows()) +
+        ") != store nodes (" +
+        std::to_string(store.num_users() + store.num_items()) + ")");
+  }
+  if (node_embeddings.cols() <= 0) {
+    return core::Status::InvalidArgument("embeddings must have positive width");
+  }
+  DARE_ASSIGN_OR_RETURN(data::ResidentInteractions seen,
+                        data::ResidentInteractions::FromStoreSorted(store));
+  return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(
+      std::move(node_embeddings), store.num_users(), store.num_items(),
+      /*dataset=*/nullptr,
+      std::make_unique<const data::ResidentInteractions>(std::move(seen)),
+      build_int8, version));
 }
 
 }  // namespace darec::serve

@@ -6,6 +6,7 @@
 
 #include "core/statusor.h"
 #include "data/dataset.h"
+#include "data/interactions.h"
 #include "tensor/matrix.h"
 #include "topk/engine.h"
 
@@ -16,7 +17,7 @@ using Precision = topk::Precision;
 
 /// One immutable, self-contained servable model: the node embeddings, the
 /// scoring engine precomputed over them (transposed item block, norms,
-/// optional int8 blocks), and the dataset whose train split is masked from
+/// optional int8 blocks), and the per-user seen-item index masked from
 /// results. Snapshots are what serve::Server swaps atomically on
 /// ReloadModel — every field is set at Create and never mutated, so any
 /// number of threads may score against one snapshot while another is being
@@ -34,20 +35,40 @@ class ModelSnapshot {
       tensor::Matrix node_embeddings, const data::Dataset* dataset,
       bool build_int8 = false, uint64_t version = 0);
 
+  /// Builds from a training InteractionStore instead of a Dataset: the
+  /// store is streamed once at build time and compacted into an owned
+  /// resident sorted seen-index (serving needs random per-user access, so
+  /// the O(nnz) index is paid here, not per request). The store itself is
+  /// not retained and may be discarded after Create returns.
+  static core::StatusOr<std::shared_ptr<const ModelSnapshot>> CreateFromStore(
+      tensor::Matrix node_embeddings, const data::InteractionStore& store,
+      bool build_int8 = false, uint64_t version = 0);
+
   const topk::Engine& engine() const { return *engine_; }
-  const data::Dataset& dataset() const { return *dataset_; }
   uint64_t version() const { return version_; }
-  int64_t num_users() const { return dataset_->num_users(); }
-  int64_t num_items() const { return dataset_->num_items(); }
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+
+  /// The user's training items, sorted ascending — the mask list handed to
+  /// the engine. Valid for the snapshot's lifetime.
+  topk::ItemSpan SeenOf(int64_t user) const {
+    if (dataset_ != nullptr) return dataset_->TrainItemsOfUser(user);
+    return topk::ItemSpan(seen_->Row(user));
+  }
 
  private:
-  ModelSnapshot(tensor::Matrix embeddings, const data::Dataset* dataset,
+  ModelSnapshot(tensor::Matrix embeddings, int64_t num_users,
+                int64_t num_items, const data::Dataset* dataset,
+                std::unique_ptr<const data::ResidentInteractions> seen,
                 bool build_int8, uint64_t version);
 
   // unique_ptr keeps the embedding matrix (and the engine's pointer into
   // it) address-stable; the snapshot itself always lives behind shared_ptr.
   std::unique_ptr<tensor::Matrix> embeddings_;
-  const data::Dataset* dataset_;
+  int64_t num_users_;
+  int64_t num_items_;
+  const data::Dataset* dataset_;  // Dataset-backed snapshots only.
+  std::unique_ptr<const data::ResidentInteractions> seen_;  // Store-backed.
   std::unique_ptr<topk::Engine> engine_;
   uint64_t version_;
 };

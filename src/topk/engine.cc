@@ -36,15 +36,15 @@ int64_t SelectGrain(int64_t num_items) {
 /// result is sorted best-first. `seen` is a sorted id list consumed by a
 /// merge walk — no per-item binary search.
 void SelectTopK(const float* scores, int64_t num_items, int64_t k,
-                const std::vector<int64_t>* seen, MaskMode mask_mode,
+                ItemSpan seen, MaskMode mask_mode,
                 std::vector<ScoredItem>& out) {
   constexpr RanksBefore ranks_before{};
   out.clear();
   size_t seen_pos = 0;
-  const size_t seen_size = seen ? seen->size() : 0;
+  const size_t seen_size = seen.count;
   for (int64_t item = 0; item < num_items; ++item) {
     float score = scores[item];
-    if (seen_pos < seen_size && (*seen)[seen_pos] == item) {
+    if (seen_pos < seen_size && seen[seen_pos] == item) {
       ++seen_pos;
       if (mask_mode == MaskMode::kDrop) continue;
       score = kNegInf;
@@ -139,7 +139,7 @@ void Engine::ScoreAndSelectBlock(
                       for (int64_t r = lo; r < hi; ++r) {
                         const int64_t user = users[static_cast<size_t>(b0 + r)];
                         SelectTopK(scores->Row(r), num_items_, take,
-                                   seen ? seen(user) : nullptr, mask_mode,
+                                   seen ? seen(user) : ItemSpan(), mask_mode,
                                    (*lists)[static_cast<size_t>(b0 + r)]);
                       }
                     });
@@ -184,8 +184,8 @@ void Engine::TopKOne(int64_t user, int64_t k, const SeenItemsFn& seen,
         users_q8_.Row(user), &users_q8_.scales[static_cast<size_t>(user)], 1,
         items_q8_, scores.get());
   }
-  SelectTopK(scores->Row(0), num_items_, take, seen ? seen(user) : nullptr,
-             mask_mode, *out);
+  SelectTopK(scores->Row(0), num_items_, take,
+             seen ? seen(user) : ItemSpan(), mask_mode, *out);
 }
 
 }  // namespace darec::topk

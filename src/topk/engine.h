@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -56,9 +57,34 @@ struct EngineOptions {
   bool build_int8 = false;
 };
 
-/// Sorted ascending list of item ids to mask for `user`, or nullptr for
-/// none. Invoked from pool worker threads — must be a pure lookup.
-using SeenItemsFn = std::function<const std::vector<int64_t>*(int64_t user)>;
+/// A non-owning view of one user's sorted masked-item list. Converts
+/// implicitly from the containers every seen-list producer already holds — a
+/// vector (or pointer to one, where nullptr means "nothing seen"), a
+/// std::span into a memory-mapped shard block, or a raw pointer + length —
+/// so resident and block-streamed data sources feed the same engine without
+/// copying ids. The referenced ids must stay alive and unchanged for the
+/// duration of the TopK call that receives the span.
+struct ItemSpan {
+  const int64_t* ids = nullptr;
+  size_t count = 0;
+
+  ItemSpan() = default;
+  ItemSpan(const int64_t* data, size_t size) : ids(data), count(size) {}
+  ItemSpan(const std::vector<int64_t>& items)  // NOLINT(runtime/explicit)
+      : ids(items.data()), count(items.size()) {}
+  ItemSpan(const std::vector<int64_t>* items)  // NOLINT(runtime/explicit)
+      : ids(items != nullptr ? items->data() : nullptr),
+        count(items != nullptr ? items->size() : 0) {}
+  ItemSpan(std::span<const int64_t> items)  // NOLINT(runtime/explicit)
+      : ids(items.data()), count(items.size()) {}
+
+  bool empty() const { return count == 0; }
+  int64_t operator[](size_t i) const { return ids[i]; }
+};
+
+/// Sorted ascending list of item ids to mask for `user` (empty for none).
+/// Invoked from pool worker threads — must be a pure lookup.
+using SeenItemsFn = std::function<ItemSpan(int64_t user)>;
 
 /// The one k-clamp used everywhere a requested k meets a limit: the engine's
 /// item-count bound and the serving tier's degradation cap (`k_degraded`)

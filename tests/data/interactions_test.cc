@@ -1,0 +1,137 @@
+#include "data/interactions.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/presets.h"
+#include "gtest/gtest.h"
+#include "tensor/csr.h"
+
+namespace darec::data {
+namespace {
+
+Dataset TinyDataset() {
+  auto dataset = LoadPresetDataset("tiny");
+  EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
+  return *std::move(dataset);
+}
+
+TEST(RowBlockViewTest, RowRebasesNonZeroOffsetBase) {
+  // A window into a global CSR: offsets do not start at zero, Row() must
+  // rebase against row_offsets[0] to index cols correctly.
+  const std::vector<int64_t> offsets = {100, 102, 102, 105};
+  const std::vector<int64_t> cols = {7, 8, 1, 2, 3};
+  RowBlockView view{/*row_begin=*/10, /*row_end=*/13, offsets.data(),
+                    cols.data()};
+  EXPECT_EQ(view.rows(), 3);
+  EXPECT_EQ(view.nnz(), 5);
+  ASSERT_EQ(view.Row(10).size(), 2u);
+  EXPECT_EQ(view.Row(10)[0], 7);
+  EXPECT_EQ(view.Row(10)[1], 8);
+  EXPECT_TRUE(view.Row(11).empty());
+  ASSERT_EQ(view.Row(12).size(), 3u);
+  EXPECT_EQ(view.Row(12)[2], 3);
+}
+
+TEST(ResidentInteractionsTest, FromTrainSplitPreservesReplayOrder) {
+  const Dataset dataset = TinyDataset();
+  const ResidentInteractions store = ResidentInteractions::FromTrainSplit(dataset);
+  EXPECT_EQ(store.num_users(), dataset.num_users());
+  EXPECT_EQ(store.num_items(), dataset.num_items());
+  EXPECT_EQ(store.nnz(), static_cast<int64_t>(dataset.train().size()));
+  EXPECT_EQ(store.num_blocks(), 1);
+  EXPECT_FALSE(store.rows_sorted());
+
+  // The k-th stored column is exactly dataset.train()[k].item — the replay
+  // contract the one-shard/resident bit-identity argument rests on.
+  auto view = store.FetchBlock(0);
+  ASSERT_TRUE(view.ok());
+  int64_t flat = 0;
+  for (int64_t user = 0; user < store.num_users(); ++user) {
+    for (int64_t item : view->Row(user)) {
+      ASSERT_LT(flat, store.nnz());
+      EXPECT_EQ(dataset.train()[static_cast<size_t>(flat)].user, user);
+      EXPECT_EQ(dataset.train()[static_cast<size_t>(flat)].item, item);
+      ++flat;
+    }
+  }
+  EXPECT_EQ(flat, store.nnz());
+}
+
+TEST(ResidentInteractionsTest, FromHeldoutSplitMatchesSortedPerUserItems) {
+  const Dataset dataset = TinyDataset();
+  for (HeldoutSplit split : {HeldoutSplit::kTest, HeldoutSplit::kValidation}) {
+    const ResidentInteractions store =
+        ResidentInteractions::FromHeldoutSplit(dataset, split);
+    EXPECT_TRUE(store.rows_sorted());
+    for (int64_t user = 0; user < dataset.num_users(); ++user) {
+      const std::vector<int64_t>& expected =
+          split == HeldoutSplit::kTest ? dataset.TestItemsOfUser(user)
+                                       : dataset.ValidationItemsOfUser(user);
+      const auto row = store.Row(user);
+      ASSERT_EQ(row.size(), expected.size()) << "user " << user;
+      EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin()));
+    }
+  }
+}
+
+TEST(ResidentInteractionsTest, FromCsrAdoptsShapeAndRows) {
+  const tensor::CsrMatrix csr = tensor::CsrMatrix::FromTriplets(
+      3, 10, {{0, 4, 1.0f}, {0, 1, 1.0f}, {2, 9, 1.0f}});
+  const ResidentInteractions store =
+      ResidentInteractions::FromCsr(csr, /*rows_sorted=*/true);
+  EXPECT_EQ(store.num_users(), 3);
+  EXPECT_EQ(store.num_items(), 10);
+  EXPECT_EQ(store.nnz(), 3);
+  ASSERT_EQ(store.Row(0).size(), 2u);
+  EXPECT_EQ(store.Row(0)[0], 1);
+  EXPECT_EQ(store.Row(0)[1], 4);
+  EXPECT_TRUE(store.Row(1).empty());
+  EXPECT_EQ(store.Row(2)[0], 9);
+}
+
+TEST(ResidentInteractionsTest, FromStoreSortedSortsEveryRow) {
+  const Dataset dataset = TinyDataset();
+  const ResidentInteractions replay = ResidentInteractions::FromTrainSplit(dataset);
+  auto sorted = ResidentInteractions::FromStoreSorted(replay);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  EXPECT_TRUE(sorted->rows_sorted());
+  EXPECT_EQ(sorted->nnz(), replay.nnz());
+  for (int64_t user = 0; user < dataset.num_users(); ++user) {
+    const std::vector<int64_t>& expected = dataset.TrainItemsOfUser(user);
+    const auto row = sorted->Row(user);
+    ASSERT_EQ(row.size(), expected.size()) << "user " << user;
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin()));
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  }
+}
+
+TEST(SortedBlockRowsTest, RebuildSortsAndReusesBuffers) {
+  const std::vector<int64_t> offsets = {0, 3, 3, 5};
+  const std::vector<int64_t> cols = {9, 2, 5, 8, 1};
+  RowBlockView view{/*row_begin=*/4, /*row_end=*/7, offsets.data(), cols.data()};
+
+  SortedBlockRows sorted;
+  sorted.Rebuild(view, /*already_sorted=*/false);
+  EXPECT_EQ(sorted.row_begin(), 4);
+  EXPECT_EQ(sorted.row_end(), 7);
+  ASSERT_EQ(sorted.Row(4).size(), 3u);
+  EXPECT_EQ(sorted.Row(4)[0], 2);
+  EXPECT_EQ(sorted.Row(4)[1], 5);
+  EXPECT_EQ(sorted.Row(4)[2], 9);
+  EXPECT_TRUE(sorted.Row(5).empty());
+  EXPECT_EQ(sorted.Row(6)[0], 1);
+  EXPECT_EQ(sorted.Row(6)[1], 8);
+
+  // Rebuilding from an already-sorted block keeps the source order verbatim.
+  const std::vector<int64_t> sorted_cols = {2, 5, 9, 1, 8};
+  RowBlockView view2{4, 7, offsets.data(), sorted_cols.data()};
+  sorted.Rebuild(view2, /*already_sorted=*/true);
+  EXPECT_EQ(sorted.Row(6)[0], 1);
+  EXPECT_EQ(sorted.Row(6)[1], 8);
+}
+
+}  // namespace
+}  // namespace darec::data

@@ -12,9 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "core/cpu_features.h"
 #include "core/crc32.h"
 #include "core/thread_pool.h"
+#include "data/presets.h"
+#include "data/shards.h"
 #include "gtest/gtest.h"
 #include "pipeline/experiment.h"
 #include "pipeline/trainer.h"
@@ -289,6 +292,139 @@ TEST_F(GoldenTraceTest, CheckpointBytesAreWorkerCountIndependent) {
   }
   fs::remove_all(base + "_w1");
   fs::remove_all(base + "_w8");
+}
+
+/// The streaming data path is part of the frozen contract: training against
+/// a one-shard memory-mapped ShardedInteractions store (spec.train_options.
+/// train_store) must reproduce the golden traces bit for bit — the mmap'd
+/// store and the resident Dataset path are interchangeable, not merely
+/// approximately equal.
+TEST_F(GoldenTraceTest, OneShardStreamedRunReproducesFrozenTraces) {
+  const std::string dir = ::testing::TempDir() + "/golden_trace_streamed";
+  fs::remove_all(dir);
+  auto dataset = data::LoadPresetDataset("tiny");
+  ASSERT_TRUE(dataset.ok());
+  auto manifest = data::WriteShardedTrain(
+      *dataset, dir, "train", /*rows_per_shard=*/dataset->num_users());
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  auto store = data::ShardedInteractions::Open(*manifest);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->num_blocks(), 1);
+
+  for (const GoldenTrace& golden : Traces()) {
+    SCOPED_TRACE("variant=" + golden.variant);
+    ExperimentSpec spec = GoldenSpec(golden.variant);
+    if (golden.early_stopping) {
+      spec.train_options.eval_every = 2;
+      spec.train_options.patience = 10;
+    }
+    spec.train_options.train_store = &*store;
+    auto experiment = Experiment::Create(spec);
+    ASSERT_TRUE(experiment.ok());
+    ExpectMatchesTrace((*experiment)->Run(), golden);
+  }
+  fs::remove_all(dir);
+}
+
+/// Sharded checkpoints carry the exact same state as single-file ones: a
+/// streamed run writing the DCKM layout must restore to bundles whose
+/// serialized form is byte-identical to the frozen .dckp files above.
+TEST_F(GoldenTraceTest, StreamedShardedCheckpointsCarryTheFrozenState) {
+  struct GoldenFile {
+    int64_t step;
+    size_t size;
+    uint32_t crc;
+  };
+  const std::vector<GoldenFile> golden_files{
+      {1, 66747, 0x42c5e38e},
+      {2, 80835, 0x8964857a},
+      {3, 80843, 0x65bdb4a0},
+  };
+
+  const std::string dir = ::testing::TempDir() + "/golden_trace_sharded_ckpt";
+  fs::remove_all(dir);
+  core::ThreadPool::SetGlobalThreads(1);
+
+  auto dataset = data::LoadPresetDataset("tiny");
+  ASSERT_TRUE(dataset.ok());
+  auto manifest = data::WriteShardedTrain(
+      *dataset, dir + "/data", "train", /*rows_per_shard=*/dataset->num_users());
+  ASSERT_TRUE(manifest.ok());
+  auto store = data::ShardedInteractions::Open(*manifest);
+  ASSERT_TRUE(store.ok());
+
+  ExperimentSpec spec = GoldenSpec("darec");
+  spec.train_options.epochs = 3;
+  spec.train_options.eval_every = 2;
+  spec.train_options.patience = 10;
+  spec.train_options.checkpoint_dir = dir + "/ckpt";
+  spec.train_options.checkpoint_every = 1;
+  spec.train_options.train_store = &*store;
+  spec.train_options.sharded_checkpoints = true;
+  auto experiment = Experiment::Create(spec);
+  ASSERT_TRUE(experiment.ok());
+  (*experiment)->Run();
+
+  ckpt::CheckpointManagerOptions manager_options;
+  manager_options.dir = dir + "/ckpt";
+  manager_options.sharded = true;
+  ckpt::CheckpointManager manager(manager_options);
+  const std::vector<ckpt::CheckpointEntry> entries = manager.List();
+  ASSERT_EQ(entries.size(), golden_files.size());
+  for (size_t i = 0; i < golden_files.size(); ++i) {
+    SCOPED_TRACE("step=" + std::to_string(golden_files[i].step));
+    EXPECT_EQ(entries[i].step, golden_files[i].step);
+    EXPECT_TRUE(entries[i].sharded);
+    auto bundle = manager.LoadPath(entries[i].path);
+    ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+    const std::string serialized = ckpt::SerializeBundle(*bundle);
+    EXPECT_EQ(serialized.size(), golden_files[i].size);
+    EXPECT_EQ(core::Crc32(serialized), golden_files[i].crc);
+  }
+  fs::remove_all(dir);
+}
+
+/// Streaming mode proper (many shards): the block-shuffled schedule is a
+/// different—but equally frozen—function of the seed, so two identical runs
+/// and every thread count must agree bit for bit, and resuming from a
+/// sharded checkpoint must land on the uninterrupted trajectory.
+TEST_F(GoldenTraceTest, MultiShardStreamedRunIsDeterministicAcrossThreads) {
+  const std::string dir = ::testing::TempDir() + "/golden_trace_multishard";
+  fs::remove_all(dir);
+  auto dataset = data::LoadPresetDataset("tiny");
+  ASSERT_TRUE(dataset.ok());
+  auto manifest = data::WriteShardedTrain(*dataset, dir, "train",
+                                          /*rows_per_shard=*/32);
+  ASSERT_TRUE(manifest.ok());
+  auto store = data::ShardedInteractions::Open(*manifest);
+  ASSERT_TRUE(store.ok());
+  ASSERT_GT(store->num_blocks(), 1);
+
+  auto run = [&](int threads) {
+    core::ThreadPool::SetGlobalThreads(threads);
+    ExperimentSpec spec = GoldenSpec("darec");
+    spec.train_options.train_store = &*store;
+    auto experiment = Experiment::Create(spec);
+    EXPECT_TRUE(experiment.ok());
+    return (*experiment)->Run();
+  };
+  const TrainResult first = run(1);
+  const TrainResult again = run(1);
+  const TrainResult threaded = run(8);
+
+  ASSERT_EQ(first.epoch_losses.size(), 5u);
+  for (const TrainResult* other : {&again, &threaded}) {
+    ASSERT_EQ(other->epoch_losses.size(), first.epoch_losses.size());
+    for (size_t i = 0; i < first.epoch_losses.size(); ++i) {
+      EXPECT_EQ(Bits(other->epoch_losses[i]), Bits(first.epoch_losses[i]))
+          << "epoch " << i + 1;
+    }
+    EXPECT_EQ(Bits(other->test_metrics.recall.at(20)),
+              Bits(first.test_metrics.recall.at(20)));
+    EXPECT_EQ(Bits(other->test_metrics.ndcg.at(20)),
+              Bits(first.test_metrics.ndcg.at(20)));
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace
